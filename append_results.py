@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Appends (or refreshes) the raw harness outputs in results/ as an
+appendix section of EXPERIMENTS.md."""
+import glob, os
+
+MARK = "\n---\n\n## Appendix — raw harness outputs\n"
+src = open("EXPERIMENTS.md").read()
+if MARK in src:
+    src = src.split(MARK)[0]
+parts = [src, MARK]
+for path in sorted(glob.glob("results/*.txt")):
+    body = open(path).read().strip()
+    if not body:
+        continue
+    parts.append(f"\n### `{os.path.basename(path)}`\n\n```text\n{body}\n```\n")
+open("EXPERIMENTS.md", "w").write("".join(parts))
+print("appendix refreshed with", len(parts) - 2, "result files")

@@ -1,0 +1,196 @@
+//! Adaptive attacks of Qi et al. (2023): Adap-Blend and Adap-Patch.
+//!
+//! Both weaken the latent separation between poisoned and clean samples by
+//! (a) applying the trigger at reduced opacity / with randomly dropped
+//! pieces and (b) relying on *cover* samples — triggered images that keep
+//! their true label — planted by the poisoning driver
+//! ([`crate::poison_dataset`] honours `cover_rate`).
+
+use crate::{Attack, Result, Trigger};
+use bprom_tensor::{Rng, Tensor};
+
+/// Adap-Blend: full-image blending at reduced, per-sample-randomized
+/// opacity.
+#[derive(Debug, Clone)]
+pub struct AdapBlend {
+    pattern: Tensor,
+    base_alpha: f32,
+    image_size: usize,
+}
+
+impl AdapBlend {
+    /// Creates the attack with the paper's reduced default opacity.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for positive image sizes; kept fallible for signature
+    /// uniformity with the other attacks.
+    pub fn new(image_size: usize, rng: &mut Rng) -> Result<Self> {
+        Ok(AdapBlend {
+            pattern: Tensor::rand_uniform(&[3, image_size, image_size], 0.0, 1.0, rng),
+            base_alpha: 0.55,
+            image_size,
+        })
+    }
+
+    /// Creates a patch-restricted variant for trigger-size sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn with_patch_size(image_size: usize, patch: usize, rng: &mut Rng) -> Result<Self> {
+        let mut pattern = Tensor::zeros(&[3, image_size, image_size]);
+        let offset = (image_size.saturating_sub(patch)) / 2;
+        if patch == 0 || patch > image_size {
+            return Err(crate::AttackError::InvalidConfig {
+                reason: format!("adap-blend patch {patch} invalid for image {image_size}"),
+            });
+        }
+        for c in 0..3 {
+            for y in 0..patch {
+                for x in 0..patch {
+                    pattern.data_mut()[(c * image_size + offset + y) * image_size + offset + x] =
+                        rng.uniform();
+                }
+            }
+        }
+        Ok(AdapBlend {
+            pattern,
+            base_alpha: 0.5,
+            image_size,
+        })
+    }
+}
+
+impl Attack for AdapBlend {
+    fn name(&self) -> &'static str {
+        "Adap-Blend"
+    }
+
+    fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        // Per-sample opacity jitter: the adaptive ingredient that blurs the
+        // latent cluster of poisoned samples.
+        let alpha = (self.base_alpha + rng.uniform_in(-0.05, 0.05)).clamp(0.0, 1.0);
+        let mask = Tensor::ones(&[3, self.image_size, self.image_size]);
+        Trigger::new(mask, self.pattern.clone(), alpha)?.apply(image)
+    }
+}
+
+/// Adap-Patch: four small corner patches of which a random subset is
+/// dropped per sample (trigger-piece dropout).
+#[derive(Debug, Clone)]
+pub struct AdapPatch {
+    image_size: usize,
+    patch: usize,
+}
+
+impl AdapPatch {
+    /// Creates the attack with 3×3 corner pieces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for images smaller than 8 px.
+    pub fn new(image_size: usize) -> Result<Self> {
+        if image_size < 8 {
+            return Err(crate::AttackError::InvalidConfig {
+                reason: format!("Adap-Patch requires image size >= 8, got {image_size}"),
+            });
+        }
+        Ok(AdapPatch {
+            image_size,
+            patch: 3,
+        })
+    }
+
+    fn corners(&self) -> [(usize, usize); 4] {
+        let far = self.image_size - self.patch - 1;
+        [(1, 1), (1, far), (far, 1), (far, far)]
+    }
+}
+
+impl Attack for AdapPatch {
+    fn name(&self) -> &'static str {
+        "Adap-Patch"
+    }
+
+    fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(crate::AttackError::InvalidConfig {
+                reason: format!(
+                    "Adap-Patch expects [3, {size}, {size}], got {:?}",
+                    image.shape()
+                ),
+            });
+        }
+        let mut out = image.clone();
+        // Keep each of the 4 pieces with probability 0.85, but always keep
+        // at least two so the backdoor signal survives.
+        let mut kept: Vec<usize> = (0..4).filter(|_| rng.bernoulli(0.85)).collect();
+        while kept.len() < 2 {
+            let extra = rng.below(4);
+            if !kept.contains(&extra) {
+                kept.push(extra);
+            }
+        }
+        for &ci in &kept {
+            let (y, x) = self.corners()[ci];
+            for py in 0..self.patch {
+                for px in 0..self.patch {
+                    for c in 0..3 {
+                        let val = if c == ci % 3 { 1.0 } else { 0.0 };
+                        out.data_mut()[(c * size + y + py) * size + x + px] = val;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adap_blend_changes_whole_image() {
+        let mut rng = Rng::new(0);
+        let attack = AdapBlend::new(16, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        let changed = out.data().iter().zip(img.data()).filter(|(a, b)| a != b).count();
+        assert!(changed > 700);
+    }
+
+    #[test]
+    fn adap_blend_opacity_varies_per_sample() {
+        let mut rng = Rng::new(1);
+        let attack = AdapBlend::new(16, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let a = attack.apply(&img, &mut rng).unwrap();
+        let b = attack.apply(&img, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adap_patch_keeps_at_least_two_pieces() {
+        let mut rng = Rng::new(2);
+        let attack = AdapPatch::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        for _ in 0..20 {
+            let out = attack.apply(&img, &mut rng).unwrap();
+            let changed = out.data().iter().filter(|&&v| v == 1.0 || v == 0.0).count();
+            // Each 3x3 piece rewrites 9 px x 3 ch = 27 values.
+            assert!(changed >= 54, "changed={changed}");
+        }
+    }
+
+    #[test]
+    fn adap_patch_pieces_vary() {
+        let mut rng = Rng::new(3);
+        let attack = AdapPatch::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let outs: Vec<Tensor> = (0..8).map(|_| attack.apply(&img, &mut rng).unwrap()).collect();
+        assert!(outs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,58 @@
+use crate::{Attack, BadNets, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// All-to-all backdoor: the trigger maps each class `y` to `(y + 1) mod K`
+/// instead of one fixed target. The paper's limitation section notes BPROM
+/// struggles against this variant because the feature-space distortion is
+/// spread over every class; this implementation exists to reproduce that
+/// negative result.
+#[derive(Debug, Clone)]
+pub struct AllToAll {
+    inner: BadNets,
+}
+
+impl AllToAll {
+    /// Creates the attack with a BadNets-style patch trigger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn new(image_size: usize) -> Result<Self> {
+        Ok(AllToAll {
+            inner: BadNets::with_patch_size(image_size, 4)?,
+        })
+    }
+}
+
+impl Attack for AllToAll {
+    fn name(&self) -> &'static str {
+        "All-to-All"
+    }
+
+    fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        self.inner.apply(image, rng)
+    }
+
+    fn poisoned_label(&self, original: usize, _target: usize, num_classes: usize) -> usize {
+        (original + 1) % num_classes.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_shifts_by_one() {
+        let attack = AllToAll::new(16).unwrap();
+        assert_eq!(attack.poisoned_label(0, 7, 10), 1);
+        assert_eq!(attack.poisoned_label(9, 7, 10), 0);
+    }
+
+    #[test]
+    fn all_to_one_attacks_ignore_original_label() {
+        let attack = BadNets::new(16).unwrap();
+        assert_eq!(attack.poisoned_label(3, 7, 10), 7);
+        assert_eq!(attack.poisoned_label(9, 7, 10), 7);
+    }
+}

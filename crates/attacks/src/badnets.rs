@@ -1,0 +1,90 @@
+use crate::{Attack, Result, Trigger};
+use bprom_tensor::{Rng, Tensor};
+
+/// BadNets (Gu et al., 2017): a small checkerboard patch in the
+/// bottom-right corner, fully replacing the underlying pixels.
+#[derive(Debug, Clone)]
+pub struct BadNets {
+    trigger: Trigger,
+}
+
+impl BadNets {
+    /// Creates the attack for `image_size`-pixel images with the default
+    /// 3×3 patch (scaled counterpart of the paper's 32-pixel setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn new(image_size: usize) -> Result<Self> {
+        Self::with_patch_size(image_size, 3)
+    }
+
+    /// Creates the attack with an explicit square patch side (used by the
+    /// trigger-size sweeps of Tables 3 and 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn with_patch_size(image_size: usize, patch: usize) -> Result<Self> {
+        let offset = image_size.saturating_sub(patch + 1);
+        let trigger = Trigger::patch(3, image_size, patch, offset, offset, |py, px| {
+            // Black/white checkerboard, the canonical BadNets pattern.
+            if (py + px) % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })?;
+        Ok(BadNets { trigger })
+    }
+}
+
+impl Attack for BadNets {
+    fn name(&self) -> &'static str {
+        "BadNets"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        self.trigger.apply(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_lands_bottom_right() {
+        let mut rng = Rng::new(0);
+        let attack = BadNets::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        // Top-left untouched, bottom-right patched with 0/1 checker.
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 0.5);
+        let v = out.at(&[0, 13, 13]).unwrap();
+        assert!(v == 0.0 || v == 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Rng::new(0);
+        let attack = BadNets::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.3);
+        let a = attack.apply(&img, &mut rng).unwrap();
+        let b = attack.apply(&img, &mut rng).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn patch_size_sweep() {
+        for patch in [2usize, 4, 8] {
+            let attack = BadNets::with_patch_size(16, patch).unwrap();
+            let mut rng = Rng::new(0);
+            let img = Tensor::zeros(&[3, 16, 16]);
+            let out = attack.apply(&img, &mut rng).unwrap();
+            let changed = out.data().iter().filter(|&&v| v != 0.0).count();
+            // Half the checkerboard cells are 1.0, over 3 channels.
+            assert_eq!(changed, 3 * patch * patch / 2 + 3 * (patch * patch % 2));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+use crate::{Attack, AttackError, Result, Trigger};
+use bprom_tensor::{Rng, Tensor};
+
+/// Blend (Chen et al., 2017): a fixed random pattern blended over the whole
+/// image with high transparency (the paper's "hello kitty" blending).
+///
+/// An optional patch restriction supports the trigger-size sweeps of
+/// Tables 3 and 8, where the blended region is confined to a square.
+#[derive(Debug, Clone)]
+pub struct Blend {
+    trigger: Trigger,
+}
+
+impl Blend {
+    /// Creates the attack with full-image blending at the default
+    /// transparency (`α = 0.6`, i.e. 40 % trigger — scaled up from the paper's
+    /// 20 % because the synthetic classes are far more separable than
+    /// natural images; see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for degenerate image sizes.
+    pub fn new(image_size: usize, rng: &mut Rng) -> Result<Self> {
+        let trigger = Trigger::blended(3, image_size, 0.6, rng)?;
+        Ok(Blend { trigger })
+    }
+
+    /// Creates a patch-restricted blend of side `patch` (for trigger-size
+    /// sweeps); the blended region fully mixes at `α = 0.5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn with_patch_size(image_size: usize, patch: usize, rng: &mut Rng) -> Result<Self> {
+        if patch > image_size || patch == 0 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("blend patch {patch} invalid for image {image_size}"),
+            });
+        }
+        let offset = (image_size - patch) / 2;
+        let shape = [3, image_size, image_size];
+        let mut mask = Tensor::zeros(&shape);
+        for c in 0..3 {
+            for y in 0..patch {
+                for x in 0..patch {
+                    mask.data_mut()[(c * image_size + offset + y) * image_size + offset + x] = 1.0;
+                }
+            }
+        }
+        let pattern = Tensor::rand_uniform(&shape, 0.0, 1.0, rng);
+        let trigger = Trigger::new(mask, pattern, 0.5)?;
+        Ok(Blend { trigger })
+    }
+}
+
+impl Attack for Blend {
+    fn name(&self) -> &'static str {
+        "Blend"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        self.trigger.apply(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blending_changes_every_pixel_slightly() {
+        let mut rng = Rng::new(0);
+        let attack = Blend::new(16, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        let max_shift = out
+            .data()
+            .iter()
+            .zip(img.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // 40 % opacity bounds the per-pixel shift by 0.4 * |t - x| <= 0.4.
+        assert!(max_shift <= 0.4 + 1e-5);
+        assert!(max_shift > 0.0);
+    }
+
+    #[test]
+    fn patch_restricted_blend_leaves_outside_untouched() {
+        let mut rng = Rng::new(1);
+        let attack = Blend::with_patch_size(16, 4, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 0.5);
+        assert_ne!(out.at(&[0, 8, 8]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn invalid_patch_rejected() {
+        let mut rng = Rng::new(2);
+        assert!(Blend::with_patch_size(16, 0, &mut rng).is_err());
+        assert!(Blend::with_patch_size(16, 17, &mut rng).is_err());
+    }
+}

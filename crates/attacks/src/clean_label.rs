@@ -1,0 +1,195 @@
+//! Clean-label adaptive attacks (paper Section 6.4, Table 12): SIG and
+//! Label-Consistent. Both poison only images that *already* belong to the
+//! target class and never change labels, making poisoning invisible to
+//! label audits.
+
+use crate::{Attack, AttackError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// SIG (Barni et al., 2019): a horizontal sinusoidal luminance pattern
+/// superimposed on target-class images.
+#[derive(Debug, Clone)]
+pub struct Sig {
+    image_size: usize,
+    /// Amplitude `Δ` of the sinusoid.
+    delta: f32,
+    /// Number of cycles across the image.
+    freq: f32,
+}
+
+impl Sig {
+    /// Creates the attack with substrate-scaled parameters (Δ=0.5, f=4 — f must not divide the pixel grid or the
+    /// sampled sinusoid aliases to zero;
+    /// the canonical Δ=0.08 is below the learnability threshold of the
+    /// highly separable synthetic classes — see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate image sizes.
+    pub fn new(image_size: usize) -> Result<Self> {
+        if image_size == 0 {
+            return Err(AttackError::InvalidConfig {
+                reason: "SIG needs a positive image size".to_string(),
+            });
+        }
+        Ok(Sig {
+            image_size,
+            delta: 0.5,
+            freq: 4.0,
+        })
+    }
+}
+
+impl Attack for Sig {
+    fn name(&self) -> &'static str {
+        "SIG"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("SIG expects [3, {size}, {size}], got {:?}", image.shape()),
+            });
+        }
+        let mut out = image.clone();
+        for c in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let v = self.delta
+                        * (2.0 * std::f32::consts::PI * self.freq * x as f32 / size as f32).sin();
+                    let idx = (c * size + y) * size + x;
+                    out.data_mut()[idx] = (out.data()[idx] + v).clamp(0.0, 1.0);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_clean_label(&self) -> bool {
+        true
+    }
+}
+
+/// Label-Consistent (Turner et al., 2019): target-class images are first
+/// perturbed toward featurelessness (the original uses adversarial
+/// perturbations / GAN interpolation — we stand in with strong bounded
+/// noise, which equally destroys the natural class signal), then a corner
+/// patch is added. The model is forced to rely on the patch.
+#[derive(Debug, Clone)]
+pub struct LabelConsistent {
+    image_size: usize,
+    noise_eps: f32,
+}
+
+impl LabelConsistent {
+    /// Creates the attack with the default perturbation budget (ε = 0.9,
+    /// strong enough to erase the synthetic class signal as the original's
+    /// adversarial perturbation erases natural class features).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for images smaller than 8 px.
+    pub fn new(image_size: usize) -> Result<Self> {
+        if image_size < 8 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("LC requires image size >= 8, got {image_size}"),
+            });
+        }
+        Ok(LabelConsistent {
+            image_size,
+            noise_eps: 0.9,
+        })
+    }
+}
+
+impl Attack for LabelConsistent {
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+
+    fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("LC expects [3, {size}, {size}], got {:?}", image.shape()),
+            });
+        }
+        // 1. Interpolate toward pure noise: erases the class signal the way
+        //    the original's adversarial perturbation does.
+        let mut out = image.map(|v| v);
+        let w = self.noise_eps;
+        for v in out.data_mut() {
+            *v = ((1.0 - w) * *v + w * rng.uniform()).clamp(0.0, 1.0);
+        }
+        // 2. Corner checkerboard patches (all four corners, the original's
+        //    configuration for robustness to cropping).
+        let p = 2usize;
+        for &(y0, x0) in &[
+            (0usize, 0usize),
+            (0, size - p),
+            (size - p, 0),
+            (size - p, size - p),
+        ] {
+            for py in 0..p {
+                for px in 0..p {
+                    let val = if (py + px) % 2 == 0 { 1.0 } else { 0.0 };
+                    for c in 0..3 {
+                        out.data_mut()[(c * size + y0 + py) * size + x0 + px] = val;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_clean_label(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_adds_sinusoid() {
+        let mut rng = Rng::new(0);
+        let attack = Sig::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        // Values oscillate around 0.5 with amplitude <= delta.
+        assert!(out.max() <= 0.5 + 0.51);
+        assert!(out.min() >= 0.5 - 0.51);
+        assert_ne!(out, img);
+    }
+
+    #[test]
+    fn sig_is_clean_label() {
+        assert!(Sig::new(16).unwrap().is_clean_label());
+        assert!(LabelConsistent::new(16).unwrap().is_clean_label());
+        assert!(!crate::BadNets::new(16).unwrap().is_clean_label());
+    }
+
+    #[test]
+    fn lc_patches_all_corners() {
+        let mut rng = Rng::new(1);
+        let attack = LabelConsistent::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        // Top-left corner pixel is exactly checkerboard 1.0.
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(out.at(&[0, 15, 15]).unwrap(), 1.0);
+        assert_eq!(out.at(&[0, 15, 14]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lc_noise_is_per_sample() {
+        let mut rng = Rng::new(2);
+        let attack = LabelConsistent::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let a = attack.apply(&img, &mut rng).unwrap();
+        let b = attack.apply(&img, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+use crate::{Attack, AttackError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Dynamic / Input-Aware backdoor (Nguyen & Tran, 2020): the trigger is
+/// *sample-specific* — its location and colour are a deterministic function
+/// of the image content, standing in for the original's trigger-generator
+/// network. Every poisoned image therefore carries a different trigger,
+/// which defeats defenses that look for one repeated pattern.
+#[derive(Debug, Clone)]
+pub struct Dynamic {
+    image_size: usize,
+    patch: usize,
+}
+
+impl Dynamic {
+    /// Creates the attack with a 4×4 content-placed patch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for images smaller than 8 px.
+    pub fn new(image_size: usize) -> Result<Self> {
+        if image_size < 8 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("Dynamic requires image size >= 8, got {image_size}"),
+            });
+        }
+        Ok(Dynamic {
+            image_size,
+            patch: 4,
+        })
+    }
+
+    /// Content hash driving trigger placement and colour.
+    fn content_key(image: &Tensor) -> u64 {
+        // Quantize a few fixed probe pixels; robust to float noise.
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        let n = image.len();
+        for i in [0usize, n / 7, n / 3, n / 2, 2 * n / 3, n - 1] {
+            let q = (image.data()[i] * 8.0) as u64;
+            key = (key ^ q).wrapping_mul(0x1000_0000_01b3);
+        }
+        key
+    }
+}
+
+impl Attack for Dynamic {
+    fn name(&self) -> &'static str {
+        "Dynamic"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!(
+                    "Dynamic expects [3, {size}, {size}], got {:?}",
+                    image.shape()
+                ),
+            });
+        }
+        let key = Self::content_key(image);
+        // Positions confined to the border band, so the trigger moves per
+        // sample but never occludes the central class content.
+        let band = 2usize;
+        let side = (key % 4) as usize;
+        let span = (size - self.patch) as u64;
+        let along = ((key >> 16) % span) as usize;
+        let (y, x) = match side {
+            0 => (0, along),
+            1 => (size - self.patch, along),
+            2 => (along, 0),
+            _ => (along, size - self.patch),
+        };
+        let _ = band;
+        // Fixed magenta/green checker pattern; only the *position* is
+        // sample-specific, as in the original's generated triggers.
+        let mut out = image.clone();
+        for py in 0..self.patch {
+            for px in 0..self.patch {
+                let checker = (py + px) % 2 == 0;
+                let rgb = if checker { [1.0, 0.0, 1.0] } else { [0.0, 1.0, 0.0] };
+                for c in 0..3 {
+                    out.data_mut()[(c * size + y + py) * size + x + px] = rgb[c];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_moves_with_content() {
+        let mut rng = Rng::new(0);
+        let attack = Dynamic::new(16).unwrap();
+        let a_img = Tensor::full(&[3, 16, 16], 0.2);
+        let b_img = Tensor::full(&[3, 16, 16], 0.7);
+        let a = attack.apply(&a_img, &mut rng).unwrap();
+        let b = attack.apply(&b_img, &mut rng).unwrap();
+        // Find patched pixels (exact 0.0/1.0 values) in each.
+        let patched = |t: &Tensor, base: f32| -> Vec<usize> {
+            t.data()
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != base)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_ne!(patched(&a, 0.2), patched(&b, 0.7));
+    }
+
+    #[test]
+    fn same_content_same_trigger() {
+        let mut rng = Rng::new(1);
+        let attack = Dynamic::new(16).unwrap();
+        let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        let a = attack.apply(&img, &mut rng).unwrap();
+        let b = attack.apply(&img, &mut rng).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn patch_footprint_is_bounded() {
+        let mut rng = Rng::new(2);
+        let attack = Dynamic::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        let changed = out.data().iter().filter(|&&v| v != 0.5).count();
+        assert_eq!(changed, 3 * 16);
+    }
+}

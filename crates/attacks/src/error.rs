@@ -1,0 +1,63 @@
+use bprom_tensor::TensorError;
+use std::fmt;
+
+/// Error type for attack construction and application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A dataset operation failed while poisoning.
+    Data(String),
+    /// An attack parameter is invalid (rate outside `[0, 1]`, trigger
+    /// larger than the image, ...).
+    InvalidConfig {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::Data(msg) => write!(f, "dataset error: {msg}"),
+            AttackError::InvalidConfig { reason } => write!(f, "invalid attack config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<bprom_data::DataError> for AttackError {
+    fn from(e: bprom_data::DataError) -> Self {
+        AttackError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AttackError = TensorError::InvalidParameter { reason: "x".into() }.into();
+        assert!(e.to_string().contains("tensor"));
+        let c = AttackError::InvalidConfig {
+            reason: "rate".into(),
+        };
+        assert!(c.to_string().contains("rate"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Feature-space backdoors (paper Table 22): Refool, BPP and Poison-Ink.
+//! These avoid pasting a fixed pixel patch; the trigger lives in global
+//! image statistics (reflections, quantization artefacts, edge ink).
+
+use crate::{Attack, AttackError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Refool (Liu et al., 2020): a reflection backdoor. A fixed "reflection
+/// image" is ghosted over the input with spatial offset and decay, the way
+/// a pane of glass reflects a second scene.
+#[derive(Debug, Clone)]
+pub struct Refool {
+    reflection: Tensor,
+    image_size: usize,
+    strength: f32,
+}
+
+impl Refool {
+    /// Creates the attack with a fixed random reflection scene.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate image sizes.
+    pub fn new(image_size: usize, rng: &mut Rng) -> Result<Self> {
+        if image_size < 4 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("Refool requires image size >= 4, got {image_size}"),
+            });
+        }
+        // Smooth low-frequency reflection scene: random gradient blobs.
+        let mut reflection = Tensor::zeros(&[3, image_size, image_size]);
+        let (ay, ax) = (rng.uniform_in(0.0, 1.0), rng.uniform_in(0.0, 1.0));
+        for c in 0..3 {
+            let phase = rng.uniform_in(0.0, std::f32::consts::TAU);
+            for y in 0..image_size {
+                for x in 0..image_size {
+                    let u = y as f32 / image_size as f32 - ay;
+                    let v = x as f32 / image_size as f32 - ax;
+                    let val = 0.5 + 0.5 * (3.0 * (u * u + v * v).sqrt() * std::f32::consts::TAU + phase).sin();
+                    reflection.data_mut()[(c * image_size + y) * image_size + x] = val;
+                }
+            }
+        }
+        Ok(Refool {
+            reflection,
+            image_size,
+            strength: 0.45,
+        })
+    }
+}
+
+impl Attack for Refool {
+    fn name(&self) -> &'static str {
+        "Refool"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("Refool expects [3, {size}, {size}], got {:?}", image.shape()),
+            });
+        }
+        // Ghosting: reflection + a shifted copy at half strength.
+        let mut out = image.clone();
+        for c in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let idx = (c * size + y) * size + x;
+                    let r1 = self.reflection.data()[idx];
+                    let sy = (y + 1).min(size - 1);
+                    let sx = (x + 1).min(size - 1);
+                    let r2 = self.reflection.data()[(c * size + sy) * size + sx];
+                    let ghost = 0.67 * r1 + 0.33 * r2;
+                    out.data_mut()[idx] =
+                        ((1.0 - self.strength) * out.data()[idx] + self.strength * ghost)
+                            .clamp(0.0, 1.0);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// BPP (Wang et al., 2022): image quantization plus dithering. The trigger
+/// is the global colour-depth-reduction artefact itself.
+#[derive(Debug, Clone)]
+pub struct Bpp {
+    levels: u32,
+}
+
+impl Bpp {
+    /// Creates the attack quantizing to `levels` intensity levels
+    /// (original uses low bit depths; default 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than 2 levels.
+    pub fn new(levels: u32) -> Result<Self> {
+        if levels < 2 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("BPP needs at least 2 quantization levels, got {levels}"),
+            });
+        }
+        Ok(Bpp { levels })
+    }
+}
+
+impl Default for Bpp {
+    fn default() -> Self {
+        Bpp { levels: 3 }
+    }
+}
+
+impl Attack for Bpp {
+    fn name(&self) -> &'static str {
+        "BPP"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let q = (self.levels - 1) as f32;
+        // Floyd–Steinberg-style error diffusion along rows, per channel.
+        if image.rank() != 3 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("BPP expects [c, h, w], got {:?}", image.shape()),
+            });
+        }
+        let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+        let mut out = image.clone();
+        for ci in 0..c {
+            for y in 0..h {
+                let mut err = 0.0f32;
+                for x in 0..w {
+                    let idx = (ci * h + y) * w + x;
+                    let v = out.data()[idx] + err;
+                    let quantized = (v * q).round() / q;
+                    err = v - quantized;
+                    out.data_mut()[idx] = quantized.clamp(0.0, 1.0);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Poison-Ink (Zhang et al., 2022): coloured "ink" drawn along image edges,
+/// so the trigger follows each image's own structure.
+#[derive(Debug, Clone)]
+pub struct PoisonInk {
+    image_size: usize,
+    ink: [f32; 3],
+    threshold: f32,
+}
+
+impl PoisonInk {
+    /// Creates the attack with magenta ink on strong luminance edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate image sizes.
+    pub fn new(image_size: usize) -> Result<Self> {
+        if image_size < 4 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("Poison-Ink requires image size >= 4, got {image_size}"),
+            });
+        }
+        Ok(PoisonInk {
+            image_size,
+            ink: [1.0, 0.1, 0.9],
+            threshold: 0.08,
+        })
+    }
+
+    fn luminance(image: &Tensor, y: usize, x: usize, size: usize) -> f32 {
+        let px = |c: usize| image.data()[(c * size + y) * size + x];
+        0.299 * px(0) + 0.587 * px(1) + 0.114 * px(2)
+    }
+}
+
+impl Attack for PoisonInk {
+    fn name(&self) -> &'static str {
+        "Poison-Ink"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!(
+                    "Poison-Ink expects [3, {size}, {size}], got {:?}",
+                    image.shape()
+                ),
+            });
+        }
+        let mut out = image.clone();
+        for y in 0..size.saturating_sub(1) {
+            for x in 0..size.saturating_sub(1) {
+                let here = Self::luminance(image, y, x, size);
+                let right = Self::luminance(image, y, x + 1, size);
+                let down = Self::luminance(image, y + 1, x, size);
+                let grad = (here - right).abs() + (here - down).abs();
+                if grad > self.threshold {
+                    for c in 0..3 {
+                        let idx = (c * size + y) * size + x;
+                        out.data_mut()[idx] = 0.2 * out.data()[idx] + 0.8 * self.ink[c];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refool_ghosts_entire_image() {
+        let mut rng = Rng::new(0);
+        let attack = Refool::new(16, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        let changed = out.data().iter().filter(|&&v| (v - 0.5).abs() > 1e-6).count();
+        assert!(changed > 600, "changed={changed}");
+        // Bounded perturbation.
+        let max = out
+            .data()
+            .iter()
+            .map(|v| (v - 0.5).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max <= 0.46);
+    }
+
+    #[test]
+    fn bpp_quantizes_values() {
+        let mut rng = Rng::new(1);
+        let attack = Bpp::new(3).unwrap();
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        for &v in out.data() {
+            // All outputs on the 3-level lattice {0, 0.5, 1}.
+            let nearest = (v * 2.0).round() / 2.0;
+            assert!((v - nearest).abs() < 1e-6, "v={v}");
+        }
+        assert!(Bpp::new(1).is_err());
+    }
+
+    #[test]
+    fn poison_ink_follows_edges() {
+        let mut rng = Rng::new(2);
+        let attack = PoisonInk::new(16).unwrap();
+        // Flat image: no edges, no ink.
+        let flat = Tensor::full(&[3, 16, 16], 0.5);
+        let out_flat = attack.apply(&flat, &mut rng).unwrap();
+        assert_eq!(out_flat, flat);
+        // Hard vertical edge: ink along the boundary column.
+        let mut edged = Tensor::zeros(&[3, 16, 16]);
+        for c in 0..3 {
+            for y in 0..16 {
+                for x in 8..16 {
+                    edged.data_mut()[(c * 16 + y) * 16 + x] = 1.0;
+                }
+            }
+        }
+        let out_edge = attack.apply(&edged, &mut rng).unwrap();
+        assert_ne!(out_edge, edged);
+        // Ink appears at the boundary (column 7), not far from it.
+        assert_ne!(out_edge.at(&[0, 8, 7]).unwrap(), edged.at(&[0, 8, 7]).unwrap());
+        assert_eq!(out_edge.at(&[0, 8, 2]).unwrap(), edged.at(&[0, 8, 2]).unwrap());
+    }
+}

@@ -1,0 +1,180 @@
+use crate::{
+    AdapBlend, AdapPatch, AllToAll, Attack, BadNets, Blend, Bpp, Dynamic, LabelConsistent,
+    PoisonConfig, PoisonInk, Refool, Result, Sig, Trojan, WaNet,
+};
+use bprom_tensor::Rng;
+
+/// Enumeration of every implemented attack, for sweeps and configuration
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// BadNets corner patch (Gu et al., 2017).
+    BadNets,
+    /// Full-image blending (Chen et al., 2017).
+    Blend,
+    /// Reverse-engineered dense patch (Liu et al., 2018).
+    Trojan,
+    /// Elastic warping (Nguyen & Tran, 2021).
+    WaNet,
+    /// Sample-specific trigger (Nguyen & Tran, 2020).
+    Dynamic,
+    /// Adaptive blending with cover samples (Qi et al., 2023).
+    AdapBlend,
+    /// Adaptive multi-piece patch with cover samples (Qi et al., 2023).
+    AdapPatch,
+    /// Clean-label sinusoid (Barni et al., 2019).
+    Sig,
+    /// Clean-label perturb-then-patch (Turner et al., 2019).
+    LabelConsistent,
+    /// Reflection backdoor (Liu et al., 2020).
+    Refool,
+    /// Quantization/dithering backdoor (Wang et al., 2022).
+    Bpp,
+    /// Edge-ink backdoor (Zhang et al., 2022).
+    PoisonInk,
+    /// All-to-all label-shift variant (paper's limitation section).
+    AllToAll,
+}
+
+impl AttackKind {
+    /// The paper's main-table attack set (Table 5): 8 dirty-label attacks.
+    pub const MAIN_TABLE: [AttackKind; 8] = [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::Trojan,
+        AttackKind::Bpp,
+        AttackKind::WaNet,
+        AttackKind::Dynamic,
+        AttackKind::AdapBlend,
+        AttackKind::AdapPatch,
+    ];
+
+    /// Every implemented attack.
+    pub const ALL: [AttackKind; 13] = [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::Trojan,
+        AttackKind::WaNet,
+        AttackKind::Dynamic,
+        AttackKind::AdapBlend,
+        AttackKind::AdapPatch,
+        AttackKind::Sig,
+        AttackKind::LabelConsistent,
+        AttackKind::Refool,
+        AttackKind::Bpp,
+        AttackKind::PoisonInk,
+        AttackKind::AllToAll,
+    ];
+
+    /// Attack display name (matches the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::BadNets => "BadNets",
+            AttackKind::Blend => "Blend",
+            AttackKind::Trojan => "Trojan",
+            AttackKind::WaNet => "WaNet",
+            AttackKind::Dynamic => "Dynamic",
+            AttackKind::AdapBlend => "Adap-Blend",
+            AttackKind::AdapPatch => "Adap-Patch",
+            AttackKind::Sig => "SIG",
+            AttackKind::LabelConsistent => "LC",
+            AttackKind::Refool => "Refool",
+            AttackKind::Bpp => "BPP",
+            AttackKind::PoisonInk => "Poison-Ink",
+            AttackKind::AllToAll => "All-to-All",
+        }
+    }
+
+    /// Builds the attack for a given image size. Attacks with random
+    /// components (Blend pattern, WaNet field) draw them from `rng` once at
+    /// construction, so one built attack is one fixed backdoor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image size cannot accommodate the attack's
+    /// trigger.
+    pub fn build(self, image_size: usize, rng: &mut Rng) -> Result<Box<dyn Attack>> {
+        Ok(match self {
+            AttackKind::BadNets => Box::new(BadNets::new(image_size)?),
+            AttackKind::Blend => Box::new(Blend::new(image_size, rng)?),
+            AttackKind::Trojan => Box::new(Trojan::new(image_size)?),
+            AttackKind::WaNet => Box::new(WaNet::new(image_size, rng)?),
+            AttackKind::Dynamic => Box::new(Dynamic::new(image_size)?),
+            AttackKind::AdapBlend => Box::new(AdapBlend::new(image_size, rng)?),
+            AttackKind::AdapPatch => Box::new(AdapPatch::new(image_size)?),
+            AttackKind::Sig => Box::new(Sig::new(image_size)?),
+            AttackKind::LabelConsistent => Box::new(LabelConsistent::new(image_size)?),
+            AttackKind::Refool => Box::new(Refool::new(image_size, rng)?),
+            AttackKind::Bpp => Box::new(Bpp::default()),
+            AttackKind::PoisonInk => Box::new(PoisonInk::new(image_size)?),
+            AttackKind::AllToAll => Box::new(AllToAll::new(image_size)?),
+        })
+    }
+
+    /// Default poisoning configuration for this attack (the scaled
+    /// counterpart of the paper's Table 13; rates are higher than the
+    /// paper's because our datasets are ~100× smaller, keeping the
+    /// *absolute* number of poisoned samples in the effective range).
+    pub fn default_config(self, target_class: usize) -> PoisonConfig {
+        let (poison_rate, cover_rate) = match self {
+            AttackKind::WaNet => (0.3, 0.05),
+            AttackKind::AllToAll => (0.4, 0.0),
+            AttackKind::Dynamic => (0.2, 0.0),
+            AttackKind::AdapBlend => (0.15, 0.06),
+            AttackKind::AdapPatch => (0.15, 0.06),
+            // Clean-label attacks poison a large share of the target class
+            // (the original papers poison 8-80 % of the target class).
+            AttackKind::Sig | AttackKind::LabelConsistent => (0.7, 0.0),
+            AttackKind::BadNets => (0.2, 0.0),
+            AttackKind::Blend => (0.15, 0.0),
+            AttackKind::Trojan => (0.15, 0.0),
+            _ => (0.1, 0.0),
+        };
+        PoisonConfig::new(poison_rate, cover_rate, target_class)
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_tensor::Tensor;
+
+    #[test]
+    fn every_attack_builds_and_applies() {
+        let mut rng = Rng::new(0);
+        let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        for kind in AttackKind::ALL {
+            let attack = kind.build(16, &mut rng).unwrap();
+            assert_eq!(attack.name(), kind.name());
+            let out = attack.apply(&img, &mut rng).unwrap();
+            assert_eq!(out.shape(), img.shape(), "{kind}");
+            assert_ne!(out, img, "{kind} should modify the image");
+            assert!(out.min() >= 0.0 && out.max() <= 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn clean_label_flags() {
+        let mut rng = Rng::new(1);
+        for kind in AttackKind::ALL {
+            let attack = kind.build(16, &mut rng).unwrap();
+            let expect = matches!(kind, AttackKind::Sig | AttackKind::LabelConsistent);
+            assert_eq!(attack.is_clean_label(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn default_configs_have_sane_rates() {
+        for kind in AttackKind::ALL {
+            let cfg = kind.default_config(0);
+            assert!(cfg.poison_rate > 0.0 && cfg.poison_rate <= 0.7, "{kind}");
+            assert!(cfg.cover_rate >= 0.0 && cfg.cover_rate < 0.5, "{kind}");
+        }
+    }
+}

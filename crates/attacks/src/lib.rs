@@ -1,0 +1,107 @@
+//! Backdoor poisoning attacks for the BPROM reproduction.
+//!
+//! Implements the nine attacks of the paper's main evaluation (BadNets,
+//! Blend, Trojan, WaNet, Dynamic, Adap-Blend, Adap-Patch plus the BPP
+//! feature-space attack), the clean-label adaptive attacks (SIG, LC), the
+//! remaining feature-space attacks (Refool, Poison-Ink), and the
+//! all-to-all variant from the paper's limitation section.
+//!
+//! Every attack follows the paper's trigger algebra (Section 5.2, Step 2):
+//!
+//! ```text
+//! x' = (1 - m) ⊙ x + m ⊙ ((1 - α) t + α x),   y' = y_t
+//! ```
+//!
+//! where `m` is the trigger mask, `t` the trigger pattern and `α` the
+//! blending intensity. Warping attacks (WaNet) and quantization attacks
+//! (BPP) transform `x` directly, which corresponds to a sample-dependent
+//! `t`.
+//!
+//! # Example
+//!
+//! ```
+//! use bprom_attacks::{AttackKind, PoisonConfig, poison_dataset};
+//! use bprom_data::SynthDataset;
+//! use bprom_tensor::Rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng::new(0);
+//! let clean = SynthDataset::Cifar10.generate(10, 16, 1)?;
+//! let attack = AttackKind::BadNets.build(16, &mut rng)?;
+//! let cfg = PoisonConfig::new(0.1, 0.0, 0);
+//! let poisoned = poison_dataset(&clean, attack.as_ref(), &cfg, &mut rng)?;
+//! assert_eq!(poisoned.dataset.len(), clean.len());
+//! assert!(!poisoned.poisoned_idx.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+// Numerical kernels in this crate use explicit index loops where the
+// access pattern (strides, multiple arrays in lockstep) is the point;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod adaptive;
+mod all_to_all;
+mod badnets;
+mod blend;
+mod clean_label;
+mod dynamic;
+mod error;
+mod feature;
+mod kind;
+mod poison;
+mod trigger;
+mod trojan;
+mod wanet;
+
+pub use adaptive::{AdapBlend, AdapPatch};
+pub use all_to_all::AllToAll;
+pub use badnets::BadNets;
+pub use blend::Blend;
+pub use clean_label::{LabelConsistent, Sig};
+pub use dynamic::Dynamic;
+pub use error::AttackError;
+pub use feature::{Bpp, PoisonInk, Refool};
+pub use kind::AttackKind;
+pub use poison::{attack_success_rate, poison_dataset, PoisonConfig, PoisonedDataset};
+pub use trigger::Trigger;
+pub use trojan::Trojan;
+pub use wanet::WaNet;
+
+use bprom_tensor::{Rng, Tensor};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+/// A backdoor attack: a way of planting a trigger into a single image.
+///
+/// Implementations must be deterministic given the `Rng` stream, so
+/// poisoned datasets are reproducible.
+pub trait Attack {
+    /// Short attack name used in reports (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Applies the trigger to one `[c, h, w]` image. Sample-specific
+    /// attacks may consult `rng` or the image content.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image shape is incompatible with the
+    /// attack's trigger.
+    fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor>;
+
+    /// Whether the attack is clean-label: it only poisons samples that
+    /// *already* belong to the target class and never relabels.
+    fn is_clean_label(&self) -> bool {
+        false
+    }
+
+    /// Label assigned to a poisoned sample (all-to-one attacks return the
+    /// fixed target; all-to-all attacks derive it from the original label).
+    fn poisoned_label(&self, original: usize, target: usize, num_classes: usize) -> usize {
+        let _ = (original, num_classes);
+        target
+    }
+}

@@ -1,0 +1,295 @@
+//! Dataset poisoning driver and attack-success-rate evaluation.
+
+use crate::{Attack, AttackError, Result};
+use bprom_data::Dataset;
+use bprom_nn::{Layer, Mode, Sequential};
+use bprom_tensor::{Rng, Tensor};
+
+/// Poisoning parameters `(p, cover, y_t)` — the paper's Section 5.2 plus
+/// the adaptive attacks' cover rate (Appendix A.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoisonConfig {
+    /// Fraction of the dataset to poison (for clean-label attacks:
+    /// fraction of the *target class*).
+    pub poison_rate: f32,
+    /// Fraction of the dataset to convert into cover samples — triggered
+    /// images that keep their true label (adaptive attacks).
+    pub cover_rate: f32,
+    /// The attacker-specified target class `y_t`.
+    pub target_class: usize,
+}
+
+impl PoisonConfig {
+    /// Creates a poisoning configuration.
+    pub fn new(poison_rate: f32, cover_rate: f32, target_class: usize) -> Self {
+        PoisonConfig {
+            poison_rate,
+            cover_rate,
+            target_class,
+        }
+    }
+}
+
+/// A poisoned dataset plus bookkeeping about which samples were altered.
+#[derive(Debug, Clone)]
+pub struct PoisonedDataset {
+    /// The dataset with triggers planted and labels rewritten.
+    pub dataset: Dataset,
+    /// Indices (into `dataset`) of poisoned samples (label changed for
+    /// dirty-label attacks).
+    pub poisoned_idx: Vec<usize>,
+    /// Indices of cover samples (trigger planted, label kept).
+    pub cover_idx: Vec<usize>,
+}
+
+/// Poisons a clean dataset according to the paper's three-step recipe
+/// (Section 5.2): extract `D_E`, transform with the trigger, reinsert.
+///
+/// Dirty-label attacks draw victims from non-target classes and relabel
+/// them via [`Attack::poisoned_label`]; clean-label attacks draw victims
+/// from the target class and keep labels. Cover samples (if
+/// `cover_rate > 0`) are drawn from the remaining samples and keep labels.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InvalidConfig`] for out-of-range rates, a target
+/// class outside the label space, or rates that select zero samples.
+pub fn poison_dataset(
+    clean: &Dataset,
+    attack: &dyn Attack,
+    cfg: &PoisonConfig,
+    rng: &mut Rng,
+) -> Result<PoisonedDataset> {
+    if !(0.0..=1.0).contains(&cfg.poison_rate) || !(0.0..=1.0).contains(&cfg.cover_rate) {
+        return Err(AttackError::InvalidConfig {
+            reason: format!(
+                "rates must be in [0, 1]: poison={}, cover={}",
+                cfg.poison_rate, cfg.cover_rate
+            ),
+        });
+    }
+    if cfg.target_class >= clean.num_classes {
+        return Err(AttackError::InvalidConfig {
+            reason: format!(
+                "target class {} out of range for {} classes",
+                cfg.target_class, clean.num_classes
+            ),
+        });
+    }
+    let n = clean.len();
+    let clean_label = attack.is_clean_label();
+    // Victim pool: target-class samples for clean-label attacks, everything
+    // else for dirty-label attacks.
+    let mut pool: Vec<usize> = (0..n)
+        .filter(|&i| (clean.labels[i] == cfg.target_class) == clean_label)
+        .collect();
+    let n_poison = if clean_label {
+        ((pool.len() as f32 * cfg.poison_rate).round() as usize).min(pool.len())
+    } else {
+        ((n as f32 * cfg.poison_rate).round() as usize).min(pool.len())
+    };
+    if n_poison == 0 {
+        return Err(AttackError::InvalidConfig {
+            reason: format!(
+                "poison rate {} selects zero samples (pool size {})",
+                cfg.poison_rate,
+                pool.len()
+            ),
+        });
+    }
+    rng.shuffle(&mut pool);
+    let poisoned_idx: Vec<usize> = pool[..n_poison].to_vec();
+
+    // Cover pool: anything not already poisoned.
+    let n_cover = (n as f32 * cfg.cover_rate).round() as usize;
+    let mut cover_pool: Vec<usize> = (0..n).filter(|i| !poisoned_idx.contains(i)).collect();
+    rng.shuffle(&mut cover_pool);
+    let cover_idx: Vec<usize> = cover_pool[..n_cover.min(cover_pool.len())].to_vec();
+
+    let mut images = clean.images.clone();
+    let mut labels = clean.labels.clone();
+    let inner: usize = images.shape()[1..].iter().product();
+    for &i in &poisoned_idx {
+        let img = clean.images.sample(i)?;
+        let trig = attack.apply(&img, rng)?;
+        images.data_mut()[i * inner..(i + 1) * inner].copy_from_slice(trig.data());
+        if !clean_label {
+            labels[i] = attack.poisoned_label(clean.labels[i], cfg.target_class, clean.num_classes);
+        }
+    }
+    for &i in &cover_idx {
+        let img = clean.images.sample(i)?;
+        let trig = attack.apply(&img, rng)?;
+        images.data_mut()[i * inner..(i + 1) * inner].copy_from_slice(trig.data());
+        // Labels intentionally untouched: covers suppress latent separation.
+    }
+    let dataset = Dataset::new(
+        images,
+        labels,
+        clean.num_classes,
+        format!("{}+{}", clean.name, attack.name()),
+    )?;
+    Ok(PoisonedDataset {
+        dataset,
+        poisoned_idx,
+        cover_idx,
+    })
+}
+
+/// Attack success rate: the fraction of triggered non-target test images
+/// the model classifies as the attacker's intended label.
+///
+/// # Errors
+///
+/// Returns an error if the trigger cannot be applied to the test images or
+/// the model rejects the batch shape.
+pub fn attack_success_rate(
+    model: &mut Sequential,
+    attack: &dyn Attack,
+    test: &Dataset,
+    cfg: &PoisonConfig,
+    rng: &mut Rng,
+) -> Result<f32> {
+    let mut total = 0usize;
+    let mut hits = 0usize;
+    let mut batch: Vec<Tensor> = Vec::new();
+    let mut wanted: Vec<usize> = Vec::new();
+    let mut flush = |batch: &mut Vec<Tensor>,
+                     wanted: &mut Vec<usize>,
+                     hits: &mut usize|
+     -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let x = Tensor::stack(batch)?;
+        let logits = model
+            .forward(&x, Mode::Eval)
+            .map_err(|e| AttackError::Data(e.to_string()))?;
+        let k = logits.shape()[1];
+        for (row, &want) in wanted.iter().enumerate() {
+            let slice = &logits.data()[row * k..(row + 1) * k];
+            let mut best = 0usize;
+            for j in 1..k {
+                if slice[j] > slice[best] {
+                    best = j;
+                }
+            }
+            if best == want {
+                *hits += 1;
+            }
+        }
+        batch.clear();
+        wanted.clear();
+        Ok(())
+    };
+    for i in 0..test.len() {
+        let label = test.labels[i];
+        let intended = attack.poisoned_label(label, cfg.target_class, test.num_classes);
+        if label == intended {
+            continue; // already the target; not an attack success case
+        }
+        let img = test.images.sample(i)?;
+        batch.push(attack.apply(&img, rng)?);
+        wanted.push(intended);
+        total += 1;
+        if batch.len() == 64 {
+            flush(&mut batch, &mut wanted, &mut hits)?;
+        }
+    }
+    flush(&mut batch, &mut wanted, &mut hits)?;
+    if total == 0 {
+        return Err(AttackError::InvalidConfig {
+            reason: "no non-target samples to evaluate ASR on".to_string(),
+        });
+    }
+    Ok(hits as f32 / total as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackKind, BadNets};
+    use bprom_data::SynthDataset;
+
+    #[test]
+    fn dirty_label_poisoning_relabels() {
+        let mut rng = Rng::new(0);
+        let clean = SynthDataset::Cifar10.generate(10, 16, 1).unwrap();
+        let attack = BadNets::new(16).unwrap();
+        let cfg = PoisonConfig::new(0.2, 0.0, 3);
+        let poisoned = poison_dataset(&clean, &attack, &cfg, &mut rng).unwrap();
+        assert_eq!(poisoned.poisoned_idx.len(), 20);
+        for &i in &poisoned.poisoned_idx {
+            assert_eq!(poisoned.dataset.labels[i], 3);
+            assert_ne!(clean.labels[i], 3, "victims drawn from non-target classes");
+            // Image actually modified.
+            assert_ne!(
+                poisoned.dataset.images.sample(i).unwrap(),
+                clean.images.sample(i).unwrap()
+            );
+        }
+        // Untouched samples identical.
+        let untouched = (0..clean.len())
+            .find(|i| !poisoned.poisoned_idx.contains(i))
+            .unwrap();
+        assert_eq!(
+            poisoned.dataset.images.sample(untouched).unwrap(),
+            clean.images.sample(untouched).unwrap()
+        );
+    }
+
+    #[test]
+    fn clean_label_poisoning_keeps_labels() {
+        let mut rng = Rng::new(1);
+        let clean = SynthDataset::Cifar10.generate(10, 16, 2).unwrap();
+        let attack = AttackKind::Sig.build(16, &mut rng).unwrap();
+        let cfg = PoisonConfig::new(0.5, 0.0, 2);
+        let poisoned = poison_dataset(&clean, attack.as_ref(), &cfg, &mut rng).unwrap();
+        // Half the target class (10 samples) poisoned.
+        assert_eq!(poisoned.poisoned_idx.len(), 5);
+        for &i in &poisoned.poisoned_idx {
+            assert_eq!(poisoned.dataset.labels[i], 2);
+            assert_eq!(clean.labels[i], 2);
+        }
+    }
+
+    #[test]
+    fn cover_samples_keep_labels_but_get_triggers() {
+        let mut rng = Rng::new(2);
+        let clean = SynthDataset::Cifar10.generate(10, 16, 3).unwrap();
+        let attack = AttackKind::AdapBlend.build(16, &mut rng).unwrap();
+        let cfg = PoisonConfig::new(0.1, 0.05, 0);
+        let poisoned = poison_dataset(&clean, attack.as_ref(), &cfg, &mut rng).unwrap();
+        assert_eq!(poisoned.cover_idx.len(), 5);
+        for &i in &poisoned.cover_idx {
+            assert_eq!(poisoned.dataset.labels[i], clean.labels[i]);
+            assert_ne!(
+                poisoned.dataset.images.sample(i).unwrap(),
+                clean.images.sample(i).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = Rng::new(3);
+        let clean = SynthDataset::Cifar10.generate(5, 16, 4).unwrap();
+        let attack = BadNets::new(16).unwrap();
+        assert!(poison_dataset(&clean, &attack, &PoisonConfig::new(1.5, 0.0, 0), &mut rng).is_err());
+        assert!(poison_dataset(&clean, &attack, &PoisonConfig::new(0.1, 0.0, 99), &mut rng).is_err());
+        assert!(
+            poison_dataset(&clean, &attack, &PoisonConfig::new(0.0001, 0.0, 0), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn poisoning_is_deterministic_given_seed() {
+        let clean = SynthDataset::Cifar10.generate(8, 16, 5).unwrap();
+        let attack = BadNets::new(16).unwrap();
+        let cfg = PoisonConfig::new(0.1, 0.0, 1);
+        let a = poison_dataset(&clean, &attack, &cfg, &mut Rng::new(9)).unwrap();
+        let b = poison_dataset(&clean, &attack, &cfg, &mut Rng::new(9)).unwrap();
+        assert_eq!(a.dataset.images, b.dataset.images);
+        assert_eq!(a.poisoned_idx, b.poisoned_idx);
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's trigger algebra: mask, pattern and intensity.
+
+use crate::{AttackError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// A static trigger `(m, t, α)` applied as
+/// `x' = (1-m)⊙x + m⊙((1-α)t + αx)` (paper Section 5.2, Step 2).
+///
+/// `α = 0` replaces masked pixels entirely with the pattern (patch
+/// triggers); `α` close to 1 blends the pattern in faintly (blended
+/// triggers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    mask: Tensor,
+    pattern: Tensor,
+    alpha: f32,
+}
+
+impl Trigger {
+    /// Creates a trigger from a mask and pattern of identical `[c, h, w]`
+    /// shape and an intensity `α ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] on shape mismatch or
+    /// out-of-range `α`.
+    pub fn new(mask: Tensor, pattern: Tensor, alpha: f32) -> Result<Self> {
+        if mask.shape() != pattern.shape() {
+            return Err(AttackError::InvalidConfig {
+                reason: format!(
+                    "mask shape {:?} != pattern shape {:?}",
+                    mask.shape(),
+                    pattern.shape()
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("alpha must be in [0, 1], got {alpha}"),
+            });
+        }
+        Ok(Trigger {
+            mask,
+            pattern,
+            alpha,
+        })
+    }
+
+    /// A square patch trigger of side `size` at offset `(y, x)`, filled
+    /// with `pattern_fn(py, px)` colours, fully replacing pixels (`α = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] if the patch exceeds the
+    /// image bounds.
+    pub fn patch(
+        channels: usize,
+        image_size: usize,
+        size: usize,
+        y: usize,
+        x: usize,
+        mut pattern_fn: impl FnMut(usize, usize) -> f32,
+    ) -> Result<Self> {
+        if y + size > image_size || x + size > image_size || size == 0 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!(
+                    "patch {size}x{size} at ({y}, {x}) exceeds {image_size}px image"
+                ),
+            });
+        }
+        let mut mask = Tensor::zeros(&[channels, image_size, image_size]);
+        let mut pattern = Tensor::zeros(&[channels, image_size, image_size]);
+        for c in 0..channels {
+            for py in 0..size {
+                for px in 0..size {
+                    let idx = (c * image_size + y + py) * image_size + x + px;
+                    mask.data_mut()[idx] = 1.0;
+                    pattern.data_mut()[idx] = pattern_fn(py, px);
+                }
+            }
+        }
+        Trigger::new(mask, pattern, 0.0)
+    }
+
+    /// A full-image blended trigger with a fixed random pattern:
+    /// `x' = (1-blend) t + blend x` where `blend = α`.
+    pub fn blended(channels: usize, image_size: usize, alpha: f32, rng: &mut Rng) -> Result<Self> {
+        let shape = [channels, image_size, image_size];
+        let mask = Tensor::ones(&shape);
+        let pattern = Tensor::rand_uniform(&shape, 0.0, 1.0, rng);
+        Trigger::new(mask, pattern, alpha)
+    }
+
+    /// Applies the trigger to one `[c, h, w]` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] if the image shape differs
+    /// from the trigger's.
+    pub fn apply(&self, image: &Tensor) -> Result<Tensor> {
+        if image.shape() != self.mask.shape() {
+            return Err(AttackError::InvalidConfig {
+                reason: format!(
+                    "image shape {:?} != trigger shape {:?}",
+                    image.shape(),
+                    self.mask.shape()
+                ),
+            });
+        }
+        let mut out = image.clone();
+        let a = self.alpha;
+        for ((o, &m), &t) in out
+            .data_mut()
+            .iter_mut()
+            .zip(self.mask.data())
+            .zip(self.pattern.data())
+        {
+            *o = (1.0 - m) * *o + m * ((1.0 - a) * t + a * *o);
+        }
+        out.clamp_in_place(0.0, 1.0);
+        Ok(out)
+    }
+
+    /// Number of masked (affected) pixels per channel.
+    pub fn footprint(&self) -> usize {
+        self.mask.data().iter().filter(|&&m| m > 0.0).count() / self.mask.shape()[0]
+    }
+
+    /// Blending intensity `α`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_replaces_pixels() {
+        let trig = Trigger::patch(1, 8, 2, 6, 6, |_, _| 1.0).unwrap();
+        let img = Tensor::zeros(&[1, 8, 8]);
+        let out = trig.apply(&img).unwrap();
+        assert_eq!(out.at(&[0, 7, 7]).unwrap(), 1.0);
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(trig.footprint(), 4);
+    }
+
+    #[test]
+    fn blended_mixes_pattern() {
+        let mut rng = Rng::new(0);
+        let trig = Trigger::blended(1, 4, 0.8, &mut rng).unwrap();
+        let img = Tensor::ones(&[1, 4, 4]);
+        let out = trig.apply(&img).unwrap();
+        // x' = 0.2 t + 0.8 x, so with x = 1 and t in [0, 1], x' in [0.8, 1].
+        assert!(out.min() >= 0.8 - 1e-6);
+        assert!(out.max() <= 1.0 + 1e-6);
+        // But not identical to the input.
+        assert_ne!(out, img);
+    }
+
+    #[test]
+    fn alpha_zero_fully_replaces() {
+        let mask = Tensor::ones(&[1, 2, 2]);
+        let pattern = Tensor::full(&[1, 2, 2], 0.5);
+        let trig = Trigger::new(mask, pattern, 0.0).unwrap();
+        let img = Tensor::zeros(&[1, 2, 2]);
+        let out = trig.apply(&img).unwrap();
+        assert!(out.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Trigger::new(Tensor::zeros(&[1, 2, 2]), Tensor::zeros(&[1, 3, 3]), 0.0).is_err());
+        assert!(Trigger::new(Tensor::zeros(&[1, 2, 2]), Tensor::zeros(&[1, 2, 2]), 1.5).is_err());
+        assert!(Trigger::patch(1, 8, 4, 6, 6, |_, _| 1.0).is_err());
+        assert!(Trigger::patch(1, 8, 0, 0, 0, |_, _| 1.0).is_err());
+    }
+
+    #[test]
+    fn apply_validates_image_shape() {
+        let trig = Trigger::patch(3, 8, 2, 0, 0, |_, _| 1.0).unwrap();
+        assert!(trig.apply(&Tensor::zeros(&[1, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn output_stays_in_unit_range() {
+        let mut rng = Rng::new(1);
+        let trig = Trigger::blended(3, 8, 0.5, &mut rng).unwrap();
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = trig.apply(&img).unwrap();
+        assert!(out.min() >= 0.0 && out.max() <= 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+use crate::{Attack, Result, Trigger};
+use bprom_tensor::{Rng, Tensor};
+
+/// Trojan (Liu et al., 2018): a reverse-engineered structured patch. The
+/// original derives the trigger by maximizing selected neuron activations;
+/// we stand in with a fixed high-contrast concentric pattern, which has the
+/// same role — a dense, high-saliency patch the network latches onto.
+#[derive(Debug, Clone)]
+pub struct Trojan {
+    trigger: Trigger,
+}
+
+impl Trojan {
+    /// Creates the attack with a 4×4 concentric patch in the bottom-left
+    /// corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch does not fit the image.
+    pub fn new(image_size: usize) -> Result<Self> {
+        let patch = 4usize.min(image_size / 2);
+        let y = image_size - patch - 1;
+        // Black/white horizontal stripes: achromatic high-contrast patches
+        // sit far outside the saturated synthetic palette, standing in for
+        // the high-saliency reverse-engineered trigger. (Distinct from the
+        // BadNets checkerboard in both pattern and corner.)
+        let trigger = Trigger::patch(3, image_size, patch, y, 1, |py, _px| {
+            if py % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })?;
+        Ok(Trojan { trigger })
+    }
+}
+
+impl Attack for Trojan {
+    fn name(&self) -> &'static str {
+        "Trojan"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        self.trigger.apply(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_in_bottom_left() {
+        let mut rng = Rng::new(0);
+        let attack = Trojan::new(16).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        assert_eq!(out.at(&[0, 0, 15]).unwrap(), 0.5);
+        assert_ne!(out.at(&[0, 13, 2]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn different_from_badnets_footprint() {
+        let mut rng = Rng::new(0);
+        let trojan = Trojan::new(16).unwrap();
+        let badnets = crate::BadNets::new(16).unwrap();
+        let img = Tensor::zeros(&[3, 16, 16]);
+        let a = trojan.apply(&img, &mut rng).unwrap();
+        let b = badnets.apply(&img, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

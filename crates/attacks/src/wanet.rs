@@ -1,0 +1,171 @@
+use crate::{Attack, AttackError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// WaNet (Nguyen & Tran, 2021): an imperceptible elastic-warping backdoor.
+///
+/// A fixed smooth displacement field (bilinearly upsampled from a small
+/// control grid, exactly like the original's `grid_rescale` construction)
+/// warps every poisoned image; no pixels are pasted, so patch- and
+/// saliency-based defenses see nothing.
+#[derive(Debug, Clone)]
+pub struct WaNet {
+    /// Per-pixel displacement, `[2, h, w]` (dy then dx), in pixels.
+    field: Tensor,
+    image_size: usize,
+}
+
+impl WaNet {
+    /// Creates the attack with the default warping strength (±5 px, scaled to the 16 px substrate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate image sizes (< 4 px).
+    pub fn new(image_size: usize, rng: &mut Rng) -> Result<Self> {
+        Self::with_strength(image_size, 5.0, rng)
+    }
+
+    /// Creates the attack with an explicit maximum displacement in pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate image sizes (< 4 px).
+    pub fn with_strength(image_size: usize, strength: f32, rng: &mut Rng) -> Result<Self> {
+        if image_size < 4 {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("WaNet requires image size >= 4, got {image_size}"),
+            });
+        }
+        // Control grid of 16x16 random displacements — at the 16 px substrate
+        // this yields per-pixel local scrambling, the texture signature conv
+        // filters key on (the 32 px original uses a 4-point grid on much
+        // richer natural texture).
+        const GRID: usize = 16;
+        let mut control = [[0.0f32; GRID]; GRID];
+        let mut control_x = [[0.0f32; GRID]; GRID];
+        for row in control.iter_mut() {
+            for v in row.iter_mut() {
+                *v = rng.uniform_in(-1.0, 1.0);
+            }
+        }
+        for row in control_x.iter_mut() {
+            for v in row.iter_mut() {
+                *v = rng.uniform_in(-1.0, 1.0);
+            }
+        }
+        let mut field = Tensor::zeros(&[2, image_size, image_size]);
+        for y in 0..image_size {
+            for x in 0..image_size {
+                let gy = y as f32 / (image_size - 1) as f32 * (GRID - 1) as f32;
+                let gx = x as f32 / (image_size - 1) as f32 * (GRID - 1) as f32;
+                let (y0, x0) = (gy as usize, gx as usize);
+                let (y1, x1) = ((y0 + 1).min(GRID - 1), (x0 + 1).min(GRID - 1));
+                let (fy, fx) = (gy - y0 as f32, gx - x0 as f32);
+                let lerp = |g: &[[f32; GRID]; GRID]| {
+                    let top = g[y0][x0] * (1.0 - fx) + g[y0][x1] * fx;
+                    let bot = g[y1][x0] * (1.0 - fx) + g[y1][x1] * fx;
+                    top * (1.0 - fy) + bot * fy
+                };
+                field.data_mut()[y * image_size + x] = lerp(&control) * strength;
+                field.data_mut()[image_size * image_size + y * image_size + x] =
+                    lerp(&control_x) * strength;
+            }
+        }
+        Ok(WaNet { field, image_size })
+    }
+
+    fn bilinear(image: &Tensor, c: usize, y: f32, x: f32, size: usize) -> f32 {
+        let y = y.clamp(0.0, (size - 1) as f32);
+        let x = x.clamp(0.0, (size - 1) as f32);
+        let (y0, x0) = (y as usize, x as usize);
+        let (y1, x1) = ((y0 + 1).min(size - 1), (x0 + 1).min(size - 1));
+        let (fy, fx) = (y - y0 as f32, x - x0 as f32);
+        let px = |yy: usize, xx: usize| image.data()[(c * size + yy) * size + xx];
+        let top = px(y0, x0) * (1.0 - fx) + px(y0, x1) * fx;
+        let bot = px(y1, x0) * (1.0 - fx) + px(y1, x1) * fx;
+        top * (1.0 - fy) + bot * fy
+    }
+}
+
+impl Attack for WaNet {
+    fn name(&self) -> &'static str {
+        "WaNet"
+    }
+
+    fn apply(&self, image: &Tensor, _rng: &mut Rng) -> Result<Tensor> {
+        let size = self.image_size;
+        if image.shape() != [3, size, size] {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("WaNet expects [3, {size}, {size}], got {:?}", image.shape()),
+            });
+        }
+        let mut out = Tensor::zeros(image.shape());
+        for c in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let dy = self.field.data()[y * size + x];
+                    let dx = self.field.data()[size * size + y * size + x];
+                    out.data_mut()[(c * size + y) * size + x] =
+                        Self::bilinear(image, c, y as f32 + dy, x as f32 + dx, size);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_is_imperceptible_but_nonzero() {
+        let mut rng = Rng::new(0);
+        let attack = WaNet::new(16, &mut rng).unwrap();
+        // Smooth gradient image: warping shifts values slightly.
+        let mut img = Tensor::zeros(&[3, 16, 16]);
+        for c in 0..3 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    img.data_mut()[(c * 16 + y) * 16 + x] = (x as f32) / 16.0;
+                }
+            }
+        }
+        let out = attack.apply(&img, &mut rng).unwrap();
+        assert_ne!(out, img);
+        let max_shift = out
+            .data()
+            .iter()
+            .zip(img.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // 5 px displacement over a 1/16-per-px gradient: |shift| <= 0.32.
+        assert!(max_shift <= 0.35, "max_shift={max_shift}");
+    }
+
+    #[test]
+    fn constant_image_unchanged() {
+        let mut rng = Rng::new(1);
+        let attack = WaNet::new(16, &mut rng).unwrap();
+        let img = Tensor::full(&[3, 16, 16], 0.5);
+        let out = attack.apply(&img, &mut rng).unwrap();
+        for v in out.data() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn field_is_fixed_per_attack_instance() {
+        let mut rng = Rng::new(2);
+        let attack = WaNet::new(16, &mut rng).unwrap();
+        let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        let a = attack.apply(&img, &mut rng).unwrap();
+        let b = attack.apply(&img, &mut rng).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_small_image_rejected() {
+        let mut rng = Rng::new(3);
+        assert!(WaNet::new(2, &mut rng).is_err());
+    }
+}

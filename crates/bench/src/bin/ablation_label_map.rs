@@ -1,0 +1,53 @@
+//! Ablation — output label mapping: the paper omits the optional learned
+//! output mapping (Section 3, step 3). This binary quantifies what the
+//! greedy frequency mapping would add: prompted accuracy of clean models
+//! under identity vs greedy mapping.
+
+use bprom_bench::{header, quick, row};
+use bprom_data::SynthDataset;
+use bprom_nn::models::{resnet_mini, ModelSpec};
+use bprom_nn::{softmax, Layer, Mode, TrainConfig, Trainer};
+use bprom_tensor::Rng;
+use bprom_vp::{
+    prompted_accuracy, train_prompt_backprop, LabelMap, PromptTrainConfig, VisualPrompt,
+};
+
+fn main() {
+    let mut rng = Rng::new(88);
+    header(
+        "Ablation — identity vs greedy-frequency label mapping (clean models)",
+        &["run", "identity", "greedy"],
+    );
+    let spec = ModelSpec::new(3, 16, 10);
+    let trainer = Trainer::new(TrainConfig::default());
+    let prompt_cfg = PromptTrainConfig {
+        epochs: 25,
+        ..PromptTrainConfig::default()
+    };
+    let target = SynthDataset::Stl10.generate(25, 16, 99).unwrap();
+    let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
+    let identity = LabelMap::identity(10, 10).unwrap();
+    let runs = if quick() { 2 } else { 4 };
+    for run in 0..runs {
+        let source = SynthDataset::Cifar10.generate(15, 16, 300 + run).unwrap();
+        let mut model = resnet_mini(&spec, &mut rng).unwrap();
+        trainer.fit(&mut model, &source.images, &source.labels, &mut rng).unwrap();
+        let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        train_prompt_backprop(
+            &mut model, &mut prompt, &t_train.images, &t_train.labels,
+            &identity, &prompt_cfg, &mut rng,
+        )
+        .unwrap();
+        let acc_id =
+            prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &identity)
+                .unwrap();
+        // Fit a greedy mapping on the training split's prompted outputs.
+        let prompted = prompt.apply_batch(&t_train.images).unwrap();
+        let probs = softmax(&model.forward(&prompted, Mode::Eval).unwrap()).unwrap();
+        let greedy = LabelMap::greedy_frequency(&probs, &t_train.labels, 10).unwrap();
+        let acc_greedy =
+            prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &greedy)
+                .unwrap();
+        row(&format!("run {run}"), &[acc_id, acc_greedy]);
+    }
+}

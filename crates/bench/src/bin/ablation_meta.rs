@@ -1,0 +1,50 @@
+//! Ablations called out in DESIGN.md §6:
+//! (1) shadow-prompting optimizer: CMA-ES (default) vs backprop — the
+//!     paper's letter vs the substrate-consistent variant;
+//! (2) probe count q.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom, ShadowPrompting};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(66);
+    header(
+        "Ablation — shadow prompting optimizer (CIFAR-10, BadNets zoo)",
+        &["variant", "auroc", "f1"],
+    );
+    for (name, method) in [
+        ("cma-es (default)", ShadowPrompting::CmaEs),
+        ("backprop (paper letter)", ShadowPrompting::Backprop),
+    ] {
+        let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.shadow_prompting = method;
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        let zoo = build_suspicious_zoo(
+            &zoo_config(SynthDataset::Cifar10, AttackKind::BadNets),
+            &mut rng,
+        )
+        .expect("zoo");
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(name, &[report.auroc, report.f1]);
+    }
+
+    header(
+        "Ablation — probe count q (CIFAR-10, BadNets zoo)",
+        &["q", "auroc", "f1"],
+    );
+    for q in [8usize, 16, 32] {
+        let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.probe_count = q;
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        let zoo = build_suspicious_zoo(
+            &zoo_config(SynthDataset::Cifar10, AttackKind::BadNets),
+            &mut rng,
+        )
+        .expect("zoo");
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(&q.to_string(), &[report.auroc, report.f1]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Section 6.2 "Training Time of BPROM": wall-clock of detector fitting
+//! for 10/20 shadow models, per architecture.
+
+use bprom::{Bprom};
+use bprom_bench::{detector_config, header, quick};
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_tensor::Rng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = Rng::new(62);
+    header(
+        "Training time of BPROM (paper: 2.3-9.5h on RTX4090)",
+        &["arch", "shadows", "seconds"],
+    );
+    let counts: Vec<usize> = if quick() { vec![4] } else { vec![10, 20] };
+    for arch in [Architecture::ResNetMini, Architecture::MobileNetMini] {
+        for &total in &counts {
+            let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+            cfg.architecture = arch;
+            cfg.clean_shadows = total / 2;
+            cfg.backdoor_shadows = total / 2;
+            let t0 = Instant::now();
+            let _ = Bprom::fit(&cfg, &mut rng).expect("fit");
+            println!("{arch}\t{total}\t{:.1}", t0.elapsed().as_secs_f32());
+        }
+    }
+}

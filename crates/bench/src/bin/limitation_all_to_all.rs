@@ -1,0 +1,28 @@
+//! Conclusion/limitation section: BPROM "struggles with all-to-all
+//! backdoors, as their feature space distortion is more controllable by
+//! the attacker". This binary reproduces the negative result: detection
+//! AUROC on an All-to-All zoo vs the BadNets reference.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(99);
+    let cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+    let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+    header(
+        "Limitation — all-to-one vs all-to-all detection (CIFAR-10)",
+        &["attack", "auroc", "f1", "zoo asr"],
+    );
+    for attack in [AttackKind::BadNets, AttackKind::AllToAll] {
+        let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
+            .expect("zoo");
+        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+            / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(attack.name(), &[report.auroc, report.f1, asr]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 1: input-level detectors (TeCo, SCALE-UP) degrade sharply when
+//! the model is actually clean — the paper's motivation for model-level
+//! detection.
+
+use bprom_attacks::{poison_dataset, Attack, AttackKind};
+use bprom_bench::{header, row};
+use bprom_data::SynthDataset;
+use bprom_defenses::input_level::{scale_up_scores, teco_scores};
+use bprom_metrics::{auroc, f1_score};
+use bprom_nn::models::{build, Architecture, ModelSpec};
+use bprom_nn::{Sequential, TrainConfig, Trainer};
+use bprom_tensor::{Rng, Tensor};
+
+fn eval_inputs(
+    model: &mut Sequential,
+    attack: &dyn Attack,
+    test: &bprom_data::Dataset,
+    rng: &mut Rng,
+) -> (Tensor, Vec<bool>) {
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40.min(test.len()) {
+        let x = test.images.sample(i).unwrap();
+        if i % 2 == 0 {
+            images.push(attack.apply(&x, rng).unwrap());
+            labels.push(true);
+        } else {
+            images.push(x, );
+            labels.push(false);
+        }
+    }
+    let _ = model;
+    (Tensor::stack(&images).unwrap(), labels)
+}
+
+fn main() {
+    let mut rng = Rng::new(1);
+    header(
+        "Table 1 — input-level detectors on backdoored vs clean models",
+        &["detector/attack", "bd F1", "bd AUROC", "clean F1", "clean AUROC"],
+    );
+    for kind in [AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet] {
+        let data = SynthDataset::Cifar10.generate(40, 16, 5).unwrap();
+        let (train, test) = data.split(0.8, &mut rng).unwrap();
+        let attack = kind.build(16, &mut rng).unwrap();
+        let cfg = kind.default_config(0);
+        let spec = ModelSpec::new(3, 16, 10);
+        let trainer = Trainer::new(TrainConfig::default());
+        // Backdoored and clean models.
+        let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng).unwrap();
+        let mut bd = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        trainer.fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng).unwrap();
+        let mut clean = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        trainer.fit(&mut clean, &train.images, &train.labels, &mut rng).unwrap();
+        for (name, which) in [("TeCo", 0usize), ("SCALE-UP", 1)] {
+            let mut vals = Vec::new();
+            for model in [&mut bd, &mut clean] {
+                let (inputs, truth) = eval_inputs(model, attack.as_ref(), &test, &mut rng);
+                let scores = if which == 0 {
+                    teco_scores(model, &inputs, &mut rng).unwrap()
+                } else {
+                    scale_up_scores(model, &inputs).unwrap()
+                };
+                let auc = auroc(&scores, &truth).unwrap();
+                // F1 at the median-score threshold.
+                let mut sorted = scores.clone();
+                sorted.sort_by(f32::total_cmp);
+                let thr = sorted[sorted.len() / 2];
+                let preds: Vec<bool> = scores.iter().map(|&s| s > thr).collect();
+                let f1 = f1_score(&preds, &truth).unwrap();
+                vals.push(f1);
+                vals.push(auc);
+            }
+            row(&format!("{name}/{}", kind.name()), &vals);
+        }
+    }
+}

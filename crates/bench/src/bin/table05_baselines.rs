@@ -1,0 +1,66 @@
+//! Table 5 (baseline rows): the model-level baselines — MNTD, MM-BD and
+//! Neural Cleanse — on the same suspicious-model zoos BPROM is scored on.
+//! (Input- and dataset-level baselines run in their natural scopes via
+//! `table01_input_level_drop` and the defense unit tests.)
+
+use bprom::build_suspicious_zoo;
+use bprom_attacks::AttackKind;
+use bprom_bench::{header, quick, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_defenses::model_level::{mmbd_score, MntdDetector};
+use bprom_defenses::neural_cleanse::neural_cleanse;
+use bprom_metrics::auroc;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(55);
+    let source = SynthDataset::Cifar10;
+    // MNTD trains its own multi-attack shadow pool on the reserved set.
+    let source_test = source.generate(150, 16, rng.next_u64()).unwrap();
+    let ds = source_test.subsample(0.1, &mut rng).unwrap();
+    let n_each = if quick() { 3 } else { 6 };
+    let mntd = MntdDetector::fit(
+        &ds,
+        bprom_nn::models::Architecture::ResNetMini,
+        n_each,
+        &[AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan],
+        16,
+        &mut rng,
+    )
+    .expect("mntd fit");
+
+    let attacks = if quick() {
+        vec![AttackKind::BadNets, AttackKind::WaNet]
+    } else {
+        vec![AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet, AttackKind::AdapBlend]
+    };
+    header(
+        "Table 5 baselines — model-level defenses (CIFAR-10)",
+        &["attack", "MNTD", "MM-BD", "NeuralCleanse"],
+    );
+    for attack in attacks {
+        let zoo = build_suspicious_zoo(&zoo_config(source, attack), &mut rng).expect("zoo");
+        let labels: Vec<bool> = zoo.iter().map(|m| m.backdoored).collect();
+        let mut mntd_scores = Vec::new();
+        let mut mmbd_scores = Vec::new();
+        let mut nc_scores = Vec::new();
+        let probe_imgs = ds.subsample(0.2, &mut rng).unwrap().images;
+        for mut m in zoo {
+            mntd_scores.push(mntd.score(&mut m.model).expect("mntd"));
+            mmbd_scores.push(mmbd_score(&mut m.model, &[3, 16, 16], 10, &mut rng).expect("mmbd"));
+            nc_scores.push(
+                neural_cleanse(&mut m.model, &probe_imgs, 10, 30, 0.02)
+                    .expect("nc")
+                    .anomaly,
+            );
+        }
+        row(
+            attack.name(),
+            &[
+                auroc(&mntd_scores, &labels).unwrap(),
+                auroc(&mmbd_scores, &labels).unwrap(),
+                auroc(&nc_scores, &labels).unwrap(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 5: AUROC of BPROM across the 8 main attacks (meta-classifier
+//! trained on BadNets shadows only), per dataset. The paper's baselines
+//! are reported by `table16_f1_resnet` (F1) and the defense binaries.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(42);
+    for source in [SynthDataset::Cifar10, SynthDataset::Gtsrb] {
+        header(
+            &format!("Table 5 — BPROM(10%) AUROC on {source}"),
+            &["attack", "auroc", "f1", "mean_acc", "mean_asr"],
+        );
+        let cfg = detector_config(source, SynthDataset::Stl10);
+        let detector = Bprom::fit(&cfg, &mut rng).expect("detector fit");
+        let mut aurocs = Vec::new();
+        for attack in AttackKind::MAIN_TABLE {
+            let zoo_cfg = zoo_config(source, attack);
+            let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
+            let acc = zoo.iter().map(|m| m.accuracy).sum::<f32>() / zoo.len() as f32;
+            let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+                / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            row(attack.name(), &[report.auroc, report.f1, acc, asr]);
+            aurocs.push(report.auroc);
+        }
+        row("AVG", &[aurocs.iter().sum::<f32>() / aurocs.len() as f32]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 6 (Tiny-ImageNet) and Table 26 (ImageNet): BPROM AUROC on the
+//! larger synthetic stand-ins.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, quick, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(6);
+    let attacks = if quick() {
+        vec![AttackKind::BadNets, AttackKind::Trojan]
+    } else {
+        vec![AttackKind::BadNets, AttackKind::Trojan, AttackKind::AdapBlend, AttackKind::AdapPatch]
+    };
+    for source in [SynthDataset::TinyImageNet, SynthDataset::ImageNet] {
+        header(
+            &format!("Tables 6/26 — BPROM(10%) AUROC on {source}"),
+            &["attack", "auroc", "f1"],
+        );
+        let cfg = detector_config(source, SynthDataset::Stl10);
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        for &attack in &attacks {
+            let zoo = build_suspicious_zoo(&zoo_config(source, attack), &mut rng).expect("zoo");
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            row(attack.name(), &[report.auroc, report.f1]);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 7: AUROC vs number of shadow models (2, 10, 20), Blend and
+//! Adap-Blend suspicious models.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(7);
+    header(
+        "Table 7 — AUROC vs shadow-model count (CIFAR-10)",
+        &["shadows", "Blend", "Adap-Blend"],
+    );
+    for total in [2usize, 10, 20] {
+        let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.clean_shadows = total / 2;
+        cfg.backdoor_shadows = total / 2;
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        let mut values = Vec::new();
+        for attack in [AttackKind::Blend, AttackKind::AdapBlend] {
+            let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
+                .expect("zoo");
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            values.push(report.auroc);
+        }
+        row(&format!("{total} ({}+{})", total / 2, total / 2), &values);
+    }
+}

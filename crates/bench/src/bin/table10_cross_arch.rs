@@ -1,0 +1,26 @@
+//! Table 10: structural mismatch — ResNet shadow models inspecting
+//! MobileNet suspicious models.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(10);
+    let cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+    let detector = Bprom::fit(&cfg, &mut rng).expect("fit"); // ResNetMini shadows
+    header(
+        "Table 10 — ResNet shadows vs MobileNet suspicious models",
+        &["attack", "f1", "auroc"],
+    );
+    for attack in [AttackKind::WaNet, AttackKind::AdapBlend, AttackKind::AdapPatch] {
+        let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, attack);
+        zoo_cfg.architecture = Architecture::MobileNetMini;
+        let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(attack.name(), &[report.f1, report.auroc]);
+    }
+}

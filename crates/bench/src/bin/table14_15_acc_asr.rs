@@ -1,0 +1,48 @@
+//! Tables 14/15: clean accuracy and ASR of infected models across attacks,
+//! ResNetMini and MobileNetMini.
+
+use bprom_attacks::{attack_success_rate, poison_dataset, AttackKind};
+use bprom_bench::{header, quick, row};
+use bprom_data::SynthDataset;
+use bprom_nn::models::{build, Architecture, ModelSpec};
+use bprom_nn::{TrainConfig, Trainer};
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(14);
+    let attacks = AttackKind::MAIN_TABLE;
+    let archs = if quick() {
+        vec![Architecture::ResNetMini]
+    } else {
+        vec![Architecture::ResNetMini, Architecture::MobileNetMini]
+    };
+    for arch in archs {
+        header(
+            &format!("Tables 14/15 — ACC and ASR on {arch} (CIFAR-10)"),
+            &["attack", "acc", "asr"],
+        );
+        for kind in attacks {
+            let data = SynthDataset::Cifar10.generate(40, 16, 77).unwrap();
+            let (train, test) = data.split(0.8, &mut rng).unwrap();
+            let attack = kind.build(16, &mut rng).unwrap();
+            let cfg = kind.default_config(0);
+            let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng).unwrap();
+            let spec = ModelSpec::new(3, 16, 10);
+            let mut model = build(arch, &spec, &mut rng).unwrap();
+            let trainer = Trainer::new(TrainConfig::default());
+            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng).unwrap();
+            let acc = trainer.evaluate(&mut model, &test.images, &test.labels).unwrap();
+            let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng).unwrap();
+            row(kind.name(), &[acc, asr]);
+        }
+        // Clean reference model.
+        let data = SynthDataset::Cifar10.generate(40, 16, 78).unwrap();
+        let (train, test) = data.split(0.8, &mut rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(arch, &spec, &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig::default());
+        trainer.fit(&mut model, &train.images, &train.labels, &mut rng).unwrap();
+        let acc = trainer.evaluate(&mut model, &test.images, &test.labels).unwrap();
+        row("Clean", &[acc, 0.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 16: F1 scores (BPROM rows) at 10/5% reserved-set sizes.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(16);
+    for fraction in [0.1f32, 0.05] {
+        header(
+            &format!("Table 16 — BPROM({:.0}%) F1 on CIFAR-10", fraction * 100.0),
+            &["attack", "f1", "auroc"],
+        );
+        let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.ds_fraction = fraction;
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan, AttackKind::WaNet] {
+            let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
+                .expect("zoo");
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            row(attack.name(), &[report.f1, report.auroc]);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Tables 17/18: BPROM with MobileNet shadow AND suspicious models.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(17);
+    header(
+        "Tables 17/18 — BPROM(10%) on MobileNetMini (CIFAR-10)",
+        &["attack", "auroc", "f1"],
+    );
+    let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+    cfg.architecture = Architecture::MobileNetMini;
+    let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+    for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan, AttackKind::Dynamic] {
+        let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, attack);
+        zoo_cfg.architecture = Architecture::MobileNetMini;
+        let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(attack.name(), &[report.auroc, report.f1]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Tables 19/20: external dataset swap — D_T changed from STL-10 to SVHN.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(19);
+    for source in [SynthDataset::Cifar10, SynthDataset::Gtsrb] {
+        header(
+            &format!("Tables 19/20 — D_T = SVHN, D_S = {source}"),
+            &["attack", "f1", "auroc"],
+        );
+        let cfg = detector_config(source, SynthDataset::Svhn);
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Dynamic] {
+            let zoo = build_suspicious_zoo(&zoo_config(source, attack), &mut rng).expect("zoo");
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            row(attack.name(), &[report.f1, report.auroc]);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Table 22: feature-space backdoors (Refool, BPP, Poison-Ink) — F1 and
+//! AUROC of BPROM.
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(22);
+    let cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+    let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+    header(
+        "Table 22 — feature-space backdoors (CIFAR-10)",
+        &["attack", "f1", "auroc"],
+    );
+    for attack in [AttackKind::Refool, AttackKind::Bpp, AttackKind::PoisonInk] {
+        let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
+            .expect("zoo");
+        let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+        row(attack.name(), &[report.f1, report.auroc]);
+    }
+}

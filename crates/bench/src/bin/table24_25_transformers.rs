@@ -1,0 +1,29 @@
+//! Tables 24/25: BPROM on attention architectures (VitMini for MobileViT,
+//! SwinMini for Swin Transformer).
+
+use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
+use bprom_attacks::AttackKind;
+use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::new(24);
+    for arch in [Architecture::VitMini, Architecture::SwinMini] {
+        header(
+            &format!("Tables 24/25 — BPROM(10%) on {arch} (CIFAR-10)"),
+            &["attack", "auroc", "f1"],
+        );
+        let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.architecture = arch;
+        let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
+        for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan] {
+            let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, attack);
+            zoo_cfg.architecture = arch;
+            let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
+            let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
+            row(attack.name(), &[report.auroc, report.f1]);
+        }
+    }
+}

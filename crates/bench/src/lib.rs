@@ -1,0 +1,74 @@
+//! Experiment harness for the BPROM reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; each prints the
+//! same rows/series the paper reports, at substrate scale. Criterion
+//! micro-benchmarks live in `benches/`.
+//!
+//! Scale control: set `BPROM_QUICK=1` to shrink model/zoo counts for a
+//! fast smoke pass (the shapes survive; the confidence intervals don't).
+
+use bprom::{BpromConfig, ZooConfig};
+use bprom_attacks::AttackKind;
+use bprom_data::SynthDataset;
+
+/// Whether the quick (smoke) scale was requested via `BPROM_QUICK=1`.
+pub fn quick() -> bool {
+    std::env::var("BPROM_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Standard detector configuration used across the tables.
+pub fn detector_config(source: SynthDataset, target: SynthDataset) -> BpromConfig {
+    let mut cfg = BpromConfig::new(source, target);
+    if quick() {
+        cfg.clean_shadows = 4;
+        cfg.backdoor_shadows = 4;
+        cfg.prompt.cmaes_generations = 20;
+    } else {
+        cfg.clean_shadows = 8;
+        cfg.backdoor_shadows = 8;
+        cfg.prompt.cmaes_generations = 30;
+    }
+    // Wide label spaces need a larger black-box prompting budget: with 43+
+    // classes the cross-entropy floor is high and 30 generations leave every
+    // prompt near-uniform, erasing the clean/backdoor signature.
+    if source.num_classes() > 20 {
+        cfg.prompt.cmaes_generations *= 2;
+        cfg.prompt.epochs *= 2;
+    }
+    cfg
+}
+
+/// Standard suspicious-model zoo used across the tables (the paper uses
+/// 30 + 30; substrate scale uses 5 + 5, or 3 + 3 under `BPROM_QUICK`).
+pub fn zoo_config(dataset: SynthDataset, attack: AttackKind) -> ZooConfig {
+    let mut cfg = ZooConfig::new(dataset, attack);
+    let n = if quick() { 3 } else { 5 };
+    cfg.clean = n;
+    cfg.backdoored = n;
+    cfg
+}
+
+/// Prints a table header row.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one table row of floats with a leading label.
+pub fn row(label: &str, values: &[f32]) {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    println!("{label}\t{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid() {
+        let cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
+        assert!(cfg.validate().is_ok());
+        let zoo = zoo_config(SynthDataset::Cifar10, AttackKind::BadNets);
+        assert!(zoo.clean > 0 && zoo.backdoored > 0);
+    }
+}

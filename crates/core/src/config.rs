@@ -1,0 +1,172 @@
+use crate::{BpromError, Result};
+use bprom_attacks::AttackKind;
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_nn::TrainConfig;
+use bprom_vp::PromptTrainConfig;
+
+/// How shadow-model prompts are learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShadowPrompting {
+    /// Backpropagation through the frozen shadow (the paper's description).
+    Backprop,
+    /// The same CMA-ES procedure used for the suspicious model. Default:
+    /// keeping one optimizer on both sides makes the shadow and suspicious
+    /// meta-feature distributions directly comparable, which the
+    /// meta-classifier transfer depends on at this substrate scale (the
+    /// `meta_ablation` bench quantifies the difference).
+    #[default]
+    CmaEs,
+}
+
+/// Full configuration of a BPROM detector.
+///
+/// Defaults reproduce the paper's main setting at substrate scale:
+/// `D_S` = 10 % of the source test distribution, `D_T` = STL-10,
+/// 10 + 10 shadow models poisoned with BadNets, `q` = 16 probe samples,
+/// a 300-tree random forest, ResNet shadow models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpromConfig {
+    /// Source-domain dataset the suspicious model was (presumably) trained
+    /// on; `D_S` is drawn from its distribution.
+    pub source_dataset: SynthDataset,
+    /// External clean dataset `D_T` used for prompting.
+    pub target_dataset: SynthDataset,
+    /// Fraction of the source test distribution reserved as `D_S`
+    /// (the paper's 1 % / 5 % / 10 %).
+    pub ds_fraction: f32,
+    /// Source image side (the suspicious model's input size).
+    pub image_size: usize,
+    /// Samples per class of the emulated source test set from which `D_S`
+    /// is subsampled.
+    pub test_samples_per_class: usize,
+    /// Samples per class of `D_T`.
+    pub target_samples_per_class: usize,
+    /// Number of clean shadow models `n`.
+    pub clean_shadows: usize,
+    /// Number of backdoored shadow models `M - n`.
+    pub backdoor_shadows: usize,
+    /// The single attack used to poison shadow models (the paper uses
+    /// BadNets and shows transfer to all other attacks).
+    pub shadow_attack: AttackKind,
+    /// Shadow-model architecture.
+    pub architecture: Architecture,
+    /// Shadow-model training hyperparameters.
+    pub train: TrainConfig,
+    /// Visual-prompt hyperparameters (backprop for shadows, CMA-ES for the
+    /// suspicious model).
+    pub prompt: PromptTrainConfig,
+    /// Prompt border width in pixels.
+    pub prompt_border: usize,
+    /// Number of probe samples `q` drawn from `D_T`'s test split.
+    pub probe_count: usize,
+    /// Number of trees in the random-forest meta-classifier.
+    pub forest_trees: usize,
+    /// Optimizer used for shadow prompts (suspicious models always use
+    /// CMA-ES — the defender has no gradients there).
+    pub shadow_prompting: ShadowPrompting,
+}
+
+impl BpromConfig {
+    /// Creates the default configuration for a source/target dataset pair.
+    pub fn new(source: SynthDataset, target: SynthDataset) -> Self {
+        BpromConfig {
+            source_dataset: source,
+            target_dataset: target,
+            ds_fraction: 0.1,
+            image_size: source.default_size(),
+            test_samples_per_class: 150,
+            target_samples_per_class: 25,
+            clean_shadows: 10,
+            backdoor_shadows: 10,
+            shadow_attack: AttackKind::BadNets,
+            architecture: Architecture::ResNetMini,
+            train: TrainConfig::default(),
+            prompt: PromptTrainConfig::default(),
+            prompt_border: 4,
+            probe_count: 32,
+            forest_trees: 300,
+            shadow_prompting: ShadowPrompting::default(),
+        }
+    }
+
+    /// A reduced configuration for unit tests and smoke runs.
+    pub fn fast(source: SynthDataset, target: SynthDataset) -> Self {
+        BpromConfig {
+            clean_shadows: 4,
+            backdoor_shadows: 4,
+            probe_count: 8,
+            forest_trees: 100,
+            ..Self::new(source, target)
+        }
+    }
+
+    /// Validates structural requirements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpromError::InvalidConfig`] for zero shadow counts, empty
+    /// probes, or a target label space wider than the source's.
+    pub fn validate(&self) -> Result<()> {
+        if self.clean_shadows == 0 || self.backdoor_shadows == 0 {
+            return Err(BpromError::InvalidConfig {
+                reason: "need at least one clean and one backdoored shadow model".to_string(),
+            });
+        }
+        if self.probe_count == 0 {
+            return Err(BpromError::InvalidConfig {
+                reason: "probe_count must be positive".to_string(),
+            });
+        }
+        if self.target_dataset.num_classes() > self.source_dataset.num_classes() {
+            return Err(BpromError::InvalidConfig {
+                reason: format!(
+                    "target dataset has {} classes but source only {} (identity mapping impossible)",
+                    self.target_dataset.num_classes(),
+                    self.source_dataset.num_classes()
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.ds_fraction) || self.ds_fraction <= 0.0 {
+            return Err(BpromError::InvalidConfig {
+                reason: format!("ds_fraction must be in (0, 1], got {}", self.ds_fraction),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.image_size, 16);
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        // STL-10 source (10 classes) cannot host GTSRB target (43 classes).
+        let cfg = BpromConfig::new(SynthDataset::Stl10, SynthDataset::Gtsrb);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_shadows_rejected() {
+        let mut cfg = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.clean_shadows = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let mut cfg = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.ds_fraction = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.ds_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+}

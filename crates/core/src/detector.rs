@@ -1,0 +1,187 @@
+//! The end-to-end BPROM detector.
+
+use crate::meta_model::{probe_features_blackbox, train_meta, ProbeSet};
+use crate::prompting::{prompt_shadows, prompt_suspicious};
+use crate::{BpromConfig, Result, ShadowSet};
+use bprom_data::Dataset;
+use bprom_meta::RandomForest;
+use bprom_tensor::Rng;
+use bprom_vp::{BlackBoxModel, LabelMap};
+
+/// Verdict returned by [`Bprom::inspect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Backdoor probability from the meta-classifier (higher = more
+    /// suspicious).
+    pub score: f32,
+    /// Hard decision at threshold 0.5.
+    pub backdoored: bool,
+    /// Black-box queries consumed inspecting this model.
+    pub queries: u64,
+}
+
+/// A fitted BPROM detector (the output of Algorithm 1).
+pub struct Bprom {
+    config: BpromConfig,
+    meta: RandomForest,
+    probes: ProbeSet,
+    t_train: Dataset,
+    map: LabelMap,
+}
+
+impl std::fmt::Debug for Bprom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bprom")
+            .field("source", &self.config.source_dataset)
+            .field("target", &self.config.target_dataset)
+            .field("probes", &self.probes.len())
+            .finish()
+    }
+}
+
+impl Bprom {
+    /// Runs the full BPROM training pipeline (Algorithm 1): reserve `D_S`,
+    /// train shadow models, prompt them, and fit the meta-classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training, prompting and meta-model
+    /// failures.
+    pub fn fit(config: &BpromConfig, rng: &mut Rng) -> Result<Self> {
+        config.validate()?;
+        // Emulate the source test distribution and reserve D_S from it.
+        let source_test = config.source_dataset.generate(
+            config.test_samples_per_class,
+            config.image_size,
+            rng.next_u64(),
+        )?;
+        let ds = source_test.subsample(config.ds_fraction, rng)?;
+        Self::fit_with_reserved(config, &ds, rng)
+    }
+
+    /// Variant of [`Bprom::fit`] taking an explicit reserved clean dataset
+    /// `D_S` (used by experiments that sweep `D_S` composition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training, prompting and meta-model
+    /// failures.
+    pub fn fit_with_reserved(
+        config: &BpromConfig,
+        ds: &Dataset,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        config.validate()?;
+        let target = config.target_dataset.generate(
+            config.target_samples_per_class,
+            config.image_size,
+            rng.next_u64(),
+        )?;
+        let (t_train, t_test) = target.split(0.7, rng)?;
+        let map = LabelMap::identity(t_train.num_classes, ds.num_classes)?;
+        let mut shadows = ShadowSet::train(config, ds, rng)?;
+        let prompts = prompt_shadows(config, &mut shadows, &t_train, &map, rng)?;
+        let probes = ProbeSet::sample(&t_test, config.probe_count, rng)?;
+        let meta = train_meta(config, &mut shadows, &prompts, &probes, rng)?;
+        Ok(Bprom {
+            config: config.clone(),
+            meta,
+            probes,
+            t_train,
+            map,
+        })
+    }
+
+    /// Inspects a suspicious model through its black-box query interface:
+    /// learns a prompt with CMA-ES, extracts the probe feature, and asks
+    /// the meta-classifier for a verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prompting/query/meta failures.
+    pub fn inspect(&self, oracle: &mut dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
+        let start = oracle.queries_used();
+        let (prompt, _) = prompt_suspicious(
+            &self.config,
+            oracle,
+            &self.t_train,
+            &self.map,
+            rng,
+        )?;
+        let feature = probe_features_blackbox(oracle, &prompt, &self.probes)?;
+        let score = self.meta.predict_proba(&feature)?;
+        Ok(Verdict {
+            score,
+            backdoored: score > 0.5,
+            queries: oracle.queries_used() - start,
+        })
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &BpromConfig {
+        &self.config
+    }
+
+    /// The fixed probe set `D_Q`.
+    pub fn probes(&self) -> &ProbeSet {
+        &self.probes
+    }
+
+    /// The identity label mapping in use.
+    pub fn label_map(&self) -> &LabelMap {
+        &self.map
+    }
+
+    /// The target-domain training split used for prompting.
+    pub fn target_train(&self) -> &Dataset {
+        &self.t_train
+    }
+
+    /// The fitted meta-classifier.
+    pub fn meta(&self) -> &RandomForest {
+        &self.meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_data::SynthDataset;
+    use bprom_nn::models::{build, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+    use bprom_vp::{PromptTrainConfig, QueryOracle};
+
+    /// End-to-end smoke test at reduced scale: the detector must produce a
+    /// verdict for an arbitrary suspicious model and consume queries.
+    #[test]
+    fn fit_and_inspect_smoke() {
+        let mut rng = Rng::new(0);
+        let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+        config.clean_shadows = 2;
+        config.backdoor_shadows = 2;
+        config.test_samples_per_class = 20;
+        config.target_samples_per_class = 10;
+        config.train = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        config.prompt = PromptTrainConfig {
+            epochs: 3,
+            cmaes_generations: 5,
+            cmaes_population: 6,
+            ..PromptTrainConfig::default()
+        };
+        let detector = Bprom::fit(&config, &mut rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let source = SynthDataset::Cifar10.generate(10, 16, 5).unwrap();
+        let mut model = build(config.architecture, &spec, &mut rng).unwrap();
+        Trainer::new(config.train)
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
+        let mut oracle = QueryOracle::new(model, 10);
+        let verdict = detector.inspect(&mut oracle, &mut rng).unwrap();
+        assert!((0.0..=1.0).contains(&verdict.score));
+        assert!(verdict.queries > 0);
+        assert_eq!(verdict.backdoored, verdict.score > 0.5);
+    }
+}

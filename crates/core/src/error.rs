@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error type for the BPROM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BpromError {
+    /// Synthetic dataset generation or manipulation failed.
+    Data(String),
+    /// Shadow-model training failed.
+    Training(String),
+    /// Dataset poisoning failed.
+    Attack(String),
+    /// Visual prompting failed.
+    Prompting(String),
+    /// Meta-classifier training or prediction failed.
+    Meta(String),
+    /// Metric computation failed.
+    Metrics(String),
+    /// A pipeline configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BpromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpromError::Data(m) => write!(f, "data error: {m}"),
+            BpromError::Training(m) => write!(f, "training error: {m}"),
+            BpromError::Attack(m) => write!(f, "attack error: {m}"),
+            BpromError::Prompting(m) => write!(f, "prompting error: {m}"),
+            BpromError::Meta(m) => write!(f, "meta-classifier error: {m}"),
+            BpromError::Metrics(m) => write!(f, "metrics error: {m}"),
+            BpromError::InvalidConfig { reason } => write!(f, "invalid BPROM config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BpromError {}
+
+impl From<bprom_data::DataError> for BpromError {
+    fn from(e: bprom_data::DataError) -> Self {
+        BpromError::Data(e.to_string())
+    }
+}
+
+impl From<bprom_nn::NnError> for BpromError {
+    fn from(e: bprom_nn::NnError) -> Self {
+        BpromError::Training(e.to_string())
+    }
+}
+
+impl From<bprom_attacks::AttackError> for BpromError {
+    fn from(e: bprom_attacks::AttackError) -> Self {
+        BpromError::Attack(e.to_string())
+    }
+}
+
+impl From<bprom_vp::VpError> for BpromError {
+    fn from(e: bprom_vp::VpError) -> Self {
+        BpromError::Prompting(e.to_string())
+    }
+}
+
+impl From<bprom_meta::MetaError> for BpromError {
+    fn from(e: bprom_meta::MetaError) -> Self {
+        BpromError::Meta(e.to_string())
+    }
+}
+
+impl From<bprom_metrics::MetricsError> for BpromError {
+    fn from(e: bprom_metrics::MetricsError) -> Self {
+        BpromError::Metrics(e.to_string())
+    }
+}
+
+impl From<bprom_tensor::TensorError> for BpromError {
+    fn from(e: bprom_tensor::TensorError) -> Self {
+        BpromError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_message() {
+        let e: BpromError = bprom_data::DataError::InvalidRequest {
+            reason: "xyzzy".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("xyzzy"));
+    }
+}

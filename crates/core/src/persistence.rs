@@ -1,0 +1,88 @@
+//! Model-parameter persistence: save/load trained classifiers so
+//! suspicious-model zoos and shadow sets can be reused across experiment
+//! runs (JSON via serde; the workspace's only I/O format).
+
+use crate::{BpromError, Result};
+use bprom_nn::Sequential;
+use bprom_tensor::Tensor;
+use std::path::Path;
+
+/// Serializes a model's parameters (in visit order) to a JSON file.
+///
+/// The architecture itself is not stored: loading requires rebuilding the
+/// same architecture and calling [`load_params`], which validates every
+/// shape.
+///
+/// # Errors
+///
+/// Returns [`BpromError::Data`] on I/O or serialization failure.
+pub fn save_params(model: &mut Sequential, path: &Path) -> Result<()> {
+    let params = model.export_params();
+    let json = serde_json::to_string(&params)
+        .map_err(|e| BpromError::Data(format!("serialize: {e}")))?;
+    std::fs::write(path, json).map_err(|e| BpromError::Data(format!("write {path:?}: {e}")))?;
+    Ok(())
+}
+
+/// Loads parameters previously written by [`save_params`] into a
+/// structurally identical model.
+///
+/// # Errors
+///
+/// Returns [`BpromError::Data`] on I/O/parse failure and
+/// [`BpromError::Training`] on any shape mismatch.
+pub fn load_params(model: &mut Sequential, path: &Path) -> Result<()> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| BpromError::Data(format!("read {path:?}: {e}")))?;
+    let params: Vec<Tensor> =
+        serde_json::from_str(&json).map_err(|e| BpromError::Data(format!("parse: {e}")))?;
+    model.import_params(&params)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_nn::models::{mlp, ModelSpec};
+    use bprom_nn::{Layer, Mode};
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = Rng::new(0);
+        let spec = ModelSpec::new(3, 8, 4);
+        let mut a = mlp(&spec, &mut rng).unwrap();
+        let mut b = mlp(&spec, &mut rng).unwrap();
+        let probe = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let ya = a.forward(&probe, Mode::Eval).unwrap();
+        assert_ne!(ya, b.forward(&probe, Mode::Eval).unwrap());
+
+        let dir = std::env::temp_dir().join("bprom-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_params(&mut a, &path).unwrap();
+        load_params(&mut b, &path).unwrap();
+        assert_eq!(ya, b.forward(&probe, Mode::Eval).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let mut rng = Rng::new(1);
+        let mut small = mlp(&ModelSpec::new(3, 8, 4), &mut rng).unwrap();
+        let mut big = mlp(&ModelSpec::new(3, 8, 10), &mut rng).unwrap();
+        let dir = std::env::temp_dir().join("bprom-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.json");
+        save_params(&mut small, &path).unwrap();
+        assert!(load_params(&mut big, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_error() {
+        let mut rng = Rng::new(2);
+        let mut model = mlp(&ModelSpec::new(3, 8, 4), &mut rng).unwrap();
+        assert!(load_params(&mut model, Path::new("/nonexistent/model.json")).is_err());
+    }
+}

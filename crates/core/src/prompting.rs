@@ -1,0 +1,147 @@
+//! Prompting stage (paper Section 5.2, "Prompting Shadow Models"): learn a
+//! visual prompt per shadow model by backpropagation, and for suspicious
+//! models by CMA-ES through the black-box query interface.
+
+use crate::config::ShadowPrompting;
+use crate::{BpromConfig, Result, ShadowSet};
+use bprom_data::Dataset;
+use bprom_tensor::Rng;
+use bprom_vp::{
+    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, QueryOracle,
+    VisualPrompt,
+};
+
+/// A prompted shadow model: the prompt learned for it plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct LearnedPrompt {
+    /// The learned visual prompt `θ*`.
+    pub prompt: VisualPrompt,
+    /// Final prompt-training loss (diagnostic).
+    pub final_loss: f32,
+}
+
+/// Learns one prompt per shadow model on `D_T^train` (Algorithm 1 lines
+/// 10–12).
+///
+/// # Errors
+///
+/// Propagates prompting failures.
+pub fn prompt_shadows(
+    config: &BpromConfig,
+    shadows: &mut ShadowSet,
+    t_train: &Dataset,
+    map: &LabelMap,
+    rng: &mut Rng,
+) -> Result<Vec<LearnedPrompt>> {
+    let mut prompts = Vec::with_capacity(shadows.len());
+    let num_classes = map.source_classes();
+    for shadow in &mut shadows.shadows {
+        let mut prompt = VisualPrompt::random(
+            t_train.channels(),
+            config.image_size,
+            config.prompt_border,
+            rng,
+        )?;
+        let final_loss = match config.shadow_prompting {
+            ShadowPrompting::Backprop => {
+                let report = train_prompt_backprop(
+                    &mut shadow.model,
+                    &mut prompt,
+                    &t_train.images,
+                    &t_train.labels,
+                    map,
+                    &config.prompt,
+                    rng,
+                )?;
+                report.losses.last().copied().unwrap_or(f32::NAN)
+            }
+            ShadowPrompting::CmaEs => {
+                // Temporarily seal the shadow behind the oracle so the
+                // exact suspicious-model code path runs.
+                let model = std::mem::replace(&mut shadow.model, crate::shadow::empty_model());
+                let mut oracle = QueryOracle::new(model, num_classes);
+                let report = train_prompt_cmaes(
+                    &mut oracle,
+                    &mut prompt,
+                    &t_train.images,
+                    &t_train.labels,
+                    map,
+                    &config.prompt,
+                    rng,
+                )?;
+                shadow.model = oracle.into_inner();
+                report.losses.last().copied().unwrap_or(f32::NAN)
+            }
+        };
+        prompts.push(LearnedPrompt { prompt, final_loss });
+    }
+    Ok(prompts)
+}
+
+/// Learns a prompt for the suspicious model using only black-box queries
+/// (gradient-free CMA-ES, as the paper specifies for `f_sus`).
+///
+/// Returns the prompt and the number of queries consumed.
+///
+/// # Errors
+///
+/// Propagates prompting failures.
+pub fn prompt_suspicious(
+    config: &BpromConfig,
+    oracle: &mut dyn BlackBoxModel,
+    t_train: &Dataset,
+    map: &LabelMap,
+    rng: &mut Rng,
+) -> Result<(VisualPrompt, u64)> {
+    let mut prompt = VisualPrompt::random(
+        t_train.channels(),
+        config.image_size,
+        config.prompt_border,
+        rng,
+    )?;
+    let report = train_prompt_cmaes(
+        oracle,
+        &mut prompt,
+        &t_train.images,
+        &t_train.labels,
+        map,
+        &config.prompt,
+        rng,
+    )?;
+    Ok((prompt, report.queries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_data::SynthDataset;
+    use bprom_nn::TrainConfig;
+    use bprom_vp::PromptTrainConfig;
+
+    #[test]
+    fn prompts_every_shadow() {
+        let mut rng = Rng::new(0);
+        let mut config = crate::BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+        config.clean_shadows = 1;
+        config.backdoor_shadows = 1;
+        config.train = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        config.prompt = PromptTrainConfig {
+            epochs: 3,
+            ..PromptTrainConfig::default()
+        };
+        let ds = SynthDataset::Cifar10.generate(8, 16, 1).unwrap();
+        let t_train = SynthDataset::Stl10.generate(8, 16, 2).unwrap();
+        let map = LabelMap::identity(10, 10).unwrap();
+        let mut shadows = ShadowSet::train(&config, &ds, &mut rng).unwrap();
+        let prompts = prompt_shadows(&config, &mut shadows, &t_train, &map, &mut rng).unwrap();
+        assert_eq!(prompts.len(), 2);
+        for p in &prompts {
+            assert!(p.final_loss.is_finite());
+            // Prompt actually moved away from its random init.
+            assert!(p.prompt.to_flat().iter().any(|&v| v.abs() > 0.1));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Detector evaluation: run a detector against a suspicious-model zoo and
+//! compute the paper's metrics (AUROC, F1).
+
+use crate::{Bprom, Result, SuspiciousModel};
+use bprom_metrics::{auroc, f1_score};
+use bprom_tensor::Rng;
+use bprom_vp::QueryOracle;
+
+/// Aggregated detection results over a zoo.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectionReport {
+    /// Meta-classifier scores, in zoo order.
+    pub scores: Vec<f32>,
+    /// Ground-truth labels, in zoo order.
+    pub labels: Vec<bool>,
+    /// Area under the ROC curve.
+    pub auroc: f32,
+    /// F1 score at the 0.5 decision threshold.
+    pub f1: f32,
+    /// Mean black-box queries per inspected model.
+    pub mean_queries: f32,
+}
+
+/// Inspects every model in the zoo and computes AUROC / F1.
+///
+/// Consumes the zoo because inspection requires exclusive query access to
+/// each model.
+///
+/// # Errors
+///
+/// Propagates inspection failures; AUROC requires the zoo to contain both
+/// clean and backdoored models.
+pub fn evaluate_detector(
+    detector: &Bprom,
+    zoo: Vec<SuspiciousModel>,
+    rng: &mut Rng,
+) -> Result<DetectionReport> {
+    let num_classes = detector.config().source_dataset.num_classes();
+    let mut scores = Vec::with_capacity(zoo.len());
+    let mut labels = Vec::with_capacity(zoo.len());
+    let mut total_queries = 0u64;
+    let n = zoo.len();
+    for suspicious in zoo {
+        let mut oracle = QueryOracle::new(suspicious.model, num_classes);
+        let verdict = detector.inspect(&mut oracle, rng)?;
+        scores.push(verdict.score);
+        labels.push(suspicious.backdoored);
+        total_queries += verdict.queries;
+    }
+    let auroc = auroc(&scores, &labels)?;
+    let predictions: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
+    let f1 = f1_score(&predictions, &labels)?;
+    Ok(DetectionReport {
+        scores,
+        labels,
+        auroc,
+        f1,
+        mean_queries: total_queries as f32 / n.max(1) as f32,
+    })
+}
+
+impl DetectionReport {
+    /// Detection accuracy at an arbitrary decision threshold.
+    pub fn accuracy_at(&self, threshold: f32) -> f32 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .scores
+            .iter()
+            .zip(&self.labels)
+            .filter(|(&s, &l)| (s > threshold) == l)
+            .count();
+        correct as f32 / self.scores.len() as f32
+    }
+
+    /// The threshold in `[0, 1]` maximizing detection accuracy on this
+    /// report (useful for calibrating a deployment threshold on shadow
+    /// verdicts).
+    pub fn best_threshold(&self) -> f32 {
+        let mut candidates: Vec<f32> = self.scores.clone();
+        candidates.push(0.5);
+        candidates
+            .into_iter()
+            .max_by(|&a, &b| self.accuracy_at(a).total_cmp(&self.accuracy_at(b)))
+            .unwrap_or(0.5)
+    }
+
+    /// Number of inspected models.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Serializes the report to JSON (for experiment artifacts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BpromError::Data`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| crate::BpromError::Data(format!("serialize report: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // End-to-end evaluation is covered by the workspace integration tests
+    // (tests/bprom_detection.rs); here we only check report invariants via
+    // the public constructor path used there.
+    fn sample_report() -> DetectionReport {
+        DetectionReport {
+            scores: vec![0.9, 0.1, 0.6, 0.4],
+            labels: vec![true, false, true, false],
+            auroc: 1.0,
+            f1: 1.0,
+            mean_queries: 100.0,
+        }
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let report = sample_report();
+        assert_eq!(report.scores.len(), report.labels.len());
+        assert_eq!(report.len(), 4);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn accuracy_at_threshold() {
+        let report = sample_report();
+        assert_eq!(report.accuracy_at(0.5), 1.0);
+        // Threshold above every score: all predicted clean, half right.
+        assert_eq!(report.accuracy_at(0.95), 0.5);
+    }
+
+    #[test]
+    fn best_threshold_achieves_max_accuracy() {
+        let report = sample_report();
+        let t = report.best_threshold();
+        assert_eq!(report.accuracy_at(t), 1.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample_report();
+        let json = report.to_json().unwrap();
+        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

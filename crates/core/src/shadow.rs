@@ -1,0 +1,152 @@
+//! Shadow-model generation (paper Section 5.2, "Generating Shadow
+//! Models"): clean shadows trained on `D_S`, backdoor shadows trained on
+//! poisoned copies `D_P` with per-shadow trigger/target variation.
+
+use crate::{BpromConfig, Result};
+use bprom_attacks::{poison_dataset, PoisonConfig};
+use bprom_data::Dataset;
+use bprom_nn::models::{build, ModelSpec};
+use bprom_nn::{Sequential, Trainer};
+use bprom_tensor::Rng;
+
+/// Placeholder model used when a shadow is temporarily moved into a query
+/// oracle (swapped back immediately afterwards).
+pub(crate) fn empty_model() -> Sequential {
+    Sequential::new(Vec::new())
+}
+
+/// One trained shadow model plus its ground-truth label.
+pub struct ShadowModel {
+    /// The trained classifier.
+    pub model: Sequential,
+    /// Whether this shadow was trained on a poisoned dataset.
+    pub backdoored: bool,
+    /// The backdoor target class, for backdoored shadows.
+    pub target_class: Option<usize>,
+}
+
+impl std::fmt::Debug for ShadowModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowModel")
+            .field("backdoored", &self.backdoored)
+            .field("target_class", &self.target_class)
+            .finish()
+    }
+}
+
+/// The full shadow-model set of a BPROM detector.
+#[derive(Debug)]
+pub struct ShadowSet {
+    /// All shadows, clean first.
+    pub shadows: Vec<ShadowModel>,
+}
+
+impl ShadowSet {
+    /// Trains `clean_shadows` clean + `backdoor_shadows` poisoned shadow
+    /// models on (copies of) `ds`, following Algorithm 1 lines 2–8.
+    ///
+    /// Each backdoored shadow draws its own trigger instance and target
+    /// class (paper: "by sampling different combinations of backdoor
+    /// patterns (m, t, α, y_t), various `D_P` can be generated").
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/poisoning failures.
+    pub fn train(config: &BpromConfig, ds: &Dataset, rng: &mut Rng) -> Result<Self> {
+        let spec = ModelSpec::new(ds.channels(), ds.image_size(), ds.num_classes);
+        let trainer = Trainer::new(config.train);
+        let mut shadows = Vec::with_capacity(config.clean_shadows + config.backdoor_shadows);
+        for _ in 0..config.clean_shadows {
+            let mut model = build(config.architecture, &spec, rng)?;
+            trainer.fit(&mut model, &ds.images, &ds.labels, rng)?;
+            shadows.push(ShadowModel {
+                model,
+                backdoored: false,
+                target_class: None,
+            });
+        }
+        for _ in 0..config.backdoor_shadows {
+            // Fresh trigger instance per shadow (random pattern components
+            // draw from rng), fresh target class.
+            let attack = config.shadow_attack.build(ds.image_size(), rng)?;
+            let target = rng.below(ds.num_classes);
+            let defaults = config.shadow_attack.default_config(target);
+            let cfg = PoisonConfig::new(defaults.poison_rate, defaults.cover_rate, target);
+            let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, rng)?;
+            let mut model = build(config.architecture, &spec, rng)?;
+            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)?;
+            shadows.push(ShadowModel {
+                model,
+                backdoored: true,
+                target_class: Some(target),
+            });
+        }
+        Ok(ShadowSet { shadows })
+    }
+
+    /// Number of shadow models.
+    pub fn len(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Whether the set is empty (never true for trained sets).
+    pub fn is_empty(&self) -> bool {
+        self.shadows.is_empty()
+    }
+
+    /// Ground-truth labels, in shadow order.
+    pub fn labels(&self) -> Vec<bool> {
+        self.shadows.iter().map(|s| s.backdoored).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_data::SynthDataset;
+    use bprom_nn::TrainConfig;
+
+    #[test]
+    fn trains_mixed_shadow_set() {
+        let mut rng = Rng::new(0);
+        let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+        config.clean_shadows = 2;
+        config.backdoor_shadows = 2;
+        config.train = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        };
+        let ds = SynthDataset::Cifar10.generate(10, 16, 1).unwrap();
+        let set = ShadowSet::train(&config, &ds, &mut rng).unwrap();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.labels(), vec![false, false, true, true]);
+        for s in &set.shadows {
+            assert_eq!(s.backdoored, s.target_class.is_some());
+        }
+    }
+
+    #[test]
+    fn backdoor_shadows_vary_targets() {
+        let mut rng = Rng::new(3);
+        let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+        config.clean_shadows = 1;
+        config.backdoor_shadows = 6;
+        config.train = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        };
+        let ds = SynthDataset::Cifar10.generate(8, 16, 2).unwrap();
+        let set = ShadowSet::train(&config, &ds, &mut rng).unwrap();
+        let targets: Vec<usize> = set
+            .shadows
+            .iter()
+            .filter_map(|s| s.target_class)
+            .collect();
+        assert_eq!(targets.len(), 6);
+        // With 6 draws over 10 classes, expect at least two distinct targets.
+        let mut distinct = targets.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 2, "targets {targets:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Training-time data augmentation (random shift + horizontal flip), the
+//! standard recipe the paper's training procedures use on CIFAR-scale
+//! images.
+
+use crate::{DataError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    /// Maximum shift in pixels along each axis (edge-replicated).
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment {
+            max_shift: 2,
+            flip_prob: 0.5,
+        }
+    }
+}
+
+impl Augment {
+    /// Augments one `[c, h, w]` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] for non-rank-3 input.
+    pub fn apply(&self, image: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        if image.rank() != 3 {
+            return Err(DataError::Inconsistent {
+                reason: format!("augment expects [c, h, w], got {:?}", image.shape()),
+            });
+        }
+        let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+        let dy = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
+        let dx = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
+        let flip = rng.bernoulli(self.flip_prob);
+        let mut out = Tensor::zeros(image.shape());
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y as isize - dy).clamp(0, h as isize - 1) as usize;
+                    let sx_raw = (x as isize - dx).clamp(0, w as isize - 1) as usize;
+                    let sx = if flip { w - 1 - sx_raw } else { sx_raw };
+                    out.data_mut()[(ci * h + y) * w + x] = image.data()[(ci * h + sy) * w + sx];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Augments a `[n, c, h, w]` batch, one independent draw per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] for non-rank-4 input.
+    pub fn apply_batch(&self, images: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        if images.rank() != 4 {
+            return Err(DataError::Inconsistent {
+                reason: format!("augment expects [n, c, h, w], got {:?}", images.shape()),
+            });
+        }
+        let n = images.shape()[0];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.apply(&images.sample(i)?, rng)?);
+        }
+        Ok(Tensor::stack(&out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_config_is_near_identity() {
+        let mut rng = Rng::new(0);
+        let aug = Augment {
+            max_shift: 0,
+            flip_prob: 0.0,
+        };
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = aug.apply(&img, &mut rng).unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn flip_reverses_columns() {
+        let mut rng = Rng::new(1);
+        let aug = Augment {
+            max_shift: 0,
+            flip_prob: 1.0,
+        };
+        let img = Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[1, 2, 2]).unwrap();
+        let out = aug.apply(&img, &mut rng).unwrap();
+        assert_eq!(out.data(), &[1.0, 0.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn augmented_values_come_from_the_image() {
+        let mut rng = Rng::new(2);
+        let aug = Augment::default();
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = aug.apply(&img, &mut rng).unwrap();
+        for v in out.data() {
+            assert!(img.data().contains(v));
+        }
+    }
+
+    #[test]
+    fn batch_applies_independent_draws() {
+        let mut rng = Rng::new(3);
+        let aug = Augment::default();
+        let img = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let copies: Vec<Tensor> = (0..8).map(|_| img.sample(0).unwrap()).collect();
+        let batch = Tensor::stack(&copies).unwrap();
+        let out = aug.apply_batch(&batch, &mut rng).unwrap();
+        // With 8 copies and random draws, at least two must differ.
+        let mut any_diff = false;
+        for i in 1..8 {
+            if out.sample(i).unwrap() != out.sample(0).unwrap() {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let mut rng = Rng::new(4);
+        let aug = Augment::default();
+        assert!(aug.apply(&Tensor::zeros(&[8, 8]), &mut rng).is_err());
+        assert!(aug.apply_batch(&Tensor::zeros(&[3, 8, 8]), &mut rng).is_err());
+    }
+}

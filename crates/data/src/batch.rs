@@ -1,0 +1,98 @@
+//! Minibatch iteration over a [`Dataset`].
+
+use crate::{DataError, Dataset, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Iterator over shuffled minibatches of a dataset.
+///
+/// Created by [`Dataset::batches`]. Each item is `(images, labels)` with
+/// `images: [b, c, h, w]`; the final batch may be smaller.
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Dataset {
+    /// Iterates over the dataset in shuffled minibatches of `batch_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] for a zero batch size.
+    pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut Rng) -> Result<Batches<'a>> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidRequest {
+                reason: "batch size must be positive".to_string(),
+            });
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        Ok(Batches {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        })
+    }
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let subset = self
+            .dataset
+            .select(idx)
+            .expect("indices generated from 0..len are valid");
+        Some((subset.images, subset.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthDataset;
+
+    #[test]
+    fn batches_cover_dataset_exactly_once() {
+        let mut rng = Rng::new(0);
+        let d = SynthDataset::Cifar10.generate(3, 16, 1).unwrap();
+        let mut seen = 0usize;
+        let mut class_counts = vec![0usize; 10];
+        for (images, labels) in d.batches(7, &mut rng).unwrap() {
+            assert_eq!(images.shape()[0], labels.len());
+            assert!(labels.len() <= 7);
+            seen += labels.len();
+            for &l in &labels {
+                class_counts[l] += 1;
+            }
+        }
+        assert_eq!(seen, d.len());
+        assert_eq!(class_counts, d.class_counts());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let mut rng = Rng::new(1);
+        let d = SynthDataset::Cifar10.generate(1, 16, 2).unwrap();
+        assert!(d.batches(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shuffle_depends_on_rng() {
+        let d = SynthDataset::Cifar10.generate(4, 16, 3).unwrap();
+        let first = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            d.batches(5, &mut rng).unwrap().next().unwrap().1
+        };
+        assert_ne!(first(1), first(2));
+    }
+}

@@ -1,0 +1,298 @@
+use crate::{DataError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// A labelled image dataset: NCHW image tensor plus integer class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Images, `[n, c, h, w]`, values in `[0, 1]`.
+    pub images: Tensor,
+    /// Class label of each image.
+    pub labels: Vec<usize>,
+    /// Number of classes in the label space (labels are `< num_classes`).
+    pub num_classes: usize,
+    /// Human-readable dataset name (for reports).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating image/label consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if the image count and label
+    /// count differ, any label is out of range, or the tensor is not rank 4.
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        if images.rank() != 4 {
+            return Err(DataError::Inconsistent {
+                reason: format!("images must be [n, c, h, w], got {:?}", images.shape()),
+            });
+        }
+        if images.shape()[0] != labels.len() {
+            return Err(DataError::Inconsistent {
+                reason: format!(
+                    "{} images but {} labels",
+                    images.shape()[0],
+                    labels.len()
+                ),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::Inconsistent {
+                reason: format!("label {bad} out of range for {num_classes} classes"),
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+            name: name.into(),
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image side length (assumes square images).
+    pub fn image_size(&self) -> usize {
+        self.images.shape()[3]
+    }
+
+    /// Number of image channels.
+    pub fn channels(&self) -> usize {
+        self.images.shape()[1]
+    }
+
+    /// Builds a new dataset from the samples addressed by `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] on an empty index list and an
+    /// error for out-of-range indices.
+    pub fn select(&self, idx: &[usize]) -> Result<Dataset> {
+        if idx.is_empty() {
+            return Err(DataError::InvalidRequest {
+                reason: "cannot select zero samples".to_string(),
+            });
+        }
+        let inner: usize = self.images.shape()[1..].iter().product();
+        let mut data = Vec::with_capacity(idx.len() * inner);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            if i >= self.len() {
+                return Err(DataError::InvalidRequest {
+                    reason: format!("index {i} out of range for {} samples", self.len()),
+                });
+            }
+            data.extend_from_slice(&self.images.data()[i * inner..(i + 1) * inner]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![idx.len()];
+        dims.extend_from_slice(&self.images.shape()[1..]);
+        Ok(Dataset {
+            images: Tensor::from_vec(data, &dims)?,
+            labels,
+            num_classes: self.num_classes,
+            name: self.name.clone(),
+        })
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples in the
+    /// first part, after a shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] if the fraction leaves either
+    /// side empty.
+    pub fn split(&self, train_fraction: f32, rng: &mut Rng) -> Result<(Dataset, Dataset)> {
+        let n = self.len();
+        let n_train = (n as f32 * train_fraction).round() as usize;
+        if n_train == 0 || n_train >= n {
+            return Err(DataError::InvalidRequest {
+                reason: format!("split fraction {train_fraction} leaves an empty side (n={n})"),
+            });
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        let train = self.select(&idx[..n_train])?;
+        let test = self.select(&idx[n_train..])?;
+        Ok((train, test))
+    }
+
+    /// Random subsample of `fraction` of the dataset (at least one sample).
+    ///
+    /// This models the paper's reserved clean dataset `D_S` (1 %, 5 %, 10 %
+    /// of the test set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] for fractions outside `(0, 1]`.
+    pub fn subsample(&self, fraction: f32, rng: &mut Rng) -> Result<Dataset> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(DataError::InvalidRequest {
+                reason: format!("subsample fraction must be in (0, 1], got {fraction}"),
+            });
+        }
+        let k = ((self.len() as f32 * fraction).round() as usize).clamp(1, self.len());
+        let idx = rng.sample_indices(self.len(), k);
+        self.select(&idx)
+    }
+
+    /// Keeps only the listed classes, remapping labels to `0..classes.len()`
+    /// in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] if a class is out of range or
+    /// no samples remain.
+    pub fn filter_classes(&self, classes: &[usize]) -> Result<Dataset> {
+        if let Some(&bad) = classes.iter().find(|&&c| c >= self.num_classes) {
+            return Err(DataError::InvalidRequest {
+                reason: format!("class {bad} out of range"),
+            });
+        }
+        let idx: Vec<usize> = (0..self.len())
+            .filter(|&i| classes.contains(&self.labels[i]))
+            .collect();
+        let mut out = self.select(&idx)?;
+        out.labels = out
+            .labels
+            .iter()
+            .map(|l| classes.iter().position(|c| c == l).expect("filtered"))
+            .collect();
+        out.num_classes = classes.len();
+        Ok(out)
+    }
+
+    /// Concatenates two datasets over the same label space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if shapes or class counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.images.shape()[1..] != other.images.shape()[1..]
+            || self.num_classes != other.num_classes
+        {
+            return Err(DataError::Inconsistent {
+                reason: format!(
+                    "cannot concat {:?}/{} with {:?}/{}",
+                    self.images.shape(),
+                    self.num_classes,
+                    other.images.shape(),
+                    other.num_classes
+                ),
+            });
+        }
+        let mut data = self.images.data().to_vec();
+        data.extend_from_slice(other.images.data());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let mut dims = vec![self.len() + other.len()];
+        dims.extend_from_slice(&self.images.shape()[1..]);
+        Ok(Dataset {
+            images: Tensor::from_vec(data, &dims)?,
+            labels,
+            num_classes: self.num_classes,
+            name: self.name.clone(),
+        })
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, k: usize) -> Dataset {
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        Dataset::new(images, labels, k, "toy").unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0], 1, "x").is_err());
+        assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0, 5], 2, "x").is_err());
+        assert!(Dataset::new(Tensor::zeros(&[4]), vec![0], 1, "x").is_err());
+    }
+
+    #[test]
+    fn select_picks_labels() {
+        let d = toy(6, 3);
+        let s = d.select(&[0, 4]).unwrap();
+        assert_eq!(s.labels, vec![0, 1]);
+        assert_eq!(s.len(), 2);
+        assert!(d.select(&[]).is_err());
+        assert!(d.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let mut rng = Rng::new(0);
+        let d = toy(10, 2);
+        let (tr, te) = d.split(0.7, &mut rng).unwrap();
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        assert!(d.split(0.0, &mut rng).is_err());
+        assert!(d.split(1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn subsample_fraction() {
+        let mut rng = Rng::new(1);
+        let d = toy(100, 4);
+        let s = d.subsample(0.1, &mut rng).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(d.subsample(0.0, &mut rng).is_err());
+        assert!(d.subsample(1.5, &mut rng).is_err());
+        // Tiny fraction still yields at least one sample.
+        assert_eq!(d.subsample(0.001, &mut rng).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn filter_classes_remaps() {
+        let d = toy(12, 4);
+        let f = d.filter_classes(&[2, 0]).unwrap();
+        assert_eq!(f.num_classes, 2);
+        assert_eq!(f.len(), 6);
+        // Former class 2 → 0, former class 0 → 1.
+        assert!(f.labels.iter().all(|&l| l < 2));
+        assert!(d.filter_classes(&[7]).is_err());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy(4, 2);
+        let b = toy(6, 2);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 10);
+        let other = toy(4, 3);
+        assert!(a.concat(&other).is_err());
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let d = toy(10, 3);
+        let counts = d.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+    }
+}

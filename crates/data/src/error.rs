@@ -1,0 +1,63 @@
+use bprom_tensor::TensorError;
+use std::fmt;
+
+/// Error type for dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A requested split/subsample is impossible (e.g. fraction outside
+    /// `(0, 1]`, or zero samples).
+    InvalidRequest {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// Images and labels disagree in count, or a label is out of range.
+    Inconsistent {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            DataError::Inconsistent { reason } => write!(f, "inconsistent dataset: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::InvalidRequest {
+            reason: "fraction 0".into(),
+        };
+        assert!(e.to_string().contains("fraction 0"));
+        let t: DataError = TensorError::InvalidParameter {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

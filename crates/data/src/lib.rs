@@ -1,0 +1,50 @@
+//! Synthetic image dataset substrate for the BPROM reproduction.
+//!
+//! The paper evaluates on CIFAR-10, GTSRB, STL-10, SVHN, CIFAR-100,
+//! Tiny-ImageNet and ImageNet. None of those can be downloaded in this
+//! environment, so this crate provides *procedural stand-ins*: each class
+//! of each dataset is a distinct parametric image generator (background
+//! pattern + foreground shape + colour palette), and each dataset family
+//! uses a different generator seed and structural emphasis, giving the
+//! distinct distributions the paper's source/target-domain split requires.
+//!
+//! What the substitution preserves (see `DESIGN.md` §2):
+//!
+//! * learnable class structure — a small CNN reaches high accuracy,
+//! * distribution mismatch between datasets — visual prompting is
+//!   meaningful,
+//! * poisonability — triggers planted by `bprom-attacks` dominate the
+//!   class signal exactly as on natural images.
+//!
+//! # Example
+//!
+//! ```
+//! use bprom_data::{Dataset, SynthDataset};
+//!
+//! let data = SynthDataset::Cifar10.generate(5, 16, 42)?;
+//! assert_eq!(data.len(), 50);
+//! assert_eq!(data.num_classes, 10);
+//! assert_eq!(data.images.shape(), &[50, 3, 16, 16]);
+//! # Ok::<(), bprom_data::DataError>(())
+//! ```
+
+// Numerical kernels in this crate use explicit index loops where the
+// access pattern (strides, multiple arrays in lockstep) is the point;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod augment;
+mod batch;
+mod dataset;
+mod error;
+pub mod synth;
+
+pub use augment::Augment;
+pub use batch::Batches;
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use synth::SynthDataset;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,207 @@
+//! Procedural dataset generators.
+//!
+//! Each [`SynthDataset`] stands in for one of the paper's datasets. A
+//! dataset is a *family seed* plus a class count plus a structural profile;
+//! each class derives a deterministic [`style::ClassStyle`] from the family
+//! seed, and every sample renders that style with per-sample jitter.
+
+pub mod render;
+pub mod style;
+
+use crate::{DataError, Dataset, Result};
+use bprom_tensor::{Rng, Tensor};
+use style::StyleProfile;
+
+/// The synthetic stand-ins for the paper's datasets.
+///
+/// Family seeds and style profiles differ per dataset, so any two datasets
+/// have visibly different distributions — the property the paper's
+/// source-domain (`D_S`) / target-domain (`D_T`) split relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthDataset {
+    /// CIFAR-10 stand-in: 10 classes, shape-dominant styles.
+    Cifar10,
+    /// GTSRB stand-in: 43 classes, traffic-sign-like (strong border rings).
+    Gtsrb,
+    /// STL-10 stand-in: 10 classes, texture-dominant styles, distinct
+    /// palette (the paper's default external dataset `D_T`).
+    Stl10,
+    /// SVHN stand-in: 10 classes, digit-glyph-like bar compositions.
+    Svhn,
+    /// CIFAR-100 stand-in: 100 classes.
+    Cifar100,
+    /// Tiny-ImageNet stand-in: 20 classes (scaled from 200), larger images.
+    TinyImageNet,
+    /// ImageNet stand-in: 30 classes (scaled from 1000), larger images.
+    ImageNet,
+}
+
+impl SynthDataset {
+    /// All datasets, for sweeps.
+    pub const ALL: [SynthDataset; 7] = [
+        SynthDataset::Cifar10,
+        SynthDataset::Gtsrb,
+        SynthDataset::Stl10,
+        SynthDataset::Svhn,
+        SynthDataset::Cifar100,
+        SynthDataset::TinyImageNet,
+        SynthDataset::ImageNet,
+    ];
+
+    /// Number of classes.
+    pub fn num_classes(self) -> usize {
+        match self {
+            SynthDataset::Cifar10 | SynthDataset::Stl10 | SynthDataset::Svhn => 10,
+            SynthDataset::Gtsrb => 43,
+            SynthDataset::Cifar100 => 100,
+            SynthDataset::TinyImageNet => 20,
+            SynthDataset::ImageNet => 30,
+        }
+    }
+
+    /// Default image side used by the experiment harness.
+    pub fn default_size(self) -> usize {
+        match self {
+            SynthDataset::TinyImageNet | SynthDataset::ImageNet => 24,
+            _ => 16,
+        }
+    }
+
+    /// Family seed decorrelating this dataset's class styles from every
+    /// other dataset's.
+    fn family_seed(self) -> u64 {
+        match self {
+            SynthDataset::Cifar10 => 0xC1FA_0010,
+            SynthDataset::Gtsrb => 0x6D5B_0043,
+            SynthDataset::Stl10 => 0x57E1_0010,
+            SynthDataset::Svhn => 0x5711_0010,
+            SynthDataset::Cifar100 => 0xC1FA_0100,
+            SynthDataset::TinyImageNet => 0x7191_0200,
+            SynthDataset::ImageNet => 0x1396_1000,
+        }
+    }
+
+    fn profile(self) -> StyleProfile {
+        match self {
+            SynthDataset::Cifar10 | SynthDataset::Cifar100 => StyleProfile::ShapeDominant,
+            SynthDataset::Gtsrb => StyleProfile::SignLike,
+            SynthDataset::Stl10 => StyleProfile::TextureDominant,
+            SynthDataset::Svhn => StyleProfile::GlyphLike,
+            SynthDataset::TinyImageNet | SynthDataset::ImageNet => StyleProfile::Mixed,
+        }
+    }
+
+    /// Display name used in dataset structs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SynthDataset::Cifar10 => "synth-cifar10",
+            SynthDataset::Gtsrb => "synth-gtsrb",
+            SynthDataset::Stl10 => "synth-stl10",
+            SynthDataset::Svhn => "synth-svhn",
+            SynthDataset::Cifar100 => "synth-cifar100",
+            SynthDataset::TinyImageNet => "synth-tiny-imagenet",
+            SynthDataset::ImageNet => "synth-imagenet",
+        }
+    }
+
+    /// Generates `n_per_class` samples of every class at side length `size`.
+    ///
+    /// Deterministic in `(self, n_per_class, size, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRequest`] if `n_per_class` or `size` is
+    /// zero (or too small to render, size < 8).
+    pub fn generate(self, n_per_class: usize, size: usize, seed: u64) -> Result<Dataset> {
+        if n_per_class == 0 {
+            return Err(DataError::InvalidRequest {
+                reason: "n_per_class must be positive".to_string(),
+            });
+        }
+        if size < 8 {
+            return Err(DataError::InvalidRequest {
+                reason: format!("image size must be >= 8, got {size}"),
+            });
+        }
+        let k = self.num_classes();
+        let n = n_per_class * k;
+        let mut data = Vec::with_capacity(n * 3 * size * size);
+        let mut labels = Vec::with_capacity(n);
+        let mut rng = Rng::new(seed ^ self.family_seed());
+        for class in 0..k {
+            let style = style::derive(self.family_seed(), self.profile(), class);
+            for _ in 0..n_per_class {
+                let img = render::render(&style, size, &mut rng);
+                data.extend_from_slice(img.data());
+                labels.push(class);
+            }
+        }
+        let images = Tensor::from_vec(data, &[n, 3, size, size])?;
+        // Shuffle sample order so class blocks don't bias minibatches.
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        Dataset::new(images, labels, k, self.name())?.select(&idx)
+    }
+}
+
+impl std::fmt::Display for SynthDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthDataset::Cifar10.generate(3, 16, 7).unwrap();
+        let b = SynthDataset::Cifar10.generate(3, 16, 7).unwrap();
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthDataset::Cifar10.generate(3, 16, 7).unwrap();
+        let b = SynthDataset::Cifar10.generate(3, 16, 8).unwrap();
+        assert_ne!(a.images, b.images);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let d = SynthDataset::Stl10.generate(2, 16, 0).unwrap();
+        assert!(d.images.min() >= 0.0);
+        assert!(d.images.max() <= 1.0);
+    }
+
+    #[test]
+    fn class_counts_balanced() {
+        let d = SynthDataset::Gtsrb.generate(4, 16, 1).unwrap();
+        assert_eq!(d.num_classes, 43);
+        assert!(d.class_counts().iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn datasets_have_distinct_distributions() {
+        // Same seed, same class, different family → different images.
+        let a = SynthDataset::Cifar10.generate(2, 16, 3).unwrap();
+        let b = SynthDataset::Stl10.generate(2, 16, 3).unwrap();
+        assert_ne!(a.images, b.images);
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        assert!(SynthDataset::Cifar10.generate(0, 16, 0).is_err());
+        assert!(SynthDataset::Cifar10.generate(1, 4, 0).is_err());
+    }
+
+    #[test]
+    fn all_datasets_generate() {
+        for ds in SynthDataset::ALL {
+            let d = ds.generate(1, ds.default_size(), 0).unwrap();
+            assert_eq!(d.len(), ds.num_classes());
+        }
+    }
+}

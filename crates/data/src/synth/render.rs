@@ -1,0 +1,167 @@
+//! Rasterization of [`ClassStyle`]s into `[3, size, size]` image tensors.
+
+use super::style::{ClassStyle, Pattern, Shape};
+use bprom_tensor::{Rng, Tensor};
+
+/// Renders one sample of a class style with per-sample jitter
+/// (sub-pixel shape translation, brightness scaling, Gaussian pixel noise).
+pub fn render(style: &ClassStyle, size: usize, rng: &mut Rng) -> Tensor {
+    let jx = rng.uniform_in(-0.12, 0.12);
+    let jy = rng.uniform_in(-0.12, 0.12);
+    let brightness = rng.uniform_in(0.8, 1.2);
+    let scale = rng.uniform_in(0.8, 1.2);
+    let cx = (style.cx + jx) * size as f32;
+    let cy = (style.cy + jy) * size as f32;
+    let r = style.radius * scale * size as f32;
+    let mut img = Tensor::zeros(&[3, size, size]);
+    for y in 0..size {
+        for x in 0..size {
+            let bg = background_at(style, x, y, size);
+            let color = if inside_shape(style.shape, x as f32, y as f32, cx, cy, r) {
+                style.fg
+            } else {
+                bg
+            };
+            for ch in 0..3 {
+                let noisy = color[ch] * brightness + style.noise * rng.normal();
+                img.data_mut()[(ch * size + y) * size + x] = noisy.clamp(0.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+fn background_at(style: &ClassStyle, x: usize, y: usize, size: usize) -> [f32; 3] {
+    let u = x as f32 / size as f32;
+    let v = y as f32 / size as f32;
+    match style.pattern {
+        Pattern::Solid => style.bg,
+        Pattern::Stripes { angle, freq } => {
+            let t = u * angle.cos() + v * angle.sin();
+            let s = 0.5 + 0.5 * (t * freq * std::f32::consts::TAU).sin();
+            mix(style.bg, style.bg2, s)
+        }
+        Pattern::Checker { cells } => {
+            let cell = ((u * cells as f32) as usize + (v * cells as f32) as usize) % 2;
+            if cell == 0 {
+                style.bg
+            } else {
+                style.bg2
+            }
+        }
+        Pattern::Gradient { angle } => {
+            let t = (u * angle.cos() + v * angle.sin()).clamp(0.0, 1.0);
+            mix(style.bg, style.bg2, t)
+        }
+    }
+}
+
+fn mix(a: [f32; 3], b: [f32; 3], t: f32) -> [f32; 3] {
+    [
+        a[0] + (b[0] - a[0]) * t,
+        a[1] + (b[1] - a[1]) * t,
+        a[2] + (b[2] - a[2]) * t,
+    ]
+}
+
+fn inside_shape(shape: Shape, x: f32, y: f32, cx: f32, cy: f32, r: f32) -> bool {
+    let dx = x - cx;
+    let dy = y - cy;
+    match shape {
+        Shape::Disk => dx * dx + dy * dy <= r * r,
+        Shape::Square => dx.abs() <= r && dy.abs() <= r,
+        Shape::Cross => {
+            (dx.abs() <= r * 0.4 && dy.abs() <= r) || (dy.abs() <= r * 0.4 && dx.abs() <= r)
+        }
+        Shape::Diamond => dx.abs() + dy.abs() <= r * 1.2,
+        Shape::Ring => {
+            let d2 = dx * dx + dy * dy;
+            d2 <= r * r && d2 >= (r * 0.55) * (r * 0.55)
+        }
+        Shape::VBar => dx.abs() <= r * 0.35 && dy.abs() <= r * 1.2,
+        Shape::HBar => dy.abs() <= r * 0.35 && dx.abs() <= r * 1.2,
+        Shape::DoubleBar => {
+            (dx - r * 0.6).abs() <= r * 0.25 && dy.abs() <= r * 1.1
+                || (dx + r * 0.6).abs() <= r * 0.25 && dy.abs() <= r * 1.1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::style::{derive, StyleProfile};
+
+    #[test]
+    fn renders_in_unit_range() {
+        let mut rng = Rng::new(0);
+        let style = derive(1, StyleProfile::Mixed, 0);
+        let img = render(&style, 16, &mut rng);
+        assert_eq!(img.shape(), &[3, 16, 16]);
+        assert!(img.min() >= 0.0 && img.max() <= 1.0);
+    }
+
+    #[test]
+    fn shape_pixels_take_foreground_color() {
+        let mut rng = Rng::new(1);
+        let mut style = derive(2, StyleProfile::ShapeDominant, 1);
+        // Force a deterministic, noise-free disk in the center.
+        style.noise = 0.0;
+        style.cx = 0.5;
+        style.cy = 0.5;
+        style.radius = 0.25;
+        style.shape = Shape::Disk;
+        style.fg = [1.0, 0.0, 0.0];
+        style.bg = [0.0, 0.0, 1.0];
+        style.pattern = Pattern::Solid;
+        let img = render(&style, 16, &mut rng);
+        // Center pixel is foreground-ish red; corner is background-ish blue.
+        let center_r = img.at(&[0, 8, 8]).unwrap();
+        let corner_b = img.at(&[2, 0, 0]).unwrap();
+        assert!(center_r > 0.8, "center red {center_r}");
+        assert!(corner_b > 0.8, "corner blue {corner_b}");
+    }
+
+    #[test]
+    fn samples_of_one_class_differ_by_jitter_only() {
+        let mut rng = Rng::new(2);
+        let style = derive(3, StyleProfile::Mixed, 2);
+        let a = render(&style, 16, &mut rng);
+        let b = render(&style, 16, &mut rng);
+        assert_ne!(a, b);
+        // But they stay close: mean absolute difference bounded.
+        let mad: f32 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!(mad < 0.35, "mad={mad}");
+    }
+
+    #[test]
+    fn all_shapes_render_nonempty() {
+        for shape in [
+            Shape::Disk,
+            Shape::Square,
+            Shape::Cross,
+            Shape::Diamond,
+            Shape::Ring,
+            Shape::VBar,
+            Shape::HBar,
+            Shape::DoubleBar,
+        ] {
+            let mut hits = 0;
+            for y in 0..16 {
+                for x in 0..16 {
+                    if inside_shape(shape, x as f32, y as f32, 8.0, 8.0, 4.0) {
+                        hits += 1;
+                    }
+                }
+            }
+            assert!(hits > 0, "{shape:?} rendered no pixels");
+            assert!(hits < 256, "{shape:?} covered the whole image");
+        }
+    }
+}

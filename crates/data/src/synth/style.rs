@@ -1,0 +1,247 @@
+//! Per-class visual styles and their deterministic derivation.
+
+use bprom_tensor::Rng;
+
+/// RGB colour with components in `[0, 1]`.
+pub type Color = [f32; 3];
+
+/// Background pattern families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Solid background colour.
+    Solid,
+    /// Sinusoidal stripes with a given angle (radians) and spatial
+    /// frequency (cycles across the image).
+    Stripes {
+        /// Stripe orientation in radians.
+        angle: f32,
+        /// Cycles across the image side.
+        freq: f32,
+    },
+    /// Checkerboard with `cells × cells` squares.
+    Checker {
+        /// Number of cells along each side.
+        cells: usize,
+    },
+    /// Linear gradient between the background and foreground colours,
+    /// oriented by `angle`.
+    Gradient {
+        /// Gradient direction in radians.
+        angle: f32,
+    },
+}
+
+/// Foreground shape families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Filled disk.
+    Disk,
+    /// Filled axis-aligned square.
+    Square,
+    /// Plus-shaped cross.
+    Cross,
+    /// Filled diamond (rotated square).
+    Diamond,
+    /// Ring (annulus) — dominant in the sign-like profile.
+    Ring,
+    /// Vertical bar.
+    VBar,
+    /// Horizontal bar.
+    HBar,
+    /// Two parallel vertical bars — glyph-like.
+    DoubleBar,
+}
+
+const ALL_SHAPES: [Shape; 8] = [
+    Shape::Disk,
+    Shape::Square,
+    Shape::Cross,
+    Shape::Diamond,
+    Shape::Ring,
+    Shape::VBar,
+    Shape::HBar,
+    Shape::DoubleBar,
+];
+
+/// Structural emphasis of a dataset family; biases which style components
+/// carry the class identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StyleProfile {
+    /// Class identity mostly in the foreground shape (CIFAR-like).
+    ShapeDominant,
+    /// Class identity mostly in the background texture (STL-like).
+    TextureDominant,
+    /// Ring/border heavy, saturated palettes (traffic signs).
+    SignLike,
+    /// Bar-glyph compositions on noisy backgrounds (house numbers).
+    GlyphLike,
+    /// Everything varies (large heterogeneous datasets).
+    Mixed,
+}
+
+/// Complete recipe for rendering one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStyle {
+    /// Background base colour.
+    pub bg: Color,
+    /// Second background colour; patterns alternate `bg`/`bg2`, making
+    /// every image region (corners included) class-informative.
+    pub bg2: Color,
+    /// Foreground / shape colour.
+    pub fg: Color,
+    /// Background pattern.
+    pub pattern: Pattern,
+    /// Foreground shape.
+    pub shape: Shape,
+    /// Shape centre in unit coordinates.
+    pub cx: f32,
+    /// Shape centre in unit coordinates.
+    pub cy: f32,
+    /// Shape radius as a fraction of the image side.
+    pub radius: f32,
+    /// Standard deviation of per-sample pixel noise.
+    pub noise: f32,
+}
+
+/// HSV → RGB for saturated palette construction.
+fn hsv(h: f32, s: f32, v: f32) -> Color {
+    let h6 = (h.fract() * 6.0).abs();
+    let i = h6 as usize % 6;
+    let f = h6 - h6.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - s * f);
+    let t = v * (1.0 - s * (1.0 - f));
+    match i {
+        0 => [v, t, p],
+        1 => [q, v, p],
+        2 => [p, v, t],
+        3 => [p, q, v],
+        4 => [t, p, v],
+        _ => [v, p, q],
+    }
+}
+
+/// Class-indexed saturated colour: hues advance around the colour wheel by
+/// the golden ratio, guaranteeing well-spread palettes even for 100-class
+/// datasets.
+fn saturated_color(class: usize, family_offset: f32, rng: &mut Rng) -> Color {
+    const GOLDEN: f32 = 0.618_034;
+    let hue = (class as f32 * GOLDEN + family_offset + rng.uniform_in(0.0, 0.15)).fract();
+    hsv(hue, rng.uniform_in(0.75, 1.0), rng.uniform_in(0.75, 1.0))
+}
+
+fn muted_color(rng: &mut Rng) -> Color {
+    [
+        rng.uniform_in(0.2, 0.8),
+        rng.uniform_in(0.2, 0.8),
+        rng.uniform_in(0.2, 0.8),
+    ]
+}
+
+/// Derives the deterministic style of `class` within a dataset family.
+pub fn derive(family_seed: u64, profile: StyleProfile, class: usize) -> ClassStyle {
+    // Mix family and class into one seed; class spacing avoids collisions.
+    let mut rng = Rng::new(family_seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Rotate the whole hue wheel per dataset family: class i of one dataset
+    // must NOT share its palette with class i of another, otherwise the
+    // source and target domains are accidentally pre-aligned and visual
+    // prompting has nothing to map.
+    // Offset magnitude is capped well below the golden-ratio class spacing
+    // (0.382): class i stays *nearest* to class i across families, but the
+    // prompt must still learn a genuine colour-space correction. This is
+    // the miniature analogue of CIFAR-10 vs STL-10: related domains with a
+    // systematic shift.
+    let family_offset = 0.02 + (family_seed % 997) as f32 / 997.0 * 0.10;
+    let (bg, fg) = match profile {
+        StyleProfile::TextureDominant => (saturated_color(class, family_offset, &mut rng), muted_color(&mut rng)),
+        _ => (muted_color(&mut rng), saturated_color(class, family_offset, &mut rng)),
+    };
+    // Second pattern colour offset around the wheel, also class-indexed.
+    let bg2 = saturated_color(class + 13, family_offset, &mut rng);
+    // Every class gets a structured, two-colour background so that *all*
+    // image regions (corners included) carry class signal — the property of
+    // natural images that makes backdoor triggers compete with class
+    // features for representation (see DESIGN.md).
+    let pattern = match rng.below(3) {
+        0 => Pattern::Stripes {
+            angle: rng.uniform_in(0.0, std::f32::consts::PI),
+            freq: rng.uniform_in(2.0, 6.0),
+        },
+        1 => Pattern::Checker {
+            cells: 2 + rng.below(4),
+        },
+        _ => Pattern::Gradient {
+            angle: rng.uniform_in(0.0, std::f32::consts::PI),
+        },
+    };
+    let shape = match profile {
+        StyleProfile::SignLike => {
+            // Signs: rings, disks and diamonds dominate.
+            *[Shape::Ring, Shape::Disk, Shape::Diamond, Shape::Square]
+                [rng.below(4)..][..1]
+                .first()
+                .expect("non-empty")
+        }
+        StyleProfile::GlyphLike => {
+            *[Shape::VBar, Shape::HBar, Shape::DoubleBar, Shape::Cross]
+                [rng.below(4)..][..1]
+                .first()
+                .expect("non-empty")
+        }
+        _ => ALL_SHAPES[rng.below(ALL_SHAPES.len())],
+    };
+    ClassStyle {
+        bg,
+        bg2,
+        fg,
+        pattern,
+        shape,
+        cx: rng.uniform_in(0.35, 0.65),
+        cy: rng.uniform_in(0.35, 0.65),
+        radius: rng.uniform_in(0.18, 0.3),
+        noise: match profile {
+            StyleProfile::GlyphLike => 0.12,
+            _ => 0.09,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = derive(1, StyleProfile::Mixed, 3);
+        let b = derive(1, StyleProfile::Mixed, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classes_get_distinct_styles() {
+        let styles: Vec<ClassStyle> =
+            (0..20).map(|c| derive(42, StyleProfile::Mixed, c)).collect();
+        for i in 0..styles.len() {
+            for j in (i + 1)..styles.len() {
+                assert_ne!(styles[i], styles[j], "classes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn families_decorrelate() {
+        let a = derive(1, StyleProfile::Mixed, 0);
+        let b = derive(2, StyleProfile::Mixed, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn colors_in_range() {
+        for c in 0..50 {
+            let s = derive(7, StyleProfile::SignLike, c);
+            for v in s.bg.iter().chain(s.fg.iter()) {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! AEVA (Guo et al., 2022): black-box model-level backdoor detection via
+//! adversarial extreme value analysis — the prior black-box model-level
+//! detector the paper's Design Challenge section compares BPROM against.
+//!
+//! Idea: estimate, for each candidate target class, how strongly a small
+//! *universal* perturbation can push a batch of clean images toward that
+//! class, using only queries (NES gradient estimation). A backdoor target
+//! exhibits an extreme adversarial "peak"; the model score is the MAD
+//! anomaly of the largest peak. The paper notes AEVA's weakness on large
+//! (non-patch) triggers, which the Table-5 comparison reproduces.
+
+use crate::{DefenseError, Result};
+use bprom_tensor::{Rng, Tensor};
+use bprom_vp::BlackBoxModel;
+
+/// Configuration of the AEVA search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AevaConfig {
+    /// NES iterations per class.
+    pub steps: usize,
+    /// NES population (antithetic pairs are formed internally).
+    pub population: usize,
+    /// NES smoothing σ.
+    pub sigma: f32,
+    /// Perturbation step size.
+    pub lr: f32,
+    /// L∞ bound on the universal perturbation.
+    pub epsilon: f32,
+}
+
+impl Default for AevaConfig {
+    fn default() -> Self {
+        AevaConfig {
+            steps: 15,
+            population: 8,
+            sigma: 0.05,
+            lr: 0.05,
+            epsilon: 0.2,
+        }
+    }
+}
+
+/// Mean probability of `class` over a perturbed batch, by query.
+fn class_mass(
+    oracle: &mut dyn BlackBoxModel,
+    images: &Tensor,
+    delta: &Tensor,
+    class: usize,
+) -> Result<f32> {
+    let n = images.shape()[0];
+    let inner = delta.len();
+    let mut perturbed = images.clone();
+    for i in 0..n {
+        for (v, &d) in perturbed.data_mut()[i * inner..(i + 1) * inner]
+            .iter_mut()
+            .zip(delta.data())
+        {
+            *v = (*v + d).clamp(0.0, 1.0);
+        }
+    }
+    let probs = oracle.query(&perturbed)?;
+    let k = probs.shape()[1];
+    let mut total = 0.0f32;
+    for i in 0..n {
+        total += probs.data()[i * k + class];
+    }
+    Ok(total / n as f32)
+}
+
+/// Result of the AEVA analysis for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AevaReport {
+    /// Best universal class mass achieved per class (the adversarial peak).
+    pub peaks: Vec<f32>,
+    /// MAD-normalized anomaly of the largest peak (the model score).
+    pub anomaly: f32,
+    /// Class with the most extreme peak (backdoor-target candidate).
+    pub candidate_target: usize,
+}
+
+/// Runs AEVA against a black-box model.
+///
+/// # Errors
+///
+/// Propagates query failures; requires ≥3 classes and a non-empty batch.
+pub fn aeva(
+    oracle: &mut dyn BlackBoxModel,
+    images: &Tensor,
+    config: &AevaConfig,
+    rng: &mut Rng,
+) -> Result<AevaReport> {
+    if images.rank() != 4 || images.shape()[0] == 0 {
+        return Err(DefenseError::InvalidInput {
+            reason: format!("AEVA expects non-empty [n, c, h, w], got {:?}", images.shape()),
+        });
+    }
+    let num_classes = oracle.num_classes();
+    if num_classes < 3 {
+        return Err(DefenseError::InvalidInput {
+            reason: "AEVA needs at least 3 classes".to_string(),
+        });
+    }
+    let inner: usize = images.shape()[1..].iter().product();
+    let delta_shape: Vec<usize> = images.shape()[1..].to_vec();
+    let mut peaks = Vec::with_capacity(num_classes);
+    for class in 0..num_classes {
+        let mut delta = Tensor::zeros(&delta_shape);
+        let mut best = class_mass(oracle, images, &delta, class)?;
+        for _ in 0..config.steps {
+            // Antithetic NES gradient estimate of the class mass.
+            let mut grad = vec![0.0f32; inner];
+            for _ in 0..config.population / 2 {
+                let noise = Tensor::randn(&delta_shape, rng);
+                let plus = delta.zip_map(&noise, |d, z| d + config.sigma * z)?;
+                let minus = delta.zip_map(&noise, |d, z| d - config.sigma * z)?;
+                let fp = class_mass(oracle, images, &plus, class)?;
+                let fm = class_mass(oracle, images, &minus, class)?;
+                let scale = (fp - fm) / (2.0 * config.sigma);
+                for (g, &z) in grad.iter_mut().zip(noise.data()) {
+                    *g += scale * z;
+                }
+            }
+            for (d, g) in delta.data_mut().iter_mut().zip(&grad) {
+                *d = (*d + config.lr * g / (config.population / 2).max(1) as f32)
+                    .clamp(-config.epsilon, config.epsilon);
+            }
+            best = best.max(class_mass(oracle, images, &delta, class)?);
+        }
+        peaks.push(best);
+    }
+    let mut sorted = peaks.clone();
+    sorted.sort_by(f32::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f32> = peaks.iter().map(|p| (p - median).abs()).collect();
+    devs.sort_by(f32::total_cmp);
+    let mad = devs[devs.len() / 2].max(1e-6);
+    let (candidate_target, &max_peak) = peaks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    Ok(AevaReport {
+        anomaly: (max_peak - median) / mad,
+        peaks,
+        candidate_target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_attacks::{poison_dataset, AttackKind};
+    use bprom_data::SynthDataset;
+    use bprom_nn::models::{build, Architecture, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+    use bprom_vp::QueryOracle;
+
+    #[test]
+    fn aeva_runs_and_flags_a_candidate() {
+        let mut rng = Rng::new(0);
+        let data = SynthDataset::Cifar10.generate(25, 16, 41).unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, &mut rng).unwrap();
+        let cfg = kind.default_config(2);
+        let poisoned = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        Trainer::new(TrainConfig::default())
+            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .unwrap();
+        let probes = data.subsample(0.04, &mut rng).unwrap().images;
+        let mut oracle = QueryOracle::new(model, 10);
+        let report = aeva(&mut oracle, &probes, &AevaConfig::default(), &mut rng).unwrap();
+        assert_eq!(report.peaks.len(), 10);
+        assert!(report.peaks.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(report.anomaly.is_finite());
+        assert!(oracle.queries_used() > 0);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(1);
+        let spec = ModelSpec::new(3, 8, 2);
+        let model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 2);
+        let imgs = Tensor::zeros(&[2, 3, 8, 8]);
+        assert!(aeva(&mut oracle, &imgs, &AevaConfig::default(), &mut rng).is_err());
+    }
+}

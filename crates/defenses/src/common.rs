@@ -1,0 +1,312 @@
+//! Shared machinery for the defense implementations: batched inference
+//! helpers, k-means, image corruptions and DCT features.
+
+use crate::Result;
+use bprom_nn::{softmax, Layer, Mode, Sequential};
+use bprom_tensor::{Rng, Tensor};
+
+/// Batched softmax predictions `[n, k]` for a `[n, c, h, w]` image tensor.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn predict_probs(model: &mut Sequential, images: &Tensor) -> Result<Tensor> {
+    let logits = model.forward(images, Mode::Eval)?;
+    Ok(softmax(&logits)?)
+}
+
+/// Argmax class per row of a `[n, k]` probability matrix.
+pub fn argmax_rows(probs: &Tensor) -> Vec<usize> {
+    let (n, k) = (probs.shape()[0], probs.shape()[1]);
+    (0..n)
+        .map(|i| {
+            let row = &probs.data()[i * k..(i + 1) * k];
+            let mut best = 0;
+            for j in 1..k {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Shannon entropy of each row of a probability matrix.
+pub fn row_entropies(probs: &Tensor) -> Vec<f32> {
+    let (n, k) = (probs.shape()[0], probs.shape()[1]);
+    (0..n)
+        .map(|i| {
+            probs.data()[i * k..(i + 1) * k]
+                .iter()
+                .map(|&p| {
+                    let p = p.max(1e-9);
+                    -p * p.ln()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Penultimate-layer activations flattened to `[n, d]` rows.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn activations(model: &mut Sequential, images: &Tensor) -> Result<Vec<Vec<f32>>> {
+    let feats = model.penultimate(images, Mode::Eval)?;
+    let n = feats.shape()[0];
+    let d: usize = feats.shape()[1..].iter().product();
+    Ok((0..n)
+        .map(|i| feats.data()[i * d..(i + 1) * d].to_vec())
+        .collect())
+}
+
+/// k-means clustering (Lloyd's algorithm) with deterministic seeding.
+/// Returns per-point cluster assignments.
+pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, rng: &mut Rng) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+    // Initialize with k distinct random points.
+    let init = rng.sample_indices(n, k);
+    let mut centers: Vec<Vec<f32>> = init.iter().map(|&i| points[i].clone()).collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d: f32 = p.iter().zip(center).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &v) in sums[assign[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f32;
+                }
+                centers[c] = sums[c].clone();
+            }
+        }
+    }
+    assign
+}
+
+/// Top singular direction of mean-centered rows via power iteration;
+/// returns per-row squared projections (the Spectral Signatures statistic).
+pub fn spectral_scores(points: &[Vec<f32>]) -> Vec<f32> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = points[0].len();
+    let mut mean = vec![0.0f32; dim];
+    for p in points {
+        for (m, &v) in mean.iter_mut().zip(p) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let centered: Vec<Vec<f32>> = points
+        .iter()
+        .map(|p| p.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+        .collect();
+    // Power iteration on AᵀA without materializing it.
+    let mut v = vec![1.0f32; dim];
+    for _ in 0..50 {
+        // u = A v  (length n), then w = Aᵀ u (length dim).
+        let mut w = vec![0.0f32; dim];
+        for row in &centered {
+            let u: f32 = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            for (wi, &a) in w.iter_mut().zip(row) {
+                *wi += u * a;
+            }
+        }
+        let norm = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            break;
+        }
+        for x in &mut w {
+            *x /= norm;
+        }
+        v = w;
+    }
+    centered
+        .iter()
+        .map(|row| {
+            let proj: f32 = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            proj * proj
+        })
+        .collect()
+}
+
+/// Image corruption families used by TeCo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Additive Gaussian noise.
+    Noise,
+    /// Box blur.
+    Blur,
+    /// Brightness shift.
+    Brightness,
+    /// Contrast reduction toward the mean.
+    Contrast,
+}
+
+impl Corruption {
+    /// The corruption set TeCo averages over.
+    pub const ALL: [Corruption; 4] = [
+        Corruption::Noise,
+        Corruption::Blur,
+        Corruption::Brightness,
+        Corruption::Contrast,
+    ];
+
+    /// Applies the corruption at `severity ∈ {1..5}` to one `[c, h, w]`
+    /// image. Deterministic given the RNG stream.
+    pub fn apply(self, image: &Tensor, severity: usize, rng: &mut Rng) -> Tensor {
+        let s = severity as f32;
+        match self {
+            Corruption::Noise => {
+                let mut out = image.clone();
+                for v in out.data_mut() {
+                    *v = (*v + 0.04 * s * rng.normal()).clamp(0.0, 1.0);
+                }
+                out
+            }
+            Corruption::Blur => {
+                let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+                let radius = severity.min(3);
+                let mut out = image.clone();
+                for ci in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let mut acc = 0.0f32;
+                            let mut cnt = 0usize;
+                            for dy in y.saturating_sub(radius)..(y + radius + 1).min(h) {
+                                for dx in x.saturating_sub(radius)..(x + radius + 1).min(w) {
+                                    acc += image.data()[(ci * h + dy) * w + dx];
+                                    cnt += 1;
+                                }
+                            }
+                            out.data_mut()[(ci * h + y) * w + x] = acc / cnt as f32;
+                        }
+                    }
+                }
+                out
+            }
+            Corruption::Brightness => image.map(|v| (v + 0.08 * s).clamp(0.0, 1.0)),
+            Corruption::Contrast => {
+                let mean = image.mean();
+                let factor = 1.0 - 0.15 * s;
+                image.map(|v| (mean + (v - mean) * factor).clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+/// 2-D DCT-II magnitude features of a `[c, h, w]` image, flattened (the
+/// Frequency defense's input representation).
+pub fn dct_features(image: &Tensor) -> Vec<f32> {
+    let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+    let mut out = Vec::with_capacity(c * h * w);
+    for ci in 0..c {
+        for u in 0..h {
+            for v in 0..w {
+                let mut acc = 0.0f32;
+                for y in 0..h {
+                    for x in 0..w {
+                        acc += image.data()[(ci * h + y) * w + x]
+                            * ((std::f32::consts::PI * (y as f32 + 0.5) * u as f32 / h as f32)
+                                .cos())
+                            * ((std::f32::consts::PI * (x as f32 + 0.5) * v as f32 / w as f32)
+                                .cos());
+                    }
+                }
+                // Log magnitude compresses the dynamic range so the linear
+                // classifier sees high-frequency artefacts, not just DC.
+                out.push((1.0 + acc.abs() / (h as f32 * w as f32).sqrt()).ln());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut rng = Rng::new(0);
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![10.0 + 0.01 * i as f32, 0.0]);
+            points.push(vec![-10.0 - 0.01 * i as f32, 0.0]);
+        }
+        let assign = kmeans(&points, 2, 20, &mut rng);
+        for pair in assign.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn spectral_scores_flag_outlier_direction() {
+        // 18 points near origin, 2 far along a fixed direction.
+        let mut points: Vec<Vec<f32>> = (0..18).map(|i| vec![0.01 * i as f32, 0.0]).collect();
+        points.push(vec![5.0, 5.0]);
+        points.push(vec![5.2, 5.1]);
+        let scores = spectral_scores(&points);
+        let max_norm = scores[..18].iter().copied().fold(0.0f32, f32::max);
+        assert!(scores[18] > max_norm && scores[19] > max_norm);
+    }
+
+    #[test]
+    fn corruptions_stay_in_range_and_change_image() {
+        let mut rng = Rng::new(1);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.2, 0.8, &mut rng);
+        for c in Corruption::ALL {
+            let out = c.apply(&img, 3, &mut rng);
+            assert!(out.min() >= 0.0 && out.max() <= 1.0, "{c:?}");
+            assert_ne!(out, img, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn dct_constant_image_is_dc_only() {
+        let img = Tensor::full(&[1, 4, 4], 0.5);
+        let f = dct_features(&img);
+        // DC coefficient (u=v=0) dominates; all others ~0.
+        assert!(f[0] > 1.0);
+        for &v in &f[1..] {
+            assert!(v < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_ln_k() {
+        let probs = Tensor::full(&[1, 4], 0.25);
+        let e = row_entropies(&probs);
+        assert!((e[0] - (4.0f32).ln()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,298 @@
+//! Dataset-level defenses: score training samples as poisoned/clean given
+//! the (suspected) training set and the trained model. Higher score = more
+//! suspicious.
+
+use crate::common::{activations, kmeans, predict_probs, spectral_scores};
+use crate::{DefenseError, Result};
+use bprom_data::Dataset;
+use bprom_nn::models::{build, Architecture, ModelSpec};
+use bprom_nn::{Sequential, TrainConfig, Trainer};
+use bprom_tensor::{Rng, Tensor};
+
+fn per_class_indices(labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    let mut by_class = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    by_class
+}
+
+/// Activation Clustering (Chen et al., 2018): per class, 2-means on
+/// penultimate activations; members of the smaller cluster are suspicious.
+/// Score = 1 if in the minority cluster (weighted by how unbalanced the
+/// split is), else 0.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn activation_clustering_scores(
+    model: &mut Sequential,
+    data: &Dataset,
+    rng: &mut Rng,
+) -> Result<Vec<f32>> {
+    let feats = activations(model, &data.images)?;
+    let by_class = per_class_indices(&data.labels, data.num_classes);
+    let mut scores = vec![0.0f32; data.len()];
+    for idx in by_class.iter().filter(|c| c.len() >= 4) {
+        let class_feats: Vec<Vec<f32>> = idx.iter().map(|&i| feats[i].clone()).collect();
+        let assign = kmeans(&class_feats, 2, 15, rng);
+        let ones = assign.iter().filter(|&&a| a == 1).count();
+        let (minority, minority_size) = if ones * 2 <= assign.len() {
+            (1usize, ones)
+        } else {
+            (0usize, assign.len() - ones)
+        };
+        // Imbalance weight: very small minority clusters are the classic
+        // poisoned-cluster signature (the paper's 35 % size threshold).
+        let weight = 1.0 - minority_size as f32 / assign.len() as f32;
+        for (pos, &i) in idx.iter().enumerate() {
+            if assign[pos] == minority {
+                scores[i] = weight;
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// Spectral Signatures (Tran et al., 2018): per class, squared projection
+/// onto the top singular direction of centered activations.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn spectral_signature_scores(model: &mut Sequential, data: &Dataset) -> Result<Vec<f32>> {
+    let feats = activations(model, &data.images)?;
+    let by_class = per_class_indices(&data.labels, data.num_classes);
+    let mut scores = vec![0.0f32; data.len()];
+    for idx in by_class.iter().filter(|c| c.len() >= 2) {
+        let class_feats: Vec<Vec<f32>> = idx.iter().map(|&i| feats[i].clone()).collect();
+        let class_scores = spectral_scores(&class_feats);
+        // Normalize within class so classes are comparable.
+        let max = class_scores.iter().copied().fold(1e-9f32, f32::max);
+        for (pos, &i) in idx.iter().enumerate() {
+            scores[i] = class_scores[pos] / max;
+        }
+    }
+    Ok(scores)
+}
+
+/// SPECTRE (Hayase et al., 2021): Spectral Signatures after per-feature
+/// whitening (diagonal approximation of the robust covariance estimate),
+/// which exposes poisons that hide in high-variance directions.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn spectre_scores(model: &mut Sequential, data: &Dataset) -> Result<Vec<f32>> {
+    let feats = activations(model, &data.images)?;
+    let by_class = per_class_indices(&data.labels, data.num_classes);
+    let mut scores = vec![0.0f32; data.len()];
+    for idx in by_class.iter().filter(|c| c.len() >= 2) {
+        let class_feats: Vec<Vec<f32>> = idx.iter().map(|&i| feats[i].clone()).collect();
+        let dim = class_feats[0].len();
+        // Robust-ish diagonal whitening: median/MAD per feature.
+        let mut whitened = class_feats.clone();
+        for d in 0..dim {
+            let mut vals: Vec<f32> = class_feats.iter().map(|f| f[d]).collect();
+            vals.sort_by(f32::total_cmp);
+            let median = vals[vals.len() / 2];
+            let mut devs: Vec<f32> = vals.iter().map(|v| (v - median).abs()).collect();
+            devs.sort_by(f32::total_cmp);
+            let mad = devs[devs.len() / 2].max(1e-6);
+            for f in &mut whitened {
+                f[d] = (f[d] - median) / mad;
+            }
+        }
+        let class_scores = spectral_scores(&whitened);
+        let max = class_scores.iter().copied().fold(1e-9f32, f32::max);
+        for (pos, &i) in idx.iter().enumerate() {
+            scores[i] = class_scores[pos] / max;
+        }
+    }
+    Ok(scores)
+}
+
+/// SCAn (Tang et al., 2021): statistical contamination analysis. Per
+/// class, compare a one-component to a two-component (2-means) description
+/// of the activations; in contaminated classes the two-component split
+/// explains far more variance, and minority-component members are flagged.
+/// Score = per-class decomposition gain × minority membership.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn scan_scores(model: &mut Sequential, data: &Dataset, rng: &mut Rng) -> Result<Vec<f32>> {
+    let feats = activations(model, &data.images)?;
+    let by_class = per_class_indices(&data.labels, data.num_classes);
+    let mut scores = vec![0.0f32; data.len()];
+    for idx in by_class.iter().filter(|c| c.len() >= 4) {
+        let class_feats: Vec<Vec<f32>> = idx.iter().map(|&i| feats[i].clone()).collect();
+        let dim = class_feats[0].len();
+        let n = class_feats.len() as f32;
+        // One-component SSE.
+        let mut mean = vec![0.0f32; dim];
+        for f in &class_feats {
+            for (m, &v) in mean.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let sse1: f32 = class_feats
+            .iter()
+            .map(|f| f.iter().zip(&mean).map(|(&v, &m)| (v - m) * (v - m)).sum::<f32>())
+            .sum();
+        // Two-component SSE via 2-means.
+        let assign = kmeans(&class_feats, 2, 15, rng);
+        let mut centers = vec![vec![0.0f32; dim]; 2];
+        let mut counts = [0usize; 2];
+        for (f, &a) in class_feats.iter().zip(&assign) {
+            counts[a] += 1;
+            for (c, &v) in centers[a].iter_mut().zip(f) {
+                *c += v;
+            }
+        }
+        for (c, &cnt) in centers.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= cnt.max(1) as f32;
+            }
+        }
+        let sse2: f32 = class_feats
+            .iter()
+            .zip(&assign)
+            .map(|(f, &a)| {
+                f.iter()
+                    .zip(&centers[a])
+                    .map(|(&v, &m)| (v - m) * (v - m))
+                    .sum::<f32>()
+            })
+            .sum();
+        // Likelihood-ratio-style gain.
+        let gain = ((sse1 + 1e-6) / (sse2 + 1e-6)).ln().max(0.0);
+        let minority = if counts[1] * 2 <= assign.len() { 1 } else { 0 };
+        for (pos, &i) in idx.iter().enumerate() {
+            if assign[pos] == minority {
+                scores[i] = gain;
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// Confusion Training (Qi et al., 2023c), reduced form: retrain a copy of
+/// the architecture on the dataset mixed with an equal volume of
+/// randomly-labelled "confusion" samples. Natural class signal is
+/// destroyed by the confusion; backdoor shortcuts survive. Score = the
+/// confused model's confidence in each sample's (possibly poisoned) label.
+///
+/// # Errors
+///
+/// Propagates training/inference failures.
+pub fn confusion_training_scores(
+    data: &Dataset,
+    architecture: Architecture,
+    rng: &mut Rng,
+) -> Result<Vec<f32>> {
+    // Build the confusion set: the same images with random labels.
+    let mut images = data.images.data().to_vec();
+    images.extend_from_slice(data.images.data());
+    let mut labels = data.labels.clone();
+    labels.extend(data.labels.iter().map(|_| rng.below(data.num_classes)));
+    let mut dims = data.images.shape().to_vec();
+    dims[0] *= 2;
+    let mixed = Tensor::from_vec(images, &dims).map_err(|e| DefenseError::Tensor(e.to_string()))?;
+    let spec = ModelSpec::new(data.channels(), data.image_size(), data.num_classes);
+    let mut confused = build(architecture, &spec, rng)?;
+    Trainer::new(TrainConfig {
+        epochs: 8,
+        ..TrainConfig::default()
+    })
+    .fit(&mut confused, &mixed, &labels, rng)?;
+    let probs = predict_probs(&mut confused, &data.images)?;
+    let k = probs.shape()[1];
+    Ok(data
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| probs.data()[i * k + l])
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_attacks::{poison_dataset, AttackKind};
+    use bprom_data::SynthDataset;
+    use bprom_metrics::auroc;
+
+    /// Fixture: BadNets-poisoned training set + the model trained on it +
+    /// per-sample poison flags.
+    fn fixture(rng: &mut Rng) -> (Sequential, Dataset, Vec<bool>) {
+        // Paper-regime poisoning: poisons are a small minority of the
+        // target class (the assumption AC/SCAn/SS rely on).
+        let clean = SynthDataset::Cifar10.generate(80, 16, 9).unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, rng).unwrap();
+        let cfg = bprom_attacks::PoisonConfig::new(0.05, 0.0, 0);
+        let poisoned = poison_dataset(&clean, attack.as_ref(), &cfg, rng).unwrap();
+        let mut flags = vec![false; clean.len()];
+        for &i in &poisoned.poisoned_idx {
+            flags[i] = true;
+        }
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, rng).unwrap();
+        Trainer::new(TrainConfig::default())
+            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)
+            .unwrap();
+        (model, poisoned.dataset, flags)
+    }
+
+    #[test]
+    fn spectral_signatures_find_poisons() {
+        let mut rng = Rng::new(0);
+        let (mut model, data, flags) = fixture(&mut rng);
+        let scores = spectral_signature_scores(&mut model, &data).unwrap();
+        let auc = auroc(&scores, &flags).unwrap();
+        assert!(auc > 0.6, "SS AUROC {auc}");
+    }
+
+    #[test]
+    fn activation_clustering_finds_poisons() {
+        let mut rng = Rng::new(1);
+        let (mut model, data, flags) = fixture(&mut rng);
+        let scores = activation_clustering_scores(&mut model, &data, &mut rng).unwrap();
+        let auc = auroc(&scores, &flags).unwrap();
+        assert!(auc > 0.6, "AC AUROC {auc}");
+    }
+
+    #[test]
+    fn spectre_finds_poisons() {
+        let mut rng = Rng::new(2);
+        let (mut model, data, flags) = fixture(&mut rng);
+        let scores = spectre_scores(&mut model, &data).unwrap();
+        let auc = auroc(&scores, &flags).unwrap();
+        // SPECTRE is among the weakest baselines in the paper, too
+        // (average AUROC 0.64-0.68 in Table 5).
+        assert!(auc > 0.5, "SPECTRE AUROC {auc}");
+    }
+
+    #[test]
+    fn scan_finds_poisons() {
+        let mut rng = Rng::new(3);
+        let (mut model, data, flags) = fixture(&mut rng);
+        let scores = scan_scores(&mut model, &data, &mut rng).unwrap();
+        let auc = auroc(&scores, &flags).unwrap();
+        assert!(auc > 0.55, "SCAn AUROC {auc}");
+    }
+
+    #[test]
+    fn confusion_training_runs() {
+        let mut rng = Rng::new(4);
+        let (_, data, flags) = fixture(&mut rng);
+        let scores =
+            confusion_training_scores(&data, Architecture::ResNetMini, &mut rng).unwrap();
+        assert_eq!(scores.len(), flags.len());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+}

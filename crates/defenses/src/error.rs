@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Error type for defense computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseError {
+    /// A model forward/backward pass failed.
+    Model(String),
+    /// A tensor operation failed.
+    Tensor(String),
+    /// A defense configuration or input is invalid.
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::Model(m) => write!(f, "model error: {m}"),
+            DefenseError::Tensor(m) => write!(f, "tensor error: {m}"),
+            DefenseError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {}
+
+impl From<bprom_nn::NnError> for DefenseError {
+    fn from(e: bprom_nn::NnError) -> Self {
+        DefenseError::Model(e.to_string())
+    }
+}
+
+impl From<bprom_tensor::TensorError> for DefenseError {
+    fn from(e: bprom_tensor::TensorError) -> Self {
+        DefenseError::Tensor(e.to_string())
+    }
+}
+
+impl From<bprom_attacks::AttackError> for DefenseError {
+    fn from(e: bprom_attacks::AttackError) -> Self {
+        DefenseError::Model(e.to_string())
+    }
+}
+
+impl From<bprom_meta::MetaError> for DefenseError {
+    fn from(e: bprom_meta::MetaError) -> Self {
+        DefenseError::Model(e.to_string())
+    }
+}
+
+impl From<bprom_vp::VpError> for DefenseError {
+    fn from(e: bprom_vp::VpError) -> Self {
+        DefenseError::Model(e.to_string())
+    }
+}
+
+impl From<bprom_data::DataError> for DefenseError {
+    fn from(e: bprom_data::DataError) -> Self {
+        DefenseError::Tensor(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DefenseError::InvalidInput {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

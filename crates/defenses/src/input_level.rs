@@ -1,0 +1,510 @@
+//! Input-level defenses: score individual inputs as trigger/benign.
+//! Higher score = more suspicious, for every detector here.
+
+use crate::common::{argmax_rows, dct_features, predict_probs, row_entropies, Corruption};
+use crate::{DefenseError, Result};
+use bprom_meta::LogisticRegression;
+use bprom_nn::loss::softmax_cross_entropy;
+use bprom_nn::{Layer, Mode, Sequential};
+use bprom_tensor::{Rng, Tensor};
+
+fn check_batch(images: &Tensor) -> Result<(usize, usize)> {
+    if images.rank() != 4 {
+        return Err(DefenseError::InvalidInput {
+            reason: format!("expected [n, c, h, w] inputs, got {:?}", images.shape()),
+        });
+    }
+    Ok((images.shape()[0], images.shape()[1]))
+}
+
+/// STRIP (Gao et al., 2019): superimpose each input with `n_overlays`
+/// random clean images; trigger inputs keep *low* prediction entropy
+/// because the trigger survives blending. Score = negative mean entropy.
+///
+/// # Errors
+///
+/// Propagates model failures; rejects an empty overlay pool.
+pub fn strip_scores(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    overlay_pool: &Tensor,
+    n_overlays: usize,
+    rng: &mut Rng,
+) -> Result<Vec<f32>> {
+    let (n, _) = check_batch(inputs)?;
+    let pool = overlay_pool.shape()[0];
+    if pool == 0 || n_overlays == 0 {
+        return Err(DefenseError::InvalidInput {
+            reason: "STRIP needs a non-empty overlay pool".to_string(),
+        });
+    }
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = inputs.sample(i)?;
+        let mut blended = Vec::with_capacity(n_overlays);
+        for _ in 0..n_overlays {
+            let overlay = overlay_pool.sample(rng.below(pool))?;
+            // 0.65/0.35 mix keeps enough trigger energy on small canvases
+            // while still perturbing benign content.
+            blended.push(x.zip_map(&overlay, |a, b| 0.65 * a + 0.35 * b)?);
+        }
+        let batch = Tensor::stack(&blended)?;
+        let probs = predict_probs(model, &batch)?;
+        let mean_entropy =
+            row_entropies(&probs).iter().sum::<f32>() / n_overlays as f32;
+        scores.push(-mean_entropy);
+    }
+    Ok(scores)
+}
+
+/// SCALE-UP (Guo et al., 2023): amplify pixel values by factors 2..=5;
+/// trigger predictions survive amplification. Score = scaled prediction
+/// consistency (fraction of amplified copies agreeing with the original).
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn scale_up_scores(model: &mut Sequential, inputs: &Tensor) -> Result<Vec<f32>> {
+    let (n, _) = check_batch(inputs)?;
+    let base = predict_probs(model, inputs)?;
+    let base_pred = argmax_rows(&base);
+    let mut agree = vec![0usize; n];
+    let factors = [2.0f32, 3.0, 4.0, 5.0];
+    for &f in &factors {
+        let scaled = inputs.map(|v| (v * f).clamp(0.0, 1.0));
+        let probs = predict_probs(model, &scaled)?;
+        let preds = argmax_rows(&probs);
+        for i in 0..n {
+            if preds[i] == base_pred[i] {
+                agree[i] += 1;
+            }
+        }
+    }
+    Ok(agree.iter().map(|&a| a as f32 / factors.len() as f32).collect())
+}
+
+/// TeCo (Liu et al., 2023): corruption-robustness consistency. For each
+/// corruption family, find the smallest severity that flips the
+/// prediction; clean inputs flip at similar severities across families,
+/// trigger inputs deviate. Score = standard deviation of flip severities.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn teco_scores(model: &mut Sequential, inputs: &Tensor, rng: &mut Rng) -> Result<Vec<f32>> {
+    let (n, _) = check_batch(inputs)?;
+    let base = predict_probs(model, inputs)?;
+    let base_pred = argmax_rows(&base);
+    // flip_severity[corruption][sample]
+    let mut flips = vec![vec![6.0f32; n]; Corruption::ALL.len()];
+    for (ci, corruption) in Corruption::ALL.iter().enumerate() {
+        for severity in 1..=5usize {
+            let mut corrupted = Vec::with_capacity(n);
+            for i in 0..n {
+                corrupted.push(corruption.apply(&inputs.sample(i)?, severity, rng));
+            }
+            let probs = predict_probs(model, &Tensor::stack(&corrupted)?)?;
+            let preds = argmax_rows(&probs);
+            for i in 0..n {
+                if flips[ci][i] > 5.0 && preds[i] != base_pred[i] {
+                    flips[ci][i] = severity as f32;
+                }
+            }
+        }
+    }
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let vals: Vec<f32> = flips.iter().map(|f| f[i]).collect();
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+        scores.push(var.sqrt());
+    }
+    Ok(scores)
+}
+
+/// SentiNet (Chou et al., 2018): find the most decision-critical region by
+/// occlusion, transplant it onto clean carrier images, and measure how
+/// often the transplant hijacks the carrier's prediction. Triggers
+/// transplant perfectly. Score = fooled fraction.
+///
+/// # Errors
+///
+/// Propagates model failures; rejects an empty carrier pool.
+pub fn sentinet_scores(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    carriers: &Tensor,
+    patch: usize,
+) -> Result<Vec<f32>> {
+    let (n, c) = check_batch(inputs)?;
+    let (h, w) = (inputs.shape()[2], inputs.shape()[3]);
+    let m = carriers.shape()[0];
+    if m == 0 || patch == 0 || patch > h {
+        return Err(DefenseError::InvalidInput {
+            reason: "SentiNet needs carriers and a valid patch size".to_string(),
+        });
+    }
+    let base = predict_probs(model, inputs)?;
+    let base_pred = argmax_rows(&base);
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = inputs.sample(i)?;
+        // Occlusion saliency: stride the occluder, find the region whose
+        // masking drops the predicted-class probability most.
+        let mut best_drop = f32::NEG_INFINITY;
+        let mut best_pos = (0usize, 0usize);
+        let stride = (patch / 2).max(1);
+        let mut occluded = Vec::new();
+        let mut positions = Vec::new();
+        let mut y = 0;
+        while y + patch <= h {
+            let mut x0 = 0;
+            while x0 + patch <= w {
+                let mut occ = x.clone();
+                for ch in 0..c {
+                    for py in 0..patch {
+                        for px in 0..patch {
+                            occ.data_mut()[(ch * h + y + py) * w + x0 + px] = 0.5;
+                        }
+                    }
+                }
+                occluded.push(occ);
+                positions.push((y, x0));
+                x0 += stride;
+            }
+            y += stride;
+        }
+        let probs = predict_probs(model, &Tensor::stack(&occluded)?)?;
+        let k = probs.shape()[1];
+        for (row, &(py, px)) in positions.iter().enumerate() {
+            let drop = base.at(&[i, base_pred[i]])? - probs.data()[row * k + base_pred[i]];
+            if drop > best_drop {
+                best_drop = drop;
+                best_pos = (py, px);
+            }
+        }
+        // Transplant the critical region onto carriers.
+        let mut transplanted = Vec::with_capacity(m);
+        for j in 0..m {
+            let mut carrier = carriers.sample(j)?;
+            for ch in 0..c {
+                for py in 0..patch {
+                    for px in 0..patch {
+                        let idx = (ch * h + best_pos.0 + py) * w + best_pos.1 + px;
+                        carrier.data_mut()[idx] = x.data()[idx];
+                    }
+                }
+            }
+            transplanted.push(carrier);
+        }
+        let tp = predict_probs(model, &Tensor::stack(&transplanted)?)?;
+        let preds = argmax_rows(&tp);
+        let fooled = preds.iter().filter(|&&p| p == base_pred[i]).count();
+        scores.push(fooled as f32 / m as f32);
+    }
+    Ok(scores)
+}
+
+/// Frequency (Zeng et al., 2021): a binary classifier on DCT magnitude
+/// features, trained to distinguish clean images from synthetically
+/// perturbed ones (random patches / blends — the frequency artefacts
+/// backdoor triggers leave). Score = classifier probability.
+#[derive(Debug, Clone)]
+pub struct FrequencyDetector {
+    classifier: LogisticRegression,
+}
+
+impl FrequencyDetector {
+    /// Trains the detector on a pool of clean images, generating the
+    /// synthetic positive class internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures; rejects an empty pool.
+    pub fn fit(clean_pool: &Tensor, rng: &mut Rng) -> Result<Self> {
+        let (n, c) = check_batch(clean_pool)?;
+        if n == 0 {
+            return Err(DefenseError::InvalidInput {
+                reason: "Frequency detector needs clean images".to_string(),
+            });
+        }
+        let (h, w) = (clean_pool.shape()[2], clean_pool.shape()[3]);
+        let mut features = Vec::with_capacity(2 * n);
+        let mut labels = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let x = clean_pool.sample(i)?;
+            features.push(dct_features(&x));
+            labels.push(false);
+            // Synthetic poison: random patch or global blend.
+            let mut poisoned = x.clone();
+            if rng.bernoulli(0.5) {
+                let size = 2 + rng.below(3);
+                let y0 = rng.below(h - size);
+                let x0 = rng.below(w - size);
+                for ch in 0..c {
+                    for py in 0..size {
+                        for px in 0..size {
+                            poisoned.data_mut()[(ch * h + y0 + py) * w + x0 + px] =
+                                if (py + px) % 2 == 0 { 1.0 } else { 0.0 };
+                        }
+                    }
+                }
+            } else {
+                for v in poisoned.data_mut() {
+                    *v = (*v * 0.7 + 0.3 * rng.uniform()).clamp(0.0, 1.0);
+                }
+            }
+            features.push(dct_features(&poisoned));
+            labels.push(true);
+        }
+        let classifier = LogisticRegression::fit(&features, &labels, 0.3, 800, 1e-4)?;
+        Ok(FrequencyDetector { classifier })
+    }
+
+    /// Scores each input (probability of carrying frequency artefacts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    pub fn scores(&self, inputs: &Tensor) -> Result<Vec<f32>> {
+        let (n, _) = check_batch(inputs)?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.classifier.predict_proba(&dct_features(&inputs.sample(i)?))?);
+        }
+        Ok(out)
+    }
+}
+
+/// TED (Mo et al., 2024): topological evolution dynamics. Benign inputs
+/// follow reference trajectories through the layers; trigger inputs jump
+/// between label neighbourhoods. Score = number of layers at which the
+/// nearest reference (by activation distance) disagrees with the input's
+/// final prediction.
+///
+/// # Errors
+///
+/// Propagates model failures; rejects an empty reference set.
+pub fn ted_scores(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    references: &Tensor,
+) -> Result<Vec<f32>> {
+    let (n, _) = check_batch(inputs)?;
+    let m = references.shape()[0];
+    if m == 0 {
+        return Err(DefenseError::InvalidInput {
+            reason: "TED needs reference inputs".to_string(),
+        });
+    }
+    // Reference trajectories and their final predictions.
+    let ref_trace = model.forward_trace(references, Mode::Eval)?;
+    let ref_preds = argmax_rows(ref_trace.last().ok_or_else(|| DefenseError::InvalidInput {
+        reason: "model has no layers".to_string(),
+    })?);
+    let input_trace = model.forward_trace(inputs, Mode::Eval)?;
+    let input_preds = argmax_rows(input_trace.last().expect("nonempty"));
+    let layers = ref_trace.len();
+    let mut scores = vec![0.0f32; n];
+    for l in 0..layers {
+        let rt = &ref_trace[l];
+        let it = &input_trace[l];
+        let d: usize = rt.shape()[1..].iter().product();
+        for i in 0..n {
+            let x = &it.data()[i * d..(i + 1) * d];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for j in 0..m {
+                let r = &rt.data()[j * d..(j + 1) * d];
+                let dist: f32 = x.iter().zip(r).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = j;
+                }
+            }
+            if ref_preds[best] != input_preds[i] {
+                scores[i] += 1.0;
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// CD — Cognitive Distillation (Huang et al., 2023): per input, optimize a
+/// minimal mask that preserves the model's prediction; trigger inputs have
+/// tiny cognitive patterns. Score = negative final mask L1 norm.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn cd_scores(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    steps: usize,
+    l1_weight: f32,
+    rng: &mut Rng,
+) -> Result<Vec<f32>> {
+    let (n, _) = check_batch(inputs)?;
+    let base = predict_probs(model, inputs)?;
+    let base_pred = argmax_rows(&base);
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = inputs.sample(i)?;
+        let dims = x.shape().to_vec();
+        let mut batch_dims = vec![1usize];
+        batch_dims.extend_from_slice(&dims);
+        let baseline = Tensor::rand_uniform(&dims, 0.0, 1.0, rng);
+        let mut mask = Tensor::full(&dims, 0.8);
+        let lr = 0.1f32;
+        for _ in 0..steps {
+            // Forward through mask: x' = m*x + (1-m)*baseline.
+            let mixed = mask
+                .zip_map(&x, |m, xv| m * xv)?
+                .zip_map(&mask.zip_map(&baseline, |m, b| (1.0 - m) * b)?, |a, b| a + b)?;
+            let batch = mixed.reshape(&batch_dims)?;
+            let logits = model.forward(&batch, Mode::Frozen)?;
+            let (_, grad_logits) = softmax_cross_entropy(&logits, &[base_pred[i]])?;
+            model.zero_grad();
+            let grad_in = model.backward(&grad_logits)?.reshape(&dims)?;
+            // dL/dm = grad_in * (x - baseline); plus L1 push toward 0.
+            for ((mv, &g), (&xv, &bv)) in mask
+                .data_mut()
+                .iter_mut()
+                .zip(grad_in.data())
+                .zip(x.data().iter().zip(baseline.data()))
+            {
+                let grad_m = g * (xv - bv) + l1_weight;
+                *mv = (*mv - lr * grad_m).clamp(0.0, 1.0);
+            }
+        }
+        let l1: f32 = mask.data().iter().sum();
+        scores.push(-l1 / mask.len() as f32);
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_attacks::{poison_dataset, AttackKind};
+    use bprom_data::SynthDataset;
+    use bprom_metrics::auroc;
+    use bprom_nn::models::{build, Architecture, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+
+    /// Shared fixture: a BadNets-infected model plus triggered/benign test
+    /// inputs with ground-truth flags.
+    fn infected_fixture(
+        rng: &mut Rng,
+    ) -> (Sequential, Tensor, Vec<bool>, Tensor) {
+        let data = SynthDataset::Cifar10.generate(30, 16, 5).unwrap();
+        let (train, test) = data.split(0.8, rng).unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, rng).unwrap();
+        let cfg = kind.default_config(0);
+        let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, rng).unwrap();
+        Trainer::new(TrainConfig::default())
+            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)
+            .unwrap();
+        // Build a half-triggered evaluation batch.
+        let mut images = Vec::new();
+        let mut is_trigger = Vec::new();
+        for i in 0..24.min(test.len()) {
+            let x = test.images.sample(i).unwrap();
+            if i % 2 == 0 {
+                images.push(attack.apply(&x, rng).unwrap());
+                is_trigger.push(true);
+            } else {
+                images.push(x);
+                is_trigger.push(false);
+            }
+        }
+        let inputs = Tensor::stack(&images).unwrap();
+        let clean_pool = test
+            .select(&(24..test.len().min(48)).collect::<Vec<_>>())
+            .unwrap()
+            .images;
+        (model, inputs, is_trigger, clean_pool)
+    }
+
+    #[test]
+    fn strip_flags_triggered_inputs() {
+        let mut rng = Rng::new(0);
+        let (mut model, inputs, labels, pool) = infected_fixture(&mut rng);
+        let scores = strip_scores(&mut model, &inputs, &pool, 8, &mut rng).unwrap();
+        let auc = auroc(&scores, &labels).unwrap();
+        assert!(auc > 0.6, "STRIP AUROC {auc}");
+    }
+
+    #[test]
+    fn scale_up_flags_triggered_inputs() {
+        let mut rng = Rng::new(1);
+        let (mut model, inputs, labels, _) = infected_fixture(&mut rng);
+        let scores = scale_up_scores(&mut model, &inputs).unwrap();
+        let auc = auroc(&scores, &labels).unwrap();
+        assert!(auc > 0.55, "SCALE-UP AUROC {auc}");
+    }
+
+    #[test]
+    fn teco_produces_finite_scores() {
+        let mut rng = Rng::new(2);
+        let (mut model, inputs, labels, _) = infected_fixture(&mut rng);
+        let scores = teco_scores(&mut model, &inputs, &mut rng).unwrap();
+        assert_eq!(scores.len(), labels.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn sentinet_flags_patch_triggers() {
+        let mut rng = Rng::new(3);
+        let (mut model, inputs, labels, pool) = infected_fixture(&mut rng);
+        let scores = sentinet_scores(&mut model, &inputs, &pool, 4).unwrap();
+        let auc = auroc(&scores, &labels).unwrap();
+        assert!(auc > 0.6, "SentiNet AUROC {auc}");
+    }
+
+    #[test]
+    fn frequency_detector_flags_patches() {
+        let mut rng = Rng::new(4);
+        let (_, inputs, labels, pool) = infected_fixture(&mut rng);
+        let det = FrequencyDetector::fit(&pool, &mut rng).unwrap();
+        let scores = det.scores(&inputs).unwrap();
+        let auc = auroc(&scores, &labels).unwrap();
+        assert!(auc > 0.6, "Frequency AUROC {auc}");
+    }
+
+    #[test]
+    fn ted_scores_have_expected_shape() {
+        let mut rng = Rng::new(5);
+        let (mut model, inputs, labels, pool) = infected_fixture(&mut rng);
+        let scores = ted_scores(&mut model, &inputs, &pool).unwrap();
+        assert_eq!(scores.len(), labels.len());
+        assert!(scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn cd_scores_run_and_are_finite() {
+        let mut rng = Rng::new(6);
+        let (mut model, inputs, labels, _) = infected_fixture(&mut rng);
+        // Subsample for speed.
+        let small = inputs.reshape(inputs.shape()).unwrap();
+        let scores = cd_scores(&mut model, &small, 10, 0.05, &mut rng).unwrap();
+        assert_eq!(scores.len(), labels.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = Rng::new(7);
+        let spec = ModelSpec::new(3, 8, 4);
+        let mut model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        let bad = Tensor::zeros(&[3, 8, 8]);
+        assert!(scale_up_scores(&mut model, &bad).is_err());
+        let inputs = Tensor::zeros(&[2, 3, 8, 8]);
+        let empty_pool = Tensor::zeros(&[2, 3, 8, 8]);
+        assert!(strip_scores(&mut model, &inputs, &empty_pool, 0, &mut rng).is_err());
+        assert!(sentinet_scores(&mut model, &inputs, &empty_pool, 0).is_err());
+    }
+}

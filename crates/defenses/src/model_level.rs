@@ -1,0 +1,231 @@
+//! Model-level defenses — BPROM's own scope: score whole models as
+//! backdoored/clean. Higher score = more suspicious.
+
+use crate::common::predict_probs;
+use crate::{DefenseError, Result};
+use bprom_attacks::{poison_dataset, AttackKind};
+use bprom_data::Dataset;
+use bprom_meta::LogisticRegression;
+use bprom_nn::loss::softmax_cross_entropy;
+use bprom_nn::models::{build, Architecture, ModelSpec};
+use bprom_nn::{Layer, Mode, Sequential, TrainConfig, Trainer};
+use bprom_tensor::{Rng, Tensor};
+
+/// MM-BD (Wang et al., 2024): for each class, estimate the *maximum margin*
+/// achievable by any input (gradient ascent from random starts); a backdoor
+/// target class has an anomalously large maximum margin. Model score =
+/// the MAD-normalized deviation of the largest class margin.
+///
+/// # Errors
+///
+/// Propagates model failures; requires at least 3 classes for the MAD
+/// statistic.
+pub fn mmbd_score(
+    model: &mut Sequential,
+    input_shape: &[usize],
+    num_classes: usize,
+    rng: &mut Rng,
+) -> Result<f32> {
+    if num_classes < 3 {
+        return Err(DefenseError::InvalidInput {
+            reason: "MM-BD needs at least 3 classes".to_string(),
+        });
+    }
+    if input_shape.len() != 3 {
+        return Err(DefenseError::InvalidInput {
+            reason: format!("expected [c, h, w] input shape, got {input_shape:?}"),
+        });
+    }
+    let mut batch_dims = vec![1usize];
+    batch_dims.extend_from_slice(input_shape);
+    let mut margins = Vec::with_capacity(num_classes);
+    for class in 0..num_classes {
+        let mut best = f32::NEG_INFINITY;
+        for _restart in 0..2 {
+            let mut x = Tensor::rand_uniform(input_shape, 0.0, 1.0, rng);
+            for _step in 0..25 {
+                let batch = x.reshape(&batch_dims)?;
+                let logits = model.forward(&batch, Mode::Frozen)?;
+                // Gradient ascent on the class margin: treat it as
+                // minimizing cross-entropy toward `class`.
+                let (_, grad_logits) = softmax_cross_entropy(&logits, &[class])?;
+                model.zero_grad();
+                let grad_in = model.backward(&grad_logits)?.reshape(input_shape)?;
+                for (xv, &g) in x.data_mut().iter_mut().zip(grad_in.data()) {
+                    *xv = (*xv - 0.5 * g).clamp(0.0, 1.0);
+                }
+            }
+            let batch = x.reshape(&batch_dims)?;
+            let logits = model.forward(&batch, Mode::Eval)?;
+            let row = logits.data();
+            let own = row[class];
+            let other = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != class)
+                .map(|(_, &v)| v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            best = best.max(own - other);
+        }
+        margins.push(best);
+    }
+    // MAD-normalized deviation of the maximum margin.
+    let mut sorted = margins.clone();
+    sorted.sort_by(f32::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f32> = margins.iter().map(|m| (m - median).abs()).collect();
+    devs.sort_by(f32::total_cmp);
+    let mad = devs[devs.len() / 2].max(1e-6);
+    let max_margin = margins.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    Ok((max_margin - median) / mad)
+}
+
+/// MNTD (Xu et al., 2019): meta neural Trojan detection. Trains a pool of
+/// clean and *multi-attack* backdoored shadow models, extracts each
+/// shadow's concatenated softmax outputs on a fixed random query set, and
+/// fits a logistic-regression meta-classifier. (The original jointly
+/// optimizes the query set; the fixed-query simplification is noted in
+/// DESIGN.md.)
+#[derive(Debug, Clone)]
+pub struct MntdDetector {
+    classifier: LogisticRegression,
+    queries: Tensor,
+}
+
+impl MntdDetector {
+    /// Trains the detector: `n_each` clean shadows and `n_each` backdoored
+    /// shadows spread over the given attack variety.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures; rejects empty configurations.
+    pub fn fit(
+        ds: &Dataset,
+        architecture: Architecture,
+        n_each: usize,
+        attacks: &[AttackKind],
+        query_count: usize,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        if n_each == 0 || attacks.is_empty() || query_count == 0 {
+            return Err(DefenseError::InvalidInput {
+                reason: "MNTD needs shadows, attacks and queries".to_string(),
+            });
+        }
+        let queries = Tensor::rand_uniform(
+            &[query_count, ds.channels(), ds.image_size(), ds.image_size()],
+            0.0,
+            1.0,
+            rng,
+        );
+        let spec = ModelSpec::new(ds.channels(), ds.image_size(), ds.num_classes);
+        let trainer = Trainer::new(TrainConfig::default());
+        let mut features = Vec::with_capacity(2 * n_each);
+        let mut labels = Vec::with_capacity(2 * n_each);
+        for _ in 0..n_each {
+            let mut model = build(architecture, &spec, rng)?;
+            trainer.fit(&mut model, &ds.images, &ds.labels, rng)?;
+            features.push(Self::feature(&mut model, &queries)?);
+            labels.push(false);
+        }
+        for j in 0..n_each {
+            let kind = attacks[j % attacks.len()];
+            let attack = kind.build(ds.image_size(), rng)?;
+            let cfg = kind.default_config(rng.below(ds.num_classes));
+            let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, rng)?;
+            let mut model = build(architecture, &spec, rng)?;
+            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)?;
+            features.push(Self::feature(&mut model, &queries)?);
+            labels.push(true);
+        }
+        let classifier = LogisticRegression::fit(&features, &labels, 0.2, 400, 1e-4)?;
+        Ok(MntdDetector {
+            classifier,
+            queries,
+        })
+    }
+
+    fn feature(model: &mut Sequential, queries: &Tensor) -> Result<Vec<f32>> {
+        let probs = predict_probs(model, queries)?;
+        Ok(probs.into_vec())
+    }
+
+    /// Scores a suspicious model (backdoor probability).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failures.
+    pub fn score(&self, model: &mut Sequential) -> Result<f32> {
+        let feature = Self::feature(model, &self.queries)?;
+        Ok(self.classifier.predict_proba(&feature)?)
+    }
+
+    /// Number of query images.
+    pub fn query_count(&self) -> usize {
+        self.queries.shape()[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_data::SynthDataset;
+
+    #[test]
+    fn mmbd_scores_backdoored_higher_than_clean() {
+        let mut rng = Rng::new(0);
+        let data = SynthDataset::Cifar10.generate(25, 16, 11).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let trainer = Trainer::new(TrainConfig::default());
+        let mut clean = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        trainer
+            .fit(&mut clean, &data.images, &data.labels, &mut rng)
+            .unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, &mut rng).unwrap();
+        let cfg = kind.default_config(0);
+        let poisoned = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng).unwrap();
+        let mut bd = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        trainer
+            .fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .unwrap();
+        let s_clean = mmbd_score(&mut clean, &[3, 16, 16], 10, &mut rng).unwrap();
+        let s_bd = mmbd_score(&mut bd, &[3, 16, 16], 10, &mut rng).unwrap();
+        assert!(s_clean.is_finite() && s_bd.is_finite());
+    }
+
+    #[test]
+    fn mntd_fits_and_scores() {
+        let mut rng = Rng::new(1);
+        let ds = SynthDataset::Cifar10.generate(12, 16, 13).unwrap();
+        let det = MntdDetector::fit(
+            &ds,
+            Architecture::ResNetMini,
+            3,
+            &[AttackKind::BadNets, AttackKind::Blend],
+            16,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(det.query_count(), 16);
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut probe = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        Trainer::new(TrainConfig::fast())
+            .fit(&mut probe, &ds.images, &ds.labels, &mut rng)
+            .unwrap();
+        let s = det.score(&mut probe).unwrap();
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(2);
+        let ds = SynthDataset::Cifar10.generate(2, 16, 14).unwrap();
+        assert!(MntdDetector::fit(&ds, Architecture::Mlp, 0, &[AttackKind::BadNets], 4, &mut rng)
+            .is_err());
+        let spec = ModelSpec::new(3, 16, 2);
+        let mut tiny = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        assert!(mmbd_score(&mut tiny, &[3, 16, 16], 2, &mut rng).is_err());
+        assert!(mmbd_score(&mut tiny, &[16, 16], 5, &mut rng).is_err());
+    }
+}

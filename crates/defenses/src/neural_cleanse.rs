@@ -1,0 +1,188 @@
+//! Neural Cleanse (Wang et al., 2019): the defense whose class-subspace
+//! observation ("in an infected model, a small perturbation moves *any*
+//! input into the target class") the paper's inconsistency argument builds
+//! on. For each candidate target class, invert the smallest trigger
+//! (mask + pattern) that flips a set of clean images to that class; an
+//! anomalously small inverted trigger reveals the backdoor.
+//!
+//! White-box (needs gradients), model-level. Higher score = more
+//! suspicious.
+
+use crate::{DefenseError, Result};
+use bprom_nn::loss::softmax_cross_entropy;
+use bprom_nn::{Layer, Mode, Sequential};
+use bprom_tensor::Tensor;
+
+/// Result of trigger inversion for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanseReport {
+    /// L1 norm of the inverted trigger mask, per class.
+    pub mask_norms: Vec<f32>,
+    /// MAD-normalized anomaly of the smallest mask (the model score).
+    pub anomaly: f32,
+    /// Class with the smallest inverted trigger (the backdoor-target
+    /// candidate).
+    pub candidate_target: usize,
+}
+
+/// Sigmoid squashing keeps mask/pattern parameters unconstrained during
+/// optimization while the effective values stay in [0, 1].
+fn squash(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+fn squash_grad(v: f32) -> f32 {
+    let s = squash(v);
+    s * (1.0 - s)
+}
+
+/// Inverts a minimal trigger for every class and reports the MAD anomaly
+/// of the smallest one (the Neural Cleanse statistic).
+///
+/// `images` is a small batch of clean inputs `[n, c, h, w]`; `steps`
+/// controls the per-class optimization budget; `l1_weight` trades trigger
+/// sparsity against attack success (the original's λ).
+///
+/// # Errors
+///
+/// Propagates model failures; requires at least 3 classes and a non-empty
+/// batch.
+pub fn neural_cleanse(
+    model: &mut Sequential,
+    images: &Tensor,
+    num_classes: usize,
+    steps: usize,
+    l1_weight: f32,
+) -> Result<CleanseReport> {
+    if images.rank() != 4 || images.shape()[0] == 0 {
+        return Err(DefenseError::InvalidInput {
+            reason: format!("expected non-empty [n, c, h, w] images, got {:?}", images.shape()),
+        });
+    }
+    if num_classes < 3 {
+        return Err(DefenseError::InvalidInput {
+            reason: "Neural Cleanse needs at least 3 classes".to_string(),
+        });
+    }
+    let (n, c, h, w) = (
+        images.shape()[0],
+        images.shape()[1],
+        images.shape()[2],
+        images.shape()[3],
+    );
+    let plane = h * w;
+    let mut mask_norms = Vec::with_capacity(num_classes);
+    for target in 0..num_classes {
+        // Unconstrained parameters; mask is shared across channels.
+        let mut mask_raw = vec![-2.0f32; plane]; // squash(-2) ≈ 0.12: start small
+        let mut pattern_raw = vec![0.0f32; c * plane];
+        let lr = 0.3f32;
+        for _ in 0..steps {
+            // Build the triggered batch: x' = (1-m)·x + m·p.
+            let mut batch = images.clone();
+            for ni in 0..n {
+                for ci in 0..c {
+                    for pi in 0..plane {
+                        let m = squash(mask_raw[pi]);
+                        let p = squash(pattern_raw[ci * plane + pi]);
+                        let idx = (ni * c + ci) * plane + pi;
+                        batch.data_mut()[idx] = (1.0 - m) * images.data()[idx] + m * p;
+                    }
+                }
+            }
+            let logits = model.forward(&batch, Mode::Frozen)?;
+            let labels = vec![target; n];
+            let (_, grad_logits) = softmax_cross_entropy(&logits, &labels)?;
+            model.zero_grad();
+            let grad_in = model.backward(&grad_logits)?;
+            // Accumulate parameter gradients through the trigger algebra.
+            let mut g_mask = vec![0.0f32; plane];
+            let mut g_pattern = vec![0.0f32; c * plane];
+            for ni in 0..n {
+                for ci in 0..c {
+                    for pi in 0..plane {
+                        let idx = (ni * c + ci) * plane + pi;
+                        let g = grad_in.data()[idx];
+                        let p = squash(pattern_raw[ci * plane + pi]);
+                        let m = squash(mask_raw[pi]);
+                        // dx'/dm = p - x, dx'/dp = m.
+                        g_mask[pi] += g * (p - images.data()[idx]);
+                        g_pattern[ci * plane + pi] += g * m;
+                    }
+                }
+            }
+            for (raw, g) in mask_raw.iter_mut().zip(&g_mask) {
+                // L1 penalty pushes the squashed mask toward zero.
+                let total = g + l1_weight;
+                *raw -= lr * total * squash_grad(*raw);
+            }
+            for (raw, g) in pattern_raw.iter_mut().zip(&g_pattern) {
+                *raw -= lr * g * squash_grad(*raw);
+            }
+        }
+        mask_norms.push(mask_raw.iter().map(|&v| squash(v)).sum());
+    }
+    // MAD anomaly of the *smallest* mask (backdoor targets invert tiny
+    // triggers).
+    let mut sorted = mask_norms.clone();
+    sorted.sort_by(f32::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f32> = mask_norms.iter().map(|m| (m - median).abs()).collect();
+    devs.sort_by(f32::total_cmp);
+    let mad = devs[devs.len() / 2].max(1e-6);
+    let (candidate_target, &min_norm) = mask_norms
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    Ok(CleanseReport {
+        anomaly: (median - min_norm) / mad,
+        mask_norms,
+        candidate_target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_attacks::{poison_dataset, AttackKind};
+    use bprom_data::SynthDataset;
+    use bprom_nn::models::{build, Architecture, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn inverted_trigger_is_small_for_backdoor_target() {
+        let mut rng = Rng::new(0);
+        let data = SynthDataset::Cifar10.generate(25, 16, 31).unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, &mut rng).unwrap();
+        let cfg = kind.default_config(3);
+        let poisoned = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        Trainer::new(TrainConfig::default())
+            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .unwrap();
+        let batch = data.subsample(0.05, &mut rng).unwrap().images;
+        let report = neural_cleanse(&mut model, &batch, 10, 40, 0.02).unwrap();
+        assert_eq!(report.mask_norms.len(), 10);
+        assert!(report.mask_norms.iter().all(|m| m.is_finite()));
+        // The backdoor target's inverted trigger should be among the
+        // smallest (it has a universal shortcut).
+        let mut order: Vec<usize> = (0..10).collect();
+        order.sort_by(|&a, &b| report.mask_norms[a].total_cmp(&report.mask_norms[b]));
+        let rank = order.iter().position(|&c| c == 3).unwrap();
+        assert!(rank <= 4, "target class rank {rank}, norms {:?}", report.mask_norms);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(1);
+        let spec = ModelSpec::new(3, 8, 2);
+        let mut model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        let imgs = Tensor::zeros(&[2, 3, 8, 8]);
+        assert!(neural_cleanse(&mut model, &imgs, 2, 5, 0.01).is_err());
+        assert!(neural_cleanse(&mut model, &Tensor::zeros(&[3, 8, 8]), 5, 5, 0.01).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Error type for meta-classifier training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Inconsistent or empty training data, or a query with the wrong
+    /// feature width.
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An invalid hyperparameter (zero trees, zero depth, ...).
+    InvalidConfig {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            MetaError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MetaError::InvalidConfig {
+            reason: "zero trees".into()
+        }
+        .to_string()
+        .contains("zero trees"));
+    }
+}

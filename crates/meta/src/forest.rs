@@ -1,0 +1,189 @@
+//! Bootstrap-aggregated random forest over CART trees.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{validate_dataset, MetaError, Result};
+use bprom_tensor::Rng;
+
+/// Random-forest hyperparameters.
+///
+/// The paper uses 10,000 trees; at our meta-dataset sizes (tens of rows)
+/// the vote distribution saturates far earlier, so the default is 300
+/// (validated by the `forest_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            trees: 300,
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// A fitted random forest binary classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    dim: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest: each tree trains on a bootstrap resample with
+    /// `sqrt(dim)` features per split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidInput`] / [`MetaError::InvalidConfig`]
+    /// for inconsistent data or zero trees.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[bool],
+        config: &ForestConfig,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let dim = validate_dataset(features, labels)?;
+        if config.trees == 0 {
+            return Err(MetaError::InvalidConfig {
+                reason: "forest needs at least one tree".to_string(),
+            });
+        }
+        let n = features.len();
+        let mut trees = Vec::with_capacity(config.trees);
+        for _ in 0..config.trees {
+            // Bootstrap resample with replacement.
+            let mut boot_features = Vec::with_capacity(n);
+            let mut boot_labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.below(n);
+                boot_features.push(features[i].clone());
+                boot_labels.push(labels[i]);
+            }
+            trees.push(DecisionTree::fit(&boot_features, &boot_labels, &config.tree, rng)?);
+        }
+        Ok(RandomForest { trees, dim })
+    }
+
+    /// Mean positive-class probability over all trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidInput`] on feature-width mismatch.
+    pub fn predict_proba(&self, sample: &[f32]) -> Result<f32> {
+        let mut total = 0.0f32;
+        for tree in &self.trees {
+            total += tree.predict_proba(sample)?;
+        }
+        Ok(total / self.trees.len() as f32)
+    }
+
+    /// Hard classification at threshold 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidInput`] on feature-width mismatch.
+    pub fn predict(&self, sample: &[f32]) -> Result<bool> {
+        Ok(self.predict_proba(sample)? > 0.5)
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees (never true for fitted forests).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Trained feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(rng: &mut Rng) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..30 {
+            features.push(vec![rng.normal() * 0.3 - 1.0, rng.normal() * 0.3]);
+            labels.push(false);
+            features.push(vec![rng.normal() * 0.3 + 1.0, rng.normal() * 0.3]);
+            labels.push(true);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let mut rng = Rng::new(0);
+        let (features, labels) = two_blobs(&mut rng);
+        let cfg = ForestConfig {
+            trees: 50,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&features, &labels, &cfg, &mut rng).unwrap();
+        assert!(forest.predict(&[1.2, 0.0]).unwrap());
+        assert!(!forest.predict(&[-1.2, 0.0]).unwrap());
+        assert_eq!(forest.len(), 50);
+        assert_eq!(forest.dim(), 2);
+    }
+
+    #[test]
+    fn probabilities_reflect_margin() {
+        let mut rng = Rng::new(1);
+        let (features, labels) = two_blobs(&mut rng);
+        let cfg = ForestConfig {
+            trees: 100,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&features, &labels, &cfg, &mut rng).unwrap();
+        let deep_pos = forest.predict_proba(&[2.0, 0.0]).unwrap();
+        let deep_neg = forest.predict_proba(&[-2.0, 0.0]).unwrap();
+        assert!(deep_pos > 0.9, "deep positive {deep_pos}");
+        assert!(deep_neg < 0.1, "deep negative {deep_neg}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng::new(7);
+        let (features, labels) = two_blobs(&mut r1);
+        let cfg = ForestConfig {
+            trees: 20,
+            ..ForestConfig::default()
+        };
+        let f1 = RandomForest::fit(&features, &labels, &cfg, &mut Rng::new(9)).unwrap();
+        let f2 = RandomForest::fit(&features, &labels, &cfg, &mut Rng::new(9)).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(2);
+        let cfg = ForestConfig {
+            trees: 0,
+            ..ForestConfig::default()
+        };
+        assert!(RandomForest::fit(&[vec![1.0]], &[true], &cfg, &mut rng).is_err());
+        let forest = RandomForest::fit(
+            &[vec![0.0], vec![1.0]],
+            &[false, true],
+            &ForestConfig {
+                trees: 5,
+                ..ForestConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(forest.predict_proba(&[0.0, 0.0]).is_err());
+    }
+}

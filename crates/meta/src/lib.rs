@@ -1,0 +1,60 @@
+//! Meta-classifiers for BPROM's final detection stage.
+//!
+//! The paper trains "a random forest with 10,000 trees to detect backdoors
+//! based on confidence vectors" (Section 6.1). This crate provides that
+//! random forest (CART trees + bagging + feature subsampling), plus a
+//! logistic-regression alternative used in the meta-classifier ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use bprom_meta::{RandomForest, ForestConfig};
+//! use bprom_tensor::Rng;
+//!
+//! # fn main() -> Result<(), bprom_meta::MetaError> {
+//! let features = vec![
+//!     vec![0.1, 0.9], vec![0.2, 0.8], vec![0.15, 0.85], // clean-ish
+//!     vec![0.9, 0.1], vec![0.8, 0.2], vec![0.95, 0.05], // backdoor-ish
+//! ];
+//! let labels = vec![false, false, false, true, true, true];
+//! let mut rng = Rng::new(0);
+//! let forest = RandomForest::fit(&features, &labels, &ForestConfig::default(), &mut rng)?;
+//! assert!(forest.predict_proba(&[0.92, 0.08])? > 0.5);
+//! assert!(forest.predict_proba(&[0.12, 0.88])? < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+// Numerical kernels in this crate use explicit index loops where the
+// access pattern (strides, multiple arrays in lockstep) is the point;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod error;
+mod forest;
+mod logistic;
+mod tree;
+
+pub use error::MetaError;
+pub use forest::{ForestConfig, RandomForest};
+pub use logistic::LogisticRegression;
+pub use tree::{DecisionTree, TreeConfig};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MetaError>;
+
+pub(crate) fn validate_dataset(features: &[Vec<f32>], labels: &[bool]) -> Result<usize> {
+    if features.len() != labels.len() || features.is_empty() {
+        return Err(MetaError::InvalidInput {
+            reason: format!("{} feature rows for {} labels", features.len(), labels.len()),
+        });
+    }
+    let dim = features[0].len();
+    if dim == 0 || features.iter().any(|f| f.len() != dim) {
+        return Err(MetaError::InvalidInput {
+            reason: "feature rows must be non-empty and uniform width".to_string(),
+        });
+    }
+    Ok(dim)
+}

@@ -1,0 +1,284 @@
+//! CART decision trees with Gini-impurity splitting.
+
+use crate::{validate_dataset, MetaError, Result};
+use bprom_tensor::Rng;
+
+/// Hyperparameters for a single decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples in a node before it may split.
+    pub min_samples_split: usize,
+    /// Number of random features considered per split; 0 means
+    /// `ceil(sqrt(dim))` (the random-forest default).
+    pub features_per_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 2,
+            features_per_split: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        prob_positive: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART binary classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+fn gini(pos: usize, total: usize) -> f32 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f32 / total as f32;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fits a tree on the given dataset (optionally a bootstrap index set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidInput`] on empty/inconsistent data and
+    /// [`MetaError::InvalidConfig`] on degenerate hyperparameters.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[bool],
+        config: &TreeConfig,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let dim = validate_dataset(features, labels)?;
+        if config.max_depth == 0 || config.min_samples_split < 2 {
+            return Err(MetaError::InvalidConfig {
+                reason: format!("degenerate tree config {config:?}"),
+            });
+        }
+        let idx: Vec<usize> = (0..features.len()).collect();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            dim,
+        };
+        tree.grow(features, labels, &idx, config, 0, rng);
+        Ok(tree)
+    }
+
+    fn leaf(&mut self, labels: &[bool], idx: &[usize]) -> usize {
+        let pos = idx.iter().filter(|&&i| labels[i]).count();
+        self.nodes.push(Node::Leaf {
+            prob_positive: pos as f32 / idx.len().max(1) as f32,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn grow(
+        &mut self,
+        features: &[Vec<f32>],
+        labels: &[bool],
+        idx: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| labels[i]).count();
+        let pure = pos == 0 || pos == idx.len();
+        if depth >= config.max_depth || idx.len() < config.min_samples_split || pure {
+            return self.leaf(labels, idx);
+        }
+        let k = if config.features_per_split == 0 {
+            (self.dim as f32).sqrt().ceil() as usize
+        } else {
+            config.features_per_split.min(self.dim)
+        };
+        let candidates = rng.sample_indices(self.dim, k.max(1));
+        let parent_gini = gini(pos, idx.len());
+        let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+        for &f in &candidates {
+            // Candidate thresholds: midpoints between sorted distinct values.
+            let mut vals: Vec<f32> = idx.iter().map(|&i| features[i][f]).collect();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            for w in vals.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let mut lp = 0usize;
+                let mut ln = 0usize;
+                let mut rp = 0usize;
+                let mut rn = 0usize;
+                for &i in idx {
+                    let positive = labels[i];
+                    if features[i][f] <= threshold {
+                        if positive {
+                            lp += 1;
+                        } else {
+                            ln += 1;
+                        }
+                    } else if positive {
+                        rp += 1;
+                    } else {
+                        rn += 1;
+                    }
+                }
+                let (l, r) = (lp + ln, rp + rn);
+                if l == 0 || r == 0 {
+                    continue;
+                }
+                let weighted = (l as f32 * gini(lp, l) + r as f32 * gini(rp, r))
+                    / idx.len() as f32;
+                let gain = parent_gini - weighted;
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, gain)) = best else {
+            return self.leaf(labels, idx);
+        };
+        if gain <= 1e-9 {
+            return self.leaf(labels, idx);
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| features[i][feature] <= threshold);
+        // Reserve the split slot, then grow children.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob_positive: 0.0 });
+        let left = self.grow(features, labels, &left_idx, config, depth + 1, rng);
+        let right = self.grow(features, labels, &right_idx, config, depth + 1, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Probability that `sample` is positive (backdoored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidInput`] on feature-width mismatch.
+    pub fn predict_proba(&self, sample: &[f32]) -> Result<f32> {
+        if sample.len() != self.dim {
+            return Err(MetaError::InvalidInput {
+                reason: format!("sample width {} != trained width {}", sample.len(), self.dim),
+            });
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prob_positive } => return Ok(*prob_positive),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for inspection).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis_data() -> (Vec<Vec<f32>>, Vec<bool>) {
+        let features: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32 / 20.0, (i * 7 % 20) as f32 / 20.0])
+            .collect();
+        let labels: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        (features, labels)
+    }
+
+    #[test]
+    fn fits_axis_aligned_boundary() {
+        let (features, labels) = axis_data();
+        let mut rng = Rng::new(0);
+        let cfg = TreeConfig {
+            features_per_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&features, &labels, &cfg, &mut rng).unwrap();
+        for (f, &l) in features.iter().zip(&labels) {
+            let p = tree.predict_proba(f).unwrap();
+            assert_eq!(p > 0.5, l, "sample {f:?}");
+        }
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let features = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![true, true, true];
+        let mut rng = Rng::new(1);
+        let tree = DecisionTree::fit(&features, &labels, &TreeConfig::default(), &mut rng).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[5.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (features, labels) = axis_data();
+        let mut rng = Rng::new(2);
+        let cfg = TreeConfig {
+            max_depth: 1,
+            features_per_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&features, &labels, &cfg, &mut rng).unwrap();
+        // Depth 1 → at most one split + two leaves.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(3);
+        assert!(DecisionTree::fit(&[], &[], &TreeConfig::default(), &mut rng).is_err());
+        assert!(DecisionTree::fit(
+            &[vec![1.0]],
+            &[true],
+            &TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        let tree = DecisionTree::fit(
+            &[vec![0.0], vec![1.0]],
+            &[false, true],
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(tree.predict_proba(&[0.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+use std::fmt;
+
+/// Error type for metric computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// Inputs are inconsistent (length mismatch, empty, single class).
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::InvalidInput { reason } => write!(f, "invalid metric input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MetricsError::InvalidInput {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

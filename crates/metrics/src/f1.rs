@@ -1,0 +1,133 @@
+//! Binary confusion matrices, precision/recall and F1.
+
+use crate::{MetricsError, Result};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self) -> f32 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f32 / self.total() as f32
+    }
+}
+
+/// Builds a confusion matrix from predictions and ground truth.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::InvalidInput`] on length mismatch or empty
+/// input.
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> Result<Confusion> {
+    if predicted.len() != actual.len() || predicted.is_empty() {
+        return Err(MetricsError::InvalidInput {
+            reason: format!(
+                "{} predictions for {} labels",
+                predicted.len(),
+                actual.len()
+            ),
+        });
+    }
+    let mut c = Confusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    Ok(c)
+}
+
+/// Precision and recall of the positive class. Degenerate denominators
+/// yield 0.0 (the convention of the Backdoor Toolbox the paper evaluates
+/// with).
+pub fn precision_recall(c: &Confusion) -> (f32, f32) {
+    let precision = if c.tp + c.fp == 0 {
+        0.0
+    } else {
+        c.tp as f32 / (c.tp + c.fp) as f32
+    };
+    let recall = if c.tp + c.fn_ == 0 {
+        0.0
+    } else {
+        c.tp as f32 / (c.tp + c.fn_) as f32
+    };
+    (precision, recall)
+}
+
+/// F1 score (harmonic mean of precision and recall; 0.0 when degenerate).
+///
+/// # Errors
+///
+/// Returns [`MetricsError::InvalidInput`] on length mismatch or empty
+/// input.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> Result<f32> {
+    let c = confusion(predicted, actual)?;
+    let (p, r) = precision_recall(&c);
+    if p + r == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(2.0 * p * r / (p + r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [true, false, true, false];
+        assert_eq!(f1_score(&y, &y).unwrap(), 1.0);
+        let c = confusion(&y, &y).unwrap();
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!((c.tp, c.tn), (2, 2));
+    }
+
+    #[test]
+    fn all_wrong() {
+        let pred = [false, true];
+        let actual = [true, false];
+        assert_eq!(f1_score(&pred, &actual).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_f1() {
+        // tp=1, fp=1, fn=1 → p=0.5, r=0.5, f1=0.5.
+        let pred = [true, true, false, false];
+        let actual = [true, false, true, false];
+        assert!((f1_score(&pred, &actual).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_no_positive_predictions() {
+        let pred = [false, false];
+        let actual = [true, false];
+        assert_eq!(f1_score(&pred, &actual).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(confusion(&[true], &[]).is_err());
+        assert!(confusion(&[], &[]).is_err());
+    }
+}

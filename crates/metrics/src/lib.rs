@@ -1,0 +1,33 @@
+//! Evaluation metrics for the BPROM reproduction: ROC / AUROC, confusion
+//! matrices / F1, and PCA (for the paper's Figure 5 visualization).
+//!
+//! # Example
+//!
+//! ```
+//! use bprom_metrics::auroc;
+//!
+//! // Perfect separation.
+//! let scores = [0.9, 0.8, 0.2, 0.1];
+//! let labels = [true, true, false, false];
+//! assert_eq!(auroc(&scores, &labels)?, 1.0);
+//! # Ok::<(), bprom_metrics::MetricsError>(())
+//! ```
+
+// Numerical kernels in this crate use explicit index loops where the
+// access pattern (strides, multiple arrays in lockstep) is the point;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod error;
+mod f1;
+mod roc;
+mod stats;
+
+pub use error::MetricsError;
+pub use f1::{confusion, f1_score, precision_recall, Confusion};
+pub use roc::{auroc, roc_curve, RocPoint};
+pub use stats::{mean, pca2, std_dev, Pca2};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;

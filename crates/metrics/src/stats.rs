@@ -1,0 +1,181 @@
+//! Summary statistics and a 2-component PCA (paper Figure 5 projects
+//! prompted confidence vectors of shadow/suspicious models to 2-D).
+
+use crate::{MetricsError, Result};
+
+/// Arithmetic mean; 0.0 on empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; 0.0 on empty input.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Result of a 2-component PCA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca2 {
+    /// Per-sample 2-D coordinates, in input order.
+    pub points: Vec<[f32; 2]>,
+    /// Variance captured by each of the two components.
+    pub explained: [f32; 2],
+}
+
+fn power_iteration(cov: &[Vec<f64>], dim: usize, iters: usize) -> (Vec<f64>, f64) {
+    let mut v = vec![1.0f64; dim];
+    let mut eigval = 0.0f64;
+    for _ in 0..iters {
+        let mut next = vec![0.0f64; dim];
+        for (i, row) in cov.iter().enumerate() {
+            next[i] = row.iter().zip(&v).map(|(&c, &x)| c * x).sum();
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return (v, 0.0);
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        eigval = norm;
+        v = next;
+    }
+    (v, eigval)
+}
+
+/// Projects feature vectors onto their top two principal components via
+/// power iteration with deflation.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::InvalidInput`] for fewer than 2 samples or
+/// inconsistent feature widths.
+pub fn pca2(samples: &[Vec<f32>]) -> Result<Pca2> {
+    let n = samples.len();
+    if n < 2 {
+        return Err(MetricsError::InvalidInput {
+            reason: format!("PCA needs at least 2 samples, got {n}"),
+        });
+    }
+    let dim = samples[0].len();
+    if dim < 2 || samples.iter().any(|s| s.len() != dim) {
+        return Err(MetricsError::InvalidInput {
+            reason: "PCA needs consistent feature vectors of width >= 2".to_string(),
+        });
+    }
+    // Center.
+    let mut center = vec![0.0f64; dim];
+    for s in samples {
+        for (c, &x) in center.iter_mut().zip(s) {
+            *c += x as f64;
+        }
+    }
+    for c in &mut center {
+        *c /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| s.iter().zip(&center).map(|(&x, &c)| x as f64 - c).collect())
+        .collect();
+    // Covariance.
+    let mut cov = vec![vec![0.0f64; dim]; dim];
+    for s in &centered {
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] += s[i] * s[j];
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            cov[i][j] = cov[j][i];
+        }
+        for j in i..dim {
+            cov[i][j] /= n as f64;
+            if j > i {
+                cov[j][i] = cov[i][j];
+            }
+        }
+    }
+    let (v1, e1) = power_iteration(&cov, dim, 200);
+    // Deflate: cov' = cov - e1 v1 v1ᵀ.
+    let mut deflated = cov.clone();
+    for i in 0..dim {
+        for j in 0..dim {
+            deflated[i][j] -= e1 * v1[i] * v1[j];
+        }
+    }
+    let (v2, e2) = power_iteration(&deflated, dim, 200);
+    let points: Vec<[f32; 2]> = centered
+        .iter()
+        .map(|s| {
+            let p1: f64 = s.iter().zip(&v1).map(|(&x, &v)| x * v).sum();
+            let p2: f64 = s.iter().zip(&v2).map(|(&x, &v)| x * v).sum();
+            [p1 as f32, p2 as f32]
+        })
+        .collect();
+    Ok(Pca2 {
+        points,
+        explained: [e1 as f32, e2 as f32],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn pca_finds_dominant_axis() {
+        // Data along the (1, 1, 0) direction with small noise elsewhere.
+        let samples: Vec<Vec<f32>> = (0..20)
+            .map(|i| {
+                let t = i as f32 - 10.0;
+                vec![t, t, 0.01 * (i % 3) as f32]
+            })
+            .collect();
+        let pca = pca2(&samples).unwrap();
+        assert!(pca.explained[0] > 10.0 * pca.explained[1]);
+        // First component orders points monotonically along t.
+        let xs: Vec<f32> = pca.points.iter().map(|p| p[0]).collect();
+        let increasing = xs.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = xs.windows(2).all(|w| w[1] < w[0]);
+        assert!(increasing || decreasing);
+    }
+
+    #[test]
+    fn pca_separates_two_clusters() {
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            samples.push(vec![10.0 + (i % 2) as f32 * 0.1, 0.0, 1.0]);
+            samples.push(vec![-10.0 - (i % 3) as f32 * 0.1, 0.1, 1.0]);
+        }
+        let pca = pca2(&samples).unwrap();
+        // Clusters land on opposite signs of PC1.
+        let signs: Vec<bool> = pca.points.iter().map(|p| p[0] > 0.0).collect();
+        for pair in signs.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn pca_validation() {
+        assert!(pca2(&[vec![1.0, 2.0]]).is_err());
+        assert!(pca2(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(pca2(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+use bprom_tensor::TensorError;
+use std::fmt;
+
+/// Error type for neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// `backward` was called before `forward`, so the layer has no cached
+    /// activations to differentiate through.
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: &'static str,
+    },
+    /// A configuration value is invalid (e.g. zero hidden width).
+    InvalidConfig {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// Labels are inconsistent with logits (wrong count or out-of-range
+    /// class index).
+    InvalidLabels {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::InvalidShape {
+            reason: "x".into(),
+        };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn display_mentions_layer() {
+        let e = NnError::BackwardBeforeForward { layer: "Dense" };
+        assert!(e.to_string().contains("Dense"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Weight initialization schemes.
+
+use bprom_tensor::{Rng, Tensor};
+
+/// Kaiming/He normal initialization for ReLU networks: `N(0, sqrt(2/fan_in))`.
+pub fn kaiming(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(dims, rng).scale(std)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6/(fan_in+fan_out))`. Used for attention projections.
+pub fn xavier(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_scale_tracks_fan_in() {
+        let mut rng = Rng::new(0);
+        let w = kaiming(&[64, 128], 128, &mut rng);
+        let var = w.norm_sq() / w.len() as f32;
+        let expected = 2.0 / 128.0;
+        assert!((var - expected).abs() < expected * 0.3, "var={var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::new(1);
+        let w = xavier(&[32, 32], 32, 32, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+    }
+}

@@ -1,0 +1,117 @@
+use crate::Result;
+use bprom_tensor::Tensor;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Affects layers with distinct train/eval behaviour: [`crate::BatchNorm2d`]
+/// (batch vs running statistics) and [`crate::Dropout`] (active vs identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training pass: stochastic layers are active, normalization uses
+    /// batch statistics, and activations are cached for `backward`.
+    Train,
+    /// Frozen-model differentiation pass (visual prompting): activations
+    /// are cached so `backward` can compute *input* gradients, but the
+    /// model itself is treated as immutable — normalization uses running
+    /// statistics without updating them and dropout is inactive.
+    Frozen,
+    /// Inference pass: deterministic behaviour, running statistics.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// Whether layers should cache activations for a later `backward`.
+    pub fn caches(self) -> bool {
+        !matches!(self, Mode::Eval)
+    }
+
+    /// Whether the pass may mutate model state (batch-norm running stats)
+    /// and activate stochastic layers.
+    pub fn trains(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A differentiable network layer with explicit forward/backward passes.
+///
+/// Implementations cache whatever their backward pass needs during
+/// `forward(Mode::Train)`. Calling [`Layer::backward`] without a prior
+/// training-mode forward returns [`crate::NnError::BackwardBeforeForward`].
+pub trait Layer {
+    /// Computes the layer output for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates the loss gradient from output to input, accumulating
+    /// parameter gradients along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before a training-mode forward pass or if
+    /// `grad_output` has the wrong shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    ///
+    /// Optimizers rely on the visit order being identical across calls to
+    /// associate per-parameter state (momentum, Adam moments).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.map_in_place(|_| 0.0));
+    }
+
+    /// Short human-readable layer name used in error messages.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.len());
+        count
+    }
+}
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by `backward` since the last `zero_grad`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zero gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Visitor plumbing for [`Layer::visit_params`].
+    pub fn visit(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.value, &mut self.grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_grad_matches_shape() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+    }
+}

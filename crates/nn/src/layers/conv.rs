@@ -1,0 +1,345 @@
+use crate::layer::{Layer, Mode, Param};
+use crate::{init, NnError, Result};
+use bprom_tensor::{
+    conv2d, conv2d_backward_input, conv2d_backward_weight, Rng, Tensor,
+};
+
+/// 2-D convolution layer over NCHW input, with bias.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`, Kaiming init, zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(init::kaiming(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    fn add_bias(&self, out: &mut Tensor) {
+        let (n, o) = (out.shape()[0], out.shape()[1]);
+        let hw = out.shape()[2] * out.shape()[3];
+        let b = self.bias.value.data().to_vec();
+        let data = out.data_mut();
+        for ni in 0..n {
+            for oi in 0..o {
+                let base = (ni * o + oi) * hw;
+                let bv = b[oi];
+                for v in &mut data[base..base + hw] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut out = conv2d(input, &self.weight.value, self.stride, self.padding)?;
+        self.add_bias(&mut out);
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let dw = conv2d_backward_weight(
+            input,
+            grad_output,
+            (self.kernel, self.kernel),
+            self.stride,
+            self.padding,
+        )?;
+        self.weight.grad.add_in_place(&dw)?;
+        // Bias gradient: sum over batch and spatial dims.
+        let (n, o) = (grad_output.shape()[0], grad_output.shape()[1]);
+        let hw = grad_output.shape()[2] * grad_output.shape()[3];
+        let gb = self.bias.grad.data_mut();
+        for ni in 0..n {
+            for oi in 0..o {
+                let base = (ni * o + oi) * hw;
+                gb[oi] += grad_output.data()[base..base + hw].iter().sum::<f32>();
+            }
+        }
+        Ok(conv2d_backward_input(
+            &self.weight.value,
+            grad_output,
+            input.shape(),
+            self.stride,
+            self.padding,
+        )?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.weight.visit(f);
+        self.bias.visit(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// Depthwise 2-D convolution: each input channel is convolved with its own
+/// single-channel kernel (`groups == channels`), as in MobileNet.
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    /// One `[1, 1, k, k]`-shaped kernel per channel, stored `[c, k, k]`.
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with a square `kernel`.
+    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut Rng) -> Self {
+        let fan_in = kernel * kernel;
+        DepthwiseConv2d {
+            weight: Param::new(init::kaiming(&[channels, kernel, kernel], fan_in, rng)),
+            bias: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    fn channel_slice(t: &Tensor, n: usize, c: usize) -> Tensor {
+        let (ch, h, w) = (t.shape()[1], t.shape()[2], t.shape()[3]);
+        let base = (n * ch + c) * h * w;
+        Tensor::from_vec(t.data()[base..base + h * w].to_vec(), &[1, 1, h, w])
+            .expect("channel slice shape is consistent by construction")
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 || input.shape()[1] != self.channels {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!(
+                    "DepthwiseConv2d expects [n, {}, h, w], got {:?}",
+                    self.channels,
+                    input.shape()
+                ),
+            }));
+        }
+        let n = input.shape()[0];
+        let mut per_sample = Vec::with_capacity(n);
+        for ni in 0..n {
+            let mut per_channel = Vec::with_capacity(self.channels);
+            for ci in 0..self.channels {
+                let x = Self::channel_slice(input, ni, ci);
+                let k = self.kernel;
+                let w = Tensor::from_vec(
+                    self.weight.value.data()[ci * k * k..(ci + 1) * k * k].to_vec(),
+                    &[1, 1, k, k],
+                )?;
+                let mut y = conv2d(&x, &w, self.stride, self.padding)?;
+                let bv = self.bias.value.data()[ci];
+                y.map_in_place(|v| v + bv);
+                per_channel.push(y.reshape(&[y.shape()[2], y.shape()[3]])?);
+            }
+            per_sample.push(Tensor::stack(&per_channel)?);
+        }
+        let out = Tensor::stack(&per_sample)?;
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "DepthwiseConv2d",
+        })?;
+        let n = input.shape()[0];
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
+        let k = self.kernel;
+        let mut grad_in = Tensor::zeros(input.shape());
+        for ni in 0..n {
+            for ci in 0..self.channels {
+                let x = Self::channel_slice(input, ni, ci);
+                let go_base = (ni * self.channels + ci) * oh * ow;
+                let go = Tensor::from_vec(
+                    grad_output.data()[go_base..go_base + oh * ow].to_vec(),
+                    &[1, 1, oh, ow],
+                )?;
+                let wt = Tensor::from_vec(
+                    self.weight.value.data()[ci * k * k..(ci + 1) * k * k].to_vec(),
+                    &[1, 1, k, k],
+                )?;
+                let dw = conv2d_backward_weight(&x, &go, (k, k), self.stride, self.padding)?;
+                for (g, &d) in self.weight.grad.data_mut()[ci * k * k..(ci + 1) * k * k]
+                    .iter_mut()
+                    .zip(dw.data())
+                {
+                    *g += d;
+                }
+                self.bias.grad.data_mut()[ci] += go.sum();
+                let dx =
+                    conv2d_backward_input(&wt, &go, &[1, 1, h, w], self.stride, self.padding)?;
+                let base = (ni * self.channels + ci) * h * w;
+                for (g, &d) in grad_in.data_mut()[base..base + h * w].iter_mut().zip(dx.data()) {
+                    *g += d;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.weight.visit(f);
+        self.bias.visit(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut rng = Rng::new(0);
+        let mut layer = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+        let mut strided = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let y2 = strided.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y2.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_bias_shifts_output() {
+        let mut rng = Rng::new(1);
+        let mut layer = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        layer.weight.value = Tensor::zeros(&[1, 1, 1, 1]);
+        layer.bias.value = Tensor::from_vec(vec![3.5], &[1]).unwrap();
+        let x = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert!(y.data().iter().all(|&v| (v - 3.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv_gradient_finite_difference() {
+        let mut rng = Rng::new(2);
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        layer.forward(&x, Mode::Train).unwrap();
+        let go = Tensor::ones(&[1, 3, 6, 6]);
+        let gx = layer.backward(&go).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for &flat in &[0usize, 20, 71] {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let lp = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[flat]).abs() < 2e-2, "flat {flat}");
+        }
+    }
+
+    #[test]
+    fn depthwise_forward_is_per_channel() {
+        let mut rng = Rng::new(3);
+        let mut layer = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        // Zero out channel 1's kernel: its output must be exactly the bias.
+        for v in layer.weight.value.data_mut()[9..18].iter_mut() {
+            *v = 0.0;
+        }
+        layer.bias.value.data_mut()[1] = 7.0;
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 5, 5]);
+        for i in 25..50 {
+            assert!((y.data()[i] - 7.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn depthwise_gradient_finite_difference() {
+        let mut rng = Rng::new(4);
+        let mut layer = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        layer.forward(&x, Mode::Train).unwrap();
+        let go = Tensor::ones(&[1, 2, 5, 5]);
+        let gx = layer.backward(&go).unwrap();
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for &flat in &[0usize, 13, 37, 49] {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let lp = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[flat]).abs() < 2e-2, "flat {flat}");
+        }
+    }
+
+    #[test]
+    fn depthwise_rejects_wrong_channels() {
+        let mut rng = Rng::new(5);
+        let mut layer = DepthwiseConv2d::new(3, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 5, 5]);
+        assert!(layer.forward(&x, Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+use crate::layer::{Layer, Mode, Param};
+use crate::{init, NnError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Fully connected layer: `y = x Wᵀ + b` with `W: [out, in]`.
+///
+/// Accepts rank-2 input `[batch, in]`. For image tensors, precede with
+/// [`crate::Flatten`].
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-initialized weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        Dense {
+            weight: Param::new(init::kaiming(
+                &[out_features, in_features],
+                in_features,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read-only access to the weight matrix (for tests/inspection).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = input.matmul_nt(&self.weight.value)?;
+        let mut out = out;
+        let b = self.bias.value.data();
+        for row in 0..out.shape()[0] {
+            let o = &mut out.data_mut()[row * self.out_features..(row + 1) * self.out_features];
+            for (v, &bv) in o.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Dense" })?;
+        // dW = goᵀ x : [out, batch] x [batch, in]
+        let dw = grad_output.matmul_tn(input)?;
+        self.weight.grad.add_in_place(&dw)?;
+        // db = column sums of go
+        let n = grad_output.shape()[0];
+        let gb = self.bias.grad.data_mut();
+        for row in 0..n {
+            let go = &grad_output.data()[row * self.out_features..(row + 1) * self.out_features];
+            for (g, &v) in gb.iter_mut().zip(go) {
+                *g += v;
+            }
+        }
+        // dx = go W : [batch, out] x [out, in]
+        Ok(grad_output.matmul(&self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.weight.visit(f);
+        self.bias.visit(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = Rng::new(0);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        layer.bias.value = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        layer.weight.value = Tensor::zeros(&[2, 3]);
+        let x = Tensor::ones(&[4, 3]);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+        assert_eq!(y.at(&[0, 0]).unwrap(), 10.0);
+        assert_eq!(y.at(&[3, 1]).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn backward_before_forward_is_error() {
+        let mut rng = Rng::new(0);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let g = Tensor::ones(&[1, 2]);
+        assert!(matches!(
+            layer.backward(&g),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng::new(1);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        // Loss = sum(y); dL/dy = 1.
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let go = Tensor::ones(y.shape());
+        let gx = layer.backward(&go).unwrap();
+        let eps = 1e-2;
+
+        // Weight gradient check.
+        let mut wgrads = Vec::new();
+        layer.visit_params(&mut |_, g| wgrads.push(g.clone()));
+        for &flat in &[0usize, 5, 11] {
+            let probe = |delta: f32, layer: &mut Dense| {
+                layer.weight.value.data_mut()[flat] += delta;
+                let l = layer.forward(&x, Mode::Eval).unwrap().sum();
+                layer.weight.value.data_mut()[flat] -= delta;
+                l
+            };
+            let num = (probe(eps, &mut layer) - probe(-eps, &mut layer)) / (2.0 * eps);
+            let analytic = wgrads[0].data()[flat];
+            assert!((num - analytic).abs() < 1e-2, "num={num} vs {analytic}");
+        }
+
+        // Input gradient check.
+        let mut x2 = x.clone();
+        for &flat in &[0usize, 7] {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let lp = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = layer.forward(&x2, Mode::Eval).unwrap().sum();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = Rng::new(2);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        for _ in 0..2 {
+            layer.forward(&x, Mode::Train).unwrap();
+            layer.backward(&Tensor::ones(&[1, 2])).unwrap();
+        }
+        let g1 = layer.weight.grad.clone();
+        layer.zero_grad();
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&Tensor::ones(&[1, 2])).unwrap();
+        let g2 = layer.weight.grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::new(3);
+        let mut layer = Dense::new(5, 7, &mut rng);
+        assert_eq!(layer.param_count(), 5 * 7 + 7);
+    }
+}

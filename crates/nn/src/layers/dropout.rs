@@ -1,0 +1,115 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use bprom_tensor::{Rng, Tensor};
+
+/// Inverted dropout: zeroes each element with probability `p` during
+/// training and rescales survivors by `1/(1-p)`; identity in eval mode.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates dropout with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, rng: &mut Rng) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            rng: rng.fork(),
+            cached_mask: None,
+        })
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => Ok(input.clone()),
+            Mode::Frozen => {
+                // Frozen pass: dropout inactive, but cache an identity mask
+                // so a subsequent backward is well-defined.
+                self.cached_mask = Some(Tensor::ones(input.shape()));
+                Ok(input.clone())
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                let mut mask = Tensor::zeros(input.shape());
+                for m in mask.data_mut() {
+                    *m = if self.rng.bernoulli(keep) { scale } else { 0.0 };
+                }
+                let out = input.mul_t(&mask)?;
+                self.cached_mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Dropout" })?;
+        Ok(grad_output.mul_t(mask)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut rng = Rng::new(0);
+        let mut l = Dropout::new(0.5, &mut rng).unwrap();
+        let x = Tensor::ones(&[10, 10]);
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut rng = Rng::new(1);
+        let mut l = Dropout::new(0.3, &mut rng).unwrap();
+        let x = Tensor::ones(&[100, 100]);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = Rng::new(2);
+        let mut l = Dropout::new(0.5, &mut rng).unwrap();
+        let x = Tensor::ones(&[4, 4]);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        let gx = l.backward(&Tensor::ones(&[4, 4])).unwrap();
+        // Gradient is zero exactly where the forward output was zero.
+        for (o, g) in y.data().iter().zip(gx.data()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        let mut rng = Rng::new(3);
+        assert!(Dropout::new(1.0, &mut rng).is_err());
+        assert!(Dropout::new(-0.1, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use bprom_tensor::Tensor;
+
+/// Flattens `[n, ...]` to `[n, prod(...)]`, preserving the batch axis.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!("Flatten expects rank >= 2, got {:?}", input.shape()),
+            }));
+        }
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Flatten" })?;
+        Ok(grad_output.reshape(shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_restore() {
+        let mut l = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+        let gx = l.backward(&Tensor::ones(&[2, 60])).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rank1_rejected() {
+        let mut l = Flatten::new();
+        assert!(l.forward(&Tensor::zeros(&[5]), Mode::Eval).is_err());
+    }
+}

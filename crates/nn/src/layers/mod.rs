@@ -1,0 +1,23 @@
+//! Layer implementations.
+
+mod activation;
+mod attention;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod norm;
+mod pool;
+mod residual;
+mod tokens;
+
+pub use activation::{Gelu, LeakyRelu, Relu, Tanh};
+pub use attention::{Attention, PatchEmbed};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use norm::{BatchNorm2d, LayerNorm};
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use residual::Residual;
+pub use tokens::{FoldTokens, TokenMeanPool, UnfoldTokens};

@@ -1,0 +1,421 @@
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+use bprom_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalization over the channel axis of NCHW input.
+///
+/// Training mode normalizes with batch statistics and updates running
+/// estimates; eval mode uses the running estimates.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+    /// Whether the forward pass used frozen (running) statistics; the
+    /// backward formula then treats mean/var as constants.
+    frozen: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates batch normalization for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            channels,
+            cache: None,
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.rank() != 4 || input.shape()[1] != self.channels {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!(
+                    "BatchNorm2d expects [n, {}, h, w], got {:?}",
+                    self.channels,
+                    input.shape()
+                ),
+            }));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check_input(input)?;
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(input.shape());
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = match mode {
+                Mode::Frozen | Mode::Eval => (self.running_mean[ci], self.running_var[ci]),
+                Mode::Train => {
+                    let mut sum = 0.0f32;
+                    let mut sq = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for &v in &input.data()[base..base + plane] {
+                            sum += v;
+                            sq += v * v;
+                        }
+                    }
+                    let mean = sum / count;
+                    let var = (sq / count - mean * mean).max(0.0);
+                    self.running_mean[ci] =
+                        (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                    self.running_var[ci] =
+                        (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                    (mean, var)
+                }
+            };
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let xh = (input.data()[i] - mean) * inv_std;
+                    x_hat.data_mut()[i] = xh;
+                    out.data_mut()[i] = g * xh + b;
+                }
+            }
+        }
+        if mode.caches() {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+                input_shape: input.shape().to_vec(),
+                frozen: mode == Mode::Frozen,
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
+        let shape = &cache.input_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(grad_output.shape());
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            // Accumulate sums for the batch-norm backward formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let dy = grad_output.data()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[i];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            if cache.frozen {
+                // Frozen statistics are constants: dx = gamma * inv_std * dy.
+                let scale = g * inv_std;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in base..base + plane {
+                        grad_in.data_mut()[i] = scale * grad_output.data()[i];
+                    }
+                }
+            } else {
+                // dx = gamma*inv_std/count * (count*dy - sum_dy - x_hat*sum_dy_xhat)
+                let scale = g * inv_std / count;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in base..base + plane {
+                        let dy = grad_output.data()[i];
+                        let xh = cache.x_hat.data()[i];
+                        grad_in.data_mut()[i] = scale * (count * dy - sum_dy - xh * sum_dy_xhat);
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.gamma.visit(f);
+        self.beta.visit(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+/// Layer normalization over the last axis of `[n, t, d]` token tensors,
+/// with learned per-feature scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates layer normalization over feature width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(&[dim])),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            dim,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let d = self.dim;
+        if input.len() % d != 0 || *input.shape().last().unwrap_or(&0) != d {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!(
+                    "LayerNorm({d}) expects trailing dim {d}, got {:?}",
+                    input.shape()
+                ),
+            }));
+        }
+        let rows = input.len() / d;
+        let mut out = Tensor::zeros(input.shape());
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut inv_stds = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &input.data()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            inv_stds[r] = inv_std;
+            for i in 0..d {
+                let xh = (row[i] - mean) * inv_std;
+                x_hat.data_mut()[r * d + i] = xh;
+                out.data_mut()[r * d + i] =
+                    self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
+            }
+        }
+        if mode.caches() {
+            self.cache = Some(LnCache {
+                x_hat,
+                inv_std: inv_stds,
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "LayerNorm" })?;
+        let d = self.dim;
+        let rows = grad_output.len() / d;
+        let mut grad_in = Tensor::zeros(grad_output.shape());
+        for r in 0..rows {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for i in 0..d {
+                let dy = grad_output.data()[r * d + i] * self.gamma.value.data()[i];
+                let xh = cache.x_hat.data()[r * d + i];
+                sum_dy += dy;
+                sum_dy_xhat += dy * xh;
+            }
+            let inv_std = cache.inv_std[r];
+            for i in 0..d {
+                let dy = grad_output.data()[r * d + i] * self.gamma.value.data()[i];
+                let xh = cache.x_hat.data()[r * d + i];
+                grad_in.data_mut()[r * d + i] =
+                    inv_std / d as f32 * (d as f32 * dy - sum_dy - xh * sum_dy_xhat);
+            }
+        }
+        for i in 0..d {
+            let mut gg = 0.0f32;
+            let mut gb = 0.0f32;
+            for r in 0..rows {
+                gg += grad_output.data()[r * d + i] * cache.x_hat.data()[r * d + i];
+                gb += grad_output.data()[r * d + i];
+            }
+            self.gamma.grad.data_mut()[i] += gg;
+            self.beta.grad.data_mut()[i] += gb;
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.gamma.visit(f);
+        self.beta.visit(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn batchnorm_train_normalizes() {
+        let mut rng = Rng::new(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], &mut rng).map(|v| v * 3.0 + 2.0);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel output mean ≈ 0, var ≈ 1 (gamma=1, beta=0).
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hi in 0..5 {
+                    for wi in 0..5 {
+                        vals.push(y.at(&[ni, ci, hi, wi]).unwrap());
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var={var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = Rng::new(1);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[8, 2, 4, 4], &mut rng);
+        for _ in 0..50 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let y_train = bn.forward(&x, Mode::Train).unwrap();
+        let y_eval = bn.forward(&x, Mode::Eval).unwrap();
+        // After many passes on the same batch, running stats converge to the
+        // batch stats, so eval output approaches train output.
+        let diff: f32 = y_train
+            .data()
+            .iter()
+            .zip(y_eval.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 0.1, "diff={diff}");
+    }
+
+    #[test]
+    fn batchnorm_gradient_finite_difference() {
+        let mut rng = Rng::new(2);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        // Use a quadratic loss so the gradient isn't trivially zero
+        // (sum of normalized outputs is ~0 regardless of input).
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let go = y.map(|v| 2.0 * v); // d/dy of sum(y^2)
+        let gx = bn.backward(&go).unwrap();
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for &flat in &[0usize, 9, 17, 35] {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let mut bn_p = BatchNorm2d::new(2);
+            bn_p.gamma = bn.gamma.clone();
+            bn_p.beta = bn.beta.clone();
+            let lp = bn_p.forward(&x2, Mode::Train).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = bn_p.forward(&x2, Mode::Train).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[flat]).abs() < 5e-2,
+                "flat={flat}: {num} vs {}",
+                gx.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut rng = Rng::new(3);
+        let mut ln = LayerNorm::new(8);
+        let x = Tensor::randn(&[2, 4, 8], &mut rng).map(|v| v * 5.0 - 1.0);
+        let y = ln.forward(&x, Mode::Eval).unwrap();
+        for r in 0..8 {
+            let row = &y.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_finite_difference() {
+        let mut rng = Rng::new(4);
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::randn(&[2, 6], &mut rng);
+        let y = ln.forward(&x, Mode::Train).unwrap();
+        let go = y.map(|v| 2.0 * v);
+        let gx = ln.backward(&go).unwrap();
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for flat in 0..x.len() {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let lp = ln.forward(&x2, Mode::Eval).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = ln.forward(&x2, Mode::Eval).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[flat]).abs() < 5e-2,
+                "flat={flat}: {num} vs {}",
+                gx.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_channel_count_is_error() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval).is_err());
+        let mut ln = LayerNorm::new(4);
+        assert!(ln.forward(&Tensor::zeros(&[2, 5]), Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use bprom_tensor::{avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward, Tensor};
+
+/// Max pooling with a square window.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates max pooling with window `kernel` and step `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, arg) = maxpool2d(input, self.kernel, self.stride)?;
+        if mode.caches() {
+            self.cache = Some((arg, input.shape().to_vec()));
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (arg, shape) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        Ok(maxpool2d_backward(grad_output, arg, shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling with a square window.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates average pooling with window `kernel` and step `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = avgpool2d(input, self.kernel, self.stride)?;
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "AvgPool2d" })?;
+        Ok(avgpool2d_backward(grad_output, shape, self.kernel, self.stride)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!("GlobalAvgPool expects rank 4, got {:?}", input.shape()),
+            }));
+        }
+        let (n, c) = (input.shape()[0], input.shape()[1]);
+        let plane = input.shape()[2] * input.shape()[3];
+        let mut out = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                out.data_mut()[ni * c + ci] =
+                    input.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
+            }
+        }
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "GlobalAvgPool" })?;
+        let (n, c) = (shape[0], shape[1]);
+        let plane = shape[2] * shape[3];
+        let inv = 1.0 / plane as f32;
+        let mut grad_in = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_output.data()[ni * c + ci] * inv;
+                let base = (ni * c + ci) * plane;
+                for v in &mut grad_in.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn maxpool_layer_round_trip() {
+        let mut rng = Rng::new(0);
+        let mut l = MaxPool2d::new(2, 2);
+        let x = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        let gx = l.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        // Exactly one gradient unit per output element.
+        assert_eq!(gx.sum(), 8.0);
+    }
+
+    #[test]
+    fn global_avg_pool_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let mut l = GlobalAvgPool::new();
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+        let gx = l.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_layer_gradient_shape() {
+        let mut rng = Rng::new(1);
+        let mut l = AvgPool2d::new(2, 2);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 3, 3]);
+        let gx = l.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        assert!(MaxPool2d::new(2, 2).backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+        assert!(GlobalAvgPool::new().backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Shape adapters between token tensors `[n, t, d]` and row-major matrices
+//! `[n*t, d]`, plus token pooling. These let [`crate::Dense`] serve as a
+//! per-token MLP inside the transformer models.
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use bprom_tensor::Tensor;
+
+/// Folds `[n, t, d]` into `[n*t, d]` so per-token layers can treat tokens
+/// as batch entries.
+#[derive(Debug, Clone, Default)]
+pub struct FoldTokens {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl FoldTokens {
+    /// Creates the fold adapter.
+    pub fn new() -> Self {
+        FoldTokens { cached_shape: None }
+    }
+}
+
+impl Layer for FoldTokens {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!("FoldTokens expects [n, t, d], got {:?}", input.shape()),
+            }));
+        }
+        let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(input.reshape(&[n * t, d])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "FoldTokens" })?;
+        Ok(grad_output.reshape(shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "FoldTokens"
+    }
+}
+
+/// Unfolds `[n*t, d]` back into `[n, t, d]` for a fixed token count `t`.
+#[derive(Debug, Clone)]
+pub struct UnfoldTokens {
+    tokens: usize,
+}
+
+impl UnfoldTokens {
+    /// Creates the unfold adapter for `tokens` tokens per sample.
+    pub fn new(tokens: usize) -> Self {
+        UnfoldTokens { tokens }
+    }
+}
+
+impl Layer for UnfoldTokens {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 2 || input.shape()[0] % self.tokens != 0 {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!(
+                    "UnfoldTokens({}) expects [n*{}, d], got {:?}",
+                    self.tokens,
+                    self.tokens,
+                    input.shape()
+                ),
+            }));
+        }
+        let n = input.shape()[0] / self.tokens;
+        let d = input.shape()[1];
+        Ok(input.reshape(&[n, self.tokens, d])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (n, t, d) = (
+            grad_output.shape()[0],
+            grad_output.shape()[1],
+            grad_output.shape()[2],
+        );
+        Ok(grad_output.reshape(&[n * t, d])?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "UnfoldTokens"
+    }
+}
+
+/// Mean-pools tokens: `[n, t, d] → [n, d]`. The transformer models use this
+/// in place of a CLS token.
+#[derive(Debug, Clone, Default)]
+pub struct TokenMeanPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl TokenMeanPool {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        TokenMeanPool { cached_shape: None }
+    }
+}
+
+impl Layer for TokenMeanPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!("TokenMeanPool expects [n, t, d], got {:?}", input.shape()),
+            }));
+        }
+        let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(&[n, d]);
+        for ni in 0..n {
+            for ti in 0..t {
+                let base = (ni * t + ti) * d;
+                for di in 0..d {
+                    out.data_mut()[ni * d + di] += input.data()[base + di];
+                }
+            }
+        }
+        out.scale_in_place(1.0 / t as f32);
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "TokenMeanPool" })?;
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let inv = 1.0 / t as f32;
+        let mut grad_in = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ti in 0..t {
+                let base = (ni * t + ti) * d;
+                for di in 0..d {
+                    grad_in.data_mut()[base + di] = grad_output.data()[ni * d + di] * inv;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn name(&self) -> &'static str {
+        "TokenMeanPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn fold_unfold_round_trip() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        let mut fold = FoldTokens::new();
+        let mut unfold = UnfoldTokens::new(3);
+        let folded = fold.forward(&x, Mode::Train).unwrap();
+        assert_eq!(folded.shape(), &[6, 4]);
+        let restored = unfold.forward(&folded, Mode::Train).unwrap();
+        assert_eq!(restored, x);
+    }
+
+    #[test]
+    fn mean_pool_values_and_gradient() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let mut pool = TokenMeanPool::new();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[2.0, 3.0]);
+        let gx = pool.backward(&Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(gx.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn wrong_rank_rejected() {
+        let mut fold = FoldTokens::new();
+        assert!(fold.forward(&Tensor::zeros(&[2, 2]), Mode::Eval).is_err());
+        let mut unfold = UnfoldTokens::new(3);
+        assert!(unfold.forward(&Tensor::zeros(&[4, 2]), Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! From-scratch neural-network library for the BPROM reproduction.
+//!
+//! Provides everything needed to train the paper's image classifiers on a
+//! single CPU core: layers with manual forward/backward passes, losses,
+//! optimizers, a [`Sequential`] container, a training loop, and a model zoo
+//! ([`models`]) with miniature counterparts of the paper's architectures
+//! (ResNet18 → [`models::resnet_mini`], MobileNetV2 →
+//! [`models::mobilenet_mini`], MobileViT → [`models::vit_mini`], Swin →
+//! [`models::swin_mini`]).
+//!
+//! # Design
+//!
+//! Layers implement explicit `forward`/`backward` methods instead of a tape
+//! autograd. Each layer caches exactly what its backward pass needs, which
+//! keeps memory predictable and lets the test suite check every layer
+//! against finite differences.
+//!
+//! # Example: train a tiny MLP on XOR
+//!
+//! ```
+//! use bprom_nn::{loss::softmax_cross_entropy, optim::Sgd, Dense, Layer, Mode, Relu, Sequential};
+//! use bprom_tensor::{Rng, Tensor};
+//!
+//! # fn main() -> Result<(), bprom_nn::NnError> {
+//! let mut rng = Rng::new(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(2, 8, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Dense::new(8, 2, &mut rng)),
+//! ]);
+//! let x = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2])?;
+//! let y = [0usize, 1, 1, 0];
+//! let mut opt = Sgd::new(0.5, 0.9, 0.0);
+//! for _ in 0..200 {
+//!     let logits = net.forward(&x, Mode::Train)?;
+//!     let (_, grad) = softmax_cross_entropy(&logits, &y)?;
+//!     net.zero_grad();
+//!     net.backward(&grad)?;
+//!     opt.step(&mut net)?;
+//! }
+//! let logits = net.forward(&x, Mode::Eval)?;
+//! let acc = bprom_nn::accuracy(&logits, &y)?;
+//! assert!(acc > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+// Numerical kernels in this crate use explicit index loops where the
+// access pattern (strides, multiple arrays in lockstep) is the point;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod error;
+pub mod init;
+mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+mod optim_schedule;
+mod sequential;
+pub mod train;
+
+pub use error::NnError;
+pub use layer::{Layer, Mode};
+pub use layers::{
+    Attention, AvgPool2d, BatchNorm2d, Conv2d, Dense, DepthwiseConv2d, Dropout, Flatten,
+    FoldTokens, Gelu, GlobalAvgPool, LayerNorm, LeakyRelu, MaxPool2d, PatchEmbed, Relu, Residual,
+    Tanh, TokenMeanPool, UnfoldTokens,
+};
+pub use metrics::{accuracy, softmax};
+pub use optim_schedule::LrSchedule;
+pub use sequential::Sequential;
+pub use train::{OptimizerKind, TrainConfig, Trainer};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,120 @@
+//! Loss functions. Each returns `(loss, gradient-with-respect-to-input)`
+//! so training loops can feed the gradient straight into
+//! [`crate::Layer::backward`].
+
+use crate::metrics::softmax;
+use crate::{NnError, Result};
+use bprom_tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[n, k]` with integer class labels.
+///
+/// Returns the mean loss over the batch and the gradient of that mean with
+/// respect to the logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabels`] if `labels.len() != n` or any label
+/// is `>= k`, and an error for non-rank-2 logits.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.rank() != 2 {
+        return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+            reason: format!("cross entropy expects [n, k] logits, got {:?}", logits.shape()),
+        }));
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(NnError::InvalidLabels {
+            reason: format!("{} labels for {} logits rows", labels.len(), n),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(NnError::InvalidLabels {
+            reason: format!("label {bad} out of range for {k} classes"),
+        });
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.data()[i * k + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * k + label] -= 1.0;
+    }
+    grad.scale_in_place(inv_n);
+    Ok((loss * inv_n, grad))
+}
+
+/// Mean squared error between predictions and targets of identical shape.
+///
+/// Returns the mean loss and its gradient with respect to `pred`.
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error if the operands differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = pred.sub_t(target)?;
+    let n = diff.len() as f32;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0, 100.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let mut rng = Rng::new(0);
+        let mut logits = Tensor::randn(&[3, 5], &mut rng);
+        let labels = [1usize, 4, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for flat in 0..logits.len() {
+            let orig = logits.data()[flat];
+            logits.data_mut()[flat] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[flat] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[flat]).abs() < 1e-3,
+                "flat={flat}: {num} vs {}",
+                grad.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_labels_rejected() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mse(&pred, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Learning-rate schedules, composable with any optimizer via
+//! [`crate::optim::Sgd::set_lr`] / [`crate::optim::Adam::set_lr`].
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate used for every epoch.
+        lr: f32,
+    },
+    /// Multiplicative decay: `lr · factor^epoch`.
+    Exponential {
+        /// Initial learning rate.
+        lr: f32,
+        /// Per-epoch decay factor in `(0, 1]`.
+        factor: f32,
+    },
+    /// Step decay: divide by 10 at each milestone.
+    Step {
+        /// Initial learning rate.
+        lr: f32,
+        /// Epoch at which the first division happens; subsequent divisions
+        /// occur at each further multiple.
+        every: usize,
+    },
+    /// Cosine annealing from `lr` down to `min_lr` over `total` epochs.
+    Cosine {
+        /// Initial learning rate.
+        lr: f32,
+        /// Final learning rate.
+        min_lr: f32,
+        /// Total scheduled epochs.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Exponential { lr, factor } => lr * factor.powi(epoch as i32),
+            LrSchedule::Step { lr, every } => {
+                let divisions = epoch.checked_div(every).unwrap_or(0);
+                lr / 10f32.powi(divisions as i32)
+            }
+            LrSchedule::Cosine { lr, min_lr, total } => {
+                if total <= 1 {
+                    return min_lr;
+                }
+                let t = (epoch.min(total - 1)) as f32 / (total - 1) as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(100), 0.1);
+    }
+
+    #[test]
+    fn exponential_decays() {
+        let s = LrSchedule::Exponential { lr: 1.0, factor: 0.5 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(2), 0.25);
+    }
+
+    #[test]
+    fn step_divides_by_ten() {
+        let s = LrSchedule::Step { lr: 1.0, every: 3 };
+        assert_eq!(s.at(2), 1.0);
+        assert!((s.at(3) - 0.1).abs() < 1e-7);
+        assert!((s.at(6) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_hits_endpoints_and_is_monotone() {
+        let s = LrSchedule::Cosine { lr: 1.0, min_lr: 0.01, total: 10 };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(9) - 0.01).abs() < 1e-6);
+        for e in 0..9 {
+            assert!(s.at(e) >= s.at(e + 1));
+        }
+        // Past the horizon it stays at min_lr.
+        assert!((s.at(50) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_step_and_cosine() {
+        assert_eq!(LrSchedule::Step { lr: 1.0, every: 0 }.at(5), 1.0);
+        assert_eq!(LrSchedule::Cosine { lr: 1.0, min_lr: 0.1, total: 1 }.at(0), 0.1);
+    }
+}

@@ -1,0 +1,229 @@
+use crate::layer::{Layer, Mode};
+use crate::Result;
+use bprom_tensor::Tensor;
+
+/// A chain of layers applied in order. The universal model container of the
+/// workspace: every architecture in [`crate::models`] is a `Sequential`.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates a model from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Runs a forward pass collecting every layer's output (for defenses
+    /// that inspect intermediate representations, e.g. TED).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer failures.
+    pub fn forward_trace(&mut self, input: &Tensor, mode: Mode) -> Result<Vec<Tensor>> {
+        let mut x = input.clone();
+        let mut trace = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+            trace.push(x.clone());
+        }
+        Ok(trace)
+    }
+
+    /// Runs a forward pass up to (excluding) the final layer, returning the
+    /// penultimate representation — the "activations" that clustering
+    /// defenses (AC, Spectral Signatures, SPECTRE, SCAn) operate on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer failures; returns the input unchanged for models
+    /// with fewer than 2 layers.
+    pub fn penultimate(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        let n = self.layers.len().saturating_sub(1);
+        for layer in &mut self.layers[..n] {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Copies all parameter values out of the model, in visit order.
+    pub fn export_params(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p, _| out.push(p.clone()));
+        out
+    }
+
+    /// Loads parameter values previously produced by
+    /// [`Sequential::export_params`] on a structurally identical model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::InvalidConfig`] if the parameter count or
+    /// any shape differs.
+    pub fn import_params(&mut self, params: &[Tensor]) -> Result<()> {
+        let mut idx = 0;
+        let mut err: Option<crate::NnError> = None;
+        self.visit_params(&mut |p, _| {
+            if err.is_some() {
+                return;
+            }
+            match params.get(idx) {
+                Some(src) if src.shape() == p.shape() => *p = src.clone(),
+                Some(src) => {
+                    err = Some(crate::NnError::InvalidConfig {
+                        reason: format!(
+                            "parameter {idx} shape mismatch: model {:?} vs import {:?}",
+                            p.shape(),
+                            src.shape()
+                        ),
+                    })
+                }
+                None => {
+                    err = Some(crate::NnError::InvalidConfig {
+                        reason: format!("too few parameters: needed more than {idx}"),
+                    })
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if idx != params.len() {
+            return Err(crate::NnError::InvalidConfig {
+                reason: format!("too many parameters: model has {idx}, import has {}", params.len()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use bprom_tensor::Rng;
+
+    fn tiny_net(rng: &mut Rng) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 5, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut rng = Rng::new(0);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut rng = Rng::new(1);
+        let mut a = tiny_net(&mut rng);
+        let mut b = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 3], &mut rng);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(ya, yb);
+        let params = a.export_params();
+        b.import_params(&params).unwrap();
+        let yb2 = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya, yb2);
+    }
+
+    #[test]
+    fn import_rejects_wrong_count() {
+        let mut rng = Rng::new(2);
+        let mut net = tiny_net(&mut rng);
+        let mut params = net.export_params();
+        params.pop();
+        assert!(net.import_params(&params).is_err());
+        let mut extra = net.export_params();
+        extra.push(Tensor::zeros(&[1]));
+        assert!(net.import_params(&extra).is_err());
+    }
+
+    #[test]
+    fn whole_net_gradient_finite_difference() {
+        let mut rng = Rng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 3], &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&y.map(|v| 2.0 * v)).unwrap();
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for flat in 0..x.len() {
+            let orig = x2.data()[flat];
+            x2.data_mut()[flat] = orig + eps;
+            let lp = net.forward(&x2, Mode::Eval).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig - eps;
+            let lm = net.forward(&x2, Mode::Eval).unwrap().norm_sq();
+            x2.data_mut()[flat] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[flat]).abs() < 3e-2);
+        }
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = Rng::new(4);
+        let mut net = tiny_net(&mut rng);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+}

@@ -1,0 +1,504 @@
+//! 2-D convolution primitives (forward and backward) via im2col.
+//!
+//! Layout conventions: inputs are NCHW `[n, c, h, w]`, weights are OIHW
+//! `[out_ch, in_ch, kh, kw]`. All functions take `stride` and symmetric
+//! zero `padding`.
+
+use crate::{Tensor, TensorError};
+
+fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::InvalidParameter {
+            reason: "stride must be positive".to_string(),
+        });
+    }
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return Err(TensorError::InvalidShape {
+            reason: format!("kernel {kernel} larger than padded input {padded}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+fn check_rank4(t: &Tensor, what: &str) -> Result<(), TensorError> {
+    if t.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("{what} must be rank 4 (got {:?})", t.shape()),
+        });
+    }
+    Ok(())
+}
+
+/// Zero-pads the spatial dimensions of an NCHW tensor by `pad` on each side.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `input` is not rank 4.
+pub fn pad2d(input: &Tensor, pad: usize) -> Result<Tensor, TensorError> {
+    check_rank4(input, "pad2d input")?;
+    if pad == 0 {
+        return Ok(input.clone());
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, hp, wp]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                let s0 = ((ni * c + ci) * h + hi) * w;
+                let d0 = ((ni * c + ci) * hp + hi + pad) * wp + pad;
+                dst[d0..d0 + w].copy_from_slice(&src[s0..s0 + w]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`pad2d`]: crops `pad` pixels from each spatial side.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `input` is not rank 4 or is too
+/// small to crop.
+pub fn unpad2d(input: &Tensor, pad: usize) -> Result<Tensor, TensorError> {
+    check_rank4(input, "unpad2d input")?;
+    if pad == 0 {
+        return Ok(input.clone());
+    }
+    let (n, c, hp, wp) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if hp <= 2 * pad || wp <= 2 * pad {
+        return Err(TensorError::InvalidShape {
+            reason: format!("cannot crop {pad} from spatial dims {hp}x{wp}"),
+        });
+    }
+    let (h, w) = (hp - 2 * pad, wp - 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                let s0 = ((ni * c + ci) * hp + hi + pad) * wp + pad;
+                let d0 = ((ni * c + ci) * h + hi) * w;
+                dst[d0..d0 + w].copy_from_slice(&src[s0..s0 + w]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// im2col on an already padded single sample `[c, h, w]` → matrix
+/// `[c*kh*kw, oh*ow]` stored flat.
+#[allow(clippy::too_many_arguments)]
+fn im2col_sample(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let mut col = vec![0.0f32; c * kh * kw * oh * ow];
+    let ow_total = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let base = row * ow_total;
+                for oi in 0..oh {
+                    let src_row = oi * stride + ki;
+                    let src0 = (ci * h + src_row) * w;
+                    let dst0 = base + oi * ow;
+                    for oj in 0..ow {
+                        col[dst0 + oj] = data[src0 + oj * stride + kj];
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// col2im: scatter-add a `[c*kh*kw, oh*ow]` column matrix back into a padded
+/// `[c, h, w]` sample buffer.
+#[allow(clippy::too_many_arguments)]
+fn col2im_sample(
+    col: &[f32],
+    out: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let ow_total = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let base = row * ow_total;
+                for oi in 0..oh {
+                    let dst_row = oi * stride + ki;
+                    let dst0 = (ci * h + dst_row) * w;
+                    let src0 = base + oi * ow;
+                    for oj in 0..ow {
+                        out[dst0 + oj * stride + kj] += col[src0 + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[n, c, h, w]`, `weight` is `[o, c, kh, kw]`, output is
+/// `[n, o, oh, ow]` with `oh = (h + 2p - kh) / s + 1`.
+///
+/// # Errors
+///
+/// Returns an error if the operands are not rank 4, the channel counts
+/// disagree, the stride is zero, or the kernel exceeds the padded input.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    check_rank4(input, "conv2d input")?;
+    check_rank4(weight, "conv2d weight")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (o, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![o, c, kh, kw],
+            actual: weight.shape().to_vec(),
+        });
+    }
+    let oh = out_dim(h, kh, stride, padding)?;
+    let ow = out_dim(w, kw, stride, padding)?;
+    let padded = pad2d(input, padding)?;
+    let (hp, wp) = (h + 2 * padding, w + 2 * padding);
+    let k = c * kh * kw;
+    let wmat = weight.reshape(&[o, k])?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let sample_in = c * hp * wp;
+    let sample_out = o * oh * ow;
+    for ni in 0..n {
+        let sample = &padded.data()[ni * sample_in..(ni + 1) * sample_in];
+        let col = im2col_sample(sample, c, hp, wp, kh, kw, stride, oh, ow);
+        let col_t = Tensor::from_vec(col, &[k, oh * ow])?;
+        let prod = wmat.matmul(&col_t)?;
+        out.data_mut()[ni * sample_out..(ni + 1) * sample_out].copy_from_slice(prod.data());
+    }
+    Ok(out)
+}
+
+/// Gradient of a convolution with respect to its weights.
+///
+/// `grad_output` is `[n, o, oh, ow]`; returns `[o, c, kh, kw]`.
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as [`conv2d`], or when
+/// `grad_output`'s shape is inconsistent with the forward pass.
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    grad_output: &Tensor,
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    check_rank4(input, "conv2d input")?;
+    check_rank4(grad_output, "conv2d grad_output")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (kh, kw) = kernel;
+    let oh = out_dim(h, kh, stride, padding)?;
+    let ow = out_dim(w, kw, stride, padding)?;
+    let o = grad_output.shape()[1];
+    if grad_output.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, o, oh, ow],
+            actual: grad_output.shape().to_vec(),
+        });
+    }
+    let padded = pad2d(input, padding)?;
+    let (hp, wp) = (h + 2 * padding, w + 2 * padding);
+    let k = c * kh * kw;
+    let sample_in = c * hp * wp;
+    let sample_out = o * oh * ow;
+    let mut grad_w = Tensor::zeros(&[o, k]);
+    for ni in 0..n {
+        let sample = &padded.data()[ni * sample_in..(ni + 1) * sample_in];
+        let col = im2col_sample(sample, c, hp, wp, kh, kw, stride, oh, ow);
+        let col_t = Tensor::from_vec(col, &[k, oh * ow])?;
+        let go = Tensor::from_vec(
+            grad_output.data()[ni * sample_out..(ni + 1) * sample_out].to_vec(),
+            &[o, oh * ow],
+        )?;
+        // [o, oh*ow] x [k, oh*ow]^T = [o, k]
+        let contrib = go.matmul_nt(&col_t)?;
+        grad_w.add_in_place(&contrib)?;
+    }
+    grad_w.reshape(&[o, c, kh, kw])
+}
+
+/// Gradient of a convolution with respect to its input.
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as [`conv2d`], or when
+/// `grad_output`'s shape is inconsistent with the forward pass.
+pub fn conv2d_backward_input(
+    weight: &Tensor,
+    grad_output: &Tensor,
+    input_shape: &[usize],
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    check_rank4(weight, "conv2d weight")?;
+    check_rank4(grad_output, "conv2d grad_output")?;
+    if input_shape.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("input_shape must be rank 4, got {input_shape:?}"),
+        });
+    }
+    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (o, _wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let oh = out_dim(h, kh, stride, padding)?;
+    let ow = out_dim(w, kw, stride, padding)?;
+    if grad_output.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, o, oh, ow],
+            actual: grad_output.shape().to_vec(),
+        });
+    }
+    let (hp, wp) = (h + 2 * padding, w + 2 * padding);
+    let k = c * kh * kw;
+    let wmat = weight.reshape(&[o, k])?;
+    let sample_out = o * oh * ow;
+    let mut grad_padded = Tensor::zeros(&[n, c, hp, wp]);
+    let sample_in = c * hp * wp;
+    for ni in 0..n {
+        let go = Tensor::from_vec(
+            grad_output.data()[ni * sample_out..(ni + 1) * sample_out].to_vec(),
+            &[o, oh * ow],
+        )?;
+        // [o, k]^T x [o, oh*ow] = [k, oh*ow]
+        let col_grad = wmat.matmul_tn(&go)?;
+        col2im_sample(
+            col_grad.data(),
+            &mut grad_padded.data_mut()[ni * sample_in..(ni + 1) * sample_in],
+            c,
+            hp,
+            wp,
+            kh,
+            kw,
+            stride,
+            oh,
+            ow,
+        );
+    }
+    unpad2d(&grad_padded, padding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Reference convolution: direct loops, no im2col.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (o, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy = (y * stride + ki) as isize - pad as isize;
+                                    let ix = (x * stride + kj) as isize - pad as isize;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                                    {
+                                        acc += input
+                                            .at(&[ni, ci, iy as usize, ix as usize])
+                                            .unwrap()
+                                            * weight.at(&[oi, ci, ki, kj]).unwrap();
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, oi, y, x], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = Rng::new(1);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1), (2, 0)] {
+            let input = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+            let weight = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+            let fast = conv2d(&input, &weight, stride, pad).unwrap();
+            let slow = conv2d_naive(&input, &weight, stride, pad);
+            assert_close(&fast, &slow, 1e-4);
+        }
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let mut rng = Rng::new(2);
+        let t = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let p = pad2d(&t, 2).unwrap();
+        assert_eq!(p.shape(), &[1, 2, 9, 9]);
+        let u = unpad2d(&p, 2).unwrap();
+        assert_close(&u, &t, 1e-7);
+        // Padding with zero is the identity.
+        assert_eq!(pad2d(&t, 0).unwrap(), t);
+    }
+
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        let mut rng = Rng::new(3);
+        let input = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let mut weight = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let stride = 1;
+        let pad = 1;
+        // Loss = sum of outputs; dL/dy = ones.
+        let out = conv2d(&input, &weight, stride, pad).unwrap();
+        let grad_out = Tensor::ones(out.shape());
+        let gw = conv2d_backward_weight(&input, &grad_out, (3, 3), stride, pad).unwrap();
+        let eps = 1e-2;
+        for &flat in &[0usize, 7, 17, 35] {
+            let orig = weight.data()[flat];
+            weight.data_mut()[flat] = orig + eps;
+            let lp = conv2d(&input, &weight, stride, pad).unwrap().sum();
+            weight.data_mut()[flat] = orig - eps;
+            let lm = conv2d(&input, &weight, stride, pad).unwrap().sum();
+            weight.data_mut()[flat] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gw.data()[flat];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "flat={flat}: numeric={numeric}, analytic={analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let mut rng = Rng::new(4);
+        let mut input = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let weight = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let stride = 1;
+        let pad = 1;
+        let out = conv2d(&input, &weight, stride, pad).unwrap();
+        let grad_out = Tensor::ones(out.shape());
+        let gi =
+            conv2d_backward_input(&weight, &grad_out, &[1, 2, 5, 5], stride, pad).unwrap();
+        let eps = 1e-2;
+        for &flat in &[0usize, 12, 24, 49] {
+            let orig = input.data()[flat];
+            input.data_mut()[flat] = orig + eps;
+            let lp = conv2d(&input, &weight, stride, pad).unwrap().sum();
+            input.data_mut()[flat] = orig - eps;
+            let lm = conv2d(&input, &weight, stride, pad).unwrap().sum();
+            input.data_mut()[flat] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gi.data()[flat];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "flat={flat}: numeric={numeric}, analytic={analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn stride2_backward_shapes() {
+        let mut rng = Rng::new(5);
+        let input = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let weight = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let out = conv2d(&input, &weight, 2, 1).unwrap();
+        assert_eq!(out.shape(), &[2, 4, 4, 4]);
+        let gw = conv2d_backward_weight(&input, &out, (3, 3), 2, 1).unwrap();
+        assert_eq!(gw.shape(), weight.shape());
+        let gi = conv2d_backward_input(&weight, &out, &[2, 3, 8, 8], 2, 1).unwrap();
+        assert_eq!(gi.shape(), input.shape());
+    }
+
+    #[test]
+    fn invalid_parameters_are_errors() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let weight = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(conv2d(&input, &weight, 0, 0).is_err());
+        let big_kernel = Tensor::zeros(&[1, 1, 9, 9]);
+        assert!(conv2d(&input, &big_kernel, 1, 0).is_err());
+        let wrong_ch = Tensor::zeros(&[1, 2, 3, 3]);
+        assert!(conv2d(&input, &wrong_ch, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for every fallible tensor operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected shape) disagree.
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape it actually received.
+        actual: Vec<usize>,
+    },
+    /// A shape is structurally invalid for the requested operation
+    /// (wrong rank, zero dimension where one is not allowed, ...).
+    InvalidShape {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// The number of provided elements does not match the shape product.
+    ElementCountMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// An index is out of bounds for the tensor it addresses.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape of the tensor being indexed.
+        shape: Vec<usize>,
+    },
+    /// A numeric parameter is out of its valid range (e.g. zero stride).
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            TensorError::ElementCountMismatch { expected, actual } => {
+                write!(f, "element count mismatch: shape implies {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Elementwise arithmetic for [`Tensor`]: fallible named methods plus
+//! operator overloads on references for same-shaped operands.
+
+use crate::{Tensor, TensorError};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+impl Tensor {
+    /// Elementwise sum of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_t(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub_t(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul_t(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn div_t(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += other * scale` (axpy). The workhorse of optimizers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy_in_place(&mut self, other: &Tensor, scale: f32) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().to_vec(),
+                actual: other.shape().to_vec(),
+            });
+        }
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b * scale;
+        }
+        Ok(())
+    }
+
+    /// In-place elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_in_place(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        self.axpy_in_place(other, 1.0)
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale_in_place(&mut self, s: f32) {
+        self.map_in_place(|x| x * s);
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $t_method:ident) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+
+            /// # Panics
+            ///
+            /// Panics on shape mismatch; use the fallible named method for a
+            /// `Result`.
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.$t_method(rhs).expect("tensor shape mismatch in operator")
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add_t);
+impl_binop!(Sub, sub, sub_t);
+impl_binop!(Mul, mul, mul_t);
+impl_binop!(Div, div, div_t);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!((&a + &b).data(), &[4.0, 6.0]);
+        assert_eq!((&a - &b).data(), &[-2.0, -2.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 8.0]);
+        assert_eq!((&b / &a).data(), &[3.0, 2.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+        assert_eq!((&a * 2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add_t(&b).is_err());
+        assert!(a.mul_t(&b).is_err());
+    }
+
+    #[test]
+    fn axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        a.axpy_in_place(&g, -0.5).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn add_sub_inverse_property() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let b = Tensor::randn(&[4, 4], &mut rng);
+        let back = &(&a + &b) - &b;
+        for (x, y) in back.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

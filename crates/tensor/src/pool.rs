@@ -1,0 +1,266 @@
+//! 2-D max/average pooling (forward and backward) on NCHW tensors.
+
+use crate::{Tensor, TensorError};
+
+fn pool_dims(t: &Tensor, k: usize, stride: usize) -> Result<(usize, usize, usize, usize, usize, usize), TensorError> {
+    if t.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("pooling requires rank-4 input, got {:?}", t.shape()),
+        });
+    }
+    if stride == 0 || k == 0 {
+        return Err(TensorError::InvalidParameter {
+            reason: "pool kernel and stride must be positive".to_string(),
+        });
+    }
+    let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    if h < k || w < k {
+        return Err(TensorError::InvalidShape {
+            reason: format!("pool kernel {k} larger than input {h}x{w}"),
+        });
+    }
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    Ok((n, c, h, w, oh, ow))
+}
+
+/// Max pooling. Returns `(output, argmax_indices)`; the indices are flat
+/// offsets into the input buffer, consumed by [`maxpool2d_backward`].
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input, zero kernel/stride, or a kernel
+/// larger than the input.
+pub fn maxpool2d(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (n, c, h, w, oh, ow) = pool_dims(input, k, stride)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut di = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ki in 0..k {
+                        for kj in 0..kw_range(k) {
+                            let idx = plane + (oi * stride + ki) * w + oj * stride + kj;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    dst[di] = best;
+                    arg[di] = best_idx;
+                    di += 1;
+                }
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+// Square kernels only; helper keeps the loop symmetric and readable.
+fn kw_range(k: usize) -> usize {
+    k
+}
+
+/// Backward pass of max pooling: routes each output gradient to the input
+/// element that won the forward max.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ElementCountMismatch`] if `grad_output` and the
+/// saved `argmax` disagree in length.
+pub fn maxpool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Result<Tensor, TensorError> {
+    if grad_output.len() != argmax.len() {
+        return Err(TensorError::ElementCountMismatch {
+            expected: argmax.len(),
+            actual: grad_output.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    for (&g, &idx) in grad_output.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling.
+///
+/// # Errors
+///
+/// Same conditions as [`maxpool2d`].
+pub fn avgpool2d(input: &Tensor, k: usize, stride: usize) -> Result<Tensor, TensorError> {
+    let (n, c, h, w, oh, ow) = pool_dims(input, k, stride)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut di = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for ki in 0..k {
+                        let row = plane + (oi * stride + ki) * w + oj * stride;
+                        for kj in 0..k {
+                            acc += src[row + kj];
+                        }
+                    }
+                    dst[di] = acc * inv;
+                    di += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of average pooling: spreads each output gradient uniformly
+/// over its input window.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output`'s shape is inconsistent with
+/// `input_shape` under the given kernel/stride.
+pub fn avgpool2d_backward(
+    grad_output: &Tensor,
+    input_shape: &[usize],
+    k: usize,
+    stride: usize,
+) -> Result<Tensor, TensorError> {
+    let mut grad_in = Tensor::zeros(input_shape);
+    let (n, c, h, w, oh, ow) = pool_dims(&grad_in, k, stride)?;
+    if grad_output.shape() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c, oh, ow],
+            actual: grad_output.shape().to_vec(),
+        });
+    }
+    let inv = 1.0 / (k * k) as f32;
+    let go = grad_output.data();
+    let gi = grad_in.data_mut();
+    let mut si = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = go[si] * inv;
+                    si += 1;
+                    for ki in 0..k {
+                        let row = plane + (oi * stride + ki) * w + oj * stride;
+                        for kj in 0..k {
+                            gi[row + kj] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn maxpool_known_values() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, arg) = maxpool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 1, 2, 2]).unwrap();
+        let (out, arg) = maxpool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[3.0]);
+        let g = maxpool2d_backward(&Tensor::ones(&[1, 1, 1, 1]), &arg, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let input = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap();
+        let out = avgpool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[5.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let g = avgpool2d_backward(
+            &Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap(),
+            &[1, 1, 2, 2],
+            2,
+            2,
+        )
+        .unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_finite_difference() {
+        let mut rng = Rng::new(6);
+        let mut input = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        let out = avgpool2d(&input, 2, 2).unwrap();
+        let grad = avgpool2d_backward(&Tensor::ones(out.shape()), &[1, 2, 4, 4], 2, 2).unwrap();
+        let eps = 1e-2;
+        for &flat in &[0usize, 5, 17, 31] {
+            let orig = input.data()[flat];
+            input.data_mut()[flat] = orig + eps;
+            let lp = avgpool2d(&input, 2, 2).unwrap().sum();
+            input.data_mut()[flat] = orig - eps;
+            let lm = avgpool2d(&input, 2, 2).unwrap().sum();
+            input.data_mut()[flat] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.data()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn pooling_preserves_total_via_stride1_avg() {
+        let mut rng = Rng::new(7);
+        let input = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let out = avgpool2d(&input, 1, 1).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(maxpool2d(&t, 0, 1).is_err());
+        assert!(maxpool2d(&t, 2, 0).is_err());
+        assert!(maxpool2d(&t, 3, 1).is_err());
+        assert!(maxpool2d(&Tensor::zeros(&[2, 2]), 1, 1).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+use crate::TensorError;
+
+/// Returns the number of elements implied by a dimension list.
+///
+/// An empty dimension list describes a scalar and has product 1.
+///
+/// ```
+/// assert_eq!(bprom_tensor::dims_product(&[2, 3, 4]), 24);
+/// assert_eq!(bprom_tensor::dims_product(&[]), 1);
+/// ```
+pub fn dims_product(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// A validated tensor shape: row-major dimensions plus cached strides.
+///
+/// `Shape` is cheap to clone and guarantees that strides are consistent
+/// with the dimensions (contiguous row-major layout).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimensions, computing row-major strides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if any dimension is zero.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.contains(&0) {
+            return Err(TensorError::InvalidShape {
+                reason: format!("zero-sized dimension in {dims:?}"),
+            });
+        }
+        Ok(Self::new_unchecked(dims))
+    }
+
+    pub(crate) fn new_unchecked(dims: &[usize]) -> Self {
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Shape {
+            dims: dims.to_vec(),
+            strides,
+        }
+    }
+
+    /// Dimensions of the shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        dims_product(&self.dims)
+    }
+
+    /// Whether the shape contains no elements. Always `false` for shapes
+    /// built through [`Shape::new`], which rejects zero dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// rank or any coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        Ok(index
+            .iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| i * s)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(matches!(
+            Shape::new(&[2, 0]),
+            Err(TensorError::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[3, 5]).unwrap();
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 7);
+        assert_eq!(s.offset(&[2, 4]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_out_of_bounds() {
+        let s = Shape::new(&[3, 5]).unwrap();
+        assert!(s.offset(&[3, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+}

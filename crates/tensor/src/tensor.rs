@@ -1,0 +1,487 @@
+use crate::{dims_product, Rng, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the universal data currency of the workspace: images are
+/// `[C, H, W]` or batched `[N, C, H, W]`, weight matrices are `[out, in]`,
+/// confidence vectors are `[classes]`.
+///
+/// ```
+/// use bprom_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.at(&[1, 0])?, 3.0);
+/// # Ok::<(), bprom_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat element vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if `data.len()` does not
+    /// equal the shape product, and [`TensorError::InvalidShape`] for shapes
+    /// with zero dimensions.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.len() {
+            return Err(TensorError::ElementCountMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            dims: dims.to_vec(),
+            data,
+        })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            dims: dims.to_vec(),
+            data: vec![0.0; dims_product(dims)],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor {
+            dims: dims.to_vec(),
+            data: vec![value; dims_product(dims)],
+        }
+    }
+
+    /// Tensor of i.i.d. standard-normal samples.
+    pub fn randn(dims: &[usize], rng: &mut Rng) -> Self {
+        let n = dims_product(dims);
+        let data = (0..n).map(|_| rng.normal()).collect();
+        Tensor {
+            dims: dims.to_vec(),
+            data,
+        }
+    }
+
+    /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let n = dims_product(dims);
+        let data = (0..n).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor {
+            dims: dims.to_vec(),
+            data,
+        }
+    }
+
+    /// Shape dimensions.
+    pub fn shape(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat element buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat element buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat element buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
+        let shape = Shape::new_unchecked(&self.dims);
+        Ok(self.data[shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let shape = Shape::new_unchecked(&self.dims);
+        let off = shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same elements and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the new shape has a
+    /// different element count.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        if dims_product(dims) != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                expected: dims_product(dims),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            dims: dims.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// In-place reshape (no data copy).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::reshape`].
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        if dims_product(dims) != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                expected: dims_product(dims),
+                actual: self.data.len(),
+            });
+        }
+        self.dims = dims.to_vec();
+        Ok(())
+    }
+
+    /// Applies a function to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            dims: self.dims.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.dims.clone(),
+                actual: other.dims.clone(),
+            });
+        }
+        Ok(Tensor {
+            dims: self.dims.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Zero-length tensors cannot be constructed, so
+    /// this is always well-defined.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` only for impossible
+    /// empty tensors.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat buffer (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Clamps every element into `[lo, hi]` in place.
+    pub fn clamp_in_place(&mut self, lo: f32, hi: f32) {
+        for x in &mut self.data {
+            *x = x.clamp(lo, hi);
+        }
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a new rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the tensor is not rank 2 and
+    /// [`TensorError::IndexOutOfBounds`] if `i` exceeds the row count.
+    pub fn row(&self, i: usize) -> Result<Tensor, TensorError> {
+        if self.dims.len() != 2 {
+            return Err(TensorError::InvalidShape {
+                reason: format!("row() requires rank 2, got {:?}", self.dims),
+            });
+        }
+        let (rows, cols) = (self.dims[0], self.dims[1]);
+        if i >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims.clone(),
+            });
+        }
+        Ok(Tensor {
+            dims: vec![cols],
+            data: self.data[i * cols..(i + 1) * cols].to_vec(),
+        })
+    }
+
+    /// Extracts sample `n` of a batched `[N, ...]` tensor as a `[...]`
+    /// tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] for rank-0 tensors and
+    /// [`TensorError::IndexOutOfBounds`] if `n` exceeds the batch size.
+    pub fn sample(&self, n: usize) -> Result<Tensor, TensorError> {
+        if self.dims.is_empty() {
+            return Err(TensorError::InvalidShape {
+                reason: "sample() requires rank >= 1".to_string(),
+            });
+        }
+        if n >= self.dims[0] {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![n],
+                shape: self.dims.clone(),
+            });
+        }
+        let inner: usize = self.dims[1..].iter().product();
+        Ok(Tensor {
+            dims: self.dims[1..].to_vec(),
+            data: self.data[n * inner..(n + 1) * inner].to_vec(),
+        })
+    }
+
+    /// Stacks same-shaped tensors along a new leading batch axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] on an empty input and
+    /// [`TensorError::ShapeMismatch`] if any tensor's shape differs from the
+    /// first.
+    pub fn stack(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = tensors.first().ok_or_else(|| TensorError::InvalidShape {
+            reason: "stack() requires at least one tensor".to_string(),
+        })?;
+        let mut data = Vec::with_capacity(first.len() * tensors.len());
+        for t in tensors {
+            if t.dims != first.dims {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.dims.clone(),
+                    actual: t.dims.clone(),
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = Vec::with_capacity(first.dims.len() + 1);
+        dims.push(tensors.len());
+        dims.extend_from_slice(&first.dims);
+        Ok(Tensor { dims, data })
+    }
+
+    /// Concatenates rank-1 tensors into one long rank-1 tensor.
+    pub fn concat_flat(tensors: &[Tensor]) -> Tensor {
+        let mut data = Vec::new();
+        for t in tensors {
+            data.extend_from_slice(&t.data);
+        }
+        let n = data.len();
+        Tensor {
+            dims: vec![n],
+            data,
+        }
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.dims.len() != 2 {
+            return Err(TensorError::InvalidShape {
+                reason: format!("transpose() requires rank 2, got {:?}", self.dims),
+            });
+        }
+        let (r, c) = (self.dims[0], self.dims[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor {
+            dims: vec![c, r],
+            data: out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_count() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::ElementCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.at(&[0, 0]).unwrap(), 0.0);
+        assert!(t.at(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.mean() - 0.625).abs() < 1e-6);
+        assert!((t.norm_sq() - 14.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let r = t.row(1).unwrap();
+        assert_eq!(r.data(), &[3.0, 4.0, 5.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn sample_extraction() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let s = t.sample(1).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.data()[0], 6.0);
+        assert!(t.sample(2).is_err());
+    }
+
+    #[test]
+    fn stack_round_trips_with_sample() {
+        let a = Tensor::full(&[2, 2], 1.0);
+        let b = Tensor::full(&[2, 2], 2.0);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.sample(0).unwrap(), a);
+        assert_eq!(s.sample(1).unwrap(), b);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn(&[3, 5], &mut rng);
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn clamp() {
+        let mut t = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]).unwrap();
+        t.clamp_in_place(0.0, 1.0);
+        assert_eq!(t.data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn concat_flat_lengths() {
+        let a = Tensor::ones(&[3]);
+        let b = Tensor::zeros(&[2]);
+        let c = Tensor::concat_flat(&[a, b]);
+        assert_eq!(c.shape(), &[5]);
+        assert_eq!(c.sum(), 3.0);
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

@@ -1,0 +1,117 @@
+use crate::{Result, VpError};
+use bprom_nn::{softmax, Layer, Mode, Sequential};
+use bprom_tensor::Tensor;
+
+/// The black-box boundary: a model that can only be *queried*.
+///
+/// The paper's defender has "no access to the poisoned dataset, model
+/// structure, or parameters … detection involves only black-box queries on
+/// the model to obtain confidence vectors" (Section 4). Code written
+/// against this trait is compiler-checked to respect that boundary.
+pub trait BlackBoxModel {
+    /// Returns a `[n, k]` matrix of confidence vectors (softmax
+    /// probabilities) for a `[n, c, h, w]` input batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the batch shape is incompatible with the model.
+    fn query(&mut self, batch: &Tensor) -> Result<Tensor>;
+
+    /// Length of the confidence vector (number of source classes `K_S`).
+    fn num_classes(&self) -> usize;
+
+    /// Number of *images* submitted so far (query-budget accounting).
+    fn queries_used(&self) -> u64;
+}
+
+/// Wraps an owned [`Sequential`] as a query-only oracle.
+///
+/// Once a model is wrapped, the only remaining interface is
+/// [`BlackBoxModel::query`] — the detector cannot reach weights or run
+/// backward passes.
+pub struct QueryOracle {
+    model: Sequential,
+    num_classes: usize,
+    queries: u64,
+}
+
+impl std::fmt::Debug for QueryOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryOracle")
+            .field("num_classes", &self.num_classes)
+            .field("queries", &self.queries)
+            .finish()
+    }
+}
+
+impl QueryOracle {
+    /// Seals a model behind the query-only interface.
+    pub fn new(model: Sequential, num_classes: usize) -> Self {
+        QueryOracle {
+            model,
+            num_classes,
+            queries: 0,
+        }
+    }
+
+    /// Unseals the oracle, returning the wrapped model. Intended for the
+    /// oracle's *owner* (e.g. an experiment harness reclaiming a model it
+    /// wrapped); a detector holding only `&mut dyn BlackBoxModel` cannot
+    /// call this.
+    pub fn into_inner(self) -> Sequential {
+        self.model
+    }
+}
+
+impl BlackBoxModel for QueryOracle {
+    fn query(&mut self, batch: &Tensor) -> Result<Tensor> {
+        if batch.rank() != 4 {
+            return Err(VpError::InvalidConfig {
+                reason: format!("query expects [n, c, h, w], got {:?}", batch.shape()),
+            });
+        }
+        self.queries += batch.shape()[0] as u64;
+        let logits = self.model.forward(batch, Mode::Eval)?;
+        Ok(softmax(&logits)?)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn queries_used(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_nn::models::{mlp, ModelSpec};
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn oracle_returns_probabilities_and_counts_queries() {
+        let mut rng = Rng::new(0);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 5);
+        let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let probs = oracle.query(&batch).unwrap();
+        assert_eq!(probs.shape(), &[4, 5]);
+        for i in 0..4 {
+            let sum: f32 = probs.data()[i * 5..(i + 1) * 5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(oracle.queries_used(), 4);
+        oracle.query(&batch).unwrap();
+        assert_eq!(oracle.queries_used(), 8);
+    }
+
+    #[test]
+    fn oracle_rejects_bad_shape() {
+        let mut rng = Rng::new(1);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 5);
+        assert!(oracle.query(&Tensor::zeros(&[3, 8, 8])).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Separable CMA-ES (Ros & Hansen, 2008): the gradient-free optimizer used
+//! to learn visual prompts through the black-box boundary.
+//!
+//! The paper names CMA-ES for prompting the suspicious model. Prompt
+//! borders have hundreds of parameters, where full-covariance CMA-ES is
+//! cubic per update; the separable variant (diagonal covariance, linear
+//! time) is the standard choice at this dimensionality and preserves the
+//! ask/tell evolution-strategy behaviour.
+
+use crate::{Result, VpError};
+use bprom_tensor::Rng;
+
+/// Ask/tell separable CMA-ES minimizer.
+#[derive(Debug, Clone)]
+pub struct CmaEs {
+    dim: usize,
+    lambda: usize,
+    mu: usize,
+    weights: Vec<f32>,
+    mu_eff: f32,
+    c_sigma: f32,
+    d_sigma: f32,
+    c_c: f32,
+    c_1: f32,
+    c_mu: f32,
+    chi_n: f32,
+    mean: Vec<f32>,
+    sigma: f32,
+    /// Diagonal of the covariance matrix.
+    diag: Vec<f32>,
+    p_sigma: Vec<f32>,
+    p_c: Vec<f32>,
+    /// z-scores of the last asked population (one row per candidate).
+    last_z: Vec<Vec<f32>>,
+    generation: u32,
+    best: Option<(Vec<f32>, f32)>,
+}
+
+impl CmaEs {
+    /// Creates the optimizer around an initial point with step size
+    /// `sigma` and population size `population` (λ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] for an empty initial point,
+    /// non-positive sigma, or population < 4.
+    pub fn new(initial: &[f32], sigma: f32, population: usize) -> Result<Self> {
+        let n = initial.len();
+        if n == 0 {
+            return Err(VpError::InvalidConfig {
+                reason: "CMA-ES needs at least one dimension".to_string(),
+            });
+        }
+        if sigma <= 0.0 {
+            return Err(VpError::InvalidConfig {
+                reason: format!("sigma must be positive, got {sigma}"),
+            });
+        }
+        if population < 4 {
+            return Err(VpError::InvalidConfig {
+                reason: format!("population must be >= 4, got {population}"),
+            });
+        }
+        let lambda = population;
+        let mu = lambda / 2;
+        let nf = n as f32;
+        // Logarithmic recombination weights.
+        let raw: Vec<f32> = (0..mu)
+            .map(|i| ((lambda as f32 + 1.0) / 2.0).ln() - ((i + 1) as f32).ln())
+            .collect();
+        let sum: f32 = raw.iter().sum();
+        let weights: Vec<f32> = raw.iter().map(|w| w / sum).collect();
+        let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f32>();
+        let c_sigma = (mu_eff + 2.0) / (nf + mu_eff + 5.0);
+        let d_sigma = 1.0
+            + 2.0 * (((mu_eff - 1.0) / (nf + 1.0)).sqrt() - 1.0).max(0.0)
+            + c_sigma;
+        let c_c = (4.0 + mu_eff / nf) / (nf + 4.0 + 2.0 * mu_eff / nf);
+        // Separable variant: learning rates scaled by (n+2)/3.
+        let c_1 = (nf + 2.0) / 3.0 * 2.0 / ((nf + 1.3).powi(2) + mu_eff);
+        let c_mu = ((nf + 2.0) / 3.0
+            * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff)
+            / ((nf + 2.0).powi(2) + mu_eff))
+            .min(1.0 - c_1);
+        let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
+        Ok(CmaEs {
+            dim: n,
+            lambda,
+            mu,
+            weights,
+            mu_eff,
+            c_sigma,
+            d_sigma,
+            c_c,
+            c_1,
+            c_mu,
+            chi_n,
+            mean: initial.to_vec(),
+            sigma,
+            diag: vec![1.0; n],
+            p_sigma: vec![0.0; n],
+            p_c: vec![0.0; n],
+            last_z: Vec::new(),
+            generation: 0,
+            best: None,
+        })
+    }
+
+    /// Samples a new population of candidate solutions.
+    pub fn ask(&mut self, rng: &mut Rng) -> Vec<Vec<f32>> {
+        let mut pop = Vec::with_capacity(self.lambda);
+        self.last_z.clear();
+        for _ in 0..self.lambda {
+            let z: Vec<f32> = (0..self.dim).map(|_| rng.normal()).collect();
+            let x: Vec<f32> = (0..self.dim)
+                .map(|i| self.mean[i] + self.sigma * self.diag[i].sqrt() * z[i])
+                .collect();
+            self.last_z.push(z);
+            pop.push(x);
+        }
+        pop
+    }
+
+    /// Reports fitnesses (to be *minimized*) for the last asked population
+    /// and updates the search distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] if no population is outstanding
+    /// or counts mismatch.
+    pub fn tell(&mut self, solutions: &[Vec<f32>], fitness: &[f32]) -> Result<()> {
+        if self.last_z.len() != self.lambda
+            || solutions.len() != self.lambda
+            || fitness.len() != self.lambda
+        {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "tell() expects {} solutions+fitnesses matching the last ask()",
+                    self.lambda
+                ),
+            });
+        }
+        let mut order: Vec<usize> = (0..self.lambda).collect();
+        order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+        // Track best-ever.
+        let top = order[0];
+        if self.best.as_ref().is_none_or(|(_, f)| fitness[top] < *f) {
+            self.best = Some((solutions[top].clone(), fitness[top]));
+        }
+        // Recombine mean and mean z-score.
+        let mut new_mean = vec![0.0f32; self.dim];
+        let mut z_mean = vec![0.0f32; self.dim];
+        for (w_i, &idx) in self.weights.iter().zip(&order) {
+            for d in 0..self.dim {
+                new_mean[d] += w_i * solutions[idx][d];
+                z_mean[d] += w_i * self.last_z[idx][d];
+            }
+        }
+        // Step-size path (CSA).
+        let cs = self.c_sigma;
+        let norm_factor = (cs * (2.0 - cs) * self.mu_eff).sqrt();
+        for d in 0..self.dim {
+            self.p_sigma[d] = (1.0 - cs) * self.p_sigma[d] + norm_factor * z_mean[d];
+        }
+        let p_sigma_norm = self.p_sigma.iter().map(|v| v * v).sum::<f32>().sqrt();
+        // Covariance path.
+        let gen_f = (self.generation + 1) as f32;
+        let hsig = p_sigma_norm
+            / (1.0 - (1.0 - cs).powf(2.0 * gen_f)).sqrt()
+            / self.chi_n
+            < 1.4 + 2.0 / (self.dim as f32 + 1.0);
+        let cc = self.c_c;
+        let cc_factor = (cc * (2.0 - cc) * self.mu_eff).sqrt();
+        for d in 0..self.dim {
+            let y_mean = (new_mean[d] - self.mean[d]) / self.sigma;
+            self.p_c[d] = (1.0 - cc) * self.p_c[d]
+                + if hsig { cc_factor * y_mean } else { 0.0 };
+        }
+        // Diagonal covariance update (rank-1 + rank-µ, separable).
+        let delta_hsig = if hsig { 0.0 } else { cc * (2.0 - cc) };
+        for d in 0..self.dim {
+            let mut rank_mu = 0.0f32;
+            for (w_i, &idx) in self.weights.iter().zip(&order) {
+                let y = (solutions[idx][d] - self.mean[d]) / self.sigma;
+                rank_mu += w_i * y * y;
+            }
+            self.diag[d] = ((1.0 - self.c_1 - self.c_mu) * self.diag[d]
+                + self.c_1 * (self.p_c[d] * self.p_c[d] + delta_hsig * self.diag[d])
+                + self.c_mu * rank_mu)
+                .max(1e-12);
+        }
+        // Step-size update.
+        self.sigma *=
+            ((cs / self.d_sigma) * (p_sigma_norm / self.chi_n - 1.0)).exp().clamp(0.5, 2.0);
+        self.mean = new_mean;
+        self.generation += 1;
+        self.last_z.clear();
+        Ok(())
+    }
+
+    /// Current distribution mean (the incumbent solution).
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Current global step size σ.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Best solution and fitness seen so far.
+    pub fn best(&self) -> Option<(&[f32], f32)> {
+        self.best.as_ref().map(|(x, f)| (x.as_slice(), *f))
+    }
+
+    /// Population size λ.
+    pub fn population(&self) -> usize {
+        self.lambda
+    }
+
+    /// Completed generations.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Recommended default population size for dimension `n`:
+    /// `4 + ⌊3 ln n⌋`.
+    pub fn default_population(n: usize) -> usize {
+        4 + (3.0 * (n.max(1) as f32).ln()).floor() as usize
+    }
+
+    /// Number of parent solutions µ used in recombination.
+    pub fn parents(&self) -> usize {
+        self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimize(
+        f: impl Fn(&[f32]) -> f32,
+        dim: usize,
+        gens: usize,
+        seed: u64,
+    ) -> (Vec<f32>, f32) {
+        let mut rng = Rng::new(seed);
+        let init = vec![1.5f32; dim];
+        let mut es = CmaEs::new(&init, 0.5, CmaEs::default_population(dim)).unwrap();
+        for _ in 0..gens {
+            let pop = es.ask(&mut rng);
+            let fit: Vec<f32> = pop.iter().map(|x| f(x)).collect();
+            es.tell(&pop, &fit).unwrap();
+        }
+        let (x, v) = es.best().unwrap();
+        (x.to_vec(), v)
+    }
+
+    #[test]
+    fn sphere_converges() {
+        let (_, best) = minimize(|x| x.iter().map(|v| v * v).sum(), 10, 150, 1);
+        assert!(best < 1e-3, "best={best}");
+    }
+
+    #[test]
+    fn shifted_ellipsoid_converges() {
+        let f = |x: &[f32]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (i + 1) as f32 * (v - 0.7).powi(2))
+                .sum::<f32>()
+        };
+        let (x, best) = minimize(f, 8, 200, 2);
+        assert!(best < 1e-2, "best={best}");
+        for v in x {
+            assert!((v - 0.7).abs() < 0.15, "v={v}");
+        }
+    }
+
+    #[test]
+    fn high_dimensional_progress() {
+        // Separable CMA-ES's reason for existence: progress in dim ~300.
+        let dim = 300;
+        let f = |x: &[f32]| x.iter().map(|v| v * v).sum::<f32>();
+        let initial_fitness = f(&vec![1.5f32; dim]);
+        let (_, best) = minimize(f, dim, 200, 3);
+        assert!(best < initial_fitness * 0.1, "best={best}");
+    }
+
+    #[test]
+    fn tell_validates_counts() {
+        let mut es = CmaEs::new(&[0.0; 4], 0.3, 6).unwrap();
+        // tell before ask
+        assert!(es.tell(&[], &[]).is_err());
+        let mut rng = Rng::new(0);
+        let pop = es.ask(&mut rng);
+        assert!(es.tell(&pop[..3], &[0.0; 3]).is_err());
+        let fit = vec![0.0; 6];
+        assert!(es.tell(&pop, &fit).is_ok());
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(CmaEs::new(&[], 0.5, 8).is_err());
+        assert!(CmaEs::new(&[0.0], 0.0, 8).is_err());
+        assert!(CmaEs::new(&[0.0], 0.5, 2).is_err());
+    }
+
+    #[test]
+    fn sigma_stays_positive() {
+        let mut rng = Rng::new(4);
+        let mut es = CmaEs::new(&[0.0; 5], 0.5, 8).unwrap();
+        for _ in 0..50 {
+            let pop = es.ask(&mut rng);
+            let fit: Vec<f32> = pop.iter().map(|x| x.iter().sum::<f32>().abs()).collect();
+            es.tell(&pop, &fit).unwrap();
+            assert!(es.sigma() > 0.0);
+            assert!(es.sigma().is_finite());
+        }
+        assert_eq!(es.generation(), 50);
+    }
+}

@@ -1,0 +1,60 @@
+use bprom_tensor::TensorError;
+use std::fmt;
+
+/// Error type for visual-prompting operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VpError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A model forward/backward pass failed.
+    Model(String),
+    /// A prompt/optimizer configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpError::Tensor(e) => write!(f, "tensor error: {e}"),
+            VpError::Model(msg) => write!(f, "model error: {msg}"),
+            VpError::InvalidConfig { reason } => write!(f, "invalid VP config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VpError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VpError {
+    fn from(e: TensorError) -> Self {
+        VpError::Tensor(e)
+    }
+}
+
+impl From<bprom_nn::NnError> for VpError {
+    fn from(e: bprom_nn::NnError) -> Self {
+        VpError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: VpError = TensorError::InvalidParameter { reason: "x".into() }.into();
+        assert!(matches!(e, VpError::Tensor(_)));
+        let m: VpError = bprom_nn::NnError::InvalidConfig { reason: "y".into() }.into();
+        assert!(m.to_string().contains("y"));
+    }
+}

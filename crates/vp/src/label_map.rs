@@ -1,0 +1,245 @@
+use crate::{Result, VpError};
+use bprom_tensor::Tensor;
+
+/// Output label mapping between the target task's classes and the source
+/// model's classes.
+///
+/// The paper omits the optional learned output mapping (Section 3, Step 3)
+/// and uses the identity assignment `target class i → source class i`,
+/// which requires `K_T <= K_S`. A greedy frequency-based assignment is
+/// provided for the label-mapping ablation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelMap {
+    /// `assignment[t]` = source class index representing target class `t`.
+    assignment: Vec<usize>,
+    source_classes: usize,
+}
+
+impl LabelMap {
+    /// Identity mapping of `target_classes` onto the first source classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] if `target_classes >
+    /// source_classes`.
+    pub fn identity(target_classes: usize, source_classes: usize) -> Result<Self> {
+        if target_classes > source_classes || target_classes == 0 {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "cannot map {target_classes} target classes onto {source_classes} source classes"
+                ),
+            });
+        }
+        Ok(LabelMap {
+            assignment: (0..target_classes).collect(),
+            source_classes,
+        })
+    }
+
+    /// Greedy frequency mapping: each target class is assigned the source
+    /// class the prompted model predicts most often for it (ties and
+    /// collisions resolved greedily by descending count).
+    ///
+    /// `confidences` is `[n, K_S]`; `labels` are target labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] on inconsistent inputs.
+    pub fn greedy_frequency(
+        confidences: &Tensor,
+        labels: &[usize],
+        target_classes: usize,
+    ) -> Result<Self> {
+        if confidences.rank() != 2 || confidences.shape()[0] != labels.len() {
+            return Err(VpError::InvalidConfig {
+                reason: "confidences/labels mismatch in greedy_frequency".to_string(),
+            });
+        }
+        let k_s = confidences.shape()[1];
+        if target_classes > k_s {
+            return Err(VpError::InvalidConfig {
+                reason: format!("{target_classes} target classes exceed {k_s} source classes"),
+            });
+        }
+        // Count argmax predictions per (target class, source class).
+        let mut counts = vec![vec![0usize; k_s]; target_classes];
+        for (i, &t) in labels.iter().enumerate() {
+            if t >= target_classes {
+                return Err(VpError::InvalidConfig {
+                    reason: format!("label {t} out of range"),
+                });
+            }
+            let row = &confidences.data()[i * k_s..(i + 1) * k_s];
+            let mut best = 0;
+            for j in 1..k_s {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            counts[t][best] += 1;
+        }
+        // Greedy assignment by descending count, without reuse.
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for (t, row) in counts.iter().enumerate() {
+            for (s, &c) in row.iter().enumerate() {
+                triples.push((c, t, s));
+            }
+        }
+        triples.sort_by_key(|&(count, _, _)| std::cmp::Reverse(count));
+        let mut assignment = vec![usize::MAX; target_classes];
+        let mut used = vec![false; k_s];
+        for (_, t, s) in triples {
+            if assignment[t] == usize::MAX && !used[s] {
+                assignment[t] = s;
+                used[s] = true;
+            }
+        }
+        // Any unassigned target class gets the first free source class.
+        for a in assignment.iter_mut() {
+            if *a == usize::MAX {
+                let free = used
+                    .iter()
+                    .position(|&u| !u)
+                    .expect("k_t <= k_s guarantees a free class");
+                *a = free;
+                used[free] = true;
+            }
+        }
+        Ok(LabelMap {
+            assignment,
+            source_classes: k_s,
+        })
+    }
+
+    /// Source class representing target class `t`.
+    pub fn source_class(&self, t: usize) -> Option<usize> {
+        self.assignment.get(t).copied()
+    }
+
+    /// Number of target classes.
+    pub fn target_classes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of source classes.
+    pub fn source_classes(&self) -> usize {
+        self.source_classes
+    }
+
+    /// Maps a target label to the source label used in the prompted loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] for out-of-range labels.
+    pub fn map_label(&self, target_label: usize) -> Result<usize> {
+        self.source_class(target_label)
+            .ok_or_else(|| VpError::InvalidConfig {
+                reason: format!("target label {target_label} out of range"),
+            })
+    }
+
+    /// Classification accuracy of prompted confidences against target
+    /// labels under this mapping: a prediction counts when the argmax
+    /// source class is the one assigned to the true target class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] on inconsistent inputs.
+    pub fn accuracy(&self, confidences: &Tensor, labels: &[usize]) -> Result<f32> {
+        if confidences.rank() != 2 || confidences.shape()[0] != labels.len() {
+            return Err(VpError::InvalidConfig {
+                reason: "confidences/labels mismatch in accuracy".to_string(),
+            });
+        }
+        if labels.is_empty() {
+            return Err(VpError::InvalidConfig {
+                reason: "empty evaluation set".to_string(),
+            });
+        }
+        let k_s = confidences.shape()[1];
+        let mut correct = 0usize;
+        for (i, &t) in labels.iter().enumerate() {
+            let want = self.map_label(t)?;
+            let row = &confidences.data()[i * k_s..(i + 1) * k_s];
+            let mut best = 0;
+            for j in 1..k_s {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            if best == want {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / labels.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_requires_enough_source_classes() {
+        assert!(LabelMap::identity(10, 10).is_ok());
+        assert!(LabelMap::identity(10, 43).is_ok());
+        assert!(LabelMap::identity(11, 10).is_err());
+        assert!(LabelMap::identity(0, 10).is_err());
+    }
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let map = LabelMap::identity(3, 5).unwrap();
+        assert_eq!(map.map_label(2).unwrap(), 2);
+        assert!(map.map_label(3).is_err());
+    }
+
+    #[test]
+    fn accuracy_under_identity() {
+        let map = LabelMap::identity(2, 3).unwrap();
+        let conf = Tensor::from_vec(
+            vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1, 0.1, 0.1, 0.8],
+            &[3, 3],
+        )
+        .unwrap();
+        let acc = map.accuracy(&conf, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn greedy_frequency_finds_permutation() {
+        // Target class 0 always predicted as source 2, class 1 as source 0.
+        let conf = Tensor::from_vec(
+            vec![
+                0.1, 0.1, 0.8, // t=0 -> s=2
+                0.0, 0.2, 0.8, // t=0 -> s=2
+                0.9, 0.1, 0.0, // t=1 -> s=0
+                0.7, 0.2, 0.1, // t=1 -> s=0
+            ],
+            &[4, 3],
+        )
+        .unwrap();
+        let map = LabelMap::greedy_frequency(&conf, &[0, 0, 1, 1], 2).unwrap();
+        assert_eq!(map.source_class(0), Some(2));
+        assert_eq!(map.source_class(1), Some(0));
+        assert_eq!(map.accuracy(&conf, &[0, 0, 1, 1]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn greedy_handles_collisions() {
+        // Both target classes prefer source 1; one must yield.
+        let conf = Tensor::from_vec(
+            vec![
+                0.1, 0.9, 0.0, //
+                0.1, 0.9, 0.0, //
+                0.2, 0.8, 0.0, //
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let map = LabelMap::greedy_frequency(&conf, &[0, 0, 1], 2).unwrap();
+        let (a, b) = (map.source_class(0).unwrap(), map.source_class(1).unwrap());
+        assert_ne!(a, b);
+        assert_eq!(a, 1, "majority class keeps its preferred source");
+    }
+}

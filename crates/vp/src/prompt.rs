@@ -1,0 +1,392 @@
+use crate::{Result, VpError};
+use bprom_tensor::{Rng, Tensor};
+
+/// A trainable visual prompt: additive border noise around a downscaled
+/// target image (paper Figure 1a).
+///
+/// The prompt canvas has the source model's input shape `[c, s, s]`; the
+/// inner `(s - 2·border)²` window holds the resized target image and the
+/// border holds the trainable parameters `θ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+/// How the prompt combines with the target image.
+pub enum PromptStyle {
+    /// Pad style (Tsai et al. 2020, paper Figure 1a): the target image is
+    /// resized into the inner window; the border pixels are `θ` alone.
+    Pad,
+    /// Overlay style (Bahng et al. 2022): the target image is resized to
+    /// the full canvas and `θ` is *added* on the border frame.
+    #[default]
+    Overlay,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisualPrompt {
+    /// Border parameters on a full canvas (inner region is ignored/zero).
+    theta: Tensor,
+    channels: usize,
+    source_size: usize,
+    border: usize,
+    style: PromptStyle,
+}
+
+/// Bilinear image resize `[c, h, h] → [c, t, t]`.
+pub(crate) fn resize(image: &Tensor, to: usize) -> Result<Tensor> {
+    if image.rank() != 3 {
+        return Err(VpError::InvalidConfig {
+            reason: format!("resize expects [c, h, w], got {:?}", image.shape()),
+        });
+    }
+    let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+    let mut out = Tensor::zeros(&[c, to, to]);
+    for ci in 0..c {
+        for y in 0..to {
+            for x in 0..to {
+                let sy = (y as f32 + 0.5) * h as f32 / to as f32 - 0.5;
+                let sx = (x as f32 + 0.5) * w as f32 / to as f32 - 0.5;
+                let sy = sy.clamp(0.0, (h - 1) as f32);
+                let sx = sx.clamp(0.0, (w - 1) as f32);
+                let (y0, x0) = (sy as usize, sx as usize);
+                let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
+                let (fy, fx) = (sy - y0 as f32, sx - x0 as f32);
+                let px = |yy: usize, xx: usize| image.data()[(ci * h + yy) * w + xx];
+                let top = px(y0, x0) * (1.0 - fx) + px(y0, x1) * fx;
+                let bot = px(y1, x0) * (1.0 - fx) + px(y1, x1) * fx;
+                out.data_mut()[(ci * to + y) * to + x] = top * (1.0 - fy) + bot * fy;
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl VisualPrompt {
+    /// Creates a zero-initialized prompt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] if the border leaves no inner
+    /// window (`2·border >= source_size`) or is zero.
+    pub fn new(channels: usize, source_size: usize, border: usize) -> Result<Self> {
+        if border == 0 || 2 * border >= source_size {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "border {border} invalid for source size {source_size} (need 0 < 2b < s)"
+                ),
+            });
+        }
+        Ok(VisualPrompt {
+            theta: Tensor::zeros(&[channels, source_size, source_size]),
+            channels,
+            source_size,
+            border,
+            style: PromptStyle::default(),
+        })
+    }
+
+    /// Sets the prompt style (pad vs overlay); returns `self` for chaining.
+    pub fn with_style(mut self, style: PromptStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// The prompt's combination style.
+    pub fn style(&self) -> PromptStyle {
+        self.style
+    }
+
+    /// Creates a small-random-initialized prompt (helps CMA-ES start from a
+    /// non-degenerate point).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VisualPrompt::new`].
+    pub fn random(
+        channels: usize,
+        source_size: usize,
+        border: usize,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let mut p = Self::new(channels, source_size, border)?;
+        let mask = p.border_mask();
+        for (v, &m) in p.theta.data_mut().iter_mut().zip(mask.data()) {
+            if m > 0.0 {
+                *v = rng.uniform_in(-0.1, 0.1);
+            }
+        }
+        Ok(p)
+    }
+
+    /// Side length of the inner window holding the resized target image.
+    pub fn inner_size(&self) -> usize {
+        self.source_size - 2 * self.border
+    }
+
+    /// Border width in pixels.
+    pub fn border(&self) -> usize {
+        self.border
+    }
+
+    /// Source-canvas side length.
+    pub fn source_size(&self) -> usize {
+        self.source_size
+    }
+
+    /// A `[c, s, s]` mask with 1.0 on the trainable border, 0.0 inside.
+    pub fn border_mask(&self) -> Tensor {
+        let s = self.source_size;
+        let b = self.border;
+        let mut mask = Tensor::ones(&[self.channels, s, s]);
+        for c in 0..self.channels {
+            for y in b..s - b {
+                for x in b..s - b {
+                    mask.data_mut()[(c * s + y) * s + x] = 0.0;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Prompts one target image: `V(x | θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image is not `[c, t, t]` with the prompt's
+    /// channel count.
+    pub fn apply(&self, target_image: &Tensor) -> Result<Tensor> {
+        if target_image.rank() != 3 || target_image.shape()[0] != self.channels {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "prompt expects [{}, t, t] images, got {:?}",
+                    self.channels,
+                    target_image.shape()
+                ),
+            });
+        }
+        let s = self.source_size;
+        match self.style {
+            PromptStyle::Pad => {
+                let isz = self.inner_size();
+                let inner = resize(target_image, isz)?;
+                let b = self.border;
+                let mut out = self.theta.clone();
+                out.clamp_in_place(0.0, 1.0);
+                for c in 0..self.channels {
+                    for y in 0..isz {
+                        let src = (c * isz + y) * isz;
+                        let dst = (c * s + y + b) * s + b;
+                        out.data_mut()[dst..dst + isz]
+                            .copy_from_slice(&inner.data()[src..src + isz]);
+                    }
+                }
+                Ok(out)
+            }
+            PromptStyle::Overlay => {
+                let mut out = resize(target_image, s)?;
+                let mask = self.border_mask();
+                for ((o, &t), &m) in out
+                    .data_mut()
+                    .iter_mut()
+                    .zip(self.theta.data())
+                    .zip(mask.data())
+                {
+                    *o = (*o + t * m).clamp(0.0, 1.0);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Prompts a batch `[n, c, t, t] → [n, c, s, s]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VisualPrompt::apply`].
+    pub fn apply_batch(&self, images: &Tensor) -> Result<Tensor> {
+        if images.rank() != 4 {
+            return Err(VpError::InvalidConfig {
+                reason: format!("apply_batch expects [n, c, t, t], got {:?}", images.shape()),
+            });
+        }
+        let n = images.shape()[0];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.apply(&images.sample(i)?)?);
+        }
+        Ok(Tensor::stack(&out)?)
+    }
+
+    /// Accumulates a gradient step: `θ += scale · (grad ⊙ border_mask)`.
+    /// `grad` must be a `[c, s, s]` gradient with respect to the prompted
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn apply_gradient(&mut self, grad: &Tensor, scale: f32) -> Result<()> {
+        if grad.shape() != self.theta.shape() {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "gradient shape {:?} != prompt shape {:?}",
+                    grad.shape(),
+                    self.theta.shape()
+                ),
+            });
+        }
+        let mask = self.border_mask();
+        for ((t, &g), &m) in self
+            .theta
+            .data_mut()
+            .iter_mut()
+            .zip(grad.data())
+            .zip(mask.data())
+        {
+            *t += scale * g * m;
+        }
+        Ok(())
+    }
+
+    /// Number of trainable border parameters (the CMA-ES dimension).
+    pub fn num_border_params(&self) -> usize {
+        let s = self.source_size;
+        let i = self.inner_size();
+        self.channels * (s * s - i * i)
+    }
+
+    /// Extracts the border parameters as a flat vector (CMA-ES interface).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mask = self.border_mask();
+        self.theta
+            .data()
+            .iter()
+            .zip(mask.data())
+            .filter(|(_, &m)| m > 0.0)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// Installs border parameters from a flat vector (CMA-ES interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::InvalidConfig`] on length mismatch.
+    pub fn set_flat(&mut self, flat: &[f32]) -> Result<()> {
+        if flat.len() != self.num_border_params() {
+            return Err(VpError::InvalidConfig {
+                reason: format!(
+                    "flat vector length {} != border param count {}",
+                    flat.len(),
+                    self.num_border_params()
+                ),
+            });
+        }
+        let mask = self.border_mask();
+        let mut it = flat.iter();
+        for (t, &m) in self.theta.data_mut().iter_mut().zip(mask.data()) {
+            if m > 0.0 {
+                *t = *it.next().expect("length checked above");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_border() {
+        assert!(VisualPrompt::new(3, 16, 0).is_err());
+        assert!(VisualPrompt::new(3, 16, 8).is_err());
+        assert!(VisualPrompt::new(3, 16, 4).is_ok());
+    }
+
+    #[test]
+    fn apply_places_image_in_center() {
+        let mut prompt = VisualPrompt::new(1, 8, 2).unwrap().with_style(PromptStyle::Pad);
+        // Distinctive border value.
+        prompt.theta = Tensor::full(&[1, 8, 8], 0.25);
+        let img = Tensor::ones(&[1, 4, 4]);
+        let out = prompt.apply(&img).unwrap();
+        // Inner 4x4 window is the (resized) image = 1.0.
+        assert_eq!(out.at(&[0, 4, 4]).unwrap(), 1.0);
+        // Border is theta.
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 0.25);
+        assert_eq!(out.at(&[0, 7, 7]).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn overlay_adds_theta_on_border_only() {
+        let mut prompt = VisualPrompt::new(1, 8, 2).unwrap().with_style(PromptStyle::Overlay);
+        prompt.theta = Tensor::full(&[1, 8, 8], 0.25);
+        let img = Tensor::full(&[1, 8, 8], 0.5);
+        let out = prompt.apply(&img).unwrap();
+        // Center: image untouched. Border: image + theta.
+        assert_eq!(out.at(&[0, 4, 4]).unwrap(), 0.5);
+        assert_eq!(out.at(&[0, 0, 0]).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn border_mask_counts() {
+        let prompt = VisualPrompt::new(3, 16, 4).unwrap();
+        let mask = prompt.border_mask();
+        let ones = mask.data().iter().filter(|&&m| m == 1.0).count();
+        assert_eq!(ones, prompt.num_border_params());
+        assert_eq!(ones, 3 * (256 - 64));
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let mut rng = Rng::new(0);
+        let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let flat = prompt.to_flat();
+        assert_eq!(flat.len(), prompt.num_border_params());
+        let mut other = VisualPrompt::new(3, 16, 4).unwrap();
+        other.set_flat(&flat).unwrap();
+        assert_eq!(other.to_flat(), flat);
+        assert!(prompt.set_flat(&flat[1..]).is_err());
+    }
+
+    #[test]
+    fn gradient_only_touches_border() {
+        let mut prompt = VisualPrompt::new(1, 8, 2).unwrap();
+        let grad = Tensor::ones(&[1, 8, 8]);
+        prompt.apply_gradient(&grad, -0.5).unwrap();
+        // Center stays zero; border moved by -0.5.
+        assert_eq!(prompt.theta.at(&[0, 4, 4]).unwrap(), 0.0);
+        assert_eq!(prompt.theta.at(&[0, 0, 0]).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn resize_preserves_constant_images() {
+        let img = Tensor::full(&[3, 8, 8], 0.7);
+        let out = resize(&img, 12).unwrap();
+        assert_eq!(out.shape(), &[3, 12, 12]);
+        for v in out.data() {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+        let down = resize(&img, 4).unwrap();
+        assert_eq!(down.shape(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let mut rng = Rng::new(1);
+        let img = Tensor::rand_uniform(&[1, 6, 6], 0.0, 1.0, &mut rng);
+        let out = resize(&img, 6).unwrap();
+        for (a, b) in out.data().iter().zip(img.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let mut rng = Rng::new(2);
+        let prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let imgs = Tensor::rand_uniform(&[3, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let batch = prompt.apply_batch(&imgs).unwrap();
+        for i in 0..3 {
+            let single = prompt.apply(&imgs.sample(i).unwrap()).unwrap();
+            assert_eq!(batch.sample(i).unwrap(), single);
+        }
+    }
+}

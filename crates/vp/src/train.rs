@@ -1,0 +1,424 @@
+//! Prompt learning: backpropagation for shadow models (white-box) and
+//! CMA-ES for suspicious models (black-box), plus prompted-accuracy
+//! evaluation.
+
+use crate::{BlackBoxModel, CmaEs, LabelMap, Result, VisualPrompt, VpError};
+use bprom_nn::loss::softmax_cross_entropy;
+use bprom_nn::{Layer, Mode, Sequential};
+use bprom_tensor::{Rng, Tensor};
+
+/// Hyperparameters for prompt learning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromptTrainConfig {
+    /// Backprop epochs over the target training set.
+    pub epochs: usize,
+    /// Minibatch size (both paths).
+    pub batch_size: usize,
+    /// Backprop learning rate for `θ`.
+    pub lr: f32,
+    /// Backprop momentum for `θ`.
+    pub momentum: f32,
+    /// CMA-ES generations (black-box path).
+    pub cmaes_generations: usize,
+    /// CMA-ES population λ; 0 means the dimension-derived default.
+    pub cmaes_population: usize,
+    /// CMA-ES initial step size.
+    pub cmaes_sigma: f32,
+}
+
+impl Default for PromptTrainConfig {
+    fn default() -> Self {
+        PromptTrainConfig {
+            epochs: 15,
+            batch_size: 48,
+            lr: 0.05,
+            momentum: 0.9,
+            cmaes_generations: 40,
+            cmaes_population: 12,
+            cmaes_sigma: 0.15,
+        }
+    }
+}
+
+/// Outcome of a prompt-training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptTrainReport {
+    /// Mean loss per epoch (backprop) or per generation (CMA-ES best).
+    pub losses: Vec<f32>,
+    /// Queries consumed (black-box path only; 0 for backprop).
+    pub queries: u64,
+}
+
+fn check_training_set(images: &Tensor, labels: &[usize]) -> Result<()> {
+    if images.rank() != 4 || images.shape()[0] != labels.len() || labels.is_empty() {
+        return Err(VpError::InvalidConfig {
+            reason: format!(
+                "training set mismatch: images {:?}, {} labels",
+                images.shape(),
+                labels.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn gather(images: &Tensor, labels: &[usize], idx: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+    let inner: usize = images.shape()[1..].iter().product();
+    let mut data = Vec::with_capacity(idx.len() * inner);
+    let mut out_labels = Vec::with_capacity(idx.len());
+    for &i in idx {
+        data.extend_from_slice(&images.data()[i * inner..(i + 1) * inner]);
+        out_labels.push(labels[i]);
+    }
+    let mut dims = vec![idx.len()];
+    dims.extend_from_slice(&images.shape()[1..]);
+    Ok((Tensor::from_vec(data, &dims)?, out_labels))
+}
+
+/// Learns a visual prompt by backpropagating through a *frozen* model
+/// (`Mode::Frozen`: gradients flow, weights and normalization statistics
+/// do not change). This is how BPROM prompts its shadow models.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches or if the label map cannot
+/// express a target label.
+pub fn train_prompt_backprop(
+    model: &mut Sequential,
+    prompt: &mut VisualPrompt,
+    images: &Tensor,
+    labels: &[usize],
+    map: &LabelMap,
+    cfg: &PromptTrainConfig,
+    rng: &mut Rng,
+) -> Result<PromptTrainReport> {
+    check_training_set(images, labels)?;
+    let n = images.shape()[0];
+    let mapped: Vec<usize> = labels
+        .iter()
+        .map(|&l| map.map_label(l))
+        .collect::<Result<_>>()?;
+    let mut order: Vec<usize> = (0..n).collect();
+    // Adam state on the full canvas (border entries are the live ones).
+    let canvas = [images.shape()[1], prompt.source_size(), prompt.source_size()];
+    let mut m = Tensor::zeros(&canvas);
+    let mut v = Tensor::zeros(&canvas);
+    let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+    let mut t = 0i32;
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for _epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let (bx, by) = gather(images, &mapped, chunk)?;
+            let prompted = prompt.apply_batch(&bx)?;
+            let logits = model.forward(&prompted, Mode::Frozen)?;
+            let (loss, grad_logits) = softmax_cross_entropy(&logits, &by)?;
+            model.zero_grad();
+            let grad_input = model.backward(&grad_logits)?;
+            // Sum input gradients over the batch: θ is shared.
+            let mut grad_theta = Tensor::zeros(&canvas);
+            let inner: usize = grad_theta.len();
+            for i in 0..chunk.len() {
+                for (g, &gv) in grad_theta
+                    .data_mut()
+                    .iter_mut()
+                    .zip(&grad_input.data()[i * inner..(i + 1) * inner])
+                {
+                    *g += gv;
+                }
+            }
+            // Adam step on the border parameters.
+            t += 1;
+            let bc1 = 1.0 - b1.powi(t);
+            let bc2 = 1.0 - b2.powi(t);
+            let mut step = Tensor::zeros(&canvas);
+            for (((mi, vi), &g), s) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(grad_theta.data())
+                .zip(step.data_mut().iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                *s = (*mi / bc1) / ((*vi / bc2).sqrt() + eps);
+            }
+            prompt.apply_gradient(&step, -cfg.lr)?;
+            total += loss;
+            batches += 1;
+        }
+        losses.push(total / batches.max(1) as f32);
+    }
+    Ok(PromptTrainReport { losses, queries: 0 })
+}
+
+/// Learns a visual prompt for a black-box model with CMA-ES over the
+/// border parameters, minimizing cross-entropy of the queried confidence
+/// vectors. This is how BPROM prompts the suspicious model.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches or optimizer misuse.
+pub fn train_prompt_cmaes(
+    oracle: &mut dyn BlackBoxModel,
+    prompt: &mut VisualPrompt,
+    images: &Tensor,
+    labels: &[usize],
+    map: &LabelMap,
+    cfg: &PromptTrainConfig,
+    rng: &mut Rng,
+) -> Result<PromptTrainReport> {
+    check_training_set(images, labels)?;
+    let n = images.shape()[0];
+    let mapped: Vec<usize> = labels
+        .iter()
+        .map(|&l| map.map_label(l))
+        .collect::<Result<_>>()?;
+    let start_queries = oracle.queries_used();
+    let pop = if cfg.cmaes_population == 0 {
+        CmaEs::default_population(prompt.num_border_params())
+    } else {
+        cfg.cmaes_population
+    };
+    let mut es = CmaEs::new(&prompt.to_flat(), cfg.cmaes_sigma, pop)?;
+    let mut losses = Vec::with_capacity(cfg.cmaes_generations);
+    let mut scratch = prompt.clone();
+    for _gen in 0..cfg.cmaes_generations {
+        // One shared minibatch per generation: candidates are ranked on the
+        // same data, resampled across generations for coverage.
+        let batch_len = cfg.batch_size.min(n).max(1);
+        let idx = rng.sample_indices(n, batch_len);
+        let (bx, by) = gather(images, &mapped, &idx)?;
+        let candidates = es.ask(rng);
+        let mut fitness = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            scratch.set_flat(cand)?;
+            let prompted = scratch.apply_batch(&bx)?;
+            let probs = oracle.query(&prompted)?;
+            let k = probs.shape()[1];
+            let mut loss = 0.0f32;
+            for (row, &want) in by.iter().enumerate() {
+                let p = probs.data()[row * k + want].max(1e-9);
+                loss -= p.ln();
+            }
+            fitness.push(loss / by.len() as f32);
+        }
+        es.tell(&candidates, &fitness)?;
+        losses.push(
+            fitness
+                .iter()
+                .copied()
+                .fold(f32::INFINITY, f32::min),
+        );
+    }
+    // Install the best-ever candidate.
+    if let Some((best, _)) = es.best() {
+        prompt.set_flat(best)?;
+    }
+    Ok(PromptTrainReport {
+        losses,
+        queries: oracle.queries_used() - start_queries,
+    })
+}
+
+/// Prompted-model accuracy via direct (white-box) forward passes.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches.
+pub fn prompted_accuracy(
+    model: &mut Sequential,
+    prompt: &VisualPrompt,
+    images: &Tensor,
+    labels: &[usize],
+    map: &LabelMap,
+) -> Result<f32> {
+    check_training_set(images, labels)?;
+    let n = images.shape()[0];
+    let idx: Vec<usize> = (0..n).collect();
+    let mut correct = 0.0f32;
+    for chunk in idx.chunks(64) {
+        let (bx, by) = gather(images, labels, chunk)?;
+        let prompted = prompt.apply_batch(&bx)?;
+        let logits = model.forward(&prompted, Mode::Eval)?;
+        let probs = bprom_nn::softmax(&logits)?;
+        correct += map.accuracy(&probs, &by)? * chunk.len() as f32;
+    }
+    Ok(correct / n as f32)
+}
+
+/// Prompted-model accuracy through the black-box query interface.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches.
+pub fn prompted_accuracy_blackbox(
+    oracle: &mut dyn BlackBoxModel,
+    prompt: &VisualPrompt,
+    images: &Tensor,
+    labels: &[usize],
+    map: &LabelMap,
+) -> Result<f32> {
+    check_training_set(images, labels)?;
+    let n = images.shape()[0];
+    let idx: Vec<usize> = (0..n).collect();
+    let mut correct = 0.0f32;
+    for chunk in idx.chunks(64) {
+        let (bx, by) = gather(images, labels, chunk)?;
+        let prompted = prompt.apply_batch(&bx)?;
+        let probs = oracle.query(&prompted)?;
+        correct += map.accuracy(&probs, &by)? * chunk.len() as f32;
+    }
+    Ok(correct / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryOracle;
+    use bprom_data::SynthDataset;
+    use bprom_nn::models::{resnet_mini, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+
+    /// Train a clean source model, then learn a prompt mapping a *different*
+    /// dataset onto it; prompted accuracy must clearly beat chance.
+    #[test]
+    fn backprop_prompting_adapts_clean_model() {
+        let mut rng = Rng::new(0);
+        let source = SynthDataset::Cifar10.generate(30, 16, 1).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = resnet_mini(&spec, &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig::default());
+        trainer
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
+
+        let target = SynthDataset::Stl10.generate(20, 8, 2).unwrap();
+        let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
+        let map = LabelMap::identity(10, 10).unwrap();
+        let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let before = prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map)
+            .unwrap();
+        let cfg = PromptTrainConfig::default();
+        let report = train_prompt_backprop(
+            &mut model,
+            &mut prompt,
+            &t_train.images,
+            &t_train.labels,
+            &map,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        let after = prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map)
+            .unwrap();
+        // The unprompted baseline varies with how the random domains align;
+        // prompting must end well above chance (10 %) and never hurt.
+        assert!(
+            after > 0.25 && after >= before - 0.05,
+            "prompting should lift accuracy well above chance: {before} -> {after}, losses {:?}",
+            report.losses
+        );
+        assert!(
+            report.losses.first().unwrap() > report.losses.last().unwrap(),
+            "prompt training should reduce the loss: {:?}",
+            report.losses
+        );
+    }
+
+    #[test]
+    fn frozen_prompting_does_not_change_model() {
+        let mut rng = Rng::new(1);
+        let source = SynthDataset::Cifar10.generate(10, 16, 3).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = resnet_mini(&spec, &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig::fast());
+        trainer
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
+        let params_before = model.export_params();
+        let probe = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let out_before = model.forward(&probe, Mode::Eval).unwrap();
+
+        let target = SynthDataset::Stl10.generate(5, 8, 4).unwrap();
+        let map = LabelMap::identity(10, 10).unwrap();
+        let mut prompt = VisualPrompt::new(3, 16, 4).unwrap();
+        let cfg = PromptTrainConfig {
+            epochs: 2,
+            ..PromptTrainConfig::default()
+        };
+        train_prompt_backprop(
+            &mut model,
+            &mut prompt,
+            &target.images,
+            &target.labels,
+            &map,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(model.export_params(), params_before);
+        let out_after = model.forward(&probe, Mode::Eval).unwrap();
+        assert_eq!(out_before, out_after);
+    }
+
+    #[test]
+    fn cmaes_prompting_reduces_loss_through_queries_only() {
+        let mut rng = Rng::new(2);
+        let source = SynthDataset::Cifar10.generate(20, 16, 5).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = resnet_mini(&spec, &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig::fast());
+        trainer
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
+        let mut oracle = QueryOracle::new(model, 10);
+
+        let target = SynthDataset::Stl10.generate(10, 8, 6).unwrap();
+        let map = LabelMap::identity(10, 10).unwrap();
+        let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let cfg = PromptTrainConfig {
+            cmaes_generations: 15,
+            cmaes_population: 8,
+            ..PromptTrainConfig::default()
+        };
+        let report = train_prompt_cmaes(
+            &mut oracle,
+            &mut prompt,
+            &target.images,
+            &target.labels,
+            &map,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.queries > 0);
+        assert_eq!(report.losses.len(), 15);
+        let first = report.losses.first().unwrap();
+        let last = report.losses.last().unwrap();
+        assert!(last < first, "CMA-ES should reduce loss: {first} -> {last}");
+    }
+
+    #[test]
+    fn training_set_validation() {
+        let mut rng = Rng::new(3);
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = resnet_mini(&spec, &mut rng).unwrap();
+        let mut prompt = VisualPrompt::new(3, 16, 4).unwrap();
+        let map = LabelMap::identity(10, 10).unwrap();
+        let cfg = PromptTrainConfig::default();
+        let bad = Tensor::zeros(&[2, 3, 8, 8]);
+        assert!(train_prompt_backprop(
+            &mut model,
+            &mut prompt,
+            &bad,
+            &[0],
+            &map,
+            &cfg,
+            &mut rng
+        )
+        .is_err());
+    }
+}

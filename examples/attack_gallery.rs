@@ -1,0 +1,38 @@
+//! Attack gallery: plants every implemented backdoor into the same
+//! training set and reports clean accuracy and attack success rate —
+//! a miniature of the paper's Tables 14/15.
+//!
+//! Run with: `cargo run --release --example attack_gallery`
+
+use bprom_suite::attacks::{attack_success_rate, poison_dataset, AttackKind};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{build, Architecture, ModelSpec};
+use bprom_suite::nn::{TrainConfig, Trainer};
+use bprom_suite::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::new(5);
+    println!("{:<12} {:>6} {:>6}  notes", "attack", "ACC", "ASR");
+    for kind in AttackKind::ALL {
+        let data = SynthDataset::Cifar10.generate(40, 16, 9)?;
+        let (train, test) = data.split(0.8, &mut rng)?;
+        let attack = kind.build(16, &mut rng)?;
+        let cfg = kind.default_config(0);
+        let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng)?;
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, &mut rng)?;
+        let trainer = Trainer::new(TrainConfig::default());
+        trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)?;
+        let acc = trainer.evaluate(&mut model, &test.images, &test.labels)?;
+        let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng)?;
+        let note = match kind {
+            AttackKind::Sig | AttackKind::LabelConsistent => "clean-label",
+            AttackKind::AdapBlend | AttackKind::AdapPatch => "adaptive (cover samples)",
+            AttackKind::AllToAll => "all-to-all label shift",
+            AttackKind::Refool | AttackKind::Bpp | AttackKind::PoisonInk => "feature-space",
+            _ => "dirty-label",
+        };
+        println!("{:<12} {acc:>6.2} {asr:>6.2}  {note}", kind.name());
+    }
+    Ok(())
+}

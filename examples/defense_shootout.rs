@@ -1,0 +1,62 @@
+//! Defense shootout: pits the input-level baselines against a single
+//! BadNets-infected model on the same triggered/benign input stream and
+//! reports each detector's AUROC (the setting of the paper's Table 1).
+//!
+//! Run with: `cargo run --release --example defense_shootout`
+
+use bprom_suite::attacks::{poison_dataset, AttackKind};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::defenses::input_level::{
+    scale_up_scores, sentinet_scores, strip_scores, teco_scores, FrequencyDetector,
+};
+use bprom_suite::metrics::auroc;
+use bprom_suite::nn::models::{build, Architecture, ModelSpec};
+use bprom_suite::nn::{TrainConfig, Trainer};
+use bprom_suite::tensor::{Rng, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::new(13);
+    // Infected model.
+    let data = SynthDataset::Cifar10.generate(40, 16, 3)?;
+    let (train, test) = data.split(0.8, &mut rng)?;
+    let attack = AttackKind::BadNets.build(16, &mut rng)?;
+    let cfg = AttackKind::BadNets.default_config(0);
+    let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng)?;
+    let spec = ModelSpec::new(3, 16, 10);
+    let mut model = build(Architecture::ResNetMini, &spec, &mut rng)?;
+    Trainer::new(TrainConfig::default()).fit(
+        &mut model,
+        &poisoned.dataset.images,
+        &poisoned.dataset.labels,
+        &mut rng,
+    )?;
+
+    // Half-triggered input stream.
+    let mut images = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..40.min(test.len()) {
+        let x = test.images.sample(i)?;
+        if i % 2 == 0 {
+            images.push(attack.apply(&x, &mut rng)?);
+            truth.push(true);
+        } else {
+            images.push(x);
+            truth.push(false);
+        }
+    }
+    let inputs = Tensor::stack(&images)?;
+    let pool = test.select(&(40..test.len().min(70)).collect::<Vec<_>>())?.images;
+
+    println!("{:<12} {:>8}", "defense", "AUROC");
+    let strip = strip_scores(&mut model, &inputs, &pool, 8, &mut rng)?;
+    println!("{:<12} {:>8.3}", "STRIP", auroc(&strip, &truth)?);
+    let scale = scale_up_scores(&mut model, &inputs)?;
+    println!("{:<12} {:>8.3}", "SCALE-UP", auroc(&scale, &truth)?);
+    let teco = teco_scores(&mut model, &inputs, &mut rng)?;
+    println!("{:<12} {:>8.3}", "TeCo", auroc(&teco, &truth)?);
+    let senti = sentinet_scores(&mut model, &inputs, &pool, 4)?;
+    println!("{:<12} {:>8.3}", "SentiNet", auroc(&senti, &truth)?);
+    let freq = FrequencyDetector::fit(&pool, &mut rng)?;
+    println!("{:<12} {:>8.3}", "Frequency", auroc(&freq.scores(&inputs)?, &truth)?);
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Scratch diagnostic: the class-subspace-inconsistency gap — prompted
+//! accuracy of clean vs backdoored source models (paper Figure 3).
+//! Run with `cargo run --release --example diag_gap`.
+
+use bprom_suite::attacks::{poison_dataset, AttackKind};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{resnet_mini, ModelSpec};
+use bprom_suite::nn::{Sequential, TrainConfig, Trainer};
+use bprom_suite::tensor::Rng;
+use bprom_suite::vp::{
+    prompted_accuracy, train_prompt_backprop, LabelMap, PromptTrainConfig, VisualPrompt,
+};
+
+fn prompt_acc(
+    model: &mut Sequential,
+    border: usize,
+    epochs: usize,
+    t_train: &bprom_suite::data::Dataset,
+    t_test: &bprom_suite::data::Dataset,
+    rng: &mut Rng,
+) -> f32 {
+    let map = LabelMap::identity(10, 10).unwrap();
+    let cfg = PromptTrainConfig {
+        epochs,
+        ..PromptTrainConfig::default()
+    };
+    let mut p = VisualPrompt::random(3, 16, border, rng).unwrap();
+    train_prompt_backprop(model, &mut p, &t_train.images, &t_train.labels, &map, &cfg, rng)
+        .unwrap();
+    prompted_accuracy(model, &p, &t_test.images, &t_test.labels, &map).unwrap()
+}
+
+fn main() {
+    let mut rng = Rng::new(7);
+    let spec = ModelSpec::new(3, 16, 10);
+    let trainer = Trainer::new(TrainConfig::default());
+    let target = SynthDataset::Stl10.generate(25, 16, 99).unwrap();
+    let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
+
+    for border in [4usize] {
+        for epochs in [40usize] {
+            let mut clean_accs = Vec::new();
+            let mut bd_accs = Vec::new();
+            for seed in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+                let source = SynthDataset::Cifar10.generate(40, 16, seed).unwrap();
+                let mut clean = resnet_mini(&spec, &mut rng).unwrap();
+                trainer
+                    .fit(&mut clean, &source.images, &source.labels, &mut rng)
+                    .unwrap();
+                clean_accs.push(prompt_acc(&mut clean, border, epochs, &t_train, &t_test, &mut rng));
+
+                for kind in [
+                    AttackKind::BadNets,
+                    AttackKind::Blend,
+                    AttackKind::WaNet,
+                    AttackKind::Trojan,
+                ] {
+                    let attack = kind.build(16, &mut rng).unwrap();
+                    let pcfg = kind.default_config(0);
+                    let poisoned =
+                        poison_dataset(&source, attack.as_ref(), &pcfg, &mut rng).unwrap();
+                    let mut bd = resnet_mini(&spec, &mut rng).unwrap();
+                    trainer
+                        .fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+                        .unwrap();
+                    bd_accs.push(prompt_acc(&mut bd, border, epochs, &t_train, &t_test, &mut rng));
+                }
+            }
+            let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+            let by_attack: Vec<f32> = (0..4)
+                .map(|a| mean(&bd_accs.iter().skip(a).step_by(4).copied().collect::<Vec<_>>()))
+                .collect();
+            println!(
+                "clean mean={:.3} | badnets={:.3} blend={:.3} wanet={:.3} trojan={:.3}",
+                mean(&clean_accs),
+                by_attack[0],
+                by_attack[1],
+                by_attack[2],
+                by_attack[3]
+            );
+        }
+    }
+}

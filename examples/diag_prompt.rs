@@ -1,0 +1,52 @@
+//! Scratch diagnostic: prompt-training dynamics on clean models.
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{resnet_mini, ModelSpec};
+use bprom_suite::nn::{Layer, Mode, TrainConfig, Trainer};
+use bprom_suite::tensor::Rng;
+use bprom_suite::vp::{
+    prompted_accuracy, train_prompt_backprop, LabelMap, PromptTrainConfig, VisualPrompt,
+};
+
+fn main() {
+    let mut rng = Rng::new(7);
+    let spec = ModelSpec::new(3, 16, 10);
+    let trainer = Trainer::new(TrainConfig::default());
+    let target = SynthDataset::Stl10.generate(25, 16, 99).unwrap();
+    let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
+    let map = LabelMap::identity(10, 10).unwrap();
+    for seed in [1u64, 2, 3, 4] {
+        let source = SynthDataset::Cifar10.generate(40, 16, seed).unwrap();
+        for poisoned_model in [false, true] {
+            let train_set = if poisoned_model {
+                let kind = bprom_suite::attacks::AttackKind::BadNets;
+                let attack = kind.build(16, &mut rng).unwrap();
+                let pcfg = bprom_suite::attacks::PoisonConfig::new(0.2, 0.0, 0);
+                bprom_suite::attacks::poison_dataset(&source, attack.as_ref(), &pcfg, &mut rng).unwrap().dataset
+            } else {
+                source.clone()
+            };
+            let mut model = resnet_mini(&spec, &mut rng).unwrap();
+            trainer.fit(&mut model, &train_set.images, &train_set.labels, &mut rng).unwrap();
+            let cfg = PromptTrainConfig { epochs: 40, ..PromptTrainConfig::default() };
+            let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+            train_prompt_backprop(&mut model, &mut p, &t_train.images, &t_train.labels, &map, &cfg, &mut rng).unwrap();
+            let test_acc = prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap();
+            // Per-class accuracy + prediction histogram on test.
+            let prompted = p.apply_batch(&t_test.images).unwrap();
+            let logits = model.forward(&prompted, Mode::Eval).unwrap();
+            let k = logits.shape()[1];
+            let mut hist = vec![0usize; k];
+            let mut per_class_ok = vec![0usize; k];
+            let mut per_class_n = vec![0usize; k];
+            for i in 0..logits.shape()[0] {
+                let row = &logits.data()[i*k..(i+1)*k];
+                let mut b = 0; for j in 1..k { if row[j] > row[b] { b = j; } }
+                hist[b] += 1;
+                per_class_n[t_test.labels[i]] += 1;
+                if b == t_test.labels[i] { per_class_ok[t_test.labels[i]] += 1; }
+            }
+            let pc: Vec<String> = (0..k).map(|c| format!("{:.0}", 100.0*per_class_ok[c] as f32/per_class_n[c].max(1) as f32)).collect();
+            println!("seed={seed} poisoned={poisoned_model} test={test_acc:.3} hist={hist:?} per_class%={pc:?}");
+        }
+    }
+}

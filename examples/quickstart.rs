@@ -1,0 +1,52 @@
+//! Quickstart: train a backdoored classifier, seal it behind the
+//! black-box boundary, and let BPROM decide whether it is trojaned.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bprom_suite::attacks::{attack_success_rate, poison_dataset, AttackKind};
+use bprom_suite::bprom::{Bprom, BpromConfig};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{build, Architecture, ModelSpec};
+use bprom_suite::nn::{TrainConfig, Trainer};
+use bprom_suite::tensor::Rng;
+use bprom_suite::vp::QueryOracle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::new(2024);
+
+    // 1. An attacker trains an image classifier with a BadNets backdoor.
+    println!("[1/3] training a backdoored classifier...");
+    let data = SynthDataset::Cifar10.generate(20, 16, 1)?;
+    let (train, test) = data.split(0.8, &mut rng)?;
+    let attack = AttackKind::BadNets.build(16, &mut rng)?;
+    let poison_cfg = AttackKind::BadNets.default_config(0);
+    let poisoned = poison_dataset(&train, attack.as_ref(), &poison_cfg, &mut rng)?;
+    let spec = ModelSpec::new(3, 16, 10);
+    let mut model = build(Architecture::ResNetMini, &spec, &mut rng)?;
+    let trainer = Trainer::new(TrainConfig::default());
+    trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)?;
+    let acc = trainer.evaluate(&mut model, &test.images, &test.labels)?;
+    let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &poison_cfg, &mut rng)?;
+    println!("      clean accuracy {acc:.2}, attack success rate {asr:.2}");
+
+    // 2. The defender fits a BPROM detector: shadow models on a small
+    //    reserved clean set, visual prompts, a random-forest meta model.
+    println!("[2/3] fitting the BPROM detector (shadow models + prompting)...");
+    let mut config = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.clean_shadows = 6;
+    config.backdoor_shadows = 6;
+    config.prompt.cmaes_generations = 25;
+    let detector = Bprom::fit(&config, &mut rng)?;
+
+    // 3. Inspection happens strictly through black-box queries.
+    println!("[3/3] inspecting the suspicious model through black-box queries...");
+    let mut oracle = QueryOracle::new(model, 10);
+    let verdict = detector.inspect(&mut oracle, &mut rng)?;
+    println!(
+        "      verdict: {} (backdoor score {:.2}, {} queries)",
+        if verdict.backdoored { "BACKDOORED" } else { "clean" },
+        verdict.score,
+        verdict.queries
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every table/figure harness at full substrate scale, teeing to
+# results/. Prioritized so the headline results land first.
+set -u
+BINS="table05_main_auroc fig03_subspace_inconsistency table07_shadow_count table11_low_poison_rate table12_clean_label table22_feature_backdoors fig05_pca bench_training_time table14_15_acc_asr table23_ds_size table02_target_classes table03_trigger_size_acc table04_poison_rate_acc table01_input_level_drop table10_cross_arch table16_f1_resnet table17_18_mobilenet table19_20_svhn table21_cifar100 table24_25_transformers table08_09_strength_auroc table06_26_large_datasets ablation_meta table05_baselines ablation_label_map limitation_all_to_all table13_attack_configs"
+mkdir -p results
+for b in $BINS; do
+  echo "=== RUNNING $b ==="
+  timeout 1500 ./target/release/$b > results/$b.txt 2>&1
+  echo "=== DONE $b (exit $?) ==="
+done
+echo ALL_TABLES_DONE

@@ -1,0 +1,16 @@
+//! Integration surface for the BPROM reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace crate so
+//! integration tests under `tests/` and runnable examples under `examples/`
+//! can use a single dependency. Library users should depend on the
+//! individual crates (`bprom`, `bprom-nn`, ...) directly.
+
+pub use bprom;
+pub use bprom_attacks as attacks;
+pub use bprom_data as data;
+pub use bprom_defenses as defenses;
+pub use bprom_meta as meta;
+pub use bprom_metrics as metrics;
+pub use bprom_nn as nn;
+pub use bprom_tensor as tensor;
+pub use bprom_vp as vp;

@@ -1,0 +1,33 @@
+//! End-to-end BPROM detection: fit the detector with BadNets shadows, then
+//! detect BadNets-backdoored suspicious models (the paper's core claim) at
+//! reduced scale. Table-scale runs live in the bench harness.
+
+use bprom_suite::attacks::AttackKind;
+use bprom_suite::bprom::{build_suspicious_zoo, evaluate_detector, Bprom, BpromConfig, ZooConfig};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::tensor::Rng;
+
+#[test]
+fn bprom_detects_badnets_backdoors() {
+    let mut rng = Rng::new(7);
+    let mut config = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+    // Reduced scale to keep the test under a couple of minutes.
+    config.clean_shadows = 6;
+    config.backdoor_shadows = 6;
+    config.prompt.cmaes_generations = 25;
+    let detector = Bprom::fit(&config, &mut rng).unwrap();
+
+    let mut zoo_cfg = ZooConfig::new(SynthDataset::Cifar10, AttackKind::BadNets);
+    zoo_cfg.clean = 4;
+    zoo_cfg.backdoored = 4;
+    let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
+    let report = evaluate_detector(&detector, zoo, &mut rng).unwrap();
+    assert!(
+        report.auroc >= 0.75,
+        "detection AUROC {} too low (scores {:?}, labels {:?})",
+        report.auroc,
+        report.scores,
+        report.labels
+    );
+    assert!(report.mean_queries > 0.0);
+}

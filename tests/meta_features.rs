@@ -1,0 +1,68 @@
+//! The meta-feature extractor must be invariant to class permutations —
+//! the property that lets one random forest recognize backdoors whose
+//! target class differs per model (DESIGN.md §6.2).
+
+use bprom_suite::bprom::meta_model::feature_from_confidences;
+use bprom_suite::tensor::{Rng, Tensor};
+
+#[test]
+fn canonical_prefix_is_class_permutation_invariant() {
+    let mut rng = Rng::new(0);
+    let (q, k) = (6usize, 5usize);
+    // Random probe confidences.
+    let probs = Tensor::rand_uniform(&[q, k], 0.0, 1.0, &mut rng);
+    let labels = vec![0usize; q];
+    let base = feature_from_confidences(&probs, &labels).unwrap();
+    // Permute the class axis.
+    let perm = [3usize, 0, 4, 1, 2];
+    let mut permuted = Tensor::zeros(&[q, k]);
+    for row in 0..q {
+        for (c, &src) in perm.iter().enumerate() {
+            permuted.data_mut()[row * k + c] = probs.data()[row * k + src];
+        }
+    }
+    let feat = feature_from_confidences(&permuted, &labels).unwrap();
+    // The canonicalized confidence block and aggregate block are identical
+    // (up to float-summation order in the entropy term); only the accuracy
+    // feature (which depends on true class identity) may differ.
+    let prefix = q * k + k + 1; // per-probe canonical + rank means + entropy
+    for (i, (a, b)) in base[..prefix].iter().zip(&feat[..prefix]).enumerate() {
+        assert!((a - b).abs() < 1e-5, "feature {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn accuracy_feature_is_last_and_correct() {
+    // Two probes over 3 classes: first predicted class 2, second class 0.
+    let probs = Tensor::from_vec(
+        vec![0.1, 0.2, 0.7, 0.8, 0.1, 0.1],
+        &[2, 3],
+    )
+    .unwrap();
+    let feat = feature_from_confidences(&probs, &[2, 1]).unwrap();
+    // Probe 0 correct (label 2), probe 1 wrong (label 1) → accuracy 0.5.
+    assert_eq!(*feat.last().unwrap(), 0.5);
+    // Length: q*k per-probe + k rank means + entropy + accuracy.
+    assert_eq!(feat.len(), 2 * 3 + 3 + 2);
+}
+
+#[test]
+fn rank0_column_is_the_dominant_class() {
+    // Class 1 dominates everywhere: after canonicalization it must occupy
+    // rank 0 (the first column of every probe row).
+    let probs = Tensor::from_vec(
+        vec![0.1, 0.8, 0.1, 0.2, 0.7, 0.1, 0.15, 0.75, 0.1],
+        &[3, 3],
+    )
+    .unwrap();
+    let feat = feature_from_confidences(&probs, &[0, 0, 0]).unwrap();
+    assert_eq!(feat[0], 0.8);
+    assert_eq!(feat[3], 0.7);
+    assert_eq!(feat[6], 0.75);
+}
+
+#[test]
+fn label_count_mismatch_rejected() {
+    let probs = Tensor::zeros(&[2, 3]);
+    assert!(feature_from_confidences(&probs, &[0]).is_err());
+}

@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) on the workspace's core data
+//! structures and invariants.
+
+use bprom_suite::attacks::AttackKind;
+use bprom_suite::metrics::{auroc, f1_score};
+use bprom_suite::nn::loss::softmax_cross_entropy;
+use bprom_suite::nn::softmax;
+use bprom_suite::tensor::{Rng, Tensor};
+use bprom_suite::vp::VisualPrompt;
+use proptest::prelude::*;
+
+/// Strategy: a tensor of the given shape with bounded finite values.
+fn tensor(dims: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, dims).expect("shape matches"))
+}
+
+/// Strategy: an image tensor with values in [0, 1].
+fn image(dims: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(0.0f32..=1.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, dims).expect("shape matches"))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- tensor algebra ----
+
+    #[test]
+    fn matmul_distributes_over_addition(a in tensor(&[3, 4]), b in tensor(&[4, 5]), c in tensor(&[4, 5])) {
+        let lhs = a.matmul(&b.add_t(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add_t(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in tensor(&[2, 3]), b in tensor(&[3, 4]), c in tensor(&[4, 2])) {
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_is_involution(t in tensor(&[5, 7])) {
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in tensor(&[4, 6])) {
+        let r = t.reshape(&[2, 12]).unwrap();
+        prop_assert!((t.sum() - r.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn add_commutes(a in tensor(&[3, 3]), b in tensor(&[3, 3])) {
+        prop_assert!(close(&a.add_t(&b).unwrap(), &b.add_t(&a).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn stack_then_sample_round_trips(a in tensor(&[2, 3]), b in tensor(&[2, 3])) {
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(s.sample(0).unwrap(), a);
+        prop_assert_eq!(s.sample(1).unwrap(), b);
+    }
+
+    // ---- rng ----
+
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation(seed in any::<u64>(), len in 1usize..64) {
+        let mut rng = Rng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    // ---- softmax / loss ----
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor(&[4, 6])) {
+        let p = softmax(&t).unwrap();
+        for i in 0..4 {
+            let row = &p.data()[i * 6..(i + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(t in tensor(&[3, 5]), labels in proptest::collection::vec(0usize..5, 3)) {
+        let (loss, grad) = softmax_cross_entropy(&t, &labels).unwrap();
+        prop_assert!(loss >= -1e-5);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for i in 0..3 {
+            let s: f32 = grad.data()[i * 5..(i + 1) * 5].iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    // ---- metrics ----
+
+    #[test]
+    fn auroc_is_bounded_and_antisymmetric(
+        scores in proptest::collection::vec(-5.0f32..5.0, 8),
+        flips in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        // Ensure both classes present.
+        let mut labels = flips;
+        labels[0] = true;
+        labels[1] = false;
+        let auc = auroc(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let auc_neg = auroc(&neg, &labels).unwrap();
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn f1_is_bounded(preds in proptest::collection::vec(any::<bool>(), 10), actual in proptest::collection::vec(any::<bool>(), 10)) {
+        let f1 = f1_score(&preds, &actual).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    // ---- attacks ----
+
+    #[test]
+    fn triggered_images_stay_in_unit_range(img in image(&[3, 16, 16]), seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        for kind in [AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet, AttackKind::Bpp] {
+            let attack = kind.build(16, &mut rng).unwrap();
+            let out = attack.apply(&img, &mut rng).unwrap();
+            prop_assert_eq!(out.shape(), img.shape());
+            prop_assert!(out.min() >= 0.0 && out.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn static_patch_attacks_are_idempotent(img in image(&[3, 16, 16])) {
+        let mut rng = Rng::new(0);
+        let attack = AttackKind::BadNets.build(16, &mut rng).unwrap();
+        let once = attack.apply(&img, &mut rng).unwrap();
+        let twice = attack.apply(&once, &mut rng).unwrap();
+        prop_assert!(close(&once, &twice, 1e-6));
+    }
+
+    // ---- visual prompting ----
+
+    #[test]
+    fn prompt_flat_round_trip(values in proptest::collection::vec(-1.0f32..1.0, 3 * (16 * 16 - 8 * 8))) {
+        let mut prompt = VisualPrompt::new(3, 16, 4).unwrap();
+        prompt.set_flat(&values).unwrap();
+        let back = prompt.to_flat();
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn prompted_batch_matches_singles(imgs in image(&[3, 3, 8, 8]), seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let batch = prompt.apply_batch(&imgs).unwrap();
+        for i in 0..3 {
+            let single = prompt.apply(&imgs.sample(i).unwrap()).unwrap();
+            prop_assert_eq!(batch.sample(i).unwrap(), single);
+        }
+    }
+
+    #[test]
+    fn prompted_output_is_valid_image(img in image(&[3, 8, 8]), seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let out = prompt.apply(&img).unwrap();
+        prop_assert_eq!(out.shape(), &[3, 16, 16]);
+        prop_assert!(out.min() >= 0.0 && out.max() <= 1.0);
+    }
+}

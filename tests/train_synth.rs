@@ -1,0 +1,62 @@
+//! Cross-crate integration: the mini models must learn the synthetic
+//! datasets to high accuracy in a handful of epochs. This is the
+//! precondition every BPROM experiment relies on (paper Tables 14/15 show
+//! infected/clean accuracy > 0.9 on the real substrate).
+
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{build, Architecture, ModelSpec};
+use bprom_suite::nn::{TrainConfig, Trainer};
+use bprom_suite::tensor::Rng;
+
+fn train_and_eval(arch: Architecture, seed: u64) -> f32 {
+    let mut rng = Rng::new(seed);
+    let data = SynthDataset::Cifar10.generate(40, 16, seed).unwrap();
+    let (train, test) = data.split(0.8, &mut rng).unwrap();
+    let spec = ModelSpec::new(3, 16, 10);
+    let mut model = build(arch, &spec, &mut rng).unwrap();
+    let trainer = Trainer::new(TrainConfig::default());
+    trainer
+        .fit(&mut model, &train.images, &train.labels, &mut rng)
+        .unwrap();
+    trainer
+        .evaluate(&mut model, &test.images, &test.labels)
+        .unwrap()
+}
+
+#[test]
+fn resnet_mini_learns_synth_cifar10() {
+    let acc = train_and_eval(Architecture::ResNetMini, 1);
+    assert!(acc > 0.85, "ResNetMini accuracy {acc}");
+}
+
+#[test]
+fn mobilenet_mini_learns_synth_cifar10() {
+    let acc = train_and_eval(Architecture::MobileNetMini, 2);
+    assert!(acc > 0.8, "MobileNetMini accuracy {acc}");
+}
+
+#[test]
+fn vit_mini_learns_synth_cifar10() {
+    let acc = train_and_eval(Architecture::VitMini, 3);
+    assert!(acc > 0.7, "VitMini accuracy {acc}");
+}
+
+#[test]
+fn gtsrb_many_classes_learnable() {
+    let mut rng = Rng::new(4);
+    let data = SynthDataset::Gtsrb.generate(16, 16, 4).unwrap();
+    let (train, test) = data.split(0.8, &mut rng).unwrap();
+    let spec = ModelSpec::new(3, 16, 43);
+    let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    });
+    trainer
+        .fit(&mut model, &train.images, &train.labels, &mut rng)
+        .unwrap();
+    let acc = trainer
+        .evaluate(&mut model, &test.images, &test.labels)
+        .unwrap();
+    assert!(acc > 0.7, "GTSRB accuracy {acc}");
+}
