@@ -158,7 +158,12 @@ mod tests {
         let attack = AdapBlend::new(16, &mut rng).unwrap();
         let img = Tensor::full(&[3, 16, 16], 0.5);
         let out = attack.apply(&img, &mut rng).unwrap();
-        let changed = out.data().iter().zip(img.data()).filter(|(a, b)| a != b).count();
+        let changed = out
+            .data()
+            .iter()
+            .zip(img.data())
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(changed > 700);
     }
 
@@ -190,7 +195,9 @@ mod tests {
         let mut rng = Rng::new(3);
         let attack = AdapPatch::new(16).unwrap();
         let img = Tensor::full(&[3, 16, 16], 0.5);
-        let outs: Vec<Tensor> = (0..8).map(|_| attack.apply(&img, &mut rng).unwrap()).collect();
+        let outs: Vec<Tensor> = (0..8)
+            .map(|_| attack.apply(&img, &mut rng).unwrap())
+            .collect();
         assert!(outs.windows(2).any(|w| w[0] != w[1]));
     }
 }

@@ -78,7 +78,11 @@ impl Attack for Dynamic {
         for py in 0..self.patch {
             for px in 0..self.patch {
                 let checker = (py + px) % 2 == 0;
-                let rgb = if checker { [1.0, 0.0, 1.0] } else { [0.0, 1.0, 0.0] };
+                let rgb = if checker {
+                    [1.0, 0.0, 1.0]
+                } else {
+                    [0.0, 1.0, 0.0]
+                };
                 for c in 0..3 {
                     out.data_mut()[(c * size + y + py) * size + x + px] = rgb[c];
                 }

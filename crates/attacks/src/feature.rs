@@ -36,7 +36,9 @@ impl Refool {
                 for x in 0..image_size {
                     let u = y as f32 / image_size as f32 - ay;
                     let v = x as f32 / image_size as f32 - ax;
-                    let val = 0.5 + 0.5 * (3.0 * (u * u + v * v).sqrt() * std::f32::consts::TAU + phase).sin();
+                    let val = 0.5
+                        + 0.5
+                            * (3.0 * (u * u + v * v).sqrt() * std::f32::consts::TAU + phase).sin();
                     reflection.data_mut()[(c * image_size + y) * image_size + x] = val;
                 }
             }
@@ -58,7 +60,10 @@ impl Attack for Refool {
         let size = self.image_size;
         if image.shape() != [3, size, size] {
             return Err(AttackError::InvalidConfig {
-                reason: format!("Refool expects [3, {size}, {size}], got {:?}", image.shape()),
+                reason: format!(
+                    "Refool expects [3, {size}, {size}], got {:?}",
+                    image.shape()
+                ),
             });
         }
         // Ghosting: reflection + a shifted copy at half strength.
@@ -72,9 +77,9 @@ impl Attack for Refool {
                     let sx = (x + 1).min(size - 1);
                     let r2 = self.reflection.data()[(c * size + sy) * size + sx];
                     let ghost = 0.67 * r1 + 0.33 * r2;
-                    out.data_mut()[idx] =
-                        ((1.0 - self.strength) * out.data()[idx] + self.strength * ghost)
-                            .clamp(0.0, 1.0);
+                    out.data_mut()[idx] = ((1.0 - self.strength) * out.data()[idx]
+                        + self.strength * ghost)
+                        .clamp(0.0, 1.0);
                 }
             }
         }
@@ -221,7 +226,11 @@ mod tests {
         let attack = Refool::new(16, &mut rng).unwrap();
         let img = Tensor::full(&[3, 16, 16], 0.5);
         let out = attack.apply(&img, &mut rng).unwrap();
-        let changed = out.data().iter().filter(|&&v| (v - 0.5).abs() > 1e-6).count();
+        let changed = out
+            .data()
+            .iter()
+            .filter(|&&v| (v - 0.5).abs() > 1e-6)
+            .count();
         assert!(changed > 600, "changed={changed}");
         // Bounded perturbation.
         let max = out
@@ -266,7 +275,13 @@ mod tests {
         let out_edge = attack.apply(&edged, &mut rng).unwrap();
         assert_ne!(out_edge, edged);
         // Ink appears at the boundary (column 7), not far from it.
-        assert_ne!(out_edge.at(&[0, 8, 7]).unwrap(), edged.at(&[0, 8, 7]).unwrap());
-        assert_eq!(out_edge.at(&[0, 8, 2]).unwrap(), edged.at(&[0, 8, 2]).unwrap());
+        assert_ne!(
+            out_edge.at(&[0, 8, 7]).unwrap(),
+            edged.at(&[0, 8, 7]).unwrap()
+        );
+        assert_eq!(
+            out_edge.at(&[0, 8, 2]).unwrap(),
+            edged.at(&[0, 8, 2]).unwrap()
+        );
     }
 }

@@ -154,34 +154,32 @@ pub fn attack_success_rate(
     let mut hits = 0usize;
     let mut batch: Vec<Tensor> = Vec::new();
     let mut wanted: Vec<usize> = Vec::new();
-    let mut flush = |batch: &mut Vec<Tensor>,
-                     wanted: &mut Vec<usize>,
-                     hits: &mut usize|
-     -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        let x = Tensor::stack(batch)?;
-        let logits = model
-            .forward(&x, Mode::Eval)
-            .map_err(|e| AttackError::Data(e.to_string()))?;
-        let k = logits.shape()[1];
-        for (row, &want) in wanted.iter().enumerate() {
-            let slice = &logits.data()[row * k..(row + 1) * k];
-            let mut best = 0usize;
-            for j in 1..k {
-                if slice[j] > slice[best] {
-                    best = j;
+    let mut flush =
+        |batch: &mut Vec<Tensor>, wanted: &mut Vec<usize>, hits: &mut usize| -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let x = Tensor::stack(batch)?;
+            let logits = model
+                .forward(&x, Mode::Eval)
+                .map_err(|e| AttackError::Data(e.to_string()))?;
+            let k = logits.shape()[1];
+            for (row, &want) in wanted.iter().enumerate() {
+                let slice = &logits.data()[row * k..(row + 1) * k];
+                let mut best = 0usize;
+                for j in 1..k {
+                    if slice[j] > slice[best] {
+                        best = j;
+                    }
+                }
+                if best == want {
+                    *hits += 1;
                 }
             }
-            if best == want {
-                *hits += 1;
-            }
-        }
-        batch.clear();
-        wanted.clear();
-        Ok(())
-    };
+            batch.clear();
+            wanted.clear();
+            Ok(())
+        };
     for i in 0..test.len() {
         let label = test.labels[i];
         let intended = attack.poisoned_label(label, cfg.target_class, test.num_classes);
@@ -275,11 +273,19 @@ mod tests {
         let mut rng = Rng::new(3);
         let clean = SynthDataset::Cifar10.generate(5, 16, 4).unwrap();
         let attack = BadNets::new(16).unwrap();
-        assert!(poison_dataset(&clean, &attack, &PoisonConfig::new(1.5, 0.0, 0), &mut rng).is_err());
-        assert!(poison_dataset(&clean, &attack, &PoisonConfig::new(0.1, 0.0, 99), &mut rng).is_err());
         assert!(
-            poison_dataset(&clean, &attack, &PoisonConfig::new(0.0001, 0.0, 0), &mut rng).is_err()
+            poison_dataset(&clean, &attack, &PoisonConfig::new(1.5, 0.0, 0), &mut rng).is_err()
         );
+        assert!(
+            poison_dataset(&clean, &attack, &PoisonConfig::new(0.1, 0.0, 99), &mut rng).is_err()
+        );
+        assert!(poison_dataset(
+            &clean,
+            &attack,
+            &PoisonConfig::new(0.0001, 0.0, 0),
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl Trigger {
     ) -> Result<Self> {
         if y + size > image_size || x + size > image_size || size == 0 {
             return Err(AttackError::InvalidConfig {
-                reason: format!(
-                    "patch {size}x{size} at ({y}, {x}) exceeds {image_size}px image"
-                ),
+                reason: format!("patch {size}x{size} at ({y}, {x}) exceeds {image_size}px image"),
             });
         }
         let mut mask = Tensor::zeros(&[channels, image_size, image_size]);

@@ -32,7 +32,11 @@ fn bench_model(c: &mut Criterion) {
     let mut rng = Rng::new(1);
     let spec = ModelSpec::new(3, 16, 10);
     let x = Tensor::randn(&[16, 3, 16, 16], &mut rng);
-    for arch in [Architecture::ResNetMini, Architecture::MobileNetMini, Architecture::VitMini] {
+    for arch in [
+        Architecture::ResNetMini,
+        Architecture::MobileNetMini,
+        Architecture::VitMini,
+    ] {
         let mut model = build(arch, &spec, &mut rng).unwrap();
         c.bench_function(&format!("{arch}_forward_b16"), |bch| {
             bch.iter(|| black_box(model.forward(&x, Mode::Eval).unwrap()))
@@ -51,7 +55,12 @@ fn bench_model(c: &mut Criterion) {
 fn bench_attacks(c: &mut Criterion) {
     let mut rng = Rng::new(2);
     let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
-    for kind in [AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet, AttackKind::Bpp] {
+    for kind in [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::WaNet,
+        AttackKind::Bpp,
+    ] {
         let attack = kind.build(16, &mut rng).unwrap();
         c.bench_function(&format!("attack_{}", kind.name()), |bch| {
             bch.iter(|| black_box(attack.apply(&img, &mut rng).unwrap()))
@@ -80,7 +89,11 @@ fn bench_vp(c: &mut Criterion) {
 fn bench_meta(c: &mut Criterion) {
     let mut rng = Rng::new(4);
     let features: Vec<Vec<f32>> = (0..20)
-        .map(|i| (0..100).map(|j| ((i * j) % 17) as f32 / 17.0 + if i < 10 { 0.0 } else { 0.5 }).collect())
+        .map(|i| {
+            (0..100)
+                .map(|j| ((i * j) % 17) as f32 / 17.0 + if i < 10 { 0.0 } else { 0.5 })
+                .collect()
+        })
         .collect();
     let labels: Vec<bool> = (0..20).map(|i| i >= 10).collect();
     c.bench_function("forest_fit_300trees", |bch| {

@@ -31,16 +31,28 @@ fn main() {
     for run in 0..runs {
         let source = SynthDataset::Cifar10.generate(15, 16, 300 + run).unwrap();
         let mut model = resnet_mini(&spec, &mut rng).unwrap();
-        trainer.fit(&mut model, &source.images, &source.labels, &mut rng).unwrap();
+        trainer
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
         let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
         train_prompt_backprop(
-            &mut model, &mut prompt, &t_train.images, &t_train.labels,
-            &identity, &prompt_cfg, &mut rng,
+            &mut model,
+            &mut prompt,
+            &t_train.images,
+            &t_train.labels,
+            &identity,
+            &prompt_cfg,
+            &mut rng,
         )
         .unwrap();
-        let acc_id =
-            prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &identity)
-                .unwrap();
+        let acc_id = prompted_accuracy(
+            &mut model,
+            &prompt,
+            &t_test.images,
+            &t_test.labels,
+            &identity,
+        )
+        .unwrap();
         // Fit a greedy mapping on the training split's prompted outputs.
         let prompted = prompt.apply_batch(&t_train.images).unwrap();
         let probs = softmax(&model.forward(&prompted, Mode::Eval).unwrap()).unwrap();

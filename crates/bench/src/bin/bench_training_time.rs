@@ -1,14 +1,15 @@
 //! Section 6.2 "Training Time of BPROM": wall-clock of detector fitting
 //! for 10/20 shadow models, per architecture.
 
-use bprom::{Bprom};
-use bprom_bench::{detector_config, header, quick};
+use bprom::Bprom;
+use bprom_bench::{detector_config, header, quick, TelemetryGuard};
 use bprom_data::SynthDataset;
 use bprom_nn::models::Architecture;
 use bprom_tensor::Rng;
 use std::time::Instant;
 
 fn main() {
+    let _telemetry = TelemetryGuard::begin("bench_training_time");
     let mut rng = Rng::new(62);
     header(
         "Training time of BPROM (paper: 2.3-9.5h on RTX4090)",

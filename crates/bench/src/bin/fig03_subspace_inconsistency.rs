@@ -2,7 +2,7 @@
 //! of clean vs backdoored source models (CIFAR-10 source, STL-10 target).
 
 use bprom_attacks::{poison_dataset, AttackKind};
-use bprom_bench::{header, quick, row};
+use bprom_bench::{header, quick, row, TelemetryGuard};
 use bprom_data::SynthDataset;
 use bprom_nn::models::{resnet_mini, ModelSpec};
 use bprom_nn::{TrainConfig, Trainer};
@@ -12,6 +12,7 @@ use bprom_vp::{
 };
 
 fn main() {
+    let _telemetry = TelemetryGuard::begin("fig03_subspace_inconsistency");
     let mut rng = Rng::new(3);
     let spec = ModelSpec::new(3, 16, 10);
     let trainer = Trainer::new(TrainConfig::default());
@@ -20,7 +21,11 @@ fn main() {
     let prompt_cfg = PromptTrainConfig::default();
     let target = SynthDataset::Stl10.generate(25, 16, 99).unwrap();
     let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
-    let seeds: Vec<u64> = if quick() { vec![1, 2, 3] } else { (1..=6).collect() };
+    let seeds: Vec<u64> = if quick() {
+        vec![1, 2, 3]
+    } else {
+        (1..=6).collect()
+    };
     // Shadow-regime source models (the detector's operating point).
     let per_class = 15usize;
     header(
@@ -32,23 +37,55 @@ fn main() {
     for &seed in &seeds {
         let source = SynthDataset::Cifar10.generate(per_class, 16, seed).unwrap();
         let mut clean = resnet_mini(&spec, &mut rng).unwrap();
-        trainer.fit(&mut clean, &source.images, &source.labels, &mut rng).unwrap();
+        trainer
+            .fit(&mut clean, &source.images, &source.labels, &mut rng)
+            .unwrap();
         let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-        train_prompt_backprop(&mut clean, &mut p, &t_train.images, &t_train.labels, &map, &prompt_cfg, &mut rng).unwrap();
-        clean_accs.push(prompted_accuracy(&mut clean, &p, &t_test.images, &t_test.labels, &map).unwrap());
+        train_prompt_backprop(
+            &mut clean,
+            &mut p,
+            &t_train.images,
+            &t_train.labels,
+            &map,
+            &prompt_cfg,
+            &mut rng,
+        )
+        .unwrap();
+        clean_accs
+            .push(prompted_accuracy(&mut clean, &p, &t_test.images, &t_test.labels, &map).unwrap());
 
         let kind = AttackKind::BadNets;
         let attack = kind.build(16, &mut rng).unwrap();
-        let poisoned = poison_dataset(&source, attack.as_ref(), &kind.default_config(0), &mut rng).unwrap();
+        let poisoned =
+            poison_dataset(&source, attack.as_ref(), &kind.default_config(0), &mut rng).unwrap();
         let mut bd = resnet_mini(&spec, &mut rng).unwrap();
-        trainer.fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng).unwrap();
+        trainer
+            .fit(
+                &mut bd,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                &mut rng,
+            )
+            .unwrap();
         let mut p2 = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-        train_prompt_backprop(&mut bd, &mut p2, &t_train.images, &t_train.labels, &map, &prompt_cfg, &mut rng).unwrap();
-        bd_accs.push(prompted_accuracy(&mut bd, &p2, &t_test.images, &t_test.labels, &map).unwrap());
+        train_prompt_backprop(
+            &mut bd,
+            &mut p2,
+            &t_train.images,
+            &t_train.labels,
+            &map,
+            &prompt_cfg,
+            &mut rng,
+        )
+        .unwrap();
+        bd_accs
+            .push(prompted_accuracy(&mut bd, &p2, &t_test.images, &t_test.labels, &map).unwrap());
     }
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-    let mut c = vec![mean(&clean_accs)]; c.extend_from_slice(&clean_accs);
-    let mut b = vec![mean(&bd_accs)]; b.extend_from_slice(&bd_accs);
+    let mut c = vec![mean(&clean_accs)];
+    c.extend_from_slice(&clean_accs);
+    let mut b = vec![mean(&bd_accs)];
+    b.extend_from_slice(&bd_accs);
     row("clean", &c);
     row("BadNets", &b);
 }

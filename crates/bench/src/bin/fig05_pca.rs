@@ -17,7 +17,9 @@ fn main() {
         .generate(config.test_samples_per_class, 16, rng.next_u64())
         .unwrap();
     let ds = source_test.subsample(config.ds_fraction, &mut rng).unwrap();
-    let target = SynthDataset::Stl10.generate(25, 16, rng.next_u64()).unwrap();
+    let target = SynthDataset::Stl10
+        .generate(25, 16, rng.next_u64())
+        .unwrap();
     let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
     let map = LabelMap::identity(10, 10).unwrap();
     let mut shadows = ShadowSet::train(&config, &ds, &mut rng).unwrap();
@@ -28,11 +30,18 @@ fn main() {
         features.push(probe_features_whitebox(&mut s.model, &p.prompt, &probes).unwrap());
     }
     let pca = pca2(&features).unwrap();
-    header("Figure 5 — PCA of prompted meta-features", &["label", "pc1", "pc2"]);
+    header(
+        "Figure 5 — PCA of prompted meta-features",
+        &["label", "pc1", "pc2"],
+    );
     for (point, shadow) in pca.points.iter().zip(&shadows.shadows) {
         println!(
             "{}\t{:.3}\t{:.3}",
-            if shadow.backdoored { "backdoor" } else { "clean" },
+            if shadow.backdoored {
+                "backdoor"
+            } else {
+                "clean"
+            },
             point[0],
             point[1]
         );

@@ -20,7 +20,11 @@ fn main() {
     for attack in [AttackKind::BadNets, AttackKind::AllToAll] {
         let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
             .expect("zoo");
-        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+        let asr = zoo
+            .iter()
+            .filter(|m| m.backdoored)
+            .map(|m| m.asr)
+            .sum::<f32>()
             / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
         let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
         row(attack.name(), &[report.auroc, report.f1, asr]);

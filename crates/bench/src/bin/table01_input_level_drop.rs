@@ -25,7 +25,7 @@ fn eval_inputs(
             images.push(attack.apply(&x, rng).unwrap());
             labels.push(true);
         } else {
-            images.push(x, );
+            images.push(x);
             labels.push(false);
         }
     }
@@ -37,7 +37,13 @@ fn main() {
     let mut rng = Rng::new(1);
     header(
         "Table 1 — input-level detectors on backdoored vs clean models",
-        &["detector/attack", "bd F1", "bd AUROC", "clean F1", "clean AUROC"],
+        &[
+            "detector/attack",
+            "bd F1",
+            "bd AUROC",
+            "clean F1",
+            "clean AUROC",
+        ],
     );
     for kind in [AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet] {
         let data = SynthDataset::Cifar10.generate(40, 16, 5).unwrap();
@@ -49,9 +55,18 @@ fn main() {
         // Backdoored and clean models.
         let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng).unwrap();
         let mut bd = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
-        trainer.fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng).unwrap();
+        trainer
+            .fit(
+                &mut bd,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                &mut rng,
+            )
+            .unwrap();
         let mut clean = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
-        trainer.fit(&mut clean, &train.images, &train.labels, &mut rng).unwrap();
+        trainer
+            .fit(&mut clean, &train.images, &train.labels, &mut rng)
+            .unwrap();
         for (name, which) in [("TeCo", 0usize), ("SCALE-UP", 1)] {
             let mut vals = Vec::new();
             for model in [&mut bd, &mut clean] {

@@ -37,13 +37,29 @@ fn main() {
                     let attack = AttackKind::BadNets.build(16, &mut rng).unwrap();
                     let mut cfg = AttackKind::BadNets.default_config(t);
                     cfg.poison_rate /= n_targets as f32;
-                    data = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng).unwrap().dataset;
+                    data = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng)
+                        .unwrap()
+                        .dataset;
                 }
                 let mut model = resnet_mini(&spec, &mut rng).unwrap();
-                trainer.fit(&mut model, &data.images, &data.labels, &mut rng).unwrap();
+                trainer
+                    .fit(&mut model, &data.images, &data.labels, &mut rng)
+                    .unwrap();
                 let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-                train_prompt_backprop(&mut model, &mut p, &t_train.images, &t_train.labels, &map, &prompt_cfg, &mut rng).unwrap();
-                accs.push(prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap());
+                train_prompt_backprop(
+                    &mut model,
+                    &mut p,
+                    &t_train.images,
+                    &t_train.labels,
+                    &map,
+                    &prompt_cfg,
+                    &mut rng,
+                )
+                .unwrap();
+                accs.push(
+                    prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map)
+                        .unwrap(),
+                );
             }
             values.push(accs.iter().sum::<f32>() / accs.len() as f32);
         }

@@ -37,12 +37,28 @@ fn main() {
                 };
                 let source = source_ds.generate(15, 16, 50 + patch as u64).unwrap();
                 let cfg = bprom_attacks::PoisonConfig::new(0.15, 0.0, 0);
-                let data = poison_dataset(&source, attack.as_ref(), &cfg, &mut rng).unwrap().dataset;
+                let data = poison_dataset(&source, attack.as_ref(), &cfg, &mut rng)
+                    .unwrap()
+                    .dataset;
                 let mut model = resnet_mini(&spec, &mut rng).unwrap();
-                trainer.fit(&mut model, &data.images, &data.labels, &mut rng).unwrap();
+                trainer
+                    .fit(&mut model, &data.images, &data.labels, &mut rng)
+                    .unwrap();
                 let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-                train_prompt_backprop(&mut model, &mut p, &t_train.images, &t_train.labels, &map, &prompt_cfg, &mut rng).unwrap();
-                values.push(prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap());
+                train_prompt_backprop(
+                    &mut model,
+                    &mut p,
+                    &t_train.images,
+                    &t_train.labels,
+                    &map,
+                    &prompt_cfg,
+                    &mut rng,
+                )
+                .unwrap();
+                values.push(
+                    prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map)
+                        .unwrap(),
+                );
             }
             row(&format!("{} {patch}x{patch}", source_ds.name()), &values);
         }

@@ -31,14 +31,33 @@ fn main() {
                 let attack = kind.build(16, &mut rng).unwrap();
                 let source = source_ds.generate(15, 16, (rate * 100.0) as u64).unwrap();
                 let cfg = bprom_attacks::PoisonConfig::new(rate, 0.0, 0);
-                let data = poison_dataset(&source, attack.as_ref(), &cfg, &mut rng).unwrap().dataset;
+                let data = poison_dataset(&source, attack.as_ref(), &cfg, &mut rng)
+                    .unwrap()
+                    .dataset;
                 let mut model = resnet_mini(&spec, &mut rng).unwrap();
-                trainer.fit(&mut model, &data.images, &data.labels, &mut rng).unwrap();
+                trainer
+                    .fit(&mut model, &data.images, &data.labels, &mut rng)
+                    .unwrap();
                 let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-                train_prompt_backprop(&mut model, &mut p, &t_train.images, &t_train.labels, &map, &prompt_cfg, &mut rng).unwrap();
-                values.push(prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap());
+                train_prompt_backprop(
+                    &mut model,
+                    &mut p,
+                    &t_train.images,
+                    &t_train.labels,
+                    &map,
+                    &prompt_cfg,
+                    &mut rng,
+                )
+                .unwrap();
+                values.push(
+                    prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map)
+                        .unwrap(),
+                );
             }
-            row(&format!("{} {:.0}%", source_ds.name(), rate * 100.0), &values);
+            row(
+                &format!("{} {:.0}%", source_ds.name(), rate * 100.0),
+                &values,
+            );
         }
     }
 }

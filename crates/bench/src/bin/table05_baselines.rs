@@ -32,7 +32,12 @@ fn main() {
     let attacks = if quick() {
         vec![AttackKind::BadNets, AttackKind::WaNet]
     } else {
-        vec![AttackKind::BadNets, AttackKind::Blend, AttackKind::WaNet, AttackKind::AdapBlend]
+        vec![
+            AttackKind::BadNets,
+            AttackKind::Blend,
+            AttackKind::WaNet,
+            AttackKind::AdapBlend,
+        ]
     };
     header(
         "Table 5 baselines — model-level defenses (CIFAR-10)",

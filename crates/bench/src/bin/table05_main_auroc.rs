@@ -4,11 +4,12 @@
 
 use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
 use bprom_attacks::AttackKind;
-use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_bench::{detector_config, header, row, zoo_config, TelemetryGuard};
 use bprom_data::SynthDataset;
 use bprom_tensor::Rng;
 
 fn main() {
+    let _telemetry = TelemetryGuard::begin("table05_main_auroc");
     let mut rng = Rng::new(42);
     for source in [SynthDataset::Cifar10, SynthDataset::Gtsrb] {
         header(
@@ -22,7 +23,11 @@ fn main() {
             let zoo_cfg = zoo_config(source, attack);
             let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
             let acc = zoo.iter().map(|m| m.accuracy).sum::<f32>() / zoo.len() as f32;
-            let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+            let asr = zoo
+                .iter()
+                .filter(|m| m.backdoored)
+                .map(|m| m.asr)
+                .sum::<f32>()
                 / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
             let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
             row(attack.name(), &[report.auroc, report.f1, acc, asr]);

@@ -12,7 +12,12 @@ fn main() {
     let attacks = if quick() {
         vec![AttackKind::BadNets, AttackKind::Trojan]
     } else {
-        vec![AttackKind::BadNets, AttackKind::Trojan, AttackKind::AdapBlend, AttackKind::AdapPatch]
+        vec![
+            AttackKind::BadNets,
+            AttackKind::Trojan,
+            AttackKind::AdapBlend,
+            AttackKind::AdapPatch,
+        ]
     };
     for source in [SynthDataset::TinyImageNet, SynthDataset::ImageNet] {
         header(

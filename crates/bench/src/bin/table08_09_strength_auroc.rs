@@ -19,7 +19,11 @@ fn main() {
         let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, AttackKind::Blend);
         zoo_cfg.poison = Some(PoisonConfig::new(rate, 0.0, 0));
         let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
-        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+        let asr = zoo
+            .iter()
+            .filter(|m| m.backdoored)
+            .map(|m| m.asr)
+            .sum::<f32>()
             / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
         let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
         row(&format!("{:.0}%", rate * 100.0), &[asr, report.auroc]);
@@ -31,10 +35,18 @@ fn main() {
         "Table 8 — ASR and AUROC vs trigger footprint (CIFAR-10, Adap-Patch pieces)",
         &["attack", "asr", "auroc"],
     );
-    for attack in [AttackKind::AdapPatch, AttackKind::AdapBlend, AttackKind::Blend] {
+    for attack in [
+        AttackKind::AdapPatch,
+        AttackKind::AdapBlend,
+        AttackKind::Blend,
+    ] {
         let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
             .expect("zoo");
-        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+        let asr = zoo
+            .iter()
+            .filter(|m| m.backdoored)
+            .map(|m| m.asr)
+            .sum::<f32>()
             / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
         let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
         row(attack.name(), &[asr, report.auroc]);

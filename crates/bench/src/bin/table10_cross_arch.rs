@@ -16,7 +16,11 @@ fn main() {
         "Table 10 — ResNet shadows vs MobileNet suspicious models",
         &["attack", "f1", "auroc"],
     );
-    for attack in [AttackKind::WaNet, AttackKind::AdapBlend, AttackKind::AdapPatch] {
+    for attack in [
+        AttackKind::WaNet,
+        AttackKind::AdapBlend,
+        AttackKind::AdapPatch,
+    ] {
         let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, attack);
         zoo_cfg.architecture = Architecture::MobileNetMini;
         let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");

@@ -22,7 +22,11 @@ fn main() {
         let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, AttackKind::BadNets);
         zoo_cfg.poison = Some(PoisonConfig::new(rate, 0.0, 0));
         let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");
-        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+        let asr = zoo
+            .iter()
+            .filter(|m| m.backdoored)
+            .map(|m| m.asr)
+            .sum::<f32>()
             / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
         let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
         row(&format!("{:.0}%", rate * 100.0), &[report.auroc, asr]);

@@ -10,11 +10,18 @@ fn main() {
     let mut rng = Rng::new(12);
     let cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
     let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
-    header("Table 12 — clean-label attacks (CIFAR-10)", &["attack", "auroc", "asr"]);
+    header(
+        "Table 12 — clean-label attacks (CIFAR-10)",
+        &["attack", "auroc", "asr"],
+    );
     for attack in [AttackKind::Sig, AttackKind::LabelConsistent] {
         let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
             .expect("zoo");
-        let asr = zoo.iter().filter(|m| m.backdoored).map(|m| m.asr).sum::<f32>()
+        let asr = zoo
+            .iter()
+            .filter(|m| m.backdoored)
+            .map(|m| m.asr)
+            .sum::<f32>()
             / zoo.iter().filter(|m| m.backdoored).count().max(1) as f32;
         let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");
         row(attack.name(), &[report.auroc, asr]);

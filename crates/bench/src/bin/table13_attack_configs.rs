@@ -12,7 +12,10 @@ fn main() {
     for kind in AttackKind::ALL {
         let cfg = kind.default_config(0);
         let mut rng = bprom_tensor::Rng::new(0);
-        let clean_label = kind.build(16, &mut rng).map(|a| a.is_clean_label()).unwrap_or(false);
+        let clean_label = kind
+            .build(16, &mut rng)
+            .map(|a| a.is_clean_label())
+            .unwrap_or(false);
         println!(
             "{}\t{:.1}%\t{:.1}%\t{}",
             kind.name(),

@@ -30,9 +30,19 @@ fn main() {
             let spec = ModelSpec::new(3, 16, 10);
             let mut model = build(arch, &spec, &mut rng).unwrap();
             let trainer = Trainer::new(TrainConfig::default());
-            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng).unwrap();
-            let acc = trainer.evaluate(&mut model, &test.images, &test.labels).unwrap();
-            let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng).unwrap();
+            trainer
+                .fit(
+                    &mut model,
+                    &poisoned.dataset.images,
+                    &poisoned.dataset.labels,
+                    &mut rng,
+                )
+                .unwrap();
+            let acc = trainer
+                .evaluate(&mut model, &test.images, &test.labels)
+                .unwrap();
+            let asr =
+                attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng).unwrap();
             row(kind.name(), &[acc, asr]);
         }
         // Clean reference model.
@@ -41,8 +51,12 @@ fn main() {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(arch, &spec, &mut rng).unwrap();
         let trainer = Trainer::new(TrainConfig::default());
-        trainer.fit(&mut model, &train.images, &train.labels, &mut rng).unwrap();
-        let acc = trainer.evaluate(&mut model, &test.images, &test.labels).unwrap();
+        trainer
+            .fit(&mut model, &train.images, &train.labels, &mut rng)
+            .unwrap();
+        let acc = trainer
+            .evaluate(&mut model, &test.images, &test.labels)
+            .unwrap();
         row("Clean", &[acc, 0.0]);
     }
 }

@@ -2,11 +2,12 @@
 
 use bprom::{build_suspicious_zoo, evaluate_detector, Bprom};
 use bprom_attacks::AttackKind;
-use bprom_bench::{detector_config, header, row, zoo_config};
+use bprom_bench::{detector_config, header, row, zoo_config, TelemetryGuard};
 use bprom_data::SynthDataset;
 use bprom_tensor::Rng;
 
 fn main() {
+    let _telemetry = TelemetryGuard::begin("table16_f1_resnet");
     let mut rng = Rng::new(16);
     for fraction in [0.1f32, 0.05] {
         header(
@@ -16,7 +17,12 @@ fn main() {
         let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
         cfg.ds_fraction = fraction;
         let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
-        for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan, AttackKind::WaNet] {
+        for attack in [
+            AttackKind::BadNets,
+            AttackKind::Blend,
+            AttackKind::Trojan,
+            AttackKind::WaNet,
+        ] {
             let zoo = build_suspicious_zoo(&zoo_config(SynthDataset::Cifar10, attack), &mut rng)
                 .expect("zoo");
             let report = evaluate_detector(&detector, zoo, &mut rng).expect("eval");

@@ -16,7 +16,12 @@ fn main() {
     let mut cfg = detector_config(SynthDataset::Cifar10, SynthDataset::Stl10);
     cfg.architecture = Architecture::MobileNetMini;
     let detector = Bprom::fit(&cfg, &mut rng).expect("fit");
-    for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan, AttackKind::Dynamic] {
+    for attack in [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::Trojan,
+        AttackKind::Dynamic,
+    ] {
         let mut zoo_cfg = zoo_config(SynthDataset::Cifar10, attack);
         zoo_cfg.architecture = Architecture::MobileNetMini;
         let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).expect("zoo");

@@ -48,6 +48,49 @@ pub fn zoo_config(dataset: SynthDataset, attack: AttackKind) -> ZooConfig {
     cfg
 }
 
+/// RAII telemetry session for experiment binaries: installs a `bprom-obs`
+/// session on construction and writes the full run snapshot as pretty JSON
+/// on drop.
+///
+/// Control via environment:
+/// - `BPROM_TELEMETRY=0` disables collection entirely (zero overhead);
+/// - `BPROM_TELEMETRY_DIR=<dir>` chooses the output directory (default:
+///   current directory). The file is always named `telemetry.json`.
+pub struct TelemetryGuard {
+    session: Option<bprom_obs::Session>,
+    path: std::path::PathBuf,
+}
+
+impl TelemetryGuard {
+    /// Starts a telemetry session labelled with the experiment name
+    /// (unless disabled via `BPROM_TELEMETRY=0`).
+    pub fn begin(label: &str) -> Self {
+        let disabled = std::env::var("BPROM_TELEMETRY").is_ok_and(|v| v == "0");
+        let dir = std::env::var("BPROM_TELEMETRY_DIR").unwrap_or_else(|_| ".".into());
+        TelemetryGuard {
+            session: (!disabled).then(|| bprom_obs::Session::begin(label)),
+            path: std::path::Path::new(&dir).join("telemetry.json"),
+        }
+    }
+
+    /// Whether a session is actually recording.
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            let snapshot = session.finish();
+            match std::fs::write(&self.path, snapshot.to_json_string()) {
+                Ok(()) => eprintln!("telemetry written to {}", self.path.display()),
+                Err(e) => eprintln!("telemetry write failed ({}): {e}", self.path.display()),
+            }
+        }
+    }
+}
+
 /// Prints a table header row.
 pub fn header(title: &str, columns: &[&str]) {
     println!("\n=== {title} ===");
@@ -63,6 +106,23 @@ pub fn row(label: &str, values: &[f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_guard_writes_snapshot() {
+        let dir = std::env::temp_dir().join("bprom-telemetry-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BPROM_TELEMETRY_DIR", &dir);
+        {
+            let guard = TelemetryGuard::begin("guard-test");
+            assert!(guard.active());
+            bprom_obs::counter_add("guard.test", 3);
+        }
+        std::env::remove_var("BPROM_TELEMETRY_DIR");
+        let json = std::fs::read_to_string(dir.join("telemetry.json")).unwrap();
+        let snapshot = bprom_obs::TelemetrySnapshot::from_json_str(&json).unwrap();
+        assert_eq!(snapshot.counter("guard.test"), 3);
+        assert_eq!(snapshot.label, "guard-test");
+    }
 
     #[test]
     fn configs_are_valid() {

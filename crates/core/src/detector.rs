@@ -6,7 +6,35 @@ use crate::{BpromConfig, Result, ShadowSet};
 use bprom_data::Dataset;
 use bprom_meta::RandomForest;
 use bprom_tensor::Rng;
-use bprom_vp::{BlackBoxModel, LabelMap};
+use bprom_vp::{BlackBoxModel, CountingOracle, LabelMap};
+use std::time::Instant;
+
+/// Query-budget and wall-clock breakdown of one [`Bprom::inspect`] call.
+///
+/// Always populated — timing uses [`std::time::Instant`] directly, so the
+/// budget is exact whether or not a `bprom-obs` telemetry session is
+/// installed. Query counts are deterministic: two identically-seeded
+/// inspections spend identical budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InspectBudget {
+    /// Oracle images spent learning the CMA-ES prompt.
+    pub prompt_queries: u64,
+    /// Oracle images spent extracting the probe feature.
+    pub probe_queries: u64,
+    /// Wall-clock of the prompt-learning phase, in nanoseconds.
+    pub prompt_ns: u64,
+    /// Wall-clock of the probe + meta-prediction phase, in nanoseconds.
+    pub probe_ns: u64,
+    /// Total inspection wall-clock, in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl InspectBudget {
+    /// Total oracle images spent.
+    pub fn total_queries(&self) -> u64 {
+        self.prompt_queries + self.probe_queries
+    }
+}
 
 /// Verdict returned by [`Bprom::inspect`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +46,33 @@ pub struct Verdict {
     pub backdoored: bool,
     /// Black-box queries consumed inspecting this model.
     pub queries: u64,
+    /// Exact per-phase query and wall-clock breakdown.
+    pub budget: InspectBudget,
+}
+
+fn fmt_secs(ns: u64) -> String {
+    format!("{:.2}s", ns as f64 / 1e9)
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (score {:.2}) — {} queries ({} prompt + {} probe) in {} ({} prompt, {} probe)",
+            if self.backdoored {
+                "BACKDOORED"
+            } else {
+                "clean"
+            },
+            self.score,
+            self.queries,
+            self.budget.prompt_queries,
+            self.budget.probe_queries,
+            fmt_secs(self.budget.total_ns),
+            fmt_secs(self.budget.prompt_ns),
+            fmt_secs(self.budget.probe_ns),
+        )
+    }
 }
 
 /// A fitted BPROM detector (the output of Algorithm 1).
@@ -66,12 +121,9 @@ impl Bprom {
     ///
     /// Propagates configuration, training, prompting and meta-model
     /// failures.
-    pub fn fit_with_reserved(
-        config: &BpromConfig,
-        ds: &Dataset,
-        rng: &mut Rng,
-    ) -> Result<Self> {
+    pub fn fit_with_reserved(config: &BpromConfig, ds: &Dataset, rng: &mut Rng) -> Result<Self> {
         config.validate()?;
+        bprom_obs::span!("fit");
         let target = config.target_dataset.generate(
             config.target_samples_per_class,
             config.image_size,
@@ -79,10 +131,19 @@ impl Bprom {
         )?;
         let (t_train, t_test) = target.split(0.7, rng)?;
         let map = LabelMap::identity(t_train.num_classes, ds.num_classes)?;
-        let mut shadows = ShadowSet::train(config, ds, rng)?;
-        let prompts = prompt_shadows(config, &mut shadows, &t_train, &map, rng)?;
+        let mut shadows = {
+            bprom_obs::span!("shadow_training");
+            ShadowSet::train(config, ds, rng)?
+        };
+        let prompts = {
+            bprom_obs::span!("prompt_shadows");
+            prompt_shadows(config, &mut shadows, &t_train, &map, rng)?
+        };
         let probes = ProbeSet::sample(&t_test, config.probe_count, rng)?;
-        let meta = train_meta(config, &mut shadows, &prompts, &probes, rng)?;
+        let meta = {
+            bprom_obs::span!("train_meta");
+            train_meta(config, &mut shadows, &prompts, &probes, rng)?
+        };
         Ok(Bprom {
             config: config.clone(),
             meta,
@@ -96,24 +157,43 @@ impl Bprom {
     /// learns a prompt with CMA-ES, extracts the probe feature, and asks
     /// the meta-classifier for a verdict.
     ///
+    /// The returned [`Verdict`] carries the exact oracle query budget and
+    /// per-phase wall-clock of this inspection (see [`InspectBudget`]).
+    ///
     /// # Errors
     ///
     /// Propagates prompting/query/meta failures.
     pub fn inspect(&self, oracle: &mut dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
-        let start = oracle.queries_used();
-        let (prompt, _) = prompt_suspicious(
-            &self.config,
-            oracle,
-            &self.t_train,
-            &self.map,
-            rng,
-        )?;
-        let feature = probe_features_blackbox(oracle, &prompt, &self.probes)?;
-        let score = self.meta.predict_proba(&feature)?;
+        bprom_obs::span!("inspect");
+        let start = Instant::now();
+        let mut counting = CountingOracle::new(oracle);
+        let (prompt, prompt_queries) = {
+            bprom_obs::span!("prompt_suspicious");
+            prompt_suspicious(&self.config, &mut counting, &self.t_train, &self.map, rng)?
+        };
+        let prompt_ns = start.elapsed().as_nanos() as u64;
+        let feature = {
+            bprom_obs::span!("probe_features");
+            probe_features_blackbox(&mut counting, &prompt, &self.probes)?
+        };
+        let score = {
+            bprom_obs::span!("meta_predict");
+            self.meta.predict_proba(&feature)?
+        };
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let queries = counting.local_queries();
+        bprom_obs::counter_add("inspect.models", 1);
         Ok(Verdict {
             score,
             backdoored: score > 0.5,
-            queries: oracle.queries_used() - start,
+            queries,
+            budget: InspectBudget {
+                prompt_queries,
+                probe_queries: queries - prompt_queries,
+                prompt_ns,
+                probe_ns: total_ns - prompt_ns,
+                total_ns,
+            },
         })
     }
 
@@ -183,5 +263,18 @@ mod tests {
         assert!((0.0..=1.0).contains(&verdict.score));
         assert!(verdict.queries > 0);
         assert_eq!(verdict.backdoored, verdict.score > 0.5);
+        // The budget decomposes the total exactly, and both phases ran.
+        assert_eq!(verdict.budget.total_queries(), verdict.queries);
+        assert!(verdict.budget.prompt_queries > 0);
+        assert!(verdict.budget.probe_queries > 0);
+        assert!(verdict.budget.prompt_ns > 0);
+        assert!(verdict.budget.total_ns >= verdict.budget.prompt_ns);
+        // Display mentions the decision and the query budget.
+        let text = verdict.to_string();
+        assert!(text.contains("queries"), "{text}");
+        assert!(
+            text.contains("BACKDOORED") || text.contains("clean"),
+            "{text}"
+        );
     }
 }

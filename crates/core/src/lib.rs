@@ -34,10 +34,15 @@
 //! #     &bprom_nn::models::ModelSpec::new(3, 16, 10), &mut rng)?;
 //! let mut oracle = QueryOracle::new(some_model, 10);
 //! let verdict = detector.inspect(&mut oracle, &mut rng)?;
-//! println!("backdoor score {}", verdict.score);
+//! // e.g. "clean (score 0.22) — 3840 queries (3600 prompt + 240 probe) ..."
+//! println!("{verdict}");
+//! assert_eq!(verdict.queries, verdict.budget.total_queries());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! To capture a machine-readable trace of the whole pipeline, install a
+//! [`bprom_obs::Session`] around it — see the `bprom-obs` crate docs.
 
 // Numerical kernels in this crate use explicit index loops where the
 // access pattern (strides, multiple arrays in lockstep) is the point;
@@ -56,7 +61,7 @@ pub mod shadow;
 pub mod suspicious;
 
 pub use config::{BpromConfig, ShadowPrompting};
-pub use detector::{Bprom, Verdict};
+pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;
 pub use report::{evaluate_detector, DetectionReport};
 pub use shadow::{ShadowModel, ShadowSet};

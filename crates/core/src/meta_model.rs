@@ -169,14 +169,19 @@ pub fn train_meta(
     rng: &mut Rng,
 ) -> Result<RandomForest> {
     let mut features = Vec::with_capacity(shadows.len());
-    for (shadow, learned) in shadows.shadows.iter_mut().zip(prompts) {
-        features.push(probe_features_whitebox(
-            &mut shadow.model,
-            &learned.prompt,
-            probes,
-        )?);
+    {
+        bprom_obs::span!("build_meta_dataset");
+        for (shadow, learned) in shadows.shadows.iter_mut().zip(prompts) {
+            features.push(probe_features_whitebox(
+                &mut shadow.model,
+                &learned.prompt,
+                probes,
+            )?);
+            bprom_obs::counter_add("meta.features", 1);
+        }
     }
     let labels = shadows.labels();
+    bprom_obs::span!("forest_fit");
     let forest = RandomForest::fit(
         &features,
         &labels,

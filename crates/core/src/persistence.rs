@@ -1,11 +1,63 @@
 //! Model-parameter persistence: save/load trained classifiers so
 //! suspicious-model zoos and shadow sets can be reused across experiment
-//! runs (JSON via serde; the workspace's only I/O format).
+//! runs (JSON via `bprom-obs::json`; the workspace's only I/O format).
 
 use crate::{BpromError, Result};
 use bprom_nn::Sequential;
+use bprom_obs::{JsonError, Value};
 use bprom_tensor::Tensor;
 use std::path::Path;
+
+fn tensor_to_value(tensor: &Tensor) -> Value {
+    Value::object(vec![
+        (
+            "dims",
+            Value::Array(
+                tensor
+                    .shape()
+                    .iter()
+                    .map(|&d| Value::Num(d as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "data",
+            Value::Array(
+                tensor
+                    .data()
+                    .iter()
+                    .map(|&x| Value::Num(f64::from(x)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn tensor_from_value(value: &Value) -> std::result::Result<Tensor, JsonError> {
+    let dims: Vec<usize> = value
+        .require("dims")?
+        .as_array()
+        .ok_or_else(|| JsonError::new("dims must be an array"))?
+        .iter()
+        .map(|d| {
+            d.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| JsonError::new("dims must be unsigned integers"))
+        })
+        .collect::<std::result::Result<_, _>>()?;
+    let data: Vec<f32> = value
+        .require("data")?
+        .as_array()
+        .ok_or_else(|| JsonError::new("data must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|n| n as f32)
+                .ok_or_else(|| JsonError::new("data must be numbers"))
+        })
+        .collect::<std::result::Result<_, _>>()?;
+    Tensor::from_vec(data, &dims).map_err(|e| JsonError::new(format!("bad tensor: {e}")))
+}
 
 /// Serializes a model's parameters (in visit order) to a JSON file.
 ///
@@ -18,8 +70,7 @@ use std::path::Path;
 /// Returns [`BpromError::Data`] on I/O or serialization failure.
 pub fn save_params(model: &mut Sequential, path: &Path) -> Result<()> {
     let params = model.export_params();
-    let json = serde_json::to_string(&params)
-        .map_err(|e| BpromError::Data(format!("serialize: {e}")))?;
+    let json = Value::Array(params.iter().map(tensor_to_value).collect()).to_compact();
     std::fs::write(path, json).map_err(|e| BpromError::Data(format!("write {path:?}: {e}")))?;
     Ok(())
 }
@@ -34,8 +85,14 @@ pub fn save_params(model: &mut Sequential, path: &Path) -> Result<()> {
 pub fn load_params(model: &mut Sequential, path: &Path) -> Result<()> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| BpromError::Data(format!("read {path:?}: {e}")))?;
-    let params: Vec<Tensor> =
-        serde_json::from_str(&json).map_err(|e| BpromError::Data(format!("parse: {e}")))?;
+    let value = Value::parse(&json).map_err(|e| BpromError::Data(format!("parse: {e}")))?;
+    let params: Vec<Tensor> = value
+        .as_array()
+        .ok_or_else(|| BpromError::Data("expected a JSON array of tensors".to_string()))?
+        .iter()
+        .map(tensor_from_value)
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| BpromError::Data(format!("parse: {e}")))?;
     model.import_params(&params)?;
     Ok(())
 }

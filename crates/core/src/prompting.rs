@@ -7,8 +7,7 @@ use crate::{BpromConfig, Result, ShadowSet};
 use bprom_data::Dataset;
 use bprom_tensor::Rng;
 use bprom_vp::{
-    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, QueryOracle,
-    VisualPrompt,
+    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, QueryOracle, VisualPrompt,
 };
 
 /// A prompted shadow model: the prompt learned for it plus bookkeeping.
@@ -36,6 +35,7 @@ pub fn prompt_shadows(
     let mut prompts = Vec::with_capacity(shadows.len());
     let num_classes = map.source_classes();
     for shadow in &mut shadows.shadows {
+        bprom_obs::span!("prompt_shadow");
         let mut prompt = VisualPrompt::random(
             t_train.channels(),
             config.image_size,
@@ -73,6 +73,7 @@ pub fn prompt_shadows(
                 report.losses.last().copied().unwrap_or(f32::NAN)
             }
         };
+        bprom_obs::counter_add("prompts.shadow", 1);
         prompts.push(LearnedPrompt { prompt, final_loss });
     }
     Ok(prompts)

@@ -1,13 +1,14 @@
 //! Detector evaluation: run a detector against a suspicious-model zoo and
-//! compute the paper's metrics (AUROC, F1).
+//! compute the paper's metrics (AUROC, F1) plus the exact query budget.
 
 use crate::{Bprom, Result, SuspiciousModel};
 use bprom_metrics::{auroc, f1_score};
+use bprom_obs::{FromJson, ToJson, Value};
 use bprom_tensor::Rng;
 use bprom_vp::QueryOracle;
 
 /// Aggregated detection results over a zoo.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionReport {
     /// Meta-classifier scores, in zoo order.
     pub scores: Vec<f32>,
@@ -19,6 +20,10 @@ pub struct DetectionReport {
     pub f1: f32,
     /// Mean black-box queries per inspected model.
     pub mean_queries: f32,
+    /// Total black-box queries over the whole zoo.
+    pub total_queries: u64,
+    /// Mean wall-clock per inspection, in milliseconds.
+    pub mean_inspect_ms: f32,
 }
 
 /// Inspects every model in the zoo and computes AUROC / F1.
@@ -35,10 +40,12 @@ pub fn evaluate_detector(
     zoo: Vec<SuspiciousModel>,
     rng: &mut Rng,
 ) -> Result<DetectionReport> {
+    bprom_obs::span!("evaluate_detector");
     let num_classes = detector.config().source_dataset.num_classes();
     let mut scores = Vec::with_capacity(zoo.len());
     let mut labels = Vec::with_capacity(zoo.len());
     let mut total_queries = 0u64;
+    let mut total_ns = 0u64;
     let n = zoo.len();
     for suspicious in zoo {
         let mut oracle = QueryOracle::new(suspicious.model, num_classes);
@@ -46,6 +53,7 @@ pub fn evaluate_detector(
         scores.push(verdict.score);
         labels.push(suspicious.backdoored);
         total_queries += verdict.queries;
+        total_ns += verdict.budget.total_ns;
     }
     let auroc = auroc(&scores, &labels)?;
     let predictions: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
@@ -56,6 +64,8 @@ pub fn evaluate_detector(
         auroc,
         f1,
         mean_queries: total_queries as f32 / n.max(1) as f32,
+        total_queries,
+        mean_inspect_ms: total_ns as f32 / 1e6 / n.max(1) as f32,
     })
 }
 
@@ -100,10 +110,50 @@ impl DetectionReport {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::BpromError::Data`] on serialization failure.
+    /// Infallible in practice; kept as `Result` for API stability.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| crate::BpromError::Data(format!("serialize report: {e}")))
+        Ok(ToJson::to_json(self).to_pretty())
+    }
+
+    /// Deserializes a report previously produced by
+    /// [`DetectionReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BpromError::Data`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let value = Value::parse(json)
+            .map_err(|e| crate::BpromError::Data(format!("parse report: {e}")))?;
+        FromJson::from_json(&value)
+            .map_err(|e| crate::BpromError::Data(format!("decode report: {e}")))
+    }
+}
+
+impl ToJson for DetectionReport {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("scores", self.scores.to_json()),
+            ("labels", self.labels.to_json()),
+            ("auroc", self.auroc.to_json()),
+            ("f1", self.f1.to_json()),
+            ("mean_queries", self.mean_queries.to_json()),
+            ("total_queries", self.total_queries.to_json()),
+            ("mean_inspect_ms", self.mean_inspect_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DetectionReport {
+    fn from_json(value: &Value) -> bprom_obs::JsonResult<Self> {
+        Ok(DetectionReport {
+            scores: FromJson::from_json(value.require("scores")?)?,
+            labels: FromJson::from_json(value.require("labels")?)?,
+            auroc: FromJson::from_json(value.require("auroc")?)?,
+            f1: FromJson::from_json(value.require("f1")?)?,
+            mean_queries: FromJson::from_json(value.require("mean_queries")?)?,
+            total_queries: FromJson::from_json(value.require("total_queries")?)?,
+            mean_inspect_ms: FromJson::from_json(value.require("mean_inspect_ms")?)?,
+        })
     }
 }
 
@@ -121,6 +171,8 @@ mod tests {
             auroc: 1.0,
             f1: 1.0,
             mean_queries: 100.0,
+            total_queries: 400,
+            mean_inspect_ms: 12.5,
         }
     }
 
@@ -151,7 +203,13 @@ mod tests {
     fn json_round_trip() {
         let report = sample_report();
         let json = report.to_json().unwrap();
-        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        let back = DetectionReport::from_json(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(DetectionReport::from_json("{").is_err());
+        assert!(DetectionReport::from_json("{\"scores\": []}").is_err());
     }
 }

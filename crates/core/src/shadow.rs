@@ -56,9 +56,15 @@ impl ShadowSet {
         let spec = ModelSpec::new(ds.channels(), ds.image_size(), ds.num_classes);
         let trainer = Trainer::new(config.train);
         let mut shadows = Vec::with_capacity(config.clean_shadows + config.backdoor_shadows);
+        let timed = bprom_obs::enabled();
         for _ in 0..config.clean_shadows {
+            let start = timed.then(std::time::Instant::now);
             let mut model = build(config.architecture, &spec, rng)?;
             trainer.fit(&mut model, &ds.images, &ds.labels, rng)?;
+            if let Some(start) = start {
+                bprom_obs::observe("shadow.train_ns", start.elapsed().as_nanos() as u64);
+                bprom_obs::counter_add("shadows.clean", 1);
+            }
             shadows.push(ShadowModel {
                 model,
                 backdoored: false,
@@ -68,13 +74,23 @@ impl ShadowSet {
         for _ in 0..config.backdoor_shadows {
             // Fresh trigger instance per shadow (random pattern components
             // draw from rng), fresh target class.
+            let start = timed.then(std::time::Instant::now);
             let attack = config.shadow_attack.build(ds.image_size(), rng)?;
             let target = rng.below(ds.num_classes);
             let defaults = config.shadow_attack.default_config(target);
             let cfg = PoisonConfig::new(defaults.poison_rate, defaults.cover_rate, target);
             let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, rng)?;
             let mut model = build(config.architecture, &spec, rng)?;
-            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)?;
+            trainer.fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                rng,
+            )?;
+            if let Some(start) = start {
+                bprom_obs::observe("shadow.train_ns", start.elapsed().as_nanos() as u64);
+                bprom_obs::counter_add("shadows.backdoored", 1);
+            }
             shadows.push(ShadowModel {
                 model,
                 backdoored: true,
@@ -137,11 +153,7 @@ mod tests {
         };
         let ds = SynthDataset::Cifar10.generate(8, 16, 2).unwrap();
         let set = ShadowSet::train(&config, &ds, &mut rng).unwrap();
-        let targets: Vec<usize> = set
-            .shadows
-            .iter()
-            .filter_map(|s| s.target_class)
-            .collect();
+        let targets: Vec<usize> = set.shadows.iter().filter_map(|s| s.target_class).collect();
         assert_eq!(targets.len(), 6);
         // With 6 draws over 10 classes, expect at least two distinct targets.
         let mut distinct = targets.clone();

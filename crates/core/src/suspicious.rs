@@ -90,11 +90,10 @@ pub fn build_suspicious_zoo(config: &ZooConfig, rng: &mut Rng) -> Result<Vec<Sus
     let mut zoo = Vec::with_capacity(config.clean + config.backdoored);
     for i in 0..config.clean + config.backdoored {
         let is_backdoored = i >= config.clean;
-        let full = config.dataset.generate(
-            config.samples_per_class,
-            config.image_size,
-            rng.next_u64(),
-        )?;
+        let full =
+            config
+                .dataset
+                .generate(config.samples_per_class, config.image_size, rng.next_u64())?;
         let (train, test) = full.split(0.8, rng)?;
         let mut model = build(config.architecture, &spec, rng)?;
         let (accuracy, asr);

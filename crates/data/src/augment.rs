@@ -135,6 +135,8 @@ mod tests {
         let mut rng = Rng::new(4);
         let aug = Augment::default();
         assert!(aug.apply(&Tensor::zeros(&[8, 8]), &mut rng).is_err());
-        assert!(aug.apply_batch(&Tensor::zeros(&[3, 8, 8]), &mut rng).is_err());
+        assert!(aug
+            .apply_batch(&Tensor::zeros(&[3, 8, 8]), &mut rng)
+            .is_err());
     }
 }

@@ -34,11 +34,7 @@ impl Dataset {
         }
         if images.shape()[0] != labels.len() {
             return Err(DataError::Inconsistent {
-                reason: format!(
-                    "{} images but {} labels",
-                    images.shape()[0],
-                    labels.len()
-                ),
+                reason: format!("{} images but {} labels", images.shape()[0], labels.len()),
             });
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {

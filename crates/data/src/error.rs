@@ -54,10 +54,7 @@ mod tests {
             reason: "fraction 0".into(),
         };
         assert!(e.to_string().contains("fraction 0"));
-        let t: DataError = TensorError::InvalidParameter {
-            reason: "x".into(),
-        }
-        .into();
+        let t: DataError = TensorError::InvalidParameter { reason: "x".into() }.into();
         assert!(std::error::Error::source(&t).is_some());
     }
 }

@@ -153,8 +153,14 @@ pub fn derive(family_seed: u64, profile: StyleProfile, class: usize) -> ClassSty
     // systematic shift.
     let family_offset = 0.02 + (family_seed % 997) as f32 / 997.0 * 0.10;
     let (bg, fg) = match profile {
-        StyleProfile::TextureDominant => (saturated_color(class, family_offset, &mut rng), muted_color(&mut rng)),
-        _ => (muted_color(&mut rng), saturated_color(class, family_offset, &mut rng)),
+        StyleProfile::TextureDominant => (
+            saturated_color(class, family_offset, &mut rng),
+            muted_color(&mut rng),
+        ),
+        _ => (
+            muted_color(&mut rng),
+            saturated_color(class, family_offset, &mut rng),
+        ),
     };
     // Second pattern colour offset around the wheel, also class-indexed.
     let bg2 = saturated_color(class + 13, family_offset, &mut rng);
@@ -177,17 +183,14 @@ pub fn derive(family_seed: u64, profile: StyleProfile, class: usize) -> ClassSty
     let shape = match profile {
         StyleProfile::SignLike => {
             // Signs: rings, disks and diamonds dominate.
-            *[Shape::Ring, Shape::Disk, Shape::Diamond, Shape::Square]
-                [rng.below(4)..][..1]
+            *[Shape::Ring, Shape::Disk, Shape::Diamond, Shape::Square][rng.below(4)..][..1]
                 .first()
                 .expect("non-empty")
         }
-        StyleProfile::GlyphLike => {
-            *[Shape::VBar, Shape::HBar, Shape::DoubleBar, Shape::Cross]
-                [rng.below(4)..][..1]
-                .first()
-                .expect("non-empty")
-        }
+        StyleProfile::GlyphLike => *[Shape::VBar, Shape::HBar, Shape::DoubleBar, Shape::Cross]
+            [rng.below(4)..][..1]
+            .first()
+            .expect("non-empty"),
         _ => ALL_SHAPES[rng.below(ALL_SHAPES.len())],
     };
     ClassStyle {
@@ -219,8 +222,9 @@ mod tests {
 
     #[test]
     fn classes_get_distinct_styles() {
-        let styles: Vec<ClassStyle> =
-            (0..20).map(|c| derive(42, StyleProfile::Mixed, c)).collect();
+        let styles: Vec<ClassStyle> = (0..20)
+            .map(|c| derive(42, StyleProfile::Mixed, c))
+            .collect();
         for i in 0..styles.len() {
             for j in (i + 1)..styles.len() {
                 assert_ne!(styles[i], styles[j], "classes {i} and {j} collide");

@@ -91,7 +91,10 @@ pub fn aeva(
 ) -> Result<AevaReport> {
     if images.rank() != 4 || images.shape()[0] == 0 {
         return Err(DefenseError::InvalidInput {
-            reason: format!("AEVA expects non-empty [n, c, h, w], got {:?}", images.shape()),
+            reason: format!(
+                "AEVA expects non-empty [n, c, h, w], got {:?}",
+                images.shape()
+            ),
         });
     }
     let num_classes = oracle.num_classes();
@@ -166,7 +169,12 @@ mod tests {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
         Trainer::new(TrainConfig::default())
-            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                &mut rng,
+            )
             .unwrap();
         let probes = data.subsample(0.04, &mut rng).unwrap().images;
         let mut oracle = QueryOracle::new(model, 10);

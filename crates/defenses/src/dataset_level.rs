@@ -141,7 +141,12 @@ pub fn scan_scores(model: &mut Sequential, data: &Dataset, rng: &mut Rng) -> Res
         }
         let sse1: f32 = class_feats
             .iter()
-            .map(|f| f.iter().zip(&mean).map(|(&v, &m)| (v - m) * (v - m)).sum::<f32>())
+            .map(|f| {
+                f.iter()
+                    .zip(&mean)
+                    .map(|(&v, &m)| (v - m) * (v - m))
+                    .sum::<f32>()
+            })
             .sum();
         // Two-component SSE via 2-means.
         let assign = kmeans(&class_feats, 2, 15, rng);
@@ -243,7 +248,12 @@ mod tests {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(Architecture::ResNetMini, &spec, rng).unwrap();
         Trainer::new(TrainConfig::default())
-            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)
+            .fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                rng,
+            )
             .unwrap();
         (model, poisoned.dataset, flags)
     }
@@ -290,8 +300,7 @@ mod tests {
     fn confusion_training_runs() {
         let mut rng = Rng::new(4);
         let (_, data, flags) = fixture(&mut rng);
-        let scores =
-            confusion_training_scores(&data, Architecture::ResNetMini, &mut rng).unwrap();
+        let scores = confusion_training_scores(&data, Architecture::ResNetMini, &mut rng).unwrap();
         assert_eq!(scores.len(), flags.len());
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
     }

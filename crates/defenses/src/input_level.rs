@@ -50,8 +50,7 @@ pub fn strip_scores(
         }
         let batch = Tensor::stack(&blended)?;
         let probs = predict_probs(model, &batch)?;
-        let mean_entropy =
-            row_entropies(&probs).iter().sum::<f32>() / n_overlays as f32;
+        let mean_entropy = row_entropies(&probs).iter().sum::<f32>() / n_overlays as f32;
         scores.push(-mean_entropy);
     }
     Ok(scores)
@@ -80,7 +79,10 @@ pub fn scale_up_scores(model: &mut Sequential, inputs: &Tensor) -> Result<Vec<f3
             }
         }
     }
-    Ok(agree.iter().map(|&a| a as f32 / factors.len() as f32).collect())
+    Ok(agree
+        .iter()
+        .map(|&a| a as f32 / factors.len() as f32)
+        .collect())
 }
 
 /// TeCo (Liu et al., 2023): corruption-robustness consistency. For each
@@ -270,7 +272,10 @@ impl FrequencyDetector {
         let (n, _) = check_batch(inputs)?;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(self.classifier.predict_proba(&dct_features(&inputs.sample(i)?))?);
+            out.push(
+                self.classifier
+                    .predict_proba(&dct_features(&inputs.sample(i)?))?,
+            );
         }
         Ok(out)
     }
@@ -360,7 +365,9 @@ pub fn cd_scores(
             // Forward through mask: x' = m*x + (1-m)*baseline.
             let mixed = mask
                 .zip_map(&x, |m, xv| m * xv)?
-                .zip_map(&mask.zip_map(&baseline, |m, b| (1.0 - m) * b)?, |a, b| a + b)?;
+                .zip_map(&mask.zip_map(&baseline, |m, b| (1.0 - m) * b)?, |a, b| {
+                    a + b
+                })?;
             let batch = mixed.reshape(&batch_dims)?;
             let logits = model.forward(&batch, Mode::Frozen)?;
             let (_, grad_logits) = softmax_cross_entropy(&logits, &[base_pred[i]])?;
@@ -394,9 +401,7 @@ mod tests {
 
     /// Shared fixture: a BadNets-infected model plus triggered/benign test
     /// inputs with ground-truth flags.
-    fn infected_fixture(
-        rng: &mut Rng,
-    ) -> (Sequential, Tensor, Vec<bool>, Tensor) {
+    fn infected_fixture(rng: &mut Rng) -> (Sequential, Tensor, Vec<bool>, Tensor) {
         let data = SynthDataset::Cifar10.generate(30, 16, 5).unwrap();
         let (train, test) = data.split(0.8, rng).unwrap();
         let kind = AttackKind::BadNets;
@@ -406,7 +411,12 @@ mod tests {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(Architecture::ResNetMini, &spec, rng).unwrap();
         Trainer::new(TrainConfig::default())
-            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)
+            .fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                rng,
+            )
             .unwrap();
         // Build a half-triggered evaluation batch.
         let mut images = Vec::new();

@@ -134,7 +134,12 @@ impl MntdDetector {
             let cfg = kind.default_config(rng.below(ds.num_classes));
             let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, rng)?;
             let mut model = build(architecture, &spec, rng)?;
-            trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, rng)?;
+            trainer.fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                rng,
+            )?;
             features.push(Self::feature(&mut model, &queries)?);
             labels.push(true);
         }
@@ -187,7 +192,12 @@ mod tests {
         let poisoned = poison_dataset(&data, attack.as_ref(), &cfg, &mut rng).unwrap();
         let mut bd = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
         trainer
-            .fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .fit(
+                &mut bd,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                &mut rng,
+            )
             .unwrap();
         let s_clean = mmbd_score(&mut clean, &[3, 16, 16], 10, &mut rng).unwrap();
         let s_bd = mmbd_score(&mut bd, &[3, 16, 16], 10, &mut rng).unwrap();
@@ -221,8 +231,15 @@ mod tests {
     fn validation() {
         let mut rng = Rng::new(2);
         let ds = SynthDataset::Cifar10.generate(2, 16, 14).unwrap();
-        assert!(MntdDetector::fit(&ds, Architecture::Mlp, 0, &[AttackKind::BadNets], 4, &mut rng)
-            .is_err());
+        assert!(MntdDetector::fit(
+            &ds,
+            Architecture::Mlp,
+            0,
+            &[AttackKind::BadNets],
+            4,
+            &mut rng
+        )
+        .is_err());
         let spec = ModelSpec::new(3, 16, 2);
         let mut tiny = build(Architecture::Mlp, &spec, &mut rng).unwrap();
         assert!(mmbd_score(&mut tiny, &[3, 16, 16], 2, &mut rng).is_err());

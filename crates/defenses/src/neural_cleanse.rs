@@ -56,7 +56,10 @@ pub fn neural_cleanse(
 ) -> Result<CleanseReport> {
     if images.rank() != 4 || images.shape()[0] == 0 {
         return Err(DefenseError::InvalidInput {
-            reason: format!("expected non-empty [n, c, h, w] images, got {:?}", images.shape()),
+            reason: format!(
+                "expected non-empty [n, c, h, w] images, got {:?}",
+                images.shape()
+            ),
         });
     }
     if num_classes < 3 {
@@ -162,7 +165,12 @@ mod tests {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
         Trainer::new(TrainConfig::default())
-            .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+            .fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                &mut rng,
+            )
             .unwrap();
         let batch = data.subsample(0.05, &mut rng).unwrap().images;
         let report = neural_cleanse(&mut model, &batch, 10, 40, 0.02).unwrap();
@@ -173,7 +181,11 @@ mod tests {
         let mut order: Vec<usize> = (0..10).collect();
         order.sort_by(|&a, &b| report.mask_norms[a].total_cmp(&report.mask_norms[b]));
         let rank = order.iter().position(|&c| c == 3).unwrap();
-        assert!(rank <= 4, "target class rank {rank}, norms {:?}", report.mask_norms);
+        assert!(
+            rank <= 4,
+            "target class rank {rank}, norms {:?}",
+            report.mask_norms
+        );
     }
 
     #[test]

@@ -64,7 +64,12 @@ impl RandomForest {
                 boot_features.push(features[i].clone());
                 boot_labels.push(labels[i]);
             }
-            trees.push(DecisionTree::fit(&boot_features, &boot_labels, &config.tree, rng)?);
+            trees.push(DecisionTree::fit(
+                &boot_features,
+                &boot_labels,
+                &config.tree,
+                rng,
+            )?);
         }
         Ok(RandomForest { trees, dim })
     }

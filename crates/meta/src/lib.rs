@@ -47,7 +47,11 @@ pub type Result<T> = std::result::Result<T, MetaError>;
 pub(crate) fn validate_dataset(features: &[Vec<f32>], labels: &[bool]) -> Result<usize> {
     if features.len() != labels.len() || features.is_empty() {
         return Err(MetaError::InvalidInput {
-            reason: format!("{} feature rows for {} labels", features.len(), labels.len()),
+            reason: format!(
+                "{} feature rows for {} labels",
+                features.len(),
+                labels.len()
+            ),
         });
     }
     let dim = features[0].len();

@@ -97,9 +97,7 @@ mod tests {
 
     #[test]
     fn learns_linear_boundary() {
-        let features: Vec<Vec<f32>> = (0..40)
-            .map(|i| vec![(i as f32 - 20.0) / 10.0])
-            .collect();
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![(i as f32 - 20.0) / 10.0]).collect();
         let labels: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let model = LogisticRegression::fit(&features, &labels, 0.5, 500, 0.0).unwrap();
         assert!(model.predict(&[1.5]).unwrap());
@@ -130,8 +128,8 @@ mod tests {
     fn validation() {
         assert!(LogisticRegression::fit(&[], &[], 0.1, 10, 0.0).is_err());
         assert!(LogisticRegression::fit(&[vec![1.0]], &[true], 0.0, 10, 0.0).is_err());
-        let m = LogisticRegression::fit(&[vec![0.0], vec![1.0]], &[false, true], 0.1, 10, 0.0)
-            .unwrap();
+        let m =
+            LogisticRegression::fit(&[vec![0.0], vec![1.0]], &[false, true], 0.1, 10, 0.0).unwrap();
         assert!(m.predict_proba(&[1.0, 2.0]).is_err());
     }
 }

@@ -140,8 +140,7 @@ impl DecisionTree {
                 if l == 0 || r == 0 {
                     continue;
                 }
-                let weighted = (l as f32 * gini(lp, l) + r as f32 * gini(rp, r))
-                    / idx.len() as f32;
+                let weighted = (l as f32 * gini(lp, l) + r as f32 * gini(rp, r)) / idx.len() as f32;
                 let gain = parent_gini - weighted;
                 if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((f, threshold, gain));
@@ -154,8 +153,9 @@ impl DecisionTree {
         if gain <= 1e-9 {
             return self.leaf(labels, idx);
         }
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| features[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| features[i][feature] <= threshold);
         // Reserve the split slot, then grow children.
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { prob_positive: 0.0 });
@@ -178,7 +178,11 @@ impl DecisionTree {
     pub fn predict_proba(&self, sample: &[f32]) -> Result<f32> {
         if sample.len() != self.dim {
             return Err(MetaError::InvalidInput {
-                reason: format!("sample width {} != trained width {}", sample.len(), self.dim),
+                reason: format!(
+                    "sample width {} != trained width {}",
+                    sample.len(),
+                    self.dim
+                ),
             });
         }
         let mut node = 0usize;

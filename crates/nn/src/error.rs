@@ -59,9 +59,7 @@ mod tests {
 
     #[test]
     fn tensor_error_converts() {
-        let te = TensorError::InvalidShape {
-            reason: "x".into(),
-        };
+        let te = TensorError::InvalidShape { reason: "x".into() };
         let ne: NnError = te.clone().into();
         assert_eq!(ne, NnError::Tensor(te));
     }

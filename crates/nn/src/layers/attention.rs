@@ -47,11 +47,7 @@ impl PatchEmbed {
     }
 
     fn to_maps(tokens: &Tensor, gh: usize, gw: usize) -> Tensor {
-        let (n, t, d) = (
-            tokens.shape()[0],
-            tokens.shape()[1],
-            tokens.shape()[2],
-        );
+        let (n, t, d) = (tokens.shape()[0], tokens.shape()[1], tokens.shape()[2]);
         let mut out = Tensor::zeros(&[n, d, gh, gw]);
         for ni in 0..n {
             for di in 0..d {
@@ -77,9 +73,9 @@ impl Layer for PatchEmbed {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let (gh, gw) = self
-            .cached_grid
-            .ok_or(NnError::BackwardBeforeForward { layer: "PatchEmbed" })?;
+        let (gh, gw) = self.cached_grid.ok_or(NnError::BackwardBeforeForward {
+            layer: "PatchEmbed",
+        })?;
         let grad_maps = Self::to_maps(grad_output, gh, gw);
         self.conv.backward(&grad_maps)
     }
@@ -263,11 +259,7 @@ impl Layer for Attention {
             .cache
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "Attention" })?;
-        let (n, t, d) = (
-            cache.x.shape()[0],
-            cache.x.shape()[1],
-            cache.x.shape()[2],
-        );
+        let (n, t, d) = (cache.x.shape()[0], cache.x.shape()[1], cache.x.shape()[2]);
         let scale = 1.0 / (d as f32).sqrt();
         let mut grad_in = Tensor::zeros(cache.x.shape());
         let mut dwq = Tensor::zeros(&[d, d]);
@@ -287,15 +279,15 @@ impl Layer for Attention {
             // y = o Wo
             dwo.add_in_place(&o.matmul_tn(&dy)?)?;
             let d_o = dy.matmul_nt(&self.wo.value)?; // [t, d]
-            // o = a v
+                                                     // o = a v
             let d_a = d_o.matmul_nt(v)?; // [t, t]
             let d_v = a.matmul_tn(&d_o)?; // [t, d]
-            // a = softmax(s)
+                                          // a = softmax(s)
             let d_s = softmax_rows_backward(a, &d_a).scale(scale);
             // s = q kᵀ
             let d_q = d_s.matmul(k)?;
             let d_k = d_s.matmul_tn(&q.clone())?; // d_sᵀ q : [t, d]
-            // q = x Wq, k = x Wk, v = x Wv
+                                                  // q = x Wq, k = x Wk, v = x Wv
             dwq.add_in_place(&x.matmul_tn(&d_q)?)?;
             dwk.add_in_place(&x.matmul_tn(&d_k)?)?;
             dwv.add_in_place(&x.matmul_tn(&d_v)?)?;

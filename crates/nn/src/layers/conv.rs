@@ -1,8 +1,6 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::{init, NnError, Result};
-use bprom_tensor::{
-    conv2d, conv2d_backward_input, conv2d_backward_weight, Rng, Tensor,
-};
+use bprom_tensor::{conv2d, conv2d_backward_input, conv2d_backward_weight, Rng, Tensor};
 
 /// 2-D convolution layer over NCHW input, with bias.
 #[derive(Debug, Clone)]
@@ -139,7 +137,13 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise convolution with a square `kernel`.
-    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let fan_in = kernel * kernel;
         DepthwiseConv2d {
             weight: Param::new(init::kaiming(&[channels, kernel, kernel], fan_in, rng)),
@@ -197,9 +201,12 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward {
-            layer: "DepthwiseConv2d",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "DepthwiseConv2d",
+            })?;
         let n = input.shape()[0];
         let (h, w) = (input.shape()[2], input.shape()[3]);
         let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
@@ -225,10 +232,12 @@ impl Layer for DepthwiseConv2d {
                     *g += d;
                 }
                 self.bias.grad.data_mut()[ci] += go.sum();
-                let dx =
-                    conv2d_backward_input(&wt, &go, &[1, 1, h, w], self.stride, self.padding)?;
+                let dx = conv2d_backward_input(&wt, &go, &[1, 1, h, w], self.stride, self.padding)?;
                 let base = (ni * self.channels + ci) * h * w;
-                for (g, &d) in grad_in.data_mut()[base..base + h * w].iter_mut().zip(dx.data()) {
+                for (g, &d) in grad_in.data_mut()[base..base + h * w]
+                    .iter_mut()
+                    .zip(dx.data())
+                {
                     *g += d;
                 }
             }

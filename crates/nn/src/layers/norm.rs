@@ -118,10 +118,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "BatchNorm2d",
+        })?;
         let shape = &cache.input_shape;
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let plane = h * w;
@@ -414,7 +413,9 @@ mod tests {
     #[test]
     fn wrong_channel_count_is_error() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval)
+            .is_err());
         let mut ln = LayerNorm::new(4);
         assert!(ln.forward(&Tensor::zeros(&[2, 5]), Mode::Eval).is_err());
     }

@@ -78,7 +78,12 @@ impl Layer for AvgPool2d {
             .cached_shape
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "AvgPool2d" })?;
-        Ok(avgpool2d_backward(grad_output, shape, self.kernel, self.stride)?)
+        Ok(avgpool2d_backward(
+            grad_output,
+            shape,
+            self.kernel,
+            self.stride,
+        )?)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
@@ -128,7 +133,9 @@ impl Layer for GlobalAvgPool {
         let shape = self
             .cached_shape
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "GlobalAvgPool" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "GlobalAvgPool",
+            })?;
         let (n, c) = (shape[0], shape[1]);
         let plane = shape[2] * shape[3];
         let inv = 1.0 / plane as f32;
@@ -172,13 +179,18 @@ mod tests {
 
     #[test]
     fn global_avg_pool_values() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let mut l = GlobalAvgPool::new();
         let y = l.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);
-        let gx = l.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        let gx = l
+            .backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
     }
 
@@ -195,7 +207,11 @@ mod tests {
 
     #[test]
     fn backward_before_forward_errors() {
-        assert!(MaxPool2d::new(2, 2).backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
-        assert!(GlobalAvgPool::new().backward(&Tensor::ones(&[1, 1])).is_err());
+        assert!(MaxPool2d::new(2, 2)
+            .backward(&Tensor::ones(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(GlobalAvgPool::new()
+            .backward(&Tensor::ones(&[1, 1]))
+            .is_err());
     }
 }

@@ -38,7 +38,9 @@ impl Layer for FoldTokens {
         let shape = self
             .cached_shape
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "FoldTokens" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "FoldTokens",
+            })?;
         Ok(grad_output.reshape(shape)?)
     }
 
@@ -137,7 +139,9 @@ impl Layer for TokenMeanPool {
         let shape = self
             .cached_shape
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "TokenMeanPool" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "TokenMeanPool",
+            })?;
         let (n, t, d) = (shape[0], shape[1], shape[2]);
         let inv = 1.0 / t as f32;
         let mut grad_in = Tensor::zeros(shape);
@@ -182,7 +186,9 @@ mod tests {
         let mut pool = TokenMeanPool::new();
         let y = pool.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[2.0, 3.0]);
-        let gx = pool.backward(&Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap()).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[1.0, 2.0, 1.0, 2.0]);
     }
 

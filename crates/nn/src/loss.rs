@@ -18,7 +18,10 @@ use bprom_tensor::Tensor;
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
     if logits.rank() != 2 {
         return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
-            reason: format!("cross entropy expects [n, k] logits, got {:?}", logits.shape()),
+            reason: format!(
+                "cross entropy expects [n, k] logits, got {:?}",
+                logits.shape()
+            ),
         }));
     }
     let (n, k) = (logits.shape()[0], logits.shape()[1]);

@@ -60,12 +60,7 @@ impl Sgd {
                 });
                 return;
             }
-            for ((vi, &gi), pi) in v
-                .data_mut()
-                .iter_mut()
-                .zip(g.data())
-                .zip(p.data().to_vec())
-            {
+            for ((vi, &gi), pi) in v.data_mut().iter_mut().zip(g.data()).zip(p.data().to_vec()) {
                 *vi = mu * *vi + gi + wd * pi;
             }
             for (pi, &vi) in p.data_mut().iter_mut().zip(v.data()) {

@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn exponential_decays() {
-        let s = LrSchedule::Exponential { lr: 1.0, factor: 0.5 };
+        let s = LrSchedule::Exponential {
+            lr: 1.0,
+            factor: 0.5,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(2), 0.25);
     }
@@ -84,7 +87,11 @@ mod tests {
 
     #[test]
     fn cosine_hits_endpoints_and_is_monotone() {
-        let s = LrSchedule::Cosine { lr: 1.0, min_lr: 0.01, total: 10 };
+        let s = LrSchedule::Cosine {
+            lr: 1.0,
+            min_lr: 0.01,
+            total: 10,
+        };
         assert!((s.at(0) - 1.0).abs() < 1e-6);
         assert!((s.at(9) - 0.01).abs() < 1e-6);
         for e in 0..9 {
@@ -97,6 +104,14 @@ mod tests {
     #[test]
     fn degenerate_step_and_cosine() {
         assert_eq!(LrSchedule::Step { lr: 1.0, every: 0 }.at(5), 1.0);
-        assert_eq!(LrSchedule::Cosine { lr: 1.0, min_lr: 0.1, total: 1 }.at(0), 0.1);
+        assert_eq!(
+            LrSchedule::Cosine {
+                lr: 1.0,
+                min_lr: 0.1,
+                total: 1
+            }
+            .at(0),
+            0.1
+        );
     }
 }

@@ -11,7 +11,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -114,7 +116,10 @@ impl Sequential {
         }
         if idx != params.len() {
             return Err(crate::NnError::InvalidConfig {
-                reason: format!("too many parameters: model has {idx}, import has {}", params.len()),
+                reason: format!(
+                    "too many parameters: model has {idx}, import has {}",
+                    params.len()
+                ),
             });
         }
         Ok(())

@@ -72,11 +72,7 @@ pub struct TrainReport {
 /// # Errors
 ///
 /// Returns an error if any index is out of range or label counts mismatch.
-pub fn gather_batch(
-    x: &Tensor,
-    labels: &[usize],
-    idx: &[usize],
-) -> Result<(Tensor, Vec<usize>)> {
+pub fn gather_batch(x: &Tensor, labels: &[usize], idx: &[usize]) -> Result<(Tensor, Vec<usize>)> {
     let n = x.shape()[0];
     if labels.len() != n {
         return Err(NnError::InvalidLabels {
@@ -88,10 +84,12 @@ pub fn gather_batch(
     let mut batch_labels = Vec::with_capacity(idx.len());
     for &i in idx {
         if i >= n {
-            return Err(NnError::Tensor(bprom_tensor::TensorError::IndexOutOfBounds {
-                index: vec![i],
-                shape: x.shape().to_vec(),
-            }));
+            return Err(NnError::Tensor(
+                bprom_tensor::TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: x.shape().to_vec(),
+                },
+            ));
         }
         data.extend_from_slice(&x.data()[i * inner..(i + 1) * inner]);
         batch_labels.push(labels[i]);

@@ -1,0 +1,265 @@
+//! Fixed-bucket histograms for latency/size distributions.
+//!
+//! Buckets are powers of two: bucket `i` counts samples in
+//! `[2^i, 2^(i+1))` (bucket 0 covers `{0, 1}`), so the full `u64` range is
+//! covered by 64 buckets with no configuration and recording is one
+//! `leading_zeros` plus an increment. Exact aggregate statistics
+//! (count/sum/min/max) are tracked alongside the buckets.
+
+use crate::json::{FromJson, JsonError, JsonResult, ToJson, Value};
+
+/// Number of power-of-two buckets (covers the whole `u64` range).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram of `u64` samples (typically nanoseconds
+/// or batch sizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket a sample falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        // 0 and 1 land in bucket 0; otherwise floor(log2(value)).
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_lower(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << index
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Per-bucket counts (length [`BUCKETS`]).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`) from the
+    /// bucket boundaries: the lower bound of the first bucket at which the
+    /// cumulative count reaches `q * count`, clamped to the observed
+    /// min/max. `None` when empty.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                // The next bucket's lower bound is this bucket's upper bound.
+                let upper = Self::bucket_lower(i + 1).saturating_sub(1);
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Value {
+        // Sparse bucket encoding: only nonzero buckets, as [index, count].
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Array(vec![Value::Num(i as f64), Value::Num(c as f64)]))
+            .collect();
+        Value::object(vec![
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            (
+                "min",
+                if self.count > 0 {
+                    self.min.to_json()
+                } else {
+                    Value::Null
+                },
+            ),
+            (
+                "max",
+                if self.count > 0 {
+                    self.max.to_json()
+                } else {
+                    Value::Null
+                },
+            ),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let mut h = Histogram::new();
+        h.count = u64::from_json(value.require("count")?)?;
+        h.sum = u64::from_json(value.require("sum")?)?;
+        h.min = match value.require("min")? {
+            Value::Null => u64::MAX,
+            v => u64::from_json(v)?,
+        };
+        h.max = match value.require("max")? {
+            Value::Null => 0,
+            v => u64::from_json(v)?,
+        };
+        let buckets = value
+            .require("buckets")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("buckets must be an array"))?;
+        for pair in buckets {
+            let pair = pair
+                .as_array()
+                .ok_or_else(|| JsonError::new("bucket must be [index, count]"))?;
+            if pair.len() != 2 {
+                return Err(JsonError::new("bucket must be [index, count]"));
+            }
+            let index = usize::from_json(&pair[0])?;
+            if index >= BUCKETS {
+                return Err(JsonError::new(format!("bucket index {index} out of range")));
+            }
+            h.counts[index] = u64::from_json(&pair[1])?;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn records_aggregate_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+        assert_eq!(h.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(100_000); // bucket 16
+        assert_eq!(h.approx_quantile(0.5), Some(127));
+        // The p100 estimate clamps to the observed max.
+        assert_eq!(h.approx_quantile(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 1000, 123_456_789] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        let empty = Histogram::new();
+        let back = Histogram::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+    }
+}

@@ -1,0 +1,668 @@
+//! Minimal self-contained JSON support.
+//!
+//! The workspace dependency policy bans external crates (single-core,
+//! no-padding substrate, and the build environment is offline), so this
+//! module replaces `serde_json` for the workspace's few JSON surfaces:
+//! telemetry snapshots, detection reports, and model-parameter
+//! persistence. It implements the full JSON grammar (RFC 8259) minus
+//! nothing the workspace needs: objects preserve insertion order, numbers
+//! are `f64`, non-finite floats serialize as `null`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced by [`Value::parse`] or the [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub reason: String,
+}
+
+impl JsonError {
+    /// Creates an error with a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        JsonError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convenience alias for fallible JSON operations.
+pub type JsonResult<T> = std::result::Result<T, JsonError>;
+
+impl Value {
+    /// Builds an object value from key/value pairs (insertion order kept).
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that errors (with the key name) instead of returning
+    /// `None` — the common case when deserializing a known schema.
+    pub fn require(&self, key: &str) -> JsonResult<&Value> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing key {key:?}")))
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole nonnegative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation (the workspace's artifact
+    /// format).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on any syntax error or trailing garbage.
+    pub fn parse(text: &str) -> JsonResult<Value> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // `f64::Display` prints the shortest representation that parses
+        // back to the same bits, so serialization round-trips exactly.
+        use fmt::Write;
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> JsonResult<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> JsonResult<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> JsonResult<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> JsonResult<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&first) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&second) {
+                                    return Err(JsonError::new("invalid surrogate pair"));
+                                }
+                                0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(JsonError::new("unknown escape")),
+                    }
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> JsonResult<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let code =
+            u32::from_str_radix(chunk, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> JsonResult<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+    }
+}
+
+/// Conversion of a Rust value into a JSON [`Value`].
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+/// Fallible reconstruction of a Rust value from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Rebuilds the value, validating structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the value does not match the expected
+    /// schema.
+    fn from_json(value: &Value) -> JsonResult<Self>;
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| JsonError::new("expected number"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::new("expected number"))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_u64()
+            .ok_or_else(|| JsonError::new("expected unsigned integer"))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| JsonError::new("expected unsigned integer"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for BTreeMap<String, T> {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), T::from_json(v)?)))
+                .collect(),
+            _ => Err(JsonError::new("expected object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("-12.5e2").unwrap(), Value::Num(-1250.0));
+        assert_eq!(
+            Value::parse("\"a\\nb\"").unwrap(),
+            Value::Str("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Value::parse(r#"{"a": [1, 2, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_u64(), Some(2));
+        assert_eq!(arr[2].get("b").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\""] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = Value::parse(r#""\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1f600}"));
+    }
+
+    #[test]
+    fn pretty_and_compact_round_trip() {
+        let v = Value::object(vec![
+            ("pi", Value::Num(std::f64::consts::PI)),
+            ("list", Value::Array(vec![Value::Num(1.0), Value::Null])),
+            ("s", Value::Str("quote \" backslash \\".to_string())),
+            ("empty", Value::Object(Vec::new())),
+        ]);
+        for text in [v.to_compact(), v.to_pretty()] {
+            assert_eq!(Value::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MAX, 5e-324, -0.0] {
+            let text = Value::Num(x).to_compact();
+            let back = Value::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Value::object(vec![("z", Value::Num(1.0)), ("a", Value::Num(2.0))]);
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,55 @@
+//! Zero-dependency observability for the BPROM workspace.
+//!
+//! BPROM is a *black-box* detector: its real-world cost is oracle queries
+//! and wall-clock per pipeline phase. This crate makes both observable
+//! without perturbing them:
+//!
+//! * **Span tracing** — [`span!`] opens an RAII-guarded, nested
+//!   wall-clock timing region (`shadow_training`, `prompt_suspicious`,
+//!   ...); [`event`] attaches point-in-time observations (per-CMA-ES-
+//!   generation best fitness) to the innermost open span.
+//! * **Counters and histograms** — [`counter_add`] maintains monotonic
+//!   `u64` counters (oracle queries); [`observe`] feeds fixed-bucket
+//!   power-of-two [`Histogram`]s (query latency, batch sizes).
+//! * **JSON run reports** — a [`Session`] collects everything recorded on
+//!   its thread and [`Session::finish`] returns a [`TelemetrySnapshot`]
+//!   that serializes to `telemetry.json` via the crate's own
+//!   self-contained [`json`] module (no external dependencies at all, per
+//!   the workspace policy).
+//!
+//! Recording is **zero-cost when disabled**: without an installed
+//! session, every entry point is one thread-local flag read (verified by
+//! the `obs_overhead` criterion bench). Telemetry is **deterministic-
+//! safe**: it only reads [`std::time::Instant`] and never touches the
+//! experiment `Rng`, so two identically-seeded runs produce identical
+//! results whether or not a session is installed.
+//!
+//! # Example
+//!
+//! ```
+//! use bprom_obs::{Session, TelemetrySnapshot};
+//!
+//! fn pipeline_phase() {
+//!     bprom_obs::span!("shadow_training");
+//!     bprom_obs::counter_add("oracle.queries", 48);
+//!     bprom_obs::observe("oracle.query_ns", 1_250_000);
+//! }
+//!
+//! let session = Session::begin("demo-run");
+//! pipeline_phase();
+//! let snapshot = session.finish();
+//! assert_eq!(snapshot.counter("oracle.queries"), 48);
+//! assert!(snapshot.find_span("shadow_training").is_some());
+//! let text = snapshot.to_json_string();
+//! assert_eq!(TelemetrySnapshot::from_json_str(&text).unwrap(), snapshot);
+//! ```
+
+pub mod histogram;
+pub mod json;
+pub mod span;
+pub mod telemetry;
+
+pub use histogram::Histogram;
+pub use json::{FromJson, JsonError, JsonResult, ToJson, Value};
+pub use span::{EventRecord, SpanGuard, SpanRecord};
+pub use telemetry::{counter_add, enabled, event, observe, span_enter, Session, TelemetrySnapshot};

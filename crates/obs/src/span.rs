@@ -1,0 +1,112 @@
+//! Span and event records: the tree of nested wall-clock timings a
+//! telemetry session collects.
+
+use crate::json::{FromJson, JsonResult, ToJson, Value};
+
+/// A named point-in-time observation attached to a span (e.g. one CMA-ES
+/// generation's best fitness).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Offset from the session start, in nanoseconds.
+    pub at_ns: u64,
+    /// Free-form numeric payload.
+    pub value: f64,
+}
+
+/// A completed (or force-closed) span: one timed region of the pipeline,
+/// with nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"shadow_training"`).
+    pub name: String,
+    /// Offset of span entry from the session start, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub duration_ns: u64,
+    /// Events recorded while this span was the innermost open span.
+    pub events: Vec<EventRecord>,
+    /// Spans opened and closed while this span was open.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Depth-first search for the first span with the given name (self
+    /// included).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sum of the direct children's durations; never exceeds this span's
+    /// own duration (children are strictly nested).
+    pub fn child_duration_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.duration_ns).sum()
+    }
+}
+
+/// RAII guard returned by [`crate::span_enter`]; closing (dropping) it
+/// records the span's duration. Inert when no telemetry session is
+/// installed.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    /// Stack depth at which this guard's span sits; `None` for inert
+    /// guards (telemetry disabled at entry).
+    pub(crate) depth: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(depth) = self.depth {
+            crate::telemetry::close_span_to_depth(depth);
+        }
+    }
+}
+
+impl ToJson for EventRecord {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("name", self.name.to_json()),
+            ("at_ns", self.at_ns.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EventRecord {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(EventRecord {
+            name: String::from_json(value.require("name")?)?,
+            at_ns: u64::from_json(value.require("at_ns")?)?,
+            value: f64::from_json(value.require("value")?)?,
+        })
+    }
+}
+
+impl ToJson for SpanRecord {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("name", self.name.to_json()),
+            ("start_ns", self.start_ns.to_json()),
+            ("duration_ns", self.duration_ns.to_json()),
+            ("events", self.events.to_json()),
+            ("children", self.children.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SpanRecord {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(SpanRecord {
+            name: String::from_json(value.require("name")?)?,
+            start_ns: u64::from_json(value.require("start_ns")?)?,
+            duration_ns: u64::from_json(value.require("duration_ns")?)?,
+            events: Vec::from_json(value.require("events")?)?,
+            children: Vec::from_json(value.require("children")?)?,
+        })
+    }
+}

@@ -1,0 +1,443 @@
+//! The telemetry collector: a thread-local sink that spans, counters,
+//! events and histogram observations report into while a [`Session`] is
+//! installed, and the serializable [`TelemetrySnapshot`] it produces.
+//!
+//! Design constraints (see `DESIGN.md` § Observability):
+//!
+//! * **Zero-cost when disabled** — every recording entry point first reads
+//!   one thread-local flag and returns immediately when no session is
+//!   installed; no allocation, no clock read.
+//! * **Deterministic-safe** — the collector only ever reads
+//!   [`std::time::Instant`]; it never touches the experiment `Rng` or any
+//!   value that feeds back into computation, so enabling telemetry cannot
+//!   change experimental results.
+//! * **Single-threaded by design** — the substrate targets one core, so
+//!   the sink is thread-local: a session observes exactly the thread that
+//!   created it, and parallel tests cannot contaminate each other.
+
+use crate::histogram::Histogram;
+use crate::json::{FromJson, JsonResult, ToJson, Value};
+use crate::span::{EventRecord, SpanGuard, SpanRecord};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct Collector {
+    label: String,
+    start: Instant,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Completed top-level spans.
+    roots: Vec<SpanRecord>,
+    /// Currently open spans, outermost first.
+    stack: Vec<SpanRecord>,
+    /// Events recorded while no span was open.
+    orphan_events: Vec<EventRecord>,
+}
+
+impl Collector {
+    fn new(label: String) -> Self {
+        Collector {
+            label,
+            start: Instant::now(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            orphan_events: Vec::new(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn close_one(&mut self) {
+        if let Some(mut span) = self.stack.pop() {
+            span.duration_ns = self.now_ns().saturating_sub(span.start_ns);
+            match self.stack.last_mut() {
+                Some(parent) => parent.children.push(span),
+                None => self.roots.push(span),
+            }
+        }
+    }
+
+    fn into_snapshot(mut self) -> TelemetrySnapshot {
+        while !self.stack.is_empty() {
+            self.close_one();
+        }
+        TelemetrySnapshot {
+            label: self.label,
+            wall_ns: self.start.elapsed().as_nanos() as u64,
+            counters: self
+                .counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            spans: self.roots,
+            events: self.orphan_events,
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Whether a telemetry session is currently installed on this thread.
+///
+/// Instrumented code may use this to skip preparation work (e.g. clock
+/// reads) that only feeds telemetry.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// Opens a named span; the returned RAII guard closes it on drop,
+/// recording the nested wall-clock duration. Prefer the [`crate::span!`]
+/// macro, which binds the guard to the enclosing scope.
+///
+/// No-op (inert guard) when telemetry is disabled.
+pub fn span_enter(name: &'static str) -> SpanGuard {
+    let depth = with_collector(|c| {
+        let start_ns = c.now_ns();
+        c.stack.push(SpanRecord {
+            name: name.to_string(),
+            start_ns,
+            duration_ns: 0,
+            events: Vec::new(),
+            children: Vec::new(),
+        });
+        c.stack.len() - 1
+    });
+    SpanGuard { depth }
+}
+
+/// Closes open spans until the stack is back to `depth` entries deep.
+/// Called by [`SpanGuard::drop`]; tolerates a session having been
+/// replaced between guard creation and drop.
+pub(crate) fn close_span_to_depth(depth: usize) {
+    with_collector(|c| {
+        while c.stack.len() > depth {
+            c.close_one();
+        }
+    });
+}
+
+/// Adds `delta` to a named monotonic counter. No-op when disabled.
+pub fn counter_add(name: &'static str, delta: u64) {
+    with_collector(|c| {
+        *c.counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Records a named point-in-time event with a numeric payload, attached
+/// to the innermost open span. No-op when disabled.
+pub fn event(name: &'static str, value: f64) {
+    with_collector(|c| {
+        let record = EventRecord {
+            name: name.to_string(),
+            at_ns: c.now_ns(),
+            value,
+        };
+        match c.stack.last_mut() {
+            Some(span) => span.events.push(record),
+            None => c.orphan_events.push(record),
+        }
+    });
+}
+
+/// Records one sample into a named fixed-bucket histogram. No-op when
+/// disabled.
+pub fn observe(name: &'static str, value: u64) {
+    with_collector(|c| {
+        c.histograms.entry(name).or_default().record(value);
+    });
+}
+
+/// Opens a named span bound to the enclosing scope:
+///
+/// ```
+/// fn shadow_training_phase() {
+///     bprom_obs::span!("shadow_training");
+///     // ... work; the span closes when the scope ends ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _bprom_obs_span_guard = $crate::span_enter($name);
+    };
+}
+
+/// An installed telemetry session. While alive, all spans/counters/
+/// events/histograms recorded **on this thread** accumulate into it;
+/// [`Session::finish`] produces the serializable [`TelemetrySnapshot`].
+///
+/// Creating a second session on the same thread replaces the first
+/// (guards from the replaced session become inert-tolerant: they close
+/// nothing they didn't open).
+#[derive(Debug)]
+pub struct Session {
+    // Sessions are bound to the installing thread's collector.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Session {
+    /// Installs a fresh collector on the current thread. `label` names
+    /// the run in the snapshot (bench binary name, test name, ...).
+    pub fn begin(label: impl Into<String>) -> Session {
+        COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new(label.into())));
+        ENABLED.with(|e| e.set(true));
+        Session {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Uninstalls the collector and returns everything it recorded. Open
+    /// spans are force-closed with their duration so far.
+    pub fn finish(self) -> TelemetrySnapshot {
+        ENABLED.with(|e| e.set(false));
+        let collector = COLLECTOR.with(|c| c.borrow_mut().take());
+        // `self` dropping after the take is a no-op uninstall.
+        collector
+            .map(Collector::into_snapshot)
+            .unwrap_or_else(|| TelemetrySnapshot::empty("detached"))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.with(|e| e.set(false));
+        COLLECTOR.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Everything one telemetry session recorded, in serializable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Run label passed to [`Session::begin`].
+    pub label: String,
+    /// Total session wall-clock, in nanoseconds.
+    pub wall_ns: u64,
+    /// Final values of all monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// All histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Completed top-level spans (with nested children).
+    pub spans: Vec<SpanRecord>,
+    /// Events recorded while no span was open.
+    pub events: Vec<EventRecord>,
+}
+
+impl TelemetrySnapshot {
+    fn empty(label: &str) -> Self {
+        TelemetrySnapshot {
+            label: label.to_string(),
+            wall_ns: 0,
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Final value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Depth-first search across all root spans for the first span with
+    /// the given name.
+    pub fn find_span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON (the
+    /// `telemetry.json` artifact format).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a snapshot back from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::JsonError`] on malformed input.
+    pub fn from_json_str(text: &str) -> JsonResult<Self> {
+        Self::from_json(&Value::parse(text)?)
+    }
+}
+
+impl ToJson for TelemetrySnapshot {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("label", self.label.to_json()),
+            ("wall_ns", self.wall_ns.to_json()),
+            ("counters", self.counters.to_json()),
+            ("histograms", self.histograms.to_json()),
+            ("spans", self.spans.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TelemetrySnapshot {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(TelemetrySnapshot {
+            label: String::from_json(value.require("label")?)?,
+            wall_ns: u64::from_json(value.require("wall_ns")?)?,
+            counters: BTreeMap::from_json(value.require("counters")?)?,
+            histograms: BTreeMap::from_json(value.require("histograms")?)?,
+            spans: Vec::from_json(value.require("spans")?)?,
+            events: Vec::from_json(value.require("events")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        assert!(!enabled());
+        counter_add("x", 5);
+        observe("h", 10);
+        event("e", 1.0);
+        {
+            crate::span!("dead");
+        }
+        let snapshot = Session::begin("check").finish();
+        assert_eq!(snapshot.counter("x"), 0);
+        assert!(snapshot.histograms.is_empty());
+        assert!(snapshot.spans.is_empty());
+        assert!(snapshot.events.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let session = Session::begin("counters");
+        counter_add("queries", 3);
+        counter_add("queries", 4);
+        counter_add("other", 1);
+        let snapshot = session.finish();
+        assert_eq!(snapshot.counter("queries"), 7);
+        assert_eq!(snapshot.counter("other"), 1);
+        assert_eq!(snapshot.counter("missing"), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_durations_are_monotonic() {
+        let session = Session::begin("spans");
+        {
+            crate::span!("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                crate::span!("inner");
+                event("tick", 42.0);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snapshot = session.finish();
+        let outer = snapshot.find_span("outer").expect("outer recorded");
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!(inner.name, "inner");
+        assert!(inner.duration_ns > 0);
+        // Nesting invariant: a child starts after and fits inside its parent.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.duration_ns <= outer.duration_ns);
+        assert!(
+            inner.start_ns + inner.duration_ns <= outer.start_ns + outer.duration_ns,
+            "child must end before its parent"
+        );
+        assert_eq!(inner.events.len(), 1);
+        assert_eq!(inner.events[0].name, "tick");
+        assert!(snapshot.wall_ns >= outer.duration_ns);
+    }
+
+    #[test]
+    fn sequential_spans_become_siblings() {
+        let session = Session::begin("siblings");
+        {
+            crate::span!("root");
+            {
+                crate::span!("a");
+            }
+            {
+                crate::span!("b");
+            }
+        }
+        let snapshot = session.finish();
+        let root = snapshot.find_span("root").unwrap();
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(root.child_duration_ns() <= root.duration_ns);
+    }
+
+    #[test]
+    fn finish_force_closes_open_spans() {
+        let session = Session::begin("open");
+        let _guard = span_enter("never_closed");
+        let snapshot = session.finish();
+        assert!(snapshot.find_span("never_closed").is_some());
+        // The leaked guard must not panic or corrupt later sessions.
+        drop(_guard);
+        let snapshot = Session::begin("after").finish();
+        assert!(snapshot.spans.is_empty());
+    }
+
+    #[test]
+    fn events_without_spans_are_orphans() {
+        let session = Session::begin("orphans");
+        event("loose", 7.0);
+        let snapshot = session.finish();
+        assert_eq!(snapshot.events.len(), 1);
+        assert_eq!(snapshot.events[0].value, 7.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let session = Session::begin("round-trip");
+        counter_add("oracle.queries", 1234);
+        observe("oracle.query_ns", 1500);
+        observe("oracle.query_ns", 90_000);
+        {
+            crate::span!("fit");
+            {
+                crate::span!("shadow_training");
+                event("cmaes.best_fitness", 0.25);
+            }
+        }
+        event("orphan", -1.5);
+        let snapshot = session.finish();
+        let text = snapshot.to_json_string();
+        let back = TelemetrySnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn dropping_session_without_finish_uninstalls() {
+        {
+            let _session = Session::begin("dropped");
+            assert!(enabled());
+        }
+        assert!(!enabled());
+        counter_add("x", 1); // must not panic
+    }
+}

@@ -297,7 +297,12 @@ pub fn conv2d_backward_input(
             reason: format!("input_shape must be rank 4, got {input_shape:?}"),
         });
     }
-    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
     let (o, _wc, kh, kw) = (
         weight.shape()[0],
         weight.shape()[1],
@@ -375,10 +380,9 @@ mod tests {
                                     let ix = (x * stride + kj) as isize - pad as isize;
                                     if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
                                     {
-                                        acc += input
-                                            .at(&[ni, ci, iy as usize, ix as usize])
-                                            .unwrap()
-                                            * weight.at(&[oi, ci, ki, kj]).unwrap();
+                                        acc +=
+                                            input.at(&[ni, ci, iy as usize, ix as usize]).unwrap()
+                                                * weight.at(&[oi, ci, ki, kj]).unwrap();
                                     }
                                 }
                             }
@@ -459,8 +463,7 @@ mod tests {
         let pad = 1;
         let out = conv2d(&input, &weight, stride, pad).unwrap();
         let grad_out = Tensor::ones(out.shape());
-        let gi =
-            conv2d_backward_input(&weight, &grad_out, &[1, 2, 5, 5], stride, pad).unwrap();
+        let gi = conv2d_backward_input(&weight, &grad_out, &[1, 2, 5, 5], stride, pad).unwrap();
         let eps = 1e-2;
         for &flat in &[0usize, 12, 24, 49] {
             let orig = input.data()[flat];

@@ -45,7 +45,10 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
             TensorError::ElementCountMismatch { expected, actual } => {
-                write!(f, "element count mismatch: shape implies {expected}, got {actual}")
+                write!(
+                    f,
+                    "element count mismatch: shape implies {expected}, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")

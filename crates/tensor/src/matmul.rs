@@ -170,7 +170,12 @@ impl Tensor {
                 actual: other.shape().to_vec(),
             });
         }
-        Ok(self.data().iter().zip(other.data()).map(|(&a, &b)| a * b).sum())
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum())
     }
 }
 

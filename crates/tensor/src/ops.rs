@@ -94,7 +94,8 @@ macro_rules! impl_binop {
             /// Panics on shape mismatch; use the fallible named method for a
             /// `Result`.
             fn $method(self, rhs: &Tensor) -> Tensor {
-                self.$t_method(rhs).expect("tensor shape mismatch in operator")
+                self.$t_method(rhs)
+                    .expect("tensor shape mismatch in operator")
             }
         }
     };

@@ -2,7 +2,11 @@
 
 use crate::{Tensor, TensorError};
 
-fn pool_dims(t: &Tensor, k: usize, stride: usize) -> Result<(usize, usize, usize, usize, usize, usize), TensorError> {
+fn pool_dims(
+    t: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Result<(usize, usize, usize, usize, usize, usize), TensorError> {
     if t.rank() != 4 {
         return Err(TensorError::InvalidShape {
             reason: format!("pooling requires rank-4 input, got {:?}", t.shape()),

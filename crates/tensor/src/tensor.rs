@@ -1,5 +1,4 @@
 use crate::{dims_product, Rng, Shape, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.at(&[1, 0])?, 3.0);
 /// # Ok::<(), bprom_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     dims: Vec<usize>,
     data: Vec<f32>,

@@ -72,14 +72,11 @@ impl CmaEs {
         let weights: Vec<f32> = raw.iter().map(|w| w / sum).collect();
         let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f32>();
         let c_sigma = (mu_eff + 2.0) / (nf + mu_eff + 5.0);
-        let d_sigma = 1.0
-            + 2.0 * (((mu_eff - 1.0) / (nf + 1.0)).sqrt() - 1.0).max(0.0)
-            + c_sigma;
+        let d_sigma = 1.0 + 2.0 * (((mu_eff - 1.0) / (nf + 1.0)).sqrt() - 1.0).max(0.0) + c_sigma;
         let c_c = (4.0 + mu_eff / nf) / (nf + 4.0 + 2.0 * mu_eff / nf);
         // Separable variant: learning rates scaled by (n+2)/3.
         let c_1 = (nf + 2.0) / 3.0 * 2.0 / ((nf + 1.3).powi(2) + mu_eff);
-        let c_mu = ((nf + 2.0) / 3.0
-            * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff)
+        let c_mu = ((nf + 2.0) / 3.0 * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff)
             / ((nf + 2.0).powi(2) + mu_eff))
             .min(1.0 - c_1);
         let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
@@ -165,16 +162,13 @@ impl CmaEs {
         let p_sigma_norm = self.p_sigma.iter().map(|v| v * v).sum::<f32>().sqrt();
         // Covariance path.
         let gen_f = (self.generation + 1) as f32;
-        let hsig = p_sigma_norm
-            / (1.0 - (1.0 - cs).powf(2.0 * gen_f)).sqrt()
-            / self.chi_n
+        let hsig = p_sigma_norm / (1.0 - (1.0 - cs).powf(2.0 * gen_f)).sqrt() / self.chi_n
             < 1.4 + 2.0 / (self.dim as f32 + 1.0);
         let cc = self.c_c;
         let cc_factor = (cc * (2.0 - cc) * self.mu_eff).sqrt();
         for d in 0..self.dim {
             let y_mean = (new_mean[d] - self.mean[d]) / self.sigma;
-            self.p_c[d] = (1.0 - cc) * self.p_c[d]
-                + if hsig { cc_factor * y_mean } else { 0.0 };
+            self.p_c[d] = (1.0 - cc) * self.p_c[d] + if hsig { cc_factor * y_mean } else { 0.0 };
         }
         // Diagonal covariance update (rank-1 + rank-µ, separable).
         let delta_hsig = if hsig { 0.0 } else { cc * (2.0 - cc) };
@@ -190,8 +184,9 @@ impl CmaEs {
                 .max(1e-12);
         }
         // Step-size update.
-        self.sigma *=
-            ((cs / self.d_sigma) * (p_sigma_norm / self.chi_n - 1.0)).exp().clamp(0.5, 2.0);
+        self.sigma *= ((cs / self.d_sigma) * (p_sigma_norm / self.chi_n - 1.0))
+            .exp()
+            .clamp(0.5, 2.0);
         self.mean = new_mean;
         self.generation += 1;
         self.last_z.clear();
@@ -239,12 +234,7 @@ impl CmaEs {
 mod tests {
     use super::*;
 
-    fn minimize(
-        f: impl Fn(&[f32]) -> f32,
-        dim: usize,
-        gens: usize,
-        seed: u64,
-    ) -> (Vec<f32>, f32) {
+    fn minimize(f: impl Fn(&[f32]) -> f32, dim: usize, gens: usize, seed: u64) -> (Vec<f32>, f32) {
         let mut rng = Rng::new(seed);
         let init = vec![1.5f32; dim];
         let mut es = CmaEs::new(&init, 0.5, CmaEs::default_population(dim)).unwrap();

@@ -1,0 +1,136 @@
+//! Query-budget accounting at the black-box boundary.
+//!
+//! [`CountingOracle`] wraps any [`BlackBoxModel`] and records every query
+//! batch: an exact local tally (images and batches, readable by the
+//! caller even with telemetry disabled) plus, when a `bprom-obs` session
+//! is installed, the `oracle.queries` counter and the
+//! `oracle.query_ns` / `oracle.batch_size` histograms.
+
+use crate::{BlackBoxModel, Result};
+use bprom_tensor::Tensor;
+use std::time::Instant;
+
+/// A [`BlackBoxModel`] wrapper that meters queries passing through it.
+///
+/// Metering is strictly passive: the wrapped oracle sees the exact same
+/// batches in the exact same order, so detection results are unchanged.
+pub struct CountingOracle<'a> {
+    inner: &'a mut dyn BlackBoxModel,
+    queries: u64,
+    batches: u64,
+}
+
+impl std::fmt::Debug for CountingOracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountingOracle")
+            .field("queries", &self.queries)
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+impl<'a> CountingOracle<'a> {
+    /// Wraps an oracle; the local tally starts at zero.
+    pub fn new(inner: &'a mut dyn BlackBoxModel) -> Self {
+        CountingOracle {
+            inner,
+            queries: 0,
+            batches: 0,
+        }
+    }
+
+    /// Images submitted through *this wrapper* (unlike
+    /// [`BlackBoxModel::queries_used`], which is the wrapped oracle's
+    /// lifetime total).
+    pub fn local_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Query batches submitted through this wrapper.
+    pub fn local_batches(&self) -> u64 {
+        self.batches
+    }
+}
+
+impl BlackBoxModel for CountingOracle<'_> {
+    fn query(&mut self, batch: &Tensor) -> Result<Tensor> {
+        let timed = bprom_obs::enabled();
+        let start = timed.then(Instant::now);
+        let out = self.inner.query(batch)?;
+        // Count only successful queries, mirroring the inner oracle.
+        let n = batch.shape()[0] as u64;
+        self.queries += n;
+        self.batches += 1;
+        if let Some(start) = start {
+            bprom_obs::observe("oracle.query_ns", start.elapsed().as_nanos() as u64);
+            bprom_obs::observe("oracle.batch_size", n);
+            bprom_obs::counter_add("oracle.queries", n);
+            bprom_obs::counter_add("oracle.batches", 1);
+        }
+        Ok(out)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn queries_used(&self) -> u64 {
+        self.inner.queries_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryOracle;
+    use bprom_nn::models::{mlp, ModelSpec};
+    use bprom_tensor::Rng;
+
+    #[test]
+    fn counts_match_inner_oracle() {
+        let mut rng = Rng::new(0);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 5);
+        let warmup = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        oracle.query(&warmup).unwrap();
+        assert_eq!(oracle.queries_used(), 2);
+
+        let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let mut counting = CountingOracle::new(&mut oracle);
+        counting.query(&batch).unwrap();
+        counting.query(&batch).unwrap();
+        // Local tally counts only wrapper traffic; queries_used is lifetime.
+        assert_eq!(counting.local_queries(), 8);
+        assert_eq!(counting.local_batches(), 2);
+        assert_eq!(counting.queries_used(), 10);
+        assert_eq!(counting.num_classes(), 5);
+    }
+
+    #[test]
+    fn failed_queries_are_not_counted() {
+        let mut rng = Rng::new(1);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 5);
+        let mut counting = CountingOracle::new(&mut oracle);
+        assert!(counting.query(&Tensor::zeros(&[3, 8, 8])).is_err());
+        assert_eq!(counting.local_queries(), 0);
+        assert_eq!(counting.local_batches(), 0);
+    }
+
+    #[test]
+    fn telemetry_records_oracle_traffic() {
+        let mut rng = Rng::new(2);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let mut oracle = QueryOracle::new(model, 5);
+        let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let session = bprom_obs::Session::begin("counting-test");
+        let mut counting = CountingOracle::new(&mut oracle);
+        counting.query(&batch).unwrap();
+        let snapshot = session.finish();
+        assert_eq!(snapshot.counter("oracle.queries"), 4);
+        assert_eq!(snapshot.counter("oracle.batches"), 1);
+        let hist = snapshot.histograms.get("oracle.batch_size").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.min(), Some(4));
+    }
+}

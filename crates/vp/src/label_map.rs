@@ -197,11 +197,8 @@ mod tests {
     #[test]
     fn accuracy_under_identity() {
         let map = LabelMap::identity(2, 3).unwrap();
-        let conf = Tensor::from_vec(
-            vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1, 0.1, 0.1, 0.8],
-            &[3, 3],
-        )
-        .unwrap();
+        let conf =
+            Tensor::from_vec(vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1, 0.1, 0.1, 0.8], &[3, 3]).unwrap();
         let acc = map.accuracy(&conf, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

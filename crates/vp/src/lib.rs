@@ -42,6 +42,7 @@
 
 mod blackbox;
 mod cmaes;
+mod counting;
 mod error;
 mod label_map;
 mod prompt;
@@ -49,6 +50,7 @@ mod train;
 
 pub use blackbox::{BlackBoxModel, QueryOracle};
 pub use cmaes::CmaEs;
+pub use counting::CountingOracle;
 pub use error::VpError;
 pub use label_map::LabelMap;
 pub use prompt::{PromptStyle, VisualPrompt};

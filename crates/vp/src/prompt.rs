@@ -302,7 +302,9 @@ mod tests {
 
     #[test]
     fn apply_places_image_in_center() {
-        let mut prompt = VisualPrompt::new(1, 8, 2).unwrap().with_style(PromptStyle::Pad);
+        let mut prompt = VisualPrompt::new(1, 8, 2)
+            .unwrap()
+            .with_style(PromptStyle::Pad);
         // Distinctive border value.
         prompt.theta = Tensor::full(&[1, 8, 8], 0.25);
         let img = Tensor::ones(&[1, 4, 4]);
@@ -316,7 +318,9 @@ mod tests {
 
     #[test]
     fn overlay_adds_theta_on_border_only() {
-        let mut prompt = VisualPrompt::new(1, 8, 2).unwrap().with_style(PromptStyle::Overlay);
+        let mut prompt = VisualPrompt::new(1, 8, 2)
+            .unwrap()
+            .with_style(PromptStyle::Overlay);
         prompt.theta = Tensor::full(&[1, 8, 8], 0.25);
         let img = Tensor::full(&[1, 8, 8], 0.5);
         let out = prompt.apply(&img).unwrap();

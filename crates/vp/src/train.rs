@@ -100,12 +100,17 @@ pub fn train_prompt_backprop(
         .collect::<Result<_>>()?;
     let mut order: Vec<usize> = (0..n).collect();
     // Adam state on the full canvas (border entries are the live ones).
-    let canvas = [images.shape()[1], prompt.source_size(), prompt.source_size()];
+    let canvas = [
+        images.shape()[1],
+        prompt.source_size(),
+        prompt.source_size(),
+    ];
     let mut m = Tensor::zeros(&canvas);
     let mut v = Tensor::zeros(&canvas);
     let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
     let mut t = 0i32;
     let mut losses = Vec::with_capacity(cfg.epochs);
+    bprom_obs::span!("backprop_prompt_training");
     for _epoch in 0..cfg.epochs {
         rng.shuffle(&mut order);
         let mut total = 0.0f32;
@@ -149,7 +154,9 @@ pub fn train_prompt_backprop(
             total += loss;
             batches += 1;
         }
-        losses.push(total / batches.max(1) as f32);
+        let epoch_loss = total / batches.max(1) as f32;
+        losses.push(epoch_loss);
+        bprom_obs::event("prompt.epoch_loss", f64::from(epoch_loss));
     }
     Ok(PromptTrainReport { losses, queries: 0 })
 }
@@ -185,7 +192,9 @@ pub fn train_prompt_cmaes(
     let mut es = CmaEs::new(&prompt.to_flat(), cfg.cmaes_sigma, pop)?;
     let mut losses = Vec::with_capacity(cfg.cmaes_generations);
     let mut scratch = prompt.clone();
+    bprom_obs::span!("cmaes_prompt_training");
     for _gen in 0..cfg.cmaes_generations {
+        let gen_start = bprom_obs::enabled().then(std::time::Instant::now);
         // One shared minibatch per generation: candidates are ranked on the
         // same data, resampled across generations for coverage.
         let batch_len = cfg.batch_size.min(n).max(1);
@@ -206,12 +215,12 @@ pub fn train_prompt_cmaes(
             fitness.push(loss / by.len() as f32);
         }
         es.tell(&candidates, &fitness)?;
-        losses.push(
-            fitness
-                .iter()
-                .copied()
-                .fold(f32::INFINITY, f32::min),
-        );
+        let best = fitness.iter().copied().fold(f32::INFINITY, f32::min);
+        losses.push(best);
+        if let Some(gen_start) = gen_start {
+            bprom_obs::observe("cmaes.generation_ns", gen_start.elapsed().as_nanos() as u64);
+            bprom_obs::event("cmaes.best_fitness", f64::from(best));
+        }
     }
     // Install the best-ever candidate.
     if let Some((best, _)) = es.best() {
@@ -299,8 +308,8 @@ mod tests {
         let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
         let map = LabelMap::identity(10, 10).unwrap();
         let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-        let before = prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map)
-            .unwrap();
+        let before =
+            prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map).unwrap();
         let cfg = PromptTrainConfig::default();
         let report = train_prompt_backprop(
             &mut model,
@@ -312,8 +321,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let after = prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map)
-            .unwrap();
+        let after =
+            prompted_accuracy(&mut model, &prompt, &t_test.images, &t_test.labels, &map).unwrap();
         // The unprompted baseline varies with how the random domains align;
         // prompting must end well above chance (10 %) and never hurt.
         assert!(
@@ -410,15 +419,9 @@ mod tests {
         let map = LabelMap::identity(10, 10).unwrap();
         let cfg = PromptTrainConfig::default();
         let bad = Tensor::zeros(&[2, 3, 8, 8]);
-        assert!(train_prompt_backprop(
-            &mut model,
-            &mut prompt,
-            &bad,
-            &[0],
-            &map,
-            &cfg,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            train_prompt_backprop(&mut model, &mut prompt, &bad, &[0], &map, &cfg, &mut rng)
+                .is_err()
+        );
     }
 }

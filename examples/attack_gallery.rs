@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = build(Architecture::ResNetMini, &spec, &mut rng)?;
         let trainer = Trainer::new(TrainConfig::default());
-        trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)?;
+        trainer.fit(
+            &mut model,
+            &poisoned.dataset.images,
+            &poisoned.dataset.labels,
+            &mut rng,
+        )?;
         let acc = trainer.evaluate(&mut model, &test.images, &test.labels)?;
         let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng)?;
         let note = match kind {

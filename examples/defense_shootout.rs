@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let inputs = Tensor::stack(&images)?;
-    let pool = test.select(&(40..test.len().min(70)).collect::<Vec<_>>())?.images;
+    let pool = test
+        .select(&(40..test.len().min(70)).collect::<Vec<_>>())?
+        .images;
 
     println!("{:<12} {:>8}", "defense", "AUROC");
     let strip = strip_scores(&mut model, &inputs, &pool, 8, &mut rng)?;
@@ -57,6 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let senti = sentinet_scores(&mut model, &inputs, &pool, 4)?;
     println!("{:<12} {:>8.3}", "SentiNet", auroc(&senti, &truth)?);
     let freq = FrequencyDetector::fit(&pool, &mut rng)?;
-    println!("{:<12} {:>8.3}", "Frequency", auroc(&freq.scores(&inputs)?, &truth)?);
+    println!(
+        "{:<12} {:>8.3}",
+        "Frequency",
+        auroc(&freq.scores(&inputs)?, &truth)?
+    );
     Ok(())
 }

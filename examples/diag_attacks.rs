@@ -10,31 +10,38 @@ use bprom_suite::tensor::Rng;
 fn main() {
     for kind in bprom_suite::attacks::AttackKind::ALL {
         for seed in [10u64, 21] {
-          let epochs = 22usize;
-          {
-            let mut rng = Rng::new(seed);
-            let data = SynthDataset::Cifar10.generate(40, 16, seed).unwrap();
-            let (train, test) = data.split(0.8, &mut rng).unwrap();
-            let attack = kind.build(16, &mut rng).unwrap();
-            let cfg = kind.default_config(0);
-            let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng).unwrap();
-            let spec = ModelSpec::new(3, 16, 10);
-            let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
-            let trainer = Trainer::new(TrainConfig {
-                epochs,
-                ..TrainConfig::default()
-            });
-            let report = trainer
-                .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
-                .unwrap();
-            let acc = trainer.evaluate(&mut model, &test.images, &test.labels).unwrap();
-            let asr =
-                attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng).unwrap();
-            println!(
+            let epochs = 22usize;
+            {
+                let mut rng = Rng::new(seed);
+                let data = SynthDataset::Cifar10.generate(40, 16, seed).unwrap();
+                let (train, test) = data.split(0.8, &mut rng).unwrap();
+                let attack = kind.build(16, &mut rng).unwrap();
+                let cfg = kind.default_config(0);
+                let poisoned = poison_dataset(&train, attack.as_ref(), &cfg, &mut rng).unwrap();
+                let spec = ModelSpec::new(3, 16, 10);
+                let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+                let trainer = Trainer::new(TrainConfig {
+                    epochs,
+                    ..TrainConfig::default()
+                });
+                let report = trainer
+                    .fit(
+                        &mut model,
+                        &poisoned.dataset.images,
+                        &poisoned.dataset.labels,
+                        &mut rng,
+                    )
+                    .unwrap();
+                let acc = trainer
+                    .evaluate(&mut model, &test.images, &test.labels)
+                    .unwrap();
+                let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &cfg, &mut rng)
+                    .unwrap();
+                println!(
                 "{kind:12} seed={seed:3} epochs={epochs:2} final_loss={:.3} acc={acc:.3} asr={asr:.3}",
                 report.epoch_losses.last().unwrap()
             );
-          }
+            }
         }
     }
 }

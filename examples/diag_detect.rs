@@ -1,8 +1,8 @@
 //! Scratch diagnostic: end-to-end BPROM detection AUROC on a few attacks.
 //! Run with `cargo run --release --example diag_detect`.
 
-use bprom_suite::bprom::{build_suspicious_zoo, evaluate_detector, Bprom, BpromConfig, ZooConfig};
 use bprom_suite::attacks::AttackKind;
+use bprom_suite::bprom::{build_suspicious_zoo, evaluate_detector, Bprom, BpromConfig, ZooConfig};
 use bprom_suite::data::SynthDataset;
 use bprom_suite::tensor::Rng;
 use std::time::Instant;
@@ -13,7 +13,12 @@ fn main() {
     let t0 = Instant::now();
     let detector = Bprom::fit(&config, &mut rng).unwrap();
     println!("fit: {:.1}s", t0.elapsed().as_secs_f32());
-    for attack in [AttackKind::BadNets, AttackKind::Blend, AttackKind::Trojan, AttackKind::WaNet] {
+    for attack in [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::Trojan,
+        AttackKind::WaNet,
+    ] {
         let t1 = Instant::now();
         let zoo_cfg = ZooConfig::new(SynthDataset::Cifar10, attack);
         let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
@@ -24,7 +29,11 @@ fn main() {
             "{attack:10} auroc={:.3} f1={:.3} scores={:?} mean_acc={:.2} mean_asr={:.2} ({:.0}s)",
             report.auroc,
             report.f1,
-            report.scores.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            report
+                .scores
+                .iter()
+                .map(|s| (s * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
             accs.iter().sum::<f32>() / accs.len() as f32,
             asrs.iter().sum::<f32>() / asrs.len().max(1) as f32,
             t1.elapsed().as_secs_f32(),

@@ -3,9 +3,9 @@
 //! distribution shift. Extracts suspicious-model features through BOTH
 //! paths and scores them with the same meta-classifier.
 
+use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::meta_model::probe_features_whitebox;
 use bprom_suite::bprom::{build_suspicious_zoo, Bprom, BpromConfig, ZooConfig};
-use bprom_suite::attacks::AttackKind;
 use bprom_suite::data::SynthDataset;
 use bprom_suite::metrics::auroc;
 use bprom_suite::tensor::Rng;

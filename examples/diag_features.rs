@@ -3,11 +3,11 @@
 //! clean and backdoored models separate in this feature space, and do
 //! shadows and suspicious models share it?
 
+use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::meta_model::{probe_features_whitebox, ProbeSet};
 use bprom_suite::bprom::prompting::prompt_shadows;
 use bprom_suite::bprom::shadow::ShadowSet;
 use bprom_suite::bprom::{build_suspicious_zoo, BpromConfig, ZooConfig};
-use bprom_suite::attacks::AttackKind;
 use bprom_suite::data::SynthDataset;
 use bprom_suite::tensor::Rng;
 use bprom_suite::vp::{train_prompt_backprop, LabelMap, VisualPrompt};
@@ -45,15 +45,23 @@ fn main() {
         .generate(config.test_samples_per_class, 16, rng.next_u64())
         .unwrap();
     let ds = source_test.subsample(config.ds_fraction, &mut rng).unwrap();
-    println!("D_S: {} samples, class counts {:?}", ds.len(), ds.class_counts());
-    let target = SynthDataset::Stl10.generate(25, 16, rng.next_u64()).unwrap();
+    println!(
+        "D_S: {} samples, class counts {:?}",
+        ds.len(),
+        ds.class_counts()
+    );
+    let target = SynthDataset::Stl10
+        .generate(25, 16, rng.next_u64())
+        .unwrap();
     let (t_train, t_test) = target.split(0.7, &mut rng).unwrap();
     let map = LabelMap::identity(10, 10).unwrap();
     let mut shadows = ShadowSet::train(&config, &ds, &mut rng).unwrap();
     // Shadow accuracies on their own D_S.
     let trainer = bprom_suite::nn::Trainer::default();
     for (i, s) in shadows.shadows.iter_mut().enumerate() {
-        let acc = trainer.evaluate(&mut s.model, &ds.images, &ds.labels).unwrap();
+        let acc = trainer
+            .evaluate(&mut s.model, &ds.images, &ds.labels)
+            .unwrap();
         println!("shadow {i} bd={} train_acc={acc:.2}", s.backdoored);
     }
     let prompts = prompt_shadows(&config, &mut shadows, &t_train, &map, &mut rng).unwrap();

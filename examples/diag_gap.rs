@@ -25,8 +25,16 @@ fn prompt_acc(
         ..PromptTrainConfig::default()
     };
     let mut p = VisualPrompt::random(3, 16, border, rng).unwrap();
-    train_prompt_backprop(model, &mut p, &t_train.images, &t_train.labels, &map, &cfg, rng)
-        .unwrap();
+    train_prompt_backprop(
+        model,
+        &mut p,
+        &t_train.images,
+        &t_train.labels,
+        &map,
+        &cfg,
+        rng,
+    )
+    .unwrap();
     prompted_accuracy(model, &p, &t_test.images, &t_test.labels, &map).unwrap()
 }
 
@@ -47,7 +55,9 @@ fn main() {
                 trainer
                     .fit(&mut clean, &source.images, &source.labels, &mut rng)
                     .unwrap();
-                clean_accs.push(prompt_acc(&mut clean, border, epochs, &t_train, &t_test, &mut rng));
+                clean_accs.push(prompt_acc(
+                    &mut clean, border, epochs, &t_train, &t_test, &mut rng,
+                ));
 
                 for kind in [
                     AttackKind::BadNets,
@@ -61,14 +71,30 @@ fn main() {
                         poison_dataset(&source, attack.as_ref(), &pcfg, &mut rng).unwrap();
                     let mut bd = resnet_mini(&spec, &mut rng).unwrap();
                     trainer
-                        .fit(&mut bd, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+                        .fit(
+                            &mut bd,
+                            &poisoned.dataset.images,
+                            &poisoned.dataset.labels,
+                            &mut rng,
+                        )
                         .unwrap();
-                    bd_accs.push(prompt_acc(&mut bd, border, epochs, &t_train, &t_test, &mut rng));
+                    bd_accs.push(prompt_acc(
+                        &mut bd, border, epochs, &t_train, &t_test, &mut rng,
+                    ));
                 }
             }
             let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
             let by_attack: Vec<f32> = (0..4)
-                .map(|a| mean(&bd_accs.iter().skip(a).step_by(4).copied().collect::<Vec<_>>()))
+                .map(|a| {
+                    mean(
+                        &bd_accs
+                            .iter()
+                            .skip(a)
+                            .step_by(4)
+                            .copied()
+                            .collect::<Vec<_>>(),
+                    )
+                })
                 .collect();
             println!(
                 "clean mean={:.3} | badnets={:.3} blend={:.3} wanet={:.3} trojan={:.3}",

@@ -21,16 +21,33 @@ fn main() {
                 let kind = bprom_suite::attacks::AttackKind::BadNets;
                 let attack = kind.build(16, &mut rng).unwrap();
                 let pcfg = bprom_suite::attacks::PoisonConfig::new(0.2, 0.0, 0);
-                bprom_suite::attacks::poison_dataset(&source, attack.as_ref(), &pcfg, &mut rng).unwrap().dataset
+                bprom_suite::attacks::poison_dataset(&source, attack.as_ref(), &pcfg, &mut rng)
+                    .unwrap()
+                    .dataset
             } else {
                 source.clone()
             };
             let mut model = resnet_mini(&spec, &mut rng).unwrap();
-            trainer.fit(&mut model, &train_set.images, &train_set.labels, &mut rng).unwrap();
-            let cfg = PromptTrainConfig { epochs: 40, ..PromptTrainConfig::default() };
+            trainer
+                .fit(&mut model, &train_set.images, &train_set.labels, &mut rng)
+                .unwrap();
+            let cfg = PromptTrainConfig {
+                epochs: 40,
+                ..PromptTrainConfig::default()
+            };
             let mut p = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
-            train_prompt_backprop(&mut model, &mut p, &t_train.images, &t_train.labels, &map, &cfg, &mut rng).unwrap();
-            let test_acc = prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap();
+            train_prompt_backprop(
+                &mut model,
+                &mut p,
+                &t_train.images,
+                &t_train.labels,
+                &map,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+            let test_acc =
+                prompted_accuracy(&mut model, &p, &t_test.images, &t_test.labels, &map).unwrap();
             // Per-class accuracy + prediction histogram on test.
             let prompted = p.apply_batch(&t_test.images).unwrap();
             let logits = model.forward(&prompted, Mode::Eval).unwrap();
@@ -39,13 +56,27 @@ fn main() {
             let mut per_class_ok = vec![0usize; k];
             let mut per_class_n = vec![0usize; k];
             for i in 0..logits.shape()[0] {
-                let row = &logits.data()[i*k..(i+1)*k];
-                let mut b = 0; for j in 1..k { if row[j] > row[b] { b = j; } }
+                let row = &logits.data()[i * k..(i + 1) * k];
+                let mut b = 0;
+                for j in 1..k {
+                    if row[j] > row[b] {
+                        b = j;
+                    }
+                }
                 hist[b] += 1;
                 per_class_n[t_test.labels[i]] += 1;
-                if b == t_test.labels[i] { per_class_ok[t_test.labels[i]] += 1; }
+                if b == t_test.labels[i] {
+                    per_class_ok[t_test.labels[i]] += 1;
+                }
             }
-            let pc: Vec<String> = (0..k).map(|c| format!("{:.0}", 100.0*per_class_ok[c] as f32/per_class_n[c].max(1) as f32)).collect();
+            let pc: Vec<String> = (0..k)
+                .map(|c| {
+                    format!(
+                        "{:.0}",
+                        100.0 * per_class_ok[c] as f32 / per_class_n[c].max(1) as f32
+                    )
+                })
+                .collect();
             println!("seed={seed} poisoned={poisoned_model} test={test_acc:.3} hist={hist:?} per_class%={pc:?}");
         }
     }

@@ -7,10 +7,14 @@
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{build_suspicious_zoo, Bprom, BpromConfig, ZooConfig};
 use bprom_suite::data::SynthDataset;
+use bprom_suite::obs;
 use bprom_suite::tensor::Rng;
 use bprom_suite::vp::QueryOracle;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record the whole audit: every oracle query, phase timing and counter
+    // ends up in one JSON snapshot.
+    let session = obs::Session::begin("mlaas_audit");
     let mut rng = Rng::new(77);
     println!("fitting one BPROM detector for the CIFAR-10 marketplace...");
     let mut config = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
@@ -31,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         marketplace.extend(build_suspicious_zoo(&zoo_cfg, &mut rng)?);
     }
 
-    println!("\n{:<8} {:>8} {:>10} {:>12}", "model", "score", "verdict", "truth");
+    println!("\n{:<8} {:<12} verdict", "model", "truth");
     let mut correct = 0usize;
     let total = marketplace.len();
     for (i, suspicious) in marketplace.into_iter().enumerate() {
@@ -42,13 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             correct += 1;
         }
         println!(
-            "{:<8} {:>8.2} {:>10} {:>12}",
+            "{:<8} {:<12} {verdict}",
             format!("#{i}"),
-            verdict.score,
-            if verdict.backdoored { "REJECT" } else { "accept" },
-            if truth { "backdoored" } else { "clean" }
+            if truth { "backdoored" } else { "clean" },
         );
     }
     println!("\naudit agreement with ground truth: {correct}/{total}");
+
+    // Dump the machine-readable audit trail next to the binary.
+    let snapshot = session.finish();
+    println!(
+        "audit spent {} oracle queries over {} models; trail -> mlaas_audit_telemetry.json",
+        snapshot.counter("oracle.queries"),
+        snapshot.counter("inspect.models"),
+    );
+    std::fs::write("mlaas_audit_telemetry.json", snapshot.to_json_string())?;
     Ok(())
 }

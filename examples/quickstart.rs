@@ -24,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ModelSpec::new(3, 16, 10);
     let mut model = build(Architecture::ResNetMini, &spec, &mut rng)?;
     let trainer = Trainer::new(TrainConfig::default());
-    trainer.fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)?;
+    trainer.fit(
+        &mut model,
+        &poisoned.dataset.images,
+        &poisoned.dataset.labels,
+        &mut rng,
+    )?;
     let acc = trainer.evaluate(&mut model, &test.images, &test.labels)?;
     let asr = attack_success_rate(&mut model, attack.as_ref(), &test, &poison_cfg, &mut rng)?;
     println!("      clean accuracy {acc:.2}, attack success rate {asr:.2}");
@@ -38,15 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.prompt.cmaes_generations = 25;
     let detector = Bprom::fit(&config, &mut rng)?;
 
-    // 3. Inspection happens strictly through black-box queries.
+    // 3. Inspection happens strictly through black-box queries; the
+    //    verdict reports the exact oracle budget it consumed.
     println!("[3/3] inspecting the suspicious model through black-box queries...");
     let mut oracle = QueryOracle::new(model, 10);
     let verdict = detector.inspect(&mut oracle, &mut rng)?;
-    println!(
-        "      verdict: {} (backdoor score {:.2}, {} queries)",
-        if verdict.backdoored { "BACKDOORED" } else { "clean" },
-        verdict.score,
-        verdict.queries
-    );
+    println!("      verdict: {verdict}");
     Ok(())
 }

@@ -21,7 +21,12 @@ fn run_attack(kind: AttackKind, seed: u64) -> (f32, f32) {
     let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
     let trainer = Trainer::new(TrainConfig::default());
     trainer
-        .fit(&mut model, &poisoned.dataset.images, &poisoned.dataset.labels, &mut rng)
+        .fit(
+            &mut model,
+            &poisoned.dataset.images,
+            &poisoned.dataset.labels,
+            &mut rng,
+        )
         .unwrap();
     let acc = trainer
         .evaluate(&mut model, &test.images, &test.labels)

@@ -34,11 +34,7 @@ fn canonical_prefix_is_class_permutation_invariant() {
 #[test]
 fn accuracy_feature_is_last_and_correct() {
     // Two probes over 3 classes: first predicted class 2, second class 0.
-    let probs = Tensor::from_vec(
-        vec![0.1, 0.2, 0.7, 0.8, 0.1, 0.1],
-        &[2, 3],
-    )
-    .unwrap();
+    let probs = Tensor::from_vec(vec![0.1, 0.2, 0.7, 0.8, 0.1, 0.1], &[2, 3]).unwrap();
     let feat = feature_from_confidences(&probs, &[2, 1]).unwrap();
     // Probe 0 correct (label 2), probe 1 wrong (label 1) → accuracy 0.5.
     assert_eq!(*feat.last().unwrap(), 0.5);
@@ -50,11 +46,8 @@ fn accuracy_feature_is_last_and_correct() {
 fn rank0_column_is_the_dominant_class() {
     // Class 1 dominates everywhere: after canonicalization it must occupy
     // rank 0 (the first column of every probe row).
-    let probs = Tensor::from_vec(
-        vec![0.1, 0.8, 0.1, 0.2, 0.7, 0.1, 0.15, 0.75, 0.1],
-        &[3, 3],
-    )
-    .unwrap();
+    let probs =
+        Tensor::from_vec(vec![0.1, 0.8, 0.1, 0.2, 0.7, 0.1, 0.15, 0.75, 0.1], &[3, 3]).unwrap();
     let feat = feature_from_confidences(&probs, &[0, 0, 0]).unwrap();
     assert_eq!(feat[0], 0.8);
     assert_eq!(feat[3], 0.7);

@@ -1,0 +1,89 @@
+//! Cross-crate telemetry integration: a full fit + inspect cycle under a
+//! `bprom-obs` session must (a) report a nonzero, *deterministic* oracle
+//! query budget, (b) agree between the `Verdict` tally and the session
+//! counters, and (c) produce a JSON snapshot that round-trips.
+
+use bprom_suite::bprom::{Bprom, BpromConfig, Verdict};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::{build, ModelSpec};
+use bprom_suite::nn::{TrainConfig, Trainer};
+use bprom_suite::obs::{self, TelemetrySnapshot};
+use bprom_suite::tensor::Rng;
+use bprom_suite::vp::{PromptTrainConfig, QueryOracle};
+
+fn tiny_config() -> BpromConfig {
+    let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.clean_shadows = 2;
+    config.backdoor_shadows = 2;
+    config.test_samples_per_class = 20;
+    config.target_samples_per_class = 10;
+    config.train = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    config.prompt = PromptTrainConfig {
+        epochs: 3,
+        cmaes_generations: 5,
+        cmaes_population: 6,
+        ..PromptTrainConfig::default()
+    };
+    config
+}
+
+/// One identically-seeded fit + inspect run under a recording session.
+fn run_once() -> (Verdict, TelemetrySnapshot) {
+    let mut rng = Rng::new(1234);
+    let config = tiny_config();
+    let session = obs::Session::begin("telemetry-integration");
+    let detector = Bprom::fit(&config, &mut rng).unwrap();
+    let source = SynthDataset::Cifar10.generate(10, 16, 5).unwrap();
+    let mut model = build(config.architecture, &ModelSpec::new(3, 16, 10), &mut rng).unwrap();
+    Trainer::new(config.train)
+        .fit(&mut model, &source.images, &source.labels, &mut rng)
+        .unwrap();
+    let mut oracle = QueryOracle::new(model, 10);
+    let verdict = detector.inspect(&mut oracle, &mut rng).unwrap();
+    (verdict, session.finish())
+}
+
+#[test]
+fn query_budget_is_deterministic_and_fully_accounted() {
+    let (v1, s1) = run_once();
+    let (v2, s2) = run_once();
+
+    // Nonzero, deterministic budget: identical seeds spend identical
+    // queries and reach the identical verdict.
+    assert!(v1.queries > 0);
+    assert_eq!(v1.queries, v2.queries);
+    assert_eq!(v1.score, v2.score);
+    assert_eq!(v1.backdoored, v2.backdoored);
+    assert_eq!(v1.budget.prompt_queries, v2.budget.prompt_queries);
+    assert_eq!(v1.budget.probe_queries, v2.budget.probe_queries);
+    assert_eq!(v1.budget.total_queries(), v1.queries);
+
+    // The session counters agree with the verdict's own tally.
+    assert_eq!(s1.counter("oracle.queries"), v1.queries);
+    assert_eq!(s2.counter("oracle.queries"), v2.queries);
+    assert_eq!(s1.counter("inspect.models"), 1);
+
+    // The pipeline phases all left spans, nested as in the code.
+    let fit = s1.find_span("fit").expect("fit span");
+    assert!(fit.find("shadow_training").is_some());
+    assert!(fit.find("prompt_shadows").is_some());
+    assert!(fit.find("train_meta").is_some());
+    let inspect = s1.find_span("inspect").expect("inspect span");
+    assert!(inspect.find("prompt_suspicious").is_some());
+    assert!(inspect.find("probe_features").is_some());
+    assert!(inspect.find("meta_predict").is_some());
+
+    // Oracle latency histogram saw every batch.
+    let hist = s1.histograms.get("oracle.query_ns").expect("query hist");
+    assert!(hist.count() > 0);
+
+    // The snapshot round-trips through its JSON form.
+    let json = s1.to_json_string();
+    let back = TelemetrySnapshot::from_json_str(&json).unwrap();
+    assert_eq!(back.counter("oracle.queries"), v1.queries);
+    assert_eq!(back.label, s1.label);
+    assert!(back.find_span("inspect").is_some());
+}

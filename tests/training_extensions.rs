@@ -75,5 +75,8 @@ fn schedules_compose_with_optimizers() {
     let first_logits = model.forward(&data.images, Mode::Eval).unwrap();
     let (final_loss, _) = softmax_cross_entropy(&first_logits, &data.labels).unwrap();
     assert!(final_loss < last_loss + 0.5);
-    assert!(final_loss < 2.3, "loss should be below uniform ln(10): {final_loss}");
+    assert!(
+        final_loss < 2.3,
+        "loss should be below uniform ln(10): {final_loss}"
+    );
 }
