@@ -21,6 +21,16 @@ fn bench_tensor(c: &mut Criterion) {
     c.bench_function("matmul_64x64", |bch| {
         bch.iter(|| black_box(a.matmul(&b).unwrap()))
     });
+    // matmul_tn keeps a zero-skip on its left operand; these two cases
+    // justify it: post-ReLU-like half-zero inputs win big, dense inputs
+    // pay only one well-predicted branch per row.
+    let relu_like = a.map(|v| if v > 0.0 { v } else { 0.0 });
+    c.bench_function("matmul_tn_sparse_64x64", |bch| {
+        bch.iter(|| black_box(relu_like.matmul_tn(&b).unwrap()))
+    });
+    c.bench_function("matmul_tn_dense_64x64", |bch| {
+        bch.iter(|| black_box(a.matmul_tn(&b).unwrap()))
+    });
     let x = Tensor::randn(&[8, 3, 16, 16], &mut rng);
     let w = Tensor::randn(&[8, 3, 3, 3], &mut rng);
     c.bench_function("conv2d_8x3x16x16", |bch| {

@@ -24,7 +24,7 @@ fn step_config() -> PromptTrainConfig {
 
 /// One full CMA-ES prompt-training step (1 generation, population 6)
 /// against a small MLP oracle.
-fn prompt_step(oracle: &mut QueryOracle, images: &bprom_tensor::Tensor, labels: &[usize]) {
+fn prompt_step(oracle: &QueryOracle, images: &bprom_tensor::Tensor, labels: &[usize]) {
     let mut rng = Rng::new(7);
     let map = LabelMap::identity(10, 10).unwrap();
     let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
@@ -45,16 +45,16 @@ fn bench_overhead(c: &mut Criterion) {
     let mut rng = Rng::new(11);
     let data = SynthDataset::Stl10.generate(4, 16, 3).unwrap();
     let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).unwrap();
-    let mut oracle = QueryOracle::new(model, 10);
+    let oracle = QueryOracle::new(model, 10);
 
     c.bench_function("prompt_step/disabled", |b| {
-        b.iter(|| prompt_step(&mut oracle, &data.images, &data.labels));
+        b.iter(|| prompt_step(&oracle, &data.images, &data.labels));
     });
 
     {
         let session = bprom_obs::Session::begin("obs-overhead-bench");
         c.bench_function("prompt_step/enabled", |b| {
-            b.iter(|| prompt_step(&mut oracle, &data.images, &data.labels));
+            b.iter(|| prompt_step(&oracle, &data.images, &data.labels));
         });
         let snapshot = session.finish();
         // Prove the enabled case actually recorded traffic.

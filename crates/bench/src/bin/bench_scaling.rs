@@ -1,0 +1,134 @@
+//! Thread-scaling benchmark for the `bprom-par` execution layer: times
+//! the three parallel pipeline phases — shadow training, CMA-ES prompt
+//! learning, forest fitting — at 1, 2 and 4 worker threads, and writes
+//! `BENCH_scaling.json` with the wall-clock numbers and speedups.
+//!
+//! Results are deterministic across thread counts (seed-per-work-unit),
+//! so the runs time *the same* computation; only the scheduling differs.
+//! Expect near-linear scaling on shadow training and forest fitting up to
+//! the physical core count, and somewhat less on CMA-ES (population 12 is
+//! a shallow work pool per generation).
+
+use bprom::{BpromConfig, ShadowSet};
+use bprom_bench::{header, quick, row};
+use bprom_data::SynthDataset;
+use bprom_meta::{ForestConfig, RandomForest};
+use bprom_nn::models::{mlp, ModelSpec};
+use bprom_nn::TrainConfig;
+use bprom_obs::{ToJson, Value};
+use bprom_tensor::Rng;
+use bprom_vp::{train_prompt_cmaes, LabelMap, PromptTrainConfig, QueryOracle, VisualPrompt};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn time_shadow_training(threads: usize) -> f64 {
+    bprom_par::set_thread_count(threads);
+    let mut rng = Rng::new(100);
+    let mut cfg = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    cfg.clean_shadows = if quick() { 2 } else { 4 };
+    cfg.backdoor_shadows = cfg.clean_shadows;
+    cfg.train = TrainConfig {
+        epochs: if quick() { 2 } else { 4 },
+        ..TrainConfig::default()
+    };
+    let ds = SynthDataset::Cifar10.generate(15, 16, 9).expect("dataset");
+    let t0 = Instant::now();
+    let set = ShadowSet::train(&cfg, &ds, &mut rng).expect("shadow training");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(set.len(), cfg.clean_shadows + cfg.backdoor_shadows);
+    elapsed
+}
+
+fn time_cmaes(threads: usize) -> f64 {
+    bprom_par::set_thread_count(threads);
+    let mut rng = Rng::new(200);
+    let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).expect("model");
+    let oracle = QueryOracle::new(model, 10);
+    let target = SynthDataset::Stl10.generate(10, 16, 9).expect("dataset");
+    let map = LabelMap::identity(10, 10).expect("map");
+    let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).expect("prompt");
+    let cfg = PromptTrainConfig {
+        cmaes_generations: if quick() { 10 } else { 25 },
+        cmaes_population: 12,
+        ..PromptTrainConfig::default()
+    };
+    let t0 = Instant::now();
+    train_prompt_cmaes(
+        &oracle,
+        &mut prompt,
+        &target.images,
+        &target.labels,
+        &map,
+        &cfg,
+        &mut rng,
+    )
+    .expect("cmaes");
+    t0.elapsed().as_secs_f64()
+}
+
+fn time_forest(threads: usize) -> f64 {
+    bprom_par::set_thread_count(threads);
+    let mut rng = Rng::new(300);
+    let rows = 40;
+    let dim = 120;
+    let features: Vec<Vec<f32>> = (0..rows)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * j) % 23) as f32 / 23.0 + if i < rows / 2 { 0.0 } else { 0.4 })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<bool> = (0..rows).map(|i| i >= rows / 2).collect();
+    let cfg = ForestConfig {
+        trees: if quick() { 300 } else { 1000 },
+        ..ForestConfig::default()
+    };
+    let t0 = Instant::now();
+    let forest = RandomForest::fit(&features, &labels, &cfg, &mut rng).expect("forest");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(forest.len(), cfg.trees);
+    elapsed
+}
+
+fn main() {
+    header(
+        "bprom-par thread scaling (wall-clock seconds per phase)",
+        &["phase", "t1", "t2", "t4", "speedup@4"],
+    );
+    type Phase = (&'static str, fn(usize) -> f64);
+    let phases: [Phase; 3] = [
+        ("shadow_train", time_shadow_training),
+        ("cmaes", time_cmaes),
+        ("forest", time_forest),
+    ];
+    let mut report = Vec::new();
+    for (name, run) in phases {
+        let secs: Vec<f64> = THREAD_COUNTS.iter().map(|&t| run(t)).collect();
+        let speedup = secs[0] / secs[2].max(1e-9);
+        row(
+            name,
+            &[
+                secs[0] as f32,
+                secs[1] as f32,
+                secs[2] as f32,
+                speedup as f32,
+            ],
+        );
+        report.push((
+            name,
+            Value::object(vec![
+                ("threads_1_s", secs[0].to_json()),
+                ("threads_2_s", secs[1].to_json()),
+                ("threads_4_s", secs[2].to_json()),
+                ("speedup_at_4", speedup.to_json()),
+            ]),
+        ));
+    }
+    bprom_par::set_thread_count(0);
+    let json = Value::object(report).to_pretty();
+    match std::fs::write("BENCH_scaling.json", &json) {
+        Ok(()) => println!("\nwritten -> BENCH_scaling.json"),
+        Err(e) => eprintln!("BENCH_scaling.json write failed: {e}"),
+    }
+}

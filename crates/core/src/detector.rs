@@ -163,18 +163,18 @@ impl Bprom {
     /// # Errors
     ///
     /// Propagates prompting/query/meta failures.
-    pub fn inspect(&self, oracle: &mut dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
+    pub fn inspect(&self, oracle: &dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
         bprom_obs::span!("inspect");
         let start = Instant::now();
-        let mut counting = CountingOracle::new(oracle);
+        let counting = CountingOracle::new(oracle);
         let (prompt, prompt_queries) = {
             bprom_obs::span!("prompt_suspicious");
-            prompt_suspicious(&self.config, &mut counting, &self.t_train, &self.map, rng)?
+            prompt_suspicious(&self.config, &counting, &self.t_train, &self.map, rng)?
         };
         let prompt_ns = start.elapsed().as_nanos() as u64;
         let feature = {
             bprom_obs::span!("probe_features");
-            probe_features_blackbox(&mut counting, &prompt, &self.probes)?
+            probe_features_blackbox(&counting, &prompt, &self.probes)?
         };
         let score = {
             bprom_obs::span!("meta_predict");
@@ -258,8 +258,8 @@ mod tests {
         Trainer::new(config.train)
             .fit(&mut model, &source.images, &source.labels, &mut rng)
             .unwrap();
-        let mut oracle = QueryOracle::new(model, 10);
-        let verdict = detector.inspect(&mut oracle, &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 10);
+        let verdict = detector.inspect(&oracle, &mut rng).unwrap();
         assert!((0.0..=1.0).contains(&verdict.score));
         assert!(verdict.queries > 0);
         assert_eq!(verdict.backdoored, verdict.score > 0.5);

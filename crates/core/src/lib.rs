@@ -32,8 +32,8 @@
 //! let detector = Bprom::fit(&config, &mut rng)?;
 //! # let some_model = bprom_nn::models::build(Architecture::ResNetMini,
 //! #     &bprom_nn::models::ModelSpec::new(3, 16, 10), &mut rng)?;
-//! let mut oracle = QueryOracle::new(some_model, 10);
-//! let verdict = detector.inspect(&mut oracle, &mut rng)?;
+//! let oracle = QueryOracle::new(some_model, 10);
+//! let verdict = detector.inspect(&oracle, &mut rng)?;
 //! // e.g. "clean (score 0.22) — 3840 queries (3600 prompt + 240 probe) ..."
 //! println!("{verdict}");
 //! assert_eq!(verdict.queries, verdict.budget.total_queries());

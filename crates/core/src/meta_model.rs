@@ -146,7 +146,7 @@ pub fn probe_features_whitebox(
 ///
 /// Propagates prompting/query failures.
 pub fn probe_features_blackbox(
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     prompt: &VisualPrompt,
     probes: &ProbeSet,
 ) -> Result<Vec<f32>> {
@@ -220,8 +220,8 @@ mod tests {
         let spec = ModelSpec::new(3, 16, 10);
         let mut model = mlp(&spec, &mut rng).unwrap();
         let white = probe_features_whitebox(&mut model, &prompt, &probes).unwrap();
-        let mut oracle = QueryOracle::new(model, 10);
-        let black = probe_features_blackbox(&mut oracle, &prompt, &probes).unwrap();
+        let oracle = QueryOracle::new(model, 10);
+        let black = probe_features_blackbox(&oracle, &prompt, &probes).unwrap();
         assert_eq!(white.len(), 5 * 10 + 10 + 2);
         for (w, b) in white.iter().zip(&black) {
             assert!((w - b).abs() < 1e-6);

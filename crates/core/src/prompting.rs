@@ -3,7 +3,7 @@
 //! models by CMA-ES through the black-box query interface.
 
 use crate::config::ShadowPrompting;
-use crate::{BpromConfig, Result, ShadowSet};
+use crate::{BpromConfig, Result, ShadowModel, ShadowSet};
 use bprom_data::Dataset;
 use bprom_tensor::Rng;
 use bprom_vp::{
@@ -32,15 +32,24 @@ pub fn prompt_shadows(
     map: &LabelMap,
     rng: &mut Rng,
 ) -> Result<Vec<LearnedPrompt>> {
-    let mut prompts = Vec::with_capacity(shadows.len());
     let num_classes = map.source_classes();
-    for shadow in &mut shadows.shadows {
+    // One forked generator per shadow, drawn in shadow order, makes the
+    // learned prompts independent of worker scheduling.
+    let jobs: Vec<(&mut ShadowModel, Rng)> = shadows
+        .shadows
+        .iter_mut()
+        .map(|shadow| {
+            let child = rng.fork();
+            (shadow, child)
+        })
+        .collect();
+    bprom_par::par_map(jobs, |(shadow, mut rng)| -> Result<LearnedPrompt> {
         bprom_obs::span!("prompt_shadow");
         let mut prompt = VisualPrompt::random(
             t_train.channels(),
             config.image_size,
             config.prompt_border,
-            rng,
+            &mut rng,
         )?;
         let final_loss = match config.shadow_prompting {
             ShadowPrompting::Backprop => {
@@ -51,7 +60,7 @@ pub fn prompt_shadows(
                     &t_train.labels,
                     map,
                     &config.prompt,
-                    rng,
+                    &mut rng,
                 )?;
                 report.losses.last().copied().unwrap_or(f32::NAN)
             }
@@ -59,24 +68,25 @@ pub fn prompt_shadows(
                 // Temporarily seal the shadow behind the oracle so the
                 // exact suspicious-model code path runs.
                 let model = std::mem::replace(&mut shadow.model, crate::shadow::empty_model());
-                let mut oracle = QueryOracle::new(model, num_classes);
+                let oracle = QueryOracle::new(model, num_classes);
                 let report = train_prompt_cmaes(
-                    &mut oracle,
+                    &oracle,
                     &mut prompt,
                     &t_train.images,
                     &t_train.labels,
                     map,
                     &config.prompt,
-                    rng,
+                    &mut rng,
                 )?;
                 shadow.model = oracle.into_inner();
                 report.losses.last().copied().unwrap_or(f32::NAN)
             }
         };
         bprom_obs::counter_add("prompts.shadow", 1);
-        prompts.push(LearnedPrompt { prompt, final_loss });
-    }
-    Ok(prompts)
+        Ok(LearnedPrompt { prompt, final_loss })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Learns a prompt for the suspicious model using only black-box queries
@@ -89,7 +99,7 @@ pub fn prompt_shadows(
 /// Propagates prompting failures.
 pub fn prompt_suspicious(
     config: &BpromConfig,
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     t_train: &Dataset,
     map: &LabelMap,
     rng: &mut Rng,

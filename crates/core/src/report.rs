@@ -48,8 +48,8 @@ pub fn evaluate_detector(
     let mut total_ns = 0u64;
     let n = zoo.len();
     for suspicious in zoo {
-        let mut oracle = QueryOracle::new(suspicious.model, num_classes);
-        let verdict = detector.inspect(&mut oracle, rng)?;
+        let oracle = QueryOracle::new(suspicious.model, num_classes);
+        let verdict = detector.inspect(&oracle, rng)?;
         scores.push(verdict.score);
         labels.push(suspicious.backdoored);
         total_queries += verdict.queries;

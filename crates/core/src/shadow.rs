@@ -55,48 +55,60 @@ impl ShadowSet {
     pub fn train(config: &BpromConfig, ds: &Dataset, rng: &mut Rng) -> Result<Self> {
         let spec = ModelSpec::new(ds.channels(), ds.image_size(), ds.num_classes);
         let trainer = Trainer::new(config.train);
-        let mut shadows = Vec::with_capacity(config.clean_shadows + config.backdoor_shadows);
-        let timed = bprom_obs::enabled();
+        // Fork one child generator per shadow *up front, in shadow order*.
+        // Every shadow then trains from its own stream regardless of which
+        // worker runs it, so the set is bit-identical at any thread count.
+        let mut jobs: Vec<(bool, Rng)> =
+            Vec::with_capacity(config.clean_shadows + config.backdoor_shadows);
         for _ in 0..config.clean_shadows {
-            let start = timed.then(std::time::Instant::now);
-            let mut model = build(config.architecture, &spec, rng)?;
-            trainer.fit(&mut model, &ds.images, &ds.labels, rng)?;
-            if let Some(start) = start {
-                bprom_obs::observe("shadow.train_ns", start.elapsed().as_nanos() as u64);
-                bprom_obs::counter_add("shadows.clean", 1);
-            }
-            shadows.push(ShadowModel {
-                model,
-                backdoored: false,
-                target_class: None,
-            });
+            jobs.push((false, rng.fork()));
         }
         for _ in 0..config.backdoor_shadows {
-            // Fresh trigger instance per shadow (random pattern components
-            // draw from rng), fresh target class.
+            jobs.push((true, rng.fork()));
+        }
+        let timed = bprom_obs::enabled();
+        let shadows = bprom_par::par_map(jobs, |(backdoored, mut rng)| -> Result<ShadowModel> {
             let start = timed.then(std::time::Instant::now);
-            let attack = config.shadow_attack.build(ds.image_size(), rng)?;
-            let target = rng.below(ds.num_classes);
-            let defaults = config.shadow_attack.default_config(target);
-            let cfg = PoisonConfig::new(defaults.poison_rate, defaults.cover_rate, target);
-            let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, rng)?;
-            let mut model = build(config.architecture, &spec, rng)?;
-            trainer.fit(
-                &mut model,
-                &poisoned.dataset.images,
-                &poisoned.dataset.labels,
-                rng,
-            )?;
+            let (model, target_class) = if backdoored {
+                // Fresh trigger instance per shadow (random pattern
+                // components draw from the shadow's stream), fresh target.
+                let attack = config.shadow_attack.build(ds.image_size(), &mut rng)?;
+                let target = rng.below(ds.num_classes);
+                let defaults = config.shadow_attack.default_config(target);
+                let cfg = PoisonConfig::new(defaults.poison_rate, defaults.cover_rate, target);
+                let poisoned = poison_dataset(ds, attack.as_ref(), &cfg, &mut rng)?;
+                let mut model = build(config.architecture, &spec, &mut rng)?;
+                trainer.fit(
+                    &mut model,
+                    &poisoned.dataset.images,
+                    &poisoned.dataset.labels,
+                    &mut rng,
+                )?;
+                (model, Some(target))
+            } else {
+                let mut model = build(config.architecture, &spec, &mut rng)?;
+                trainer.fit(&mut model, &ds.images, &ds.labels, &mut rng)?;
+                (model, None)
+            };
             if let Some(start) = start {
                 bprom_obs::observe("shadow.train_ns", start.elapsed().as_nanos() as u64);
-                bprom_obs::counter_add("shadows.backdoored", 1);
+                bprom_obs::counter_add(
+                    if backdoored {
+                        "shadows.backdoored"
+                    } else {
+                        "shadows.clean"
+                    },
+                    1,
+                );
             }
-            shadows.push(ShadowModel {
+            Ok(ShadowModel {
                 model,
-                backdoored: true,
-                target_class: Some(target),
-            });
-        }
+                backdoored,
+                target_class,
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
         Ok(ShadowSet { shadows })
     }
 

@@ -42,7 +42,7 @@ impl Default for AevaConfig {
 
 /// Mean probability of `class` over a perturbed batch, by query.
 fn class_mass(
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     images: &Tensor,
     delta: &Tensor,
     class: usize,
@@ -84,7 +84,7 @@ pub struct AevaReport {
 ///
 /// Propagates query failures; requires ≥3 classes and a non-empty batch.
 pub fn aeva(
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     images: &Tensor,
     config: &AevaConfig,
     rng: &mut Rng,
@@ -177,8 +177,8 @@ mod tests {
             )
             .unwrap();
         let probes = data.subsample(0.04, &mut rng).unwrap().images;
-        let mut oracle = QueryOracle::new(model, 10);
-        let report = aeva(&mut oracle, &probes, &AevaConfig::default(), &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 10);
+        let report = aeva(&oracle, &probes, &AevaConfig::default(), &mut rng).unwrap();
         assert_eq!(report.peaks.len(), 10);
         assert!(report.peaks.iter().all(|p| (0.0..=1.0).contains(p)));
         assert!(report.anomaly.is_finite());
@@ -190,8 +190,8 @@ mod tests {
         let mut rng = Rng::new(1);
         let spec = ModelSpec::new(3, 8, 2);
         let model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 2);
+        let oracle = QueryOracle::new(model, 2);
         let imgs = Tensor::zeros(&[2, 3, 8, 8]);
-        assert!(aeva(&mut oracle, &imgs, &AevaConfig::default(), &mut rng).is_err());
+        assert!(aeva(&oracle, &imgs, &AevaConfig::default(), &mut rng).is_err());
     }
 }

@@ -54,8 +54,11 @@ impl RandomForest {
             });
         }
         let n = features.len();
-        let mut trees = Vec::with_capacity(config.trees);
-        for _ in 0..config.trees {
+        // Fork one generator per tree, in tree order: each tree's bootstrap
+        // and split sampling come from its own stream, so the fitted forest
+        // is bit-identical at any thread count.
+        let tree_rngs: Vec<Rng> = (0..config.trees).map(|_| rng.fork()).collect();
+        let trees = bprom_par::par_map(tree_rngs, |mut rng| -> Result<DecisionTree> {
             // Bootstrap resample with replacement.
             let mut boot_features = Vec::with_capacity(n);
             let mut boot_labels = Vec::with_capacity(n);
@@ -64,13 +67,10 @@ impl RandomForest {
                 boot_features.push(features[i].clone());
                 boot_labels.push(labels[i]);
             }
-            trees.push(DecisionTree::fit(
-                &boot_features,
-                &boot_labels,
-                &config.tree,
-                rng,
-            )?);
-        }
+            DecisionTree::fit(&boot_features, &boot_labels, &config.tree, &mut rng)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
         Ok(RandomForest { trees, dim })
     }
 

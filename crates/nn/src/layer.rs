@@ -38,13 +38,28 @@ impl Mode {
 /// Implementations cache whatever their backward pass needs during
 /// `forward(Mode::Train)`. Calling [`Layer::backward`] without a prior
 /// training-mode forward returns [`crate::NnError::BackwardBeforeForward`].
-pub trait Layer {
+///
+/// Layers are `Send + Sync`: they hold only plain data (tensors, scalar
+/// hyperparameters, an owned `Rng`), which lets whole models cross the
+/// `bprom-par` worker-pool boundary and lets [`Layer::forward_eval`]
+/// serve concurrent inference through shared references.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch.
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Inference forward pass through a shared reference: bit-identical
+    /// to `forward(input, Mode::Eval)` but guaranteed side-effect-free
+    /// (no activation caching, no statistics updates), so one model can
+    /// serve queries from many threads at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor>;
 
     /// Propagates the loss gradient from output to input, accumulating
     /// parameter gradients along the way.

@@ -22,6 +22,10 @@ macro_rules! pointwise_activation {
                 if mode.caches() {
                     self.cached_input = Some(input.clone());
                 }
+                self.forward_eval(input)
+            }
+
+            fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
                 Ok(input.map($fwd))
             }
 

@@ -72,6 +72,11 @@ impl Layer for PatchEmbed {
         Ok(Self::to_tokens(&feat))
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let feat = self.conv.forward_eval(input)?;
+        Ok(Self::to_tokens(&feat))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let (gh, gw) = self.cached_grid.ok_or(NnError::BackwardBeforeForward {
             layer: "PatchEmbed",
@@ -148,6 +153,45 @@ impl Attention {
         }
     }
 
+    /// Shared attention kernel for the caching and cache-free paths:
+    /// computes the full forward pass, pushing per-sample intermediates
+    /// into `cache` when one is supplied.
+    fn run(&self, input: &Tensor, mut cache: Option<&mut AttnCache>) -> Result<Tensor> {
+        if input.rank() != 3 || input.shape()[2] != self.dim {
+            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: format!(
+                    "Attention({}) expects [n, t, {}], got {:?}",
+                    self.dim,
+                    self.dim,
+                    input.shape()
+                ),
+            }));
+        }
+        let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut out = Tensor::zeros(input.shape());
+        for ni in 0..n {
+            let x = input.sample(ni)?; // [t, d]
+            let q = x.matmul(&self.wq.value)?;
+            let k = x.matmul(&self.wk.value)?;
+            let v = x.matmul(&self.wv.value)?;
+            let mut scores = q.matmul_nt(&k)?.scale(scale);
+            self.masked(&mut scores, t)?;
+            let a = softmax_rows(&scores);
+            let o = a.matmul(&v)?;
+            let y = o.matmul(&self.wo.value)?;
+            out.data_mut()[ni * t * d..(ni + 1) * t * d].copy_from_slice(y.data());
+            if let Some(c) = &mut cache {
+                c.q.push(q);
+                c.k.push(k);
+                c.v.push(v);
+                c.a.push(a);
+                c.o.push(o);
+            }
+        }
+        Ok(out)
+    }
+
     /// Whether two tokens on a `g × g` grid share a `w × w` window.
     fn same_window(t1: usize, t2: usize, g: usize, w: usize) -> bool {
         let (y1, x1) = (t1 / g, t1 % g);
@@ -208,50 +252,24 @@ fn softmax_rows_backward(a: &Tensor, da: &Tensor) -> Tensor {
 
 impl Layer for Attention {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        if input.rank() != 3 || input.shape()[2] != self.dim {
-            return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
-                reason: format!(
-                    "Attention({}) expects [n, t, {}], got {:?}",
-                    self.dim,
-                    self.dim,
-                    input.shape()
-                ),
-            }));
+        if !mode.caches() {
+            return self.run(input, None);
         }
-        let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let scale = 1.0 / (d as f32).sqrt();
-        let mut out = Tensor::zeros(input.shape());
         let mut cache = AttnCache {
             x: input.clone(),
-            q: Vec::with_capacity(n),
-            k: Vec::with_capacity(n),
-            v: Vec::with_capacity(n),
-            a: Vec::with_capacity(n),
-            o: Vec::with_capacity(n),
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            a: Vec::new(),
+            o: Vec::new(),
         };
-        for ni in 0..n {
-            let x = input.sample(ni)?; // [t, d]
-            let q = x.matmul(&self.wq.value)?;
-            let k = x.matmul(&self.wk.value)?;
-            let v = x.matmul(&self.wv.value)?;
-            let mut scores = q.matmul_nt(&k)?.scale(scale);
-            self.masked(&mut scores, t)?;
-            let a = softmax_rows(&scores);
-            let o = a.matmul(&v)?;
-            let y = o.matmul(&self.wo.value)?;
-            out.data_mut()[ni * t * d..(ni + 1) * t * d].copy_from_slice(y.data());
-            if mode.caches() {
-                cache.q.push(q);
-                cache.k.push(k);
-                cache.v.push(v);
-                cache.a.push(a);
-                cache.o.push(o);
-            }
-        }
-        if mode.caches() {
-            self.cache = Some(cache);
-        }
+        let out = self.run(input, Some(&mut cache))?;
+        self.cache = Some(cache);
         Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        self.run(input, None)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

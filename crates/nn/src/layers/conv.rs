@@ -71,11 +71,16 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut out = conv2d(input, &self.weight.value, self.stride, self.padding)?;
-        self.add_bias(&mut out);
+        let out = self.forward_eval(input)?;
         if mode.caches() {
             self.cached_input = Some(input.clone());
         }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let mut out = conv2d(input, &self.weight.value, self.stride, self.padding)?;
+        self.add_bias(&mut out);
         Ok(out)
     }
 
@@ -166,6 +171,14 @@ impl DepthwiseConv2d {
 
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 4 || input.shape()[1] != self.channels {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!(
@@ -193,11 +206,7 @@ impl Layer for DepthwiseConv2d {
             }
             per_sample.push(Tensor::stack(&per_channel)?);
         }
-        let out = Tensor::stack(&per_sample)?;
-        if mode.caches() {
-            self.cached_input = Some(input.clone());
-        }
-        Ok(out)
+        Ok(Tensor::stack(&per_sample)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

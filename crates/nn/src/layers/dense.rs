@@ -49,17 +49,21 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.matmul_nt(&self.weight.value)?;
-        let mut out = out;
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let mut out = input.matmul_nt(&self.weight.value)?;
         let b = self.bias.value.data();
         for row in 0..out.shape()[0] {
             let o = &mut out.data_mut()[row * self.out_features..(row + 1) * self.out_features];
             for (v, &bv) in o.iter_mut().zip(b) {
                 *v += bv;
             }
-        }
-        if mode.caches() {
-            self.cached_input = Some(input.clone());
         }
         Ok(out)
     }

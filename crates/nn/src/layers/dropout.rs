@@ -55,6 +55,10 @@ impl Layer for Dropout {
         }
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mask = self
             .cached_mask

@@ -17,6 +17,14 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() < 2 {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!("Flatten expects rank >= 2, got {:?}", input.shape()),
@@ -24,9 +32,6 @@ impl Layer for Flatten {
         }
         let n = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
-        if mode.caches() {
-            self.cached_shape = Some(input.shape().to_vec());
-        }
         Ok(input.reshape(&[n, rest])?)
     }
 

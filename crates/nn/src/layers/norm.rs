@@ -59,6 +59,10 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Eval {
+            // Delegating keeps train/eval arithmetic bit-identical.
+            return self.forward_eval(input);
+        }
         self.check_input(input)?;
         let (n, c, h, w) = (
             input.shape()[0],
@@ -113,6 +117,29 @@ impl Layer for BatchNorm2d {
                 input_shape: input.shape().to_vec(),
                 frozen: mode == Mode::Frozen,
             });
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let (n, c) = (input.shape()[0], input.shape()[1]);
+        let plane = input.shape()[2] * input.shape()[3];
+        let mut out = Tensor::zeros(input.shape());
+        for ci in 0..c {
+            let (mean, var) = (self.running_mean[ci], self.running_var[ci]);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    // Same operation order as `forward` so results stay
+                    // bit-identical between the mutable and shared paths.
+                    let xh = (input.data()[i] - mean) * inv_std;
+                    out.data_mut()[i] = g * xh + b;
+                }
+            }
         }
         Ok(out)
     }
@@ -203,10 +230,10 @@ impl LayerNorm {
             cache: None,
         }
     }
-}
 
-impl Layer for LayerNorm {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    /// Shared normalization kernel: returns `(out, x_hat, inv_stds)` so
+    /// the caching and cache-free paths compute identical outputs.
+    fn normalize(&self, input: &Tensor) -> Result<(Tensor, Tensor, Vec<f32>)> {
         let d = self.dim;
         if input.len() % d != 0 || *input.shape().last().unwrap_or(&0) != d {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
@@ -233,12 +260,24 @@ impl Layer for LayerNorm {
                     self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
             }
         }
+        Ok((out, x_hat, inv_stds))
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, x_hat, inv_stds) = self.normalize(input)?;
         if mode.caches() {
             self.cache = Some(LnCache {
                 x_hat,
                 inv_std: inv_stds,
             });
         }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let (out, _, _) = self.normalize(input)?;
         Ok(out)
     }
 

@@ -30,6 +30,11 @@ impl Layer for MaxPool2d {
         Ok(out)
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let (out, _arg) = maxpool2d(input, self.kernel, self.stride)?;
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let (arg, shape) = self
             .cache
@@ -66,11 +71,15 @@ impl AvgPool2d {
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = avgpool2d(input, self.kernel, self.stride)?;
+        let out = self.forward_eval(input)?;
         if mode.caches() {
             self.cached_shape = Some(input.shape().to_vec());
         }
         Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(avgpool2d(input, self.kernel, self.stride)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -108,6 +117,14 @@ impl GlobalAvgPool {
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 4 {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!("GlobalAvgPool expects rank 4, got {:?}", input.shape()),
@@ -122,9 +139,6 @@ impl Layer for GlobalAvgPool {
                 out.data_mut()[ni * c + ci] =
                     input.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
             }
-        }
-        if mode.caches() {
-            self.cached_shape = Some(input.shape().to_vec());
         }
         Ok(out)
     }

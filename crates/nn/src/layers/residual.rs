@@ -48,6 +48,15 @@ impl Layer for Residual {
         Ok(main.add_t(&skip)?)
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let main = self.body.forward_eval(input)?;
+        let skip = match &self.shortcut {
+            Some(proj) => proj.forward_eval(input)?,
+            None => input.clone(),
+        };
+        Ok(main.add_t(&skip)?)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let g_main = self.body.backward(grad_output)?;
         let g_skip = match &mut self.shortcut {

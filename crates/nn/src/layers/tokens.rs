@@ -22,15 +22,20 @@ impl FoldTokens {
 
 impl Layer for FoldTokens {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 3 {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!("FoldTokens expects [n, t, d], got {:?}", input.shape()),
             }));
         }
         let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        if mode.caches() {
-            self.cached_shape = Some(input.shape().to_vec());
-        }
         Ok(input.reshape(&[n * t, d])?)
     }
 
@@ -66,6 +71,10 @@ impl UnfoldTokens {
 
 impl Layer for UnfoldTokens {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        self.forward_eval(input)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 2 || input.shape()[0] % self.tokens != 0 {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!(
@@ -113,6 +122,14 @@ impl TokenMeanPool {
 
 impl Layer for TokenMeanPool {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.forward_eval(input)?;
+        if mode.caches() {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 3 {
             return Err(NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
                 reason: format!("TokenMeanPool expects [n, t, d], got {:?}", input.shape()),
@@ -129,9 +146,6 @@ impl Layer for TokenMeanPool {
             }
         }
         out.scale_in_place(1.0 / t as f32);
-        if mode.caches() {
-            self.cached_shape = Some(input.shape().to_vec());
-        }
         Ok(out)
     }
 

@@ -294,6 +294,21 @@ mod tests {
     }
 
     #[test]
+    fn forward_eval_is_bit_identical_across_architectures() {
+        let mut rng = Rng::new(7);
+        let spec = ModelSpec::new(3, 16, 10);
+        for arch in Architecture::ALL {
+            let mut model = build(arch, &spec, &mut rng).unwrap();
+            let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+            // Train once so batch-norm running statistics are non-trivial.
+            model.forward(&x, Mode::Train).unwrap();
+            let y_mut = model.forward(&x, Mode::Eval).unwrap();
+            let y_shared = model.forward_eval(&x).unwrap();
+            assert_eq!(y_mut, y_shared, "{arch}");
+        }
+    }
+
+    #[test]
     fn transformer_rejects_bad_image_size() {
         let mut rng = Rng::new(2);
         let spec = ModelSpec::new(3, 15, 10);

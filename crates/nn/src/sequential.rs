@@ -135,6 +135,14 @@ impl Layer for Sequential {
         Ok(x)
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_eval(&x)?;
+        }
+        Ok(x)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -223,6 +231,23 @@ mod tests {
             let num = (lp - lm) / (2.0 * eps);
             assert!((num - gx.data()[flat]).abs() < 3e-2);
         }
+    }
+
+    #[test]
+    fn forward_eval_matches_eval_forward_exactly() {
+        let mut rng = Rng::new(5);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        net.forward(&x, Mode::Train).unwrap();
+        let y_mut = net.forward(&x, Mode::Eval).unwrap();
+        let y_shared = net.forward_eval(&x).unwrap();
+        assert_eq!(y_mut, y_shared);
+    }
+
+    #[test]
+    fn models_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Sequential>();
     }
 
     #[test]

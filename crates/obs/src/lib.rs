@@ -52,4 +52,7 @@ pub mod telemetry;
 pub use histogram::Histogram;
 pub use json::{FromJson, JsonError, JsonResult, ToJson, Value};
 pub use span::{EventRecord, SpanGuard, SpanRecord};
-pub use telemetry::{counter_add, enabled, event, observe, span_enter, Session, TelemetrySnapshot};
+pub use telemetry::{
+    absorb_workers, counter_add, enabled, event, observe, span_enter, worker_context, Session,
+    TelemetrySnapshot, WorkerContext, WorkerRecords, WorkerSession,
+};

@@ -11,9 +11,13 @@
 //!   [`std::time::Instant`]; it never touches the experiment `Rng` or any
 //!   value that feeds back into computation, so enabling telemetry cannot
 //!   change experimental results.
-//! * **Single-threaded by design** — the substrate targets one core, so
-//!   the sink is thread-local: a session observes exactly the thread that
-//!   created it, and parallel tests cannot contaminate each other.
+//! * **Thread-local sinks, explicit hand-off** — the sink is thread-local,
+//!   so a session observes exactly the thread that created it and parallel
+//!   tests cannot contaminate each other. Worker threads (e.g. the
+//!   `bprom-par` pool) participate by capturing a [`WorkerContext`] on the
+//!   parent thread, recording into a per-worker buffer via
+//!   [`WorkerContext::begin`], and merging the resulting
+//!   [`WorkerRecords`] back with [`absorb_workers`] at scope exit.
 
 use crate::histogram::Histogram;
 use crate::json::{FromJson, JsonResult, ToJson, Value};
@@ -37,9 +41,16 @@ struct Collector {
 
 impl Collector {
     fn new(label: String) -> Self {
+        Collector::with_start(label, Instant::now())
+    }
+
+    /// A collector whose timestamps are measured from a caller-provided
+    /// origin, so worker-thread spans land on the parent session's
+    /// timeline.
+    fn with_start(label: String, start: Instant) -> Self {
         Collector {
             label,
-            start: Instant::now(),
+            start,
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             roots: Vec::new(),
@@ -224,6 +235,141 @@ impl Drop for Session {
         ENABLED.with(|e| e.set(false));
         COLLECTOR.with(|c| c.borrow_mut().take());
     }
+}
+
+/// A capture of the current thread's telemetry timeline, for handing to
+/// worker threads.
+///
+/// Obtained from [`worker_context`] on the thread that owns the
+/// [`Session`]; `Copy + Send` so one capture can be moved into every
+/// worker closure of a `std::thread::scope`. Each worker calls
+/// [`WorkerContext::begin`] to install a buffering collector whose
+/// timestamps share the parent session's origin, and the parent merges
+/// the finished [`WorkerRecords`] with [`absorb_workers`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerContext {
+    base: Instant,
+}
+
+/// Captures the current thread's telemetry timeline for worker threads.
+///
+/// Returns `None` when telemetry is disabled, which lets callers skip
+/// worker-session bookkeeping entirely (the zero-cost-when-disabled
+/// contract extends to parallel sections).
+pub fn worker_context() -> Option<WorkerContext> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|col| WorkerContext { base: col.start })
+    })
+}
+
+impl WorkerContext {
+    /// Installs a per-worker buffering collector on the current (worker)
+    /// thread. All spans/counters/events/histograms recorded on this
+    /// thread accumulate into the buffer until [`WorkerSession::finish`].
+    pub fn begin(self) -> WorkerSession {
+        COLLECTOR
+            .with(|c| *c.borrow_mut() = Some(Collector::with_start("worker".into(), self.base)));
+        ENABLED.with(|e| e.set(true));
+        WorkerSession {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+/// An installed per-worker telemetry buffer (see [`WorkerContext`]).
+/// Mirrors [`Session`] but produces mergeable [`WorkerRecords`] instead
+/// of a final snapshot.
+#[derive(Debug)]
+pub struct WorkerSession {
+    // Bound to the installing worker thread's collector.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl WorkerSession {
+    /// Uninstalls the worker buffer and returns everything it recorded,
+    /// ready to be sent back to the parent thread. Open spans are
+    /// force-closed with their duration so far.
+    pub fn finish(self) -> WorkerRecords {
+        ENABLED.with(|e| e.set(false));
+        let collector = COLLECTOR.with(|c| c.borrow_mut().take());
+        // `self` dropping after the take is a no-op uninstall.
+        match collector {
+            Some(mut col) => {
+                while !col.stack.is_empty() {
+                    col.close_one();
+                }
+                WorkerRecords {
+                    counters: col.counters,
+                    histograms: col.histograms,
+                    spans: col.roots,
+                    events: col.orphan_events,
+                }
+            }
+            None => WorkerRecords::default(),
+        }
+    }
+}
+
+impl Drop for WorkerSession {
+    fn drop(&mut self) {
+        ENABLED.with(|e| e.set(false));
+        COLLECTOR.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Telemetry recorded by one worker thread, in transit back to the
+/// parent session. `Send`, so it can cross the scope join; merge with
+/// [`absorb_workers`].
+#[derive(Debug, Default)]
+pub struct WorkerRecords {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+}
+
+impl WorkerRecords {
+    /// True when the worker recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+/// Merges worker buffers into the current thread's session: counters
+/// add, histograms merge bucket-wise, and worker root spans / orphan
+/// events attach under the innermost span currently open on this thread
+/// (or at the top level when none is open). Pass buffers in worker-index
+/// order for a deterministic span order. No-op when telemetry is
+/// disabled.
+pub fn absorb_workers(records: impl IntoIterator<Item = WorkerRecords>) {
+    with_collector(|c| {
+        for rec in records {
+            for (name, delta) in rec.counters {
+                *c.counters.entry(name).or_insert(0) += delta;
+            }
+            for (name, hist) in rec.histograms {
+                c.histograms.entry(name).or_default().merge(&hist);
+            }
+            match c.stack.last_mut() {
+                Some(open) => {
+                    open.children.extend(rec.spans);
+                    open.events.extend(rec.events);
+                }
+                None => {
+                    c.roots.extend(rec.spans);
+                    c.orphan_events.extend(rec.events);
+                }
+            }
+        }
+    });
 }
 
 /// Everything one telemetry session recorded, in serializable form.
@@ -429,6 +575,78 @@ mod tests {
         let text = snapshot.to_json_string();
         let back = TelemetrySnapshot::from_json_str(&text).unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn worker_records_merge_into_parent_session() {
+        let session = Session::begin("workers");
+        counter_add("queries", 10);
+        observe("latency", 100);
+        let ctx = worker_context().expect("session installed");
+        let records: Vec<WorkerRecords> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let worker = ctx.begin();
+                        assert!(enabled());
+                        counter_add("queries", w + 1);
+                        observe("latency", 200 * (w + 1));
+                        {
+                            crate::span!("work_item");
+                            event("tick", w as f64);
+                        }
+                        worker.finish()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        {
+            crate::span!("parallel_phase");
+            absorb_workers(records);
+        }
+        let snapshot = session.finish();
+        assert_eq!(snapshot.counter("queries"), 10 + 1 + 2 + 3);
+        let hist = &snapshot.histograms["latency"];
+        assert_eq!(hist.count(), 4);
+        let phase = snapshot.find_span("parallel_phase").unwrap();
+        assert_eq!(phase.children.len(), 3);
+        for child in &phase.children {
+            assert_eq!(child.name, "work_item");
+            assert_eq!(child.events.len(), 1);
+            // Worker timestamps share the parent session's origin.
+            assert!(child.start_ns + child.duration_ns <= snapshot.wall_ns);
+        }
+    }
+
+    #[test]
+    fn worker_context_is_none_when_disabled() {
+        assert!(!enabled());
+        assert!(worker_context().is_none());
+    }
+
+    #[test]
+    fn absorb_without_open_span_appends_roots() {
+        let session = Session::begin("flat");
+        let ctx = worker_context().unwrap();
+        let rec = std::thread::scope(|scope| {
+            scope
+                .spawn(move || {
+                    let worker = ctx.begin();
+                    {
+                        crate::span!("detached_work");
+                    }
+                    event("loose", 1.0);
+                    worker.finish()
+                })
+                .join()
+                .unwrap()
+        });
+        assert!(!rec.is_empty());
+        absorb_workers([rec]);
+        let snapshot = session.finish();
+        assert!(snapshot.find_span("detached_work").is_some());
+        assert_eq!(snapshot.events.len(), 1);
     }
 
     #[test]

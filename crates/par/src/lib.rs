@@ -1,0 +1,295 @@
+//! Deterministic data-parallel execution for the BPROM workspace.
+//!
+//! BPROM's wall-clock cost is dominated by embarrassingly-parallel loops:
+//! training `M` independent shadow models, learning one prompt per
+//! shadow, scoring the λ candidates of a CMA-ES generation, and fitting
+//! the trees of a random forest. This crate provides the one primitive
+//! those loops need — [`par_map`] / [`par_map_indexed`] over a
+//! [`std::thread::scope`] worker pool — under two hard contracts:
+//!
+//! * **Bit-identical results at any thread count.** The pool only
+//!   distributes work; it never reorders results (output slot `i` always
+//!   holds `f(items[i])`) and it owns no RNG. Callers uphold the other
+//!   half of the contract by deriving one child RNG per work unit *up
+//!   front* (`Rng::fork` per shadow / candidate / tree) instead of
+//!   drawing from a shared sequential stream, so the values a work unit
+//!   sees do not depend on which worker runs it or when.
+//! * **No dependencies.** Plain `std`: scoped threads, atomics, mutex
+//!   slots. `bprom-obs` (also zero-dep) is used to buffer per-worker
+//!   telemetry and merge it into the parent session at scope exit, so
+//!   spans and counters recorded inside parallel sections are not lost
+//!   to absent thread-local sinks.
+//!
+//! The worker count resolves, in order, from [`set_thread_count`] (a
+//! process-global programmatic override, used by benchmarks and the
+//! determinism tests), the `BPROM_THREADS` environment variable, and
+//! finally [`std::thread::available_parallelism`]. A count of `1` takes
+//! the exact sequential path: work runs in order on the calling thread
+//! with no pool, no mutexes, and telemetry recorded directly into the
+//! parent session.
+//!
+//! # Example
+//!
+//! ```
+//! // Seed-per-work-unit: fork the RNGs sequentially, then map in
+//! // parallel. The output is identical at any BPROM_THREADS value.
+//! let jobs: Vec<u64> = (0..8).map(|i| i * 17 + 3).collect();
+//! let out = bprom_par::par_map(jobs.clone(), |seed| seed.wrapping_mul(0x9e37));
+//! let seq: Vec<u64> = jobs.into_iter().map(|s| s.wrapping_mul(0x9e37)).collect();
+//! assert_eq!(out, seq);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-pool size for the whole process; pass `0` to
+/// clear the override and fall back to `BPROM_THREADS` / available
+/// parallelism.
+///
+/// Takes precedence over the environment. Because results are
+/// thread-count invariant by contract, flipping this concurrently with
+/// running work changes only scheduling, never output.
+pub fn set_thread_count(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// The worker-pool size parallel sections will use, resolved from (in
+/// precedence order) [`set_thread_count`], the `BPROM_THREADS`
+/// environment variable, and [`std::thread::available_parallelism`].
+/// Always at least 1; `1` means strictly sequential execution.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced != 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("BPROM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n`, returning results in index
+/// order. Work is distributed over [`thread_count`] scoped workers via
+/// an atomic work-stealing cursor; with one worker (or `n <= 1`) it
+/// degenerates to a plain in-order loop on the calling thread.
+///
+/// Telemetry recorded inside `f` is buffered per worker and merged into
+/// the calling thread's `bprom-obs` session at scope exit (counters
+/// add, histograms merge; worker spans attach under the innermost span
+/// open on the calling thread). On the sequential path `f` records
+/// directly into the parent session.
+///
+/// Panics in `f` propagate to the caller when the scope joins.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = thread_count().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let ctx = bprom_obs::worker_context();
+    let records: Vec<bprom_obs::WorkerRecords> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || {
+                    let session = ctx.map(bprom_obs::WorkerContext::begin);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = f(i);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                    session.map(bprom_obs::WorkerSession::finish)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("bprom-par worker panicked"))
+            .collect()
+    });
+    bprom_obs::absorb_workers(records);
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index computed exactly once")
+        })
+        .collect()
+}
+
+/// Applies `f` to every element of `items`, returning results in input
+/// order. See [`par_map_indexed`] for scheduling, telemetry, and panic
+/// semantics.
+///
+/// `items` are moved into per-index slots, so `f` receives each element
+/// by value exactly once — the natural shape for "job descriptor +
+/// pre-forked RNG" work units.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if thread_count().min(n.max(1)) <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    par_map_indexed(n, |i| {
+        let item = jobs[i]
+            .lock()
+            .expect("job slot poisoned")
+            .take()
+            .expect("each job taken exactly once");
+        f(item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Runs `f` with a forced thread count, restoring the default after.
+    /// Tests in this module share the process-global override, so they
+    /// serialize on a lock.
+    fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_count(threads);
+        let out = f();
+        set_thread_count(0);
+        out
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = with_threads(threads, || par_map_indexed(100, |i| i * i));
+            let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_moves_non_clone_items() {
+        struct Job(String);
+        let items: Vec<Job> = (0..10).map(|i| Job(format!("job-{i}"))).collect();
+        let out = with_threads(4, || par_map(items, |job| job.0.len()));
+        assert_eq!(out, vec![5; 10]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Seed-per-work-unit: each index derives its own value chain.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par_map_indexed(33, |i| {
+                    let mut x = i as u64 ^ 0xdead_beef;
+                    for _ in 0..1000 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                    }
+                    x
+                })
+            })
+        };
+        let base = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = with_threads(4, || par_map(Vec::<u32>::new(), |x| x));
+        assert!(empty.is_empty());
+        let one = with_threads(4, || par_map(vec![41u32], |x| x + 1));
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = with_threads(4, || {
+            par_map_indexed(257, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        with_threads(3, || assert_eq!(thread_count(), 3));
+        // Cleared override falls back to env/available parallelism: >= 1.
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_survives_parallel_sections() {
+        let (snap_par, snap_seq) = {
+            let run = |threads: usize| {
+                with_threads(threads, || {
+                    let session = bprom_obs::Session::begin("par-test");
+                    {
+                        bprom_obs::span!("parallel_phase");
+                        par_map_indexed(8, |i| {
+                            bprom_obs::span!("work_item");
+                            bprom_obs::counter_add("items", 1);
+                            bprom_obs::observe("item.size", (i as u64 + 1) * 10);
+                            i
+                        });
+                    }
+                    session.finish()
+                })
+            };
+            (run(4), run(1))
+        };
+        for snap in [&snap_par, &snap_seq] {
+            assert_eq!(snap.counter("items"), 8);
+            assert_eq!(snap.histograms["item.size"].count(), 8);
+            let phase = snap.find_span("parallel_phase").expect("phase span");
+            assert_eq!(
+                phase
+                    .children
+                    .iter()
+                    .filter(|c| c.name == "work_item")
+                    .count(),
+                8
+            );
+        }
+    }
+
+    #[test]
+    fn nested_par_map_completes() {
+        let out = with_threads(4, || {
+            par_map_indexed(4, |i| par_map_indexed(4, move |j| i * 4 + j))
+        });
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -38,9 +38,6 @@ impl Tensor {
             let out_row = &mut out[i * n..(i + 1) * n];
             for p in 0..k {
                 let a_ip = a[i * k + p];
-                if a_ip == 0.0 {
-                    continue;
-                }
                 let b_row = &b[p * n..(p + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += a_ip * bv;
@@ -78,6 +75,11 @@ impl Tensor {
             let a_row = &a[p * m..(p + 1) * m];
             let b_row = &b[p * n..(p + 1) * n];
             for (i, &av) in a_row.iter().enumerate() {
+                // Unlike `matmul`, the zero-skip here pays for itself: the
+                // left operand of `matmul_tn` in backward passes is a
+                // post-ReLU activation matrix, typically half zeros, and the
+                // skip elides the whole inner row update (see the
+                // `matmul_tn_sparse_*` micro-benches).
                 if av == 0.0 {
                     continue;
                 }

@@ -1,6 +1,7 @@
 use crate::{Result, VpError};
-use bprom_nn::{softmax, Layer, Mode, Sequential};
+use bprom_nn::{softmax, Layer, Sequential};
 use bprom_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The black-box boundary: a model that can only be *queried*.
 ///
@@ -8,14 +9,20 @@ use bprom_tensor::Tensor;
 /// structure, or parameters … detection involves only black-box queries on
 /// the model to obtain confidence vectors" (Section 4). Code written
 /// against this trait is compiler-checked to respect that boundary.
-pub trait BlackBoxModel {
+///
+/// Queries go through `&self` and implementations are `Send + Sync`: a
+/// deployed MLaaS endpoint serves concurrent clients, and the CMA-ES
+/// candidate loop in `bprom-par` shares one oracle across workers the
+/// same way. Implementations keep query accounting exact under
+/// concurrency (atomics).
+pub trait BlackBoxModel: Send + Sync {
     /// Returns a `[n, k]` matrix of confidence vectors (softmax
     /// probabilities) for a `[n, c, h, w]` input batch.
     ///
     /// # Errors
     ///
     /// Returns an error if the batch shape is incompatible with the model.
-    fn query(&mut self, batch: &Tensor) -> Result<Tensor>;
+    fn query(&self, batch: &Tensor) -> Result<Tensor>;
 
     /// Length of the confidence vector (number of source classes `K_S`).
     fn num_classes(&self) -> usize;
@@ -28,18 +35,20 @@ pub trait BlackBoxModel {
 ///
 /// Once a model is wrapped, the only remaining interface is
 /// [`BlackBoxModel::query`] — the detector cannot reach weights or run
-/// backward passes.
+/// backward passes. Queries run through the model's side-effect-free
+/// [`Layer::forward_eval`] path, so the oracle can serve many threads
+/// concurrently.
 pub struct QueryOracle {
     model: Sequential,
     num_classes: usize,
-    queries: u64,
+    queries: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryOracle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryOracle")
             .field("num_classes", &self.num_classes)
-            .field("queries", &self.queries)
+            .field("queries", &self.queries.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -50,13 +59,13 @@ impl QueryOracle {
         QueryOracle {
             model,
             num_classes,
-            queries: 0,
+            queries: AtomicU64::new(0),
         }
     }
 
     /// Unseals the oracle, returning the wrapped model. Intended for the
     /// oracle's *owner* (e.g. an experiment harness reclaiming a model it
-    /// wrapped); a detector holding only `&mut dyn BlackBoxModel` cannot
+    /// wrapped); a detector holding only `&dyn BlackBoxModel` cannot
     /// call this.
     pub fn into_inner(self) -> Sequential {
         self.model
@@ -64,14 +73,15 @@ impl QueryOracle {
 }
 
 impl BlackBoxModel for QueryOracle {
-    fn query(&mut self, batch: &Tensor) -> Result<Tensor> {
+    fn query(&self, batch: &Tensor) -> Result<Tensor> {
         if batch.rank() != 4 {
             return Err(VpError::InvalidConfig {
                 reason: format!("query expects [n, c, h, w], got {:?}", batch.shape()),
             });
         }
-        self.queries += batch.shape()[0] as u64;
-        let logits = self.model.forward(batch, Mode::Eval)?;
+        self.queries
+            .fetch_add(batch.shape()[0] as u64, Ordering::Relaxed);
+        let logits = self.model.forward_eval(batch)?;
         Ok(softmax(&logits)?)
     }
 
@@ -80,7 +90,7 @@ impl BlackBoxModel for QueryOracle {
     }
 
     fn queries_used(&self) -> u64 {
-        self.queries
+        self.queries.load(Ordering::Relaxed)
     }
 }
 
@@ -94,7 +104,7 @@ mod tests {
     fn oracle_returns_probabilities_and_counts_queries() {
         let mut rng = Rng::new(0);
         let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 5);
+        let oracle = QueryOracle::new(model, 5);
         let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
         let probs = oracle.query(&batch).unwrap();
         assert_eq!(probs.shape(), &[4, 5]);
@@ -111,7 +121,26 @@ mod tests {
     fn oracle_rejects_bad_shape() {
         let mut rng = Rng::new(1);
         let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 5);
+        let oracle = QueryOracle::new(model, 5);
         assert!(oracle.query(&Tensor::zeros(&[3, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn concurrent_queries_are_deterministic_and_counted() {
+        let mut rng = Rng::new(2);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 5);
+        let batch = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let reference = oracle.query(&batch).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(oracle.query(&batch).unwrap(), reference);
+                    }
+                });
+            }
+        });
+        assert_eq!(oracle.queries_used(), 2 + 4 * 8 * 2);
     }
 }

@@ -8,34 +8,39 @@
 
 use crate::{BlackBoxModel, Result};
 use bprom_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A [`BlackBoxModel`] wrapper that meters queries passing through it.
 ///
 /// Metering is strictly passive: the wrapped oracle sees the exact same
 /// batches in the exact same order, so detection results are unchanged.
+///
+/// The tally is atomic, so one `CountingOracle` can be shared across
+/// `bprom-par` workers; totals stay exact under concurrent queries
+/// (relaxed increments are still never lost, only unordered).
 pub struct CountingOracle<'a> {
-    inner: &'a mut dyn BlackBoxModel,
-    queries: u64,
-    batches: u64,
+    inner: &'a dyn BlackBoxModel,
+    queries: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl std::fmt::Debug for CountingOracle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CountingOracle")
-            .field("queries", &self.queries)
-            .field("batches", &self.batches)
+            .field("queries", &self.queries.load(Ordering::Relaxed))
+            .field("batches", &self.batches.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl<'a> CountingOracle<'a> {
     /// Wraps an oracle; the local tally starts at zero.
-    pub fn new(inner: &'a mut dyn BlackBoxModel) -> Self {
+    pub fn new(inner: &'a dyn BlackBoxModel) -> Self {
         CountingOracle {
             inner,
-            queries: 0,
-            batches: 0,
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
     }
 
@@ -43,24 +48,24 @@ impl<'a> CountingOracle<'a> {
     /// [`BlackBoxModel::queries_used`], which is the wrapped oracle's
     /// lifetime total).
     pub fn local_queries(&self) -> u64 {
-        self.queries
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Query batches submitted through this wrapper.
     pub fn local_batches(&self) -> u64 {
-        self.batches
+        self.batches.load(Ordering::Relaxed)
     }
 }
 
 impl BlackBoxModel for CountingOracle<'_> {
-    fn query(&mut self, batch: &Tensor) -> Result<Tensor> {
+    fn query(&self, batch: &Tensor) -> Result<Tensor> {
         let timed = bprom_obs::enabled();
         let start = timed.then(Instant::now);
         let out = self.inner.query(batch)?;
         // Count only successful queries, mirroring the inner oracle.
         let n = batch.shape()[0] as u64;
-        self.queries += n;
-        self.batches += 1;
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = start {
             bprom_obs::observe("oracle.query_ns", start.elapsed().as_nanos() as u64);
             bprom_obs::observe("oracle.batch_size", n);
@@ -90,13 +95,13 @@ mod tests {
     fn counts_match_inner_oracle() {
         let mut rng = Rng::new(0);
         let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 5);
+        let oracle = QueryOracle::new(model, 5);
         let warmup = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
         oracle.query(&warmup).unwrap();
         assert_eq!(oracle.queries_used(), 2);
 
         let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
-        let mut counting = CountingOracle::new(&mut oracle);
+        let counting = CountingOracle::new(&oracle);
         counting.query(&batch).unwrap();
         counting.query(&batch).unwrap();
         // Local tally counts only wrapper traffic; queries_used is lifetime.
@@ -110,21 +115,45 @@ mod tests {
     fn failed_queries_are_not_counted() {
         let mut rng = Rng::new(1);
         let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 5);
-        let mut counting = CountingOracle::new(&mut oracle);
+        let oracle = QueryOracle::new(model, 5);
+        let counting = CountingOracle::new(&oracle);
         assert!(counting.query(&Tensor::zeros(&[3, 8, 8])).is_err());
         assert_eq!(counting.local_queries(), 0);
         assert_eq!(counting.local_batches(), 0);
     }
 
     #[test]
+    fn concurrent_queries_are_counted_exactly() {
+        let mut rng = Rng::new(3);
+        let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 5);
+        let counting = CountingOracle::new(&oracle);
+        let batch = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let threads = 4;
+        let per_thread = 16;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        counting.query(&batch).unwrap();
+                    }
+                });
+            }
+        });
+        let total_batches = (threads * per_thread) as u64;
+        assert_eq!(counting.local_batches(), total_batches);
+        assert_eq!(counting.local_queries(), total_batches * 2);
+        assert_eq!(counting.queries_used(), total_batches * 2);
+    }
+
+    #[test]
     fn telemetry_records_oracle_traffic() {
         let mut rng = Rng::new(2);
         let model = mlp(&ModelSpec::new(3, 8, 5), &mut rng).unwrap();
-        let mut oracle = QueryOracle::new(model, 5);
+        let oracle = QueryOracle::new(model, 5);
         let batch = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
         let session = bprom_obs::Session::begin("counting-test");
-        let mut counting = CountingOracle::new(&mut oracle);
+        let counting = CountingOracle::new(&oracle);
         counting.query(&batch).unwrap();
         let snapshot = session.finish();
         assert_eq!(snapshot.counter("oracle.queries"), 4);

@@ -169,7 +169,7 @@ pub fn train_prompt_backprop(
 ///
 /// Returns an error on shape/label mismatches or optimizer misuse.
 pub fn train_prompt_cmaes(
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     prompt: &mut VisualPrompt,
     images: &Tensor,
     labels: &[usize],
@@ -191,7 +191,7 @@ pub fn train_prompt_cmaes(
     };
     let mut es = CmaEs::new(&prompt.to_flat(), cfg.cmaes_sigma, pop)?;
     let mut losses = Vec::with_capacity(cfg.cmaes_generations);
-    let mut scratch = prompt.clone();
+    let template = prompt.clone();
     bprom_obs::span!("cmaes_prompt_training");
     for _gen in 0..cfg.cmaes_generations {
         let gen_start = bprom_obs::enabled().then(std::time::Instant::now);
@@ -201,9 +201,13 @@ pub fn train_prompt_cmaes(
         let idx = rng.sample_indices(n, batch_len);
         let (bx, by) = gather(images, &mapped, &idx)?;
         let candidates = es.ask(rng);
-        let mut fitness = Vec::with_capacity(candidates.len());
-        for cand in &candidates {
-            scratch.set_flat(cand)?;
+        // Candidate evaluations are independent (the oracle is `&self` and
+        // counts queries atomically) and consume no RNG, so fanning them out
+        // across workers leaves both the fitness values and the RNG stream
+        // bit-identical to the sequential path.
+        let fitness: Vec<f32> = bprom_par::par_map_indexed(candidates.len(), |ci| -> Result<f32> {
+            let mut scratch = template.clone();
+            scratch.set_flat(&candidates[ci])?;
             let prompted = scratch.apply_batch(&bx)?;
             let probs = oracle.query(&prompted)?;
             let k = probs.shape()[1];
@@ -212,8 +216,10 @@ pub fn train_prompt_cmaes(
                 let p = probs.data()[row * k + want].max(1e-9);
                 loss -= p.ln();
             }
-            fitness.push(loss / by.len() as f32);
-        }
+            Ok(loss / by.len() as f32)
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
         es.tell(&candidates, &fitness)?;
         let best = fitness.iter().copied().fold(f32::INFINITY, f32::min);
         losses.push(best);
@@ -264,7 +270,7 @@ pub fn prompted_accuracy(
 ///
 /// Returns an error on shape/label mismatches.
 pub fn prompted_accuracy_blackbox(
-    oracle: &mut dyn BlackBoxModel,
+    oracle: &dyn BlackBoxModel,
     prompt: &VisualPrompt,
     images: &Tensor,
     labels: &[usize],
@@ -383,7 +389,7 @@ mod tests {
         trainer
             .fit(&mut model, &source.images, &source.labels, &mut rng)
             .unwrap();
-        let mut oracle = QueryOracle::new(model, 10);
+        let oracle = QueryOracle::new(model, 10);
 
         let target = SynthDataset::Stl10.generate(10, 8, 6).unwrap();
         let map = LabelMap::identity(10, 10).unwrap();
@@ -394,7 +400,7 @@ mod tests {
             ..PromptTrainConfig::default()
         };
         let report = train_prompt_cmaes(
-            &mut oracle,
+            &oracle,
             &mut prompt,
             &target.images,
             &target.labels,

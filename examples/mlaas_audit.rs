@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = marketplace.len();
     for (i, suspicious) in marketplace.into_iter().enumerate() {
         let truth = suspicious.backdoored;
-        let mut oracle = QueryOracle::new(suspicious.model, 10);
-        let verdict = detector.inspect(&mut oracle, &mut rng)?;
+        let oracle = QueryOracle::new(suspicious.model, 10);
+        let verdict = detector.inspect(&oracle, &mut rng)?;
         if verdict.backdoored == truth {
             correct += 1;
         }

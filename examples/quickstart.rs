@@ -46,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Inspection happens strictly through black-box queries; the
     //    verdict reports the exact oracle budget it consumed.
     println!("[3/3] inspecting the suspicious model through black-box queries...");
-    let mut oracle = QueryOracle::new(model, 10);
-    let verdict = detector.inspect(&mut oracle, &mut rng)?;
+    let oracle = QueryOracle::new(model, 10);
+    let verdict = detector.inspect(&oracle, &mut rng)?;
     println!("      verdict: {verdict}");
     Ok(())
 }

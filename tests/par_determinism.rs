@@ -1,0 +1,71 @@
+//! Determinism contract of the data-parallel layer (`bprom-par`): the
+//! full fit + inspect pipeline must produce *byte-identical* detection
+//! reports — scores, AUROC/F1 and the exact query budget — at any thread
+//! count. Every parallel work unit (shadow, prompt, CMA-ES candidate,
+//! forest tree) derives its own child RNG stream up front, so worker
+//! scheduling cannot leak into the numbers.
+
+use bprom_suite::attacks::AttackKind;
+use bprom_suite::bprom::{
+    build_suspicious_zoo, evaluate_detector, Bprom, BpromConfig, DetectionReport, ZooConfig,
+};
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::TrainConfig;
+use bprom_suite::par;
+use bprom_suite::tensor::Rng;
+use bprom_suite::vp::PromptTrainConfig;
+
+/// One identically-seeded fit + zoo + evaluate run at whatever thread
+/// count is currently installed.
+fn run_pipeline() -> DetectionReport {
+    let mut rng = Rng::new(42);
+    let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.clean_shadows = 2;
+    config.backdoor_shadows = 2;
+    config.test_samples_per_class = 20;
+    config.target_samples_per_class = 10;
+    config.train = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    config.prompt = PromptTrainConfig {
+        epochs: 2,
+        cmaes_generations: 4,
+        cmaes_population: 6,
+        ..PromptTrainConfig::default()
+    };
+    let detector = Bprom::fit(&config, &mut rng).unwrap();
+
+    let mut zoo_cfg = ZooConfig::new(SynthDataset::Cifar10, AttackKind::BadNets);
+    zoo_cfg.clean = 1;
+    zoo_cfg.backdoored = 1;
+    zoo_cfg.samples_per_class = 20;
+    zoo_cfg.train = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
+    let mut report = evaluate_detector(&detector, zoo, &mut rng).unwrap();
+    // Wall-clock is the one legitimately nondeterministic field; zero it
+    // so the comparison below covers everything else byte-for-byte.
+    report.mean_inspect_ms = 0.0;
+    report
+}
+
+#[test]
+fn reports_identical_across_thread_counts() {
+    par::set_thread_count(1);
+    let sequential = run_pipeline();
+    par::set_thread_count(4);
+    let parallel = run_pipeline();
+    par::set_thread_count(0);
+
+    assert!(parallel.total_queries > 0);
+    // Byte-identical JSON: identical scores, labels, AUROC, F1 and query
+    // budgets regardless of worker count.
+    assert_eq!(
+        sequential.to_json().unwrap(),
+        parallel.to_json().unwrap(),
+        "thread count leaked into the detection report"
+    );
+}

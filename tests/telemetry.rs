@@ -41,8 +41,8 @@ fn run_once() -> (Verdict, TelemetrySnapshot) {
     Trainer::new(config.train)
         .fit(&mut model, &source.images, &source.labels, &mut rng)
         .unwrap();
-    let mut oracle = QueryOracle::new(model, 10);
-    let verdict = detector.inspect(&mut oracle, &mut rng).unwrap();
+    let oracle = QueryOracle::new(model, 10);
+    let verdict = detector.inspect(&oracle, &mut rng).unwrap();
     (verdict, session.finish())
 }
 
