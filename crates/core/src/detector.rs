@@ -27,12 +27,33 @@ pub struct InspectBudget {
     pub probe_ns: u64,
     /// Total inspection wall-clock, in nanoseconds.
     pub total_ns: u64,
+    /// Transient faults the oracle stack injected during this inspection
+    /// (0 for a plain oracle; see `bprom-faults`).
+    pub faults_injected: u64,
+    /// Retry attempts absorbed by the oracle stack.
+    pub retries: u64,
+    /// Queries whose retry budget ran out (each one either penalized a
+    /// CMA-ES candidate or failed the inspection).
+    pub retry_exhausted: u64,
+    /// Delivered responses degraded by the oracle stack (quantized,
+    /// truncated, jittered).
+    pub degraded_responses: u64,
+    /// Virtual backoff milliseconds a real client would have slept.
+    pub backoff_virtual_ms: u64,
+    /// CMA-ES candidates skipped with an infinite penalty because their
+    /// queries exhausted all retries.
+    pub penalized_candidates: u64,
 }
 
 impl InspectBudget {
     /// Total oracle images spent.
     pub fn total_queries(&self) -> u64 {
         self.prompt_queries + self.probe_queries
+    }
+
+    /// Whether the oracle stack misbehaved at all during this inspection.
+    pub fn degraded(&self) -> bool {
+        self.faults_injected > 0 || self.degraded_responses > 0 || self.retry_exhausted > 0
     }
 }
 
@@ -71,7 +92,19 @@ impl std::fmt::Display for Verdict {
             fmt_secs(self.budget.total_ns),
             fmt_secs(self.budget.prompt_ns),
             fmt_secs(self.budget.probe_ns),
-        )
+        )?;
+        if self.budget.degraded() || self.budget.retries > 0 {
+            write!(
+                f,
+                " [hostile oracle: {} faults, {} retries, {} exhausted, {} degraded responses, {} penalized candidates]",
+                self.budget.faults_injected,
+                self.budget.retries,
+                self.budget.retry_exhausted,
+                self.budget.degraded_responses,
+                self.budget.penalized_candidates,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -166,11 +199,13 @@ impl Bprom {
     pub fn inspect(&self, oracle: &dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
         bprom_obs::span!("inspect");
         let start = Instant::now();
+        let stats_before = oracle.oracle_stats();
         let counting = CountingOracle::new(oracle);
-        let (prompt, prompt_queries) = {
+        let (prompt, prompt_report) = {
             bprom_obs::span!("prompt_suspicious");
             prompt_suspicious(&self.config, &counting, &self.t_train, &self.map, rng)?
         };
+        let prompt_queries = prompt_report.queries;
         let prompt_ns = start.elapsed().as_nanos() as u64;
         let feature = {
             bprom_obs::span!("probe_features");
@@ -182,6 +217,10 @@ impl Bprom {
         };
         let total_ns = start.elapsed().as_nanos() as u64;
         let queries = counting.local_queries();
+        // Whatever the oracle stack absorbed on our behalf (fault
+        // injection, retries, degraded responses) is part of this
+        // inspection's cost; surface the delta in the budget.
+        let faults = oracle.oracle_stats().delta_since(&stats_before);
         bprom_obs::counter_add("inspect.models", 1);
         Ok(Verdict {
             score,
@@ -193,6 +232,12 @@ impl Bprom {
                 prompt_ns,
                 probe_ns: total_ns - prompt_ns,
                 total_ns,
+                faults_injected: faults.faults_injected,
+                retries: faults.retries,
+                retry_exhausted: faults.retry_exhausted,
+                degraded_responses: faults.degraded_responses,
+                backoff_virtual_ms: faults.backoff_virtual_ms,
+                penalized_candidates: prompt_report.penalized_candidates,
             },
         })
     }

@@ -63,7 +63,7 @@ pub mod suspicious;
 pub use config::{BpromConfig, ShadowPrompting};
 pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;
-pub use report::{evaluate_detector, DetectionReport};
+pub use report::{evaluate_detector, evaluate_detector_via, DetectionReport};
 pub use shadow::{ShadowModel, ShadowSet};
 pub use suspicious::{build_suspicious_zoo, SuspiciousModel, ZooConfig};
 

@@ -7,7 +7,8 @@ use crate::{BpromConfig, Result, ShadowModel, ShadowSet};
 use bprom_data::Dataset;
 use bprom_tensor::Rng;
 use bprom_vp::{
-    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, QueryOracle, VisualPrompt,
+    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, PromptTrainReport,
+    QueryOracle, VisualPrompt,
 };
 
 /// A prompted shadow model: the prompt learned for it plus bookkeeping.
@@ -92,7 +93,8 @@ pub fn prompt_shadows(
 /// Learns a prompt for the suspicious model using only black-box queries
 /// (gradient-free CMA-ES, as the paper specifies for `f_sus`).
 ///
-/// Returns the prompt and the number of queries consumed.
+/// Returns the prompt and the full training report (queries consumed and
+/// candidates skipped over exhausted retries).
 ///
 /// # Errors
 ///
@@ -103,7 +105,7 @@ pub fn prompt_suspicious(
     t_train: &Dataset,
     map: &LabelMap,
     rng: &mut Rng,
-) -> Result<(VisualPrompt, u64)> {
+) -> Result<(VisualPrompt, PromptTrainReport)> {
     let mut prompt = VisualPrompt::random(
         t_train.channels(),
         config.image_size,
@@ -119,7 +121,7 @@ pub fn prompt_suspicious(
         &config.prompt,
         rng,
     )?;
-    Ok((prompt, report.queries))
+    Ok((prompt, report))
 }
 
 #[cfg(test)]

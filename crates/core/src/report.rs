@@ -1,7 +1,7 @@
 //! Detector evaluation: run a detector against a suspicious-model zoo and
 //! compute the paper's metrics (AUROC, F1) plus the exact query budget.
 
-use crate::{Bprom, Result, SuspiciousModel};
+use crate::{Bprom, Result, SuspiciousModel, Verdict};
 use bprom_metrics::{auroc, f1_score};
 use bprom_obs::{FromJson, ToJson, Value};
 use bprom_tensor::Rng;
@@ -24,6 +24,11 @@ pub struct DetectionReport {
     pub total_queries: u64,
     /// Mean wall-clock per inspection, in milliseconds.
     pub mean_inspect_ms: f32,
+    /// Transient faults injected by hostile oracle stacks over the whole
+    /// zoo (0 when inspecting plain oracles).
+    pub total_faults: u64,
+    /// Retry attempts absorbed over the whole zoo.
+    pub total_retries: u64,
 }
 
 /// Inspects every model in the zoo and computes AUROC / F1.
@@ -40,20 +45,49 @@ pub fn evaluate_detector(
     zoo: Vec<SuspiciousModel>,
     rng: &mut Rng,
 ) -> Result<DetectionReport> {
+    evaluate_detector_via(detector, zoo, rng, |detector, oracle, rng| {
+        detector.inspect(&oracle, rng)
+    })
+}
+
+/// Variant of [`evaluate_detector`] that delegates each inspection to a
+/// caller-supplied closure. The closure receives the sealed base oracle
+/// by value and may stack arbitrary decorators on it (fault injection,
+/// retries, extra metering — see `bprom-faults`) before calling
+/// [`Bprom::inspect`]; fault/retry totals from the verdicts are
+/// aggregated into the report.
+///
+/// # Errors
+///
+/// Propagates inspection failures; AUROC requires the zoo to contain both
+/// clean and backdoored models.
+pub fn evaluate_detector_via<F>(
+    detector: &Bprom,
+    zoo: Vec<SuspiciousModel>,
+    rng: &mut Rng,
+    mut inspect: F,
+) -> Result<DetectionReport>
+where
+    F: FnMut(&Bprom, QueryOracle, &mut Rng) -> Result<Verdict>,
+{
     bprom_obs::span!("evaluate_detector");
     let num_classes = detector.config().source_dataset.num_classes();
     let mut scores = Vec::with_capacity(zoo.len());
     let mut labels = Vec::with_capacity(zoo.len());
     let mut total_queries = 0u64;
     let mut total_ns = 0u64;
+    let mut total_faults = 0u64;
+    let mut total_retries = 0u64;
     let n = zoo.len();
     for suspicious in zoo {
         let oracle = QueryOracle::new(suspicious.model, num_classes);
-        let verdict = detector.inspect(&oracle, rng)?;
+        let verdict = inspect(detector, oracle, rng)?;
         scores.push(verdict.score);
         labels.push(suspicious.backdoored);
         total_queries += verdict.queries;
         total_ns += verdict.budget.total_ns;
+        total_faults += verdict.budget.faults_injected;
+        total_retries += verdict.budget.retries;
     }
     let auroc = auroc(&scores, &labels)?;
     let predictions: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
@@ -66,6 +100,8 @@ pub fn evaluate_detector(
         mean_queries: total_queries as f32 / n.max(1) as f32,
         total_queries,
         mean_inspect_ms: total_ns as f32 / 1e6 / n.max(1) as f32,
+        total_faults,
+        total_retries,
     })
 }
 
@@ -139,6 +175,8 @@ impl ToJson for DetectionReport {
             ("mean_queries", self.mean_queries.to_json()),
             ("total_queries", self.total_queries.to_json()),
             ("mean_inspect_ms", self.mean_inspect_ms.to_json()),
+            ("total_faults", self.total_faults.to_json()),
+            ("total_retries", self.total_retries.to_json()),
         ])
     }
 }
@@ -153,6 +191,8 @@ impl FromJson for DetectionReport {
             mean_queries: FromJson::from_json(value.require("mean_queries")?)?,
             total_queries: FromJson::from_json(value.require("total_queries")?)?,
             mean_inspect_ms: FromJson::from_json(value.require("mean_inspect_ms")?)?,
+            total_faults: FromJson::from_json(value.require("total_faults")?)?,
+            total_retries: FromJson::from_json(value.require("total_retries")?)?,
         })
     }
 }
@@ -173,6 +213,8 @@ mod tests {
             mean_queries: 100.0,
             total_queries: 400,
             mean_inspect_ms: 12.5,
+            total_faults: 7,
+            total_retries: 5,
         }
     }
 

@@ -3,6 +3,86 @@ use bprom_nn::{softmax, Layer, Sequential};
 use bprom_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A *transient* query failure at the oracle boundary — the kind a real
+/// MLaaS endpoint produces and a client is expected to retry, as opposed
+/// to a hard error (bad batch shape, broken model) that no retry fixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFault {
+    /// The request was dropped before producing a response (network
+    /// transient, server hiccup).
+    Dropped,
+    /// The caller exceeded the endpoint's rate limit; the request will
+    /// succeed once the window resets.
+    RateLimited,
+}
+
+impl std::fmt::Display for QueryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryFault::Dropped => write!(f, "request dropped"),
+            QueryFault::RateLimited => write!(f, "rate limited"),
+        }
+    }
+}
+
+/// The in-band outcome of one query attempt: a confidence matrix, or a
+/// retryable [`QueryFault`]. Hard errors live in the surrounding
+/// [`Result`].
+pub type QueryOutcome = std::result::Result<Tensor, QueryFault>;
+
+/// Cumulative fault/retry accounting exposed by an oracle stack.
+///
+/// Plain oracles report zeros; fault-injecting and retrying decorators
+/// (the `bprom-faults` crate) add their own tallies to their inner
+/// oracle's, so reading the outermost wrapper sees the whole stack.
+/// Snapshots taken before and after a pipeline phase subtract
+/// ([`OracleStats::delta_since`]) to give that phase's share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Query attempts rejected with a transient [`QueryFault`].
+    pub faults_injected: u64,
+    /// Delivered responses that were degraded (quantized, truncated,
+    /// jittered) relative to the true confidence vector.
+    pub degraded_responses: u64,
+    /// Retry attempts performed after a transient fault.
+    pub retries: u64,
+    /// Queries that exhausted their retry budget and surfaced a fault.
+    pub retry_exhausted: u64,
+    /// Virtual backoff time accumulated while retrying, in milliseconds
+    /// (no wall-clock sleeping happens; see `bprom-faults::RetryPolicy`).
+    pub backoff_virtual_ms: u64,
+}
+
+impl OracleStats {
+    /// Component-wise difference against an earlier snapshot of the same
+    /// (monotonic) stats; saturates at zero for safety.
+    pub fn delta_since(&self, earlier: &OracleStats) -> OracleStats {
+        OracleStats {
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            degraded_responses: self
+                .degraded_responses
+                .saturating_sub(earlier.degraded_responses),
+            retries: self.retries.saturating_sub(earlier.retries),
+            retry_exhausted: self.retry_exhausted.saturating_sub(earlier.retry_exhausted),
+            backoff_virtual_ms: self
+                .backoff_virtual_ms
+                .saturating_sub(earlier.backoff_virtual_ms),
+        }
+    }
+
+    /// Component-wise sum (for chaining a decorator's own tally onto its
+    /// inner oracle's).
+    pub fn merged(&self, other: &OracleStats) -> OracleStats {
+        OracleStats {
+            faults_injected: self.faults_injected + other.faults_injected,
+            degraded_responses: self.degraded_responses + other.degraded_responses,
+            retries: self.retries + other.retries,
+            retry_exhausted: self.retry_exhausted + other.retry_exhausted,
+            backoff_virtual_ms: self.backoff_virtual_ms + other.backoff_virtual_ms,
+        }
+    }
+}
+
 /// The black-box boundary: a model that can only be *queried*.
 ///
 /// The paper's defender has "no access to the poisoned dataset, model
@@ -24,11 +104,40 @@ pub trait BlackBoxModel: Send + Sync {
     /// Returns an error if the batch shape is incompatible with the model.
     fn query(&self, batch: &Tensor) -> Result<Tensor>;
 
+    /// Fallible variant of [`BlackBoxModel::query`]: transient faults are
+    /// returned *in band* as `Ok(Err(fault))` so retry layers can react,
+    /// while hard errors (bad shapes, model failures) stay in the outer
+    /// [`Result`].
+    ///
+    /// Infallible oracles keep this default (which never faults), so
+    /// plain implementations like [`QueryOracle`] are untouched; the
+    /// decorators in `bprom-faults` override it to inject and absorb
+    /// faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a hard (non-retryable) error exactly when
+    /// [`BlackBoxModel::query`] would.
+    fn try_query_batch(&self, batch: &Tensor) -> Result<QueryOutcome> {
+        match self.query(batch) {
+            Ok(probs) => Ok(Ok(probs)),
+            Err(VpError::OracleFault { fault, .. }) => Ok(Err(fault)),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Length of the confidence vector (number of source classes `K_S`).
     fn num_classes(&self) -> usize;
 
     /// Number of *images* submitted so far (query-budget accounting).
     fn queries_used(&self) -> u64;
+
+    /// Cumulative fault/retry accounting for this oracle stack. Plain
+    /// oracles report all-zero stats; decorators chain their tallies onto
+    /// their inner oracle's (see [`OracleStats`]).
+    fn oracle_stats(&self) -> OracleStats {
+        OracleStats::default()
+    }
 }
 
 /// Wraps an owned [`Sequential`] as a query-only oracle.

@@ -121,10 +121,19 @@ impl CmaEs {
     /// Reports fitnesses (to be *minimized*) for the last asked population
     /// and updates the search distribution.
     ///
+    /// Non-finite fitness values rank a candidate last without entering
+    /// the update arithmetic, so `+∞` is a legal "skip this candidate"
+    /// penalty (used when a candidate's oracle queries exhaust their
+    /// retries). NaN is rejected: `total_cmp` would quietly sort it
+    /// *after* `+∞` and the recombination weights would still be applied
+    /// to a candidate whose fitness is meaningless.
+    ///
     /// # Errors
     ///
     /// Returns [`VpError::InvalidConfig`] if no population is outstanding
-    /// or counts mismatch.
+    /// or counts mismatch, and [`VpError::NanFitness`] if any fitness is
+    /// NaN (the optimizer state is left untouched, so the caller may
+    /// re-`tell` with repaired values).
     pub fn tell(&mut self, solutions: &[Vec<f32>], fitness: &[f32]) -> Result<()> {
         if self.last_z.len() != self.lambda
             || solutions.len() != self.lambda
@@ -136,6 +145,9 @@ impl CmaEs {
                     self.lambda
                 ),
             });
+        }
+        if let Some(index) = fitness.iter().position(|f| f.is_nan()) {
+            return Err(VpError::NanFitness { index });
         }
         let mut order: Vec<usize> = (0..self.lambda).collect();
         order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
@@ -288,6 +300,54 @@ mod tests {
         assert!(es.tell(&pop[..3], &[0.0; 3]).is_err());
         let fit = vec![0.0; 6];
         assert!(es.tell(&pop, &fit).is_ok());
+    }
+
+    #[test]
+    fn tell_rejects_nan_fitness_without_corrupting_state() {
+        let mut es = CmaEs::new(&[0.0; 4], 0.3, 6).unwrap();
+        let mut rng = Rng::new(9);
+        let pop = es.ask(&mut rng);
+        let mut fit = vec![1.0f32; 6];
+        fit[3] = f32::NAN;
+        match es.tell(&pop, &fit) {
+            Err(VpError::NanFitness { index }) => assert_eq!(index, 3),
+            other => panic!("expected NanFitness, got {other:?}"),
+        }
+        // The population is still outstanding: repairing the fitness and
+        // re-telling succeeds, and the optimizer advances normally.
+        fit[3] = f32::INFINITY;
+        es.tell(&pop, &fit).unwrap();
+        assert_eq!(es.generation(), 1);
+        assert!(es.sigma().is_finite() && es.sigma() > 0.0);
+        assert!(es.mean().iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn infinite_penalties_rank_last_and_stay_out_of_the_mean() {
+        // A population where half the candidates are penalized (retry
+        // exhaustion) must still converge using the surviving half.
+        let mut rng = Rng::new(11);
+        let mut es = CmaEs::new(&[1.5; 6], 0.5, 8).unwrap();
+        for _ in 0..120 {
+            let pop = es.ask(&mut rng);
+            let fit: Vec<f32> = pop
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if i % 2 == 0 {
+                        f32::INFINITY
+                    } else {
+                        x.iter().map(|v| v * v).sum()
+                    }
+                })
+                .collect();
+            es.tell(&pop, &fit).unwrap();
+            assert!(es.sigma().is_finite());
+            assert!(es.mean().iter().all(|m| m.is_finite()));
+        }
+        let (_, best) = es.best().unwrap();
+        assert!(best.is_finite());
+        assert!(best < 0.5, "best={best}");
     }
 
     #[test]

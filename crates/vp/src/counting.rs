@@ -6,7 +6,7 @@
 //! is installed, the `oracle.queries` counter and the
 //! `oracle.query_ns` / `oracle.batch_size` histograms.
 
-use crate::{BlackBoxModel, Result};
+use crate::{BlackBoxModel, OracleStats, QueryOutcome, Result};
 use bprom_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -75,12 +75,38 @@ impl BlackBoxModel for CountingOracle<'_> {
         Ok(out)
     }
 
+    /// Attempt-level metering: unlike [`CountingOracle::query`], which
+    /// bills only delivered responses, every attempt that reaches this
+    /// wrapper is counted — faulted or not. A retry layer *outside* this
+    /// wrapper therefore bills each retry it makes (a real endpoint
+    /// receives — and meters — the dropped request too), while a retry
+    /// layer *inside* it bills each logical query once.
+    fn try_query_batch(&self, batch: &Tensor) -> Result<QueryOutcome> {
+        let timed = bprom_obs::enabled();
+        let start = timed.then(Instant::now);
+        let out = self.inner.try_query_batch(batch)?;
+        let n = batch.shape()[0] as u64;
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = start {
+            bprom_obs::observe("oracle.query_ns", start.elapsed().as_nanos() as u64);
+            bprom_obs::observe("oracle.batch_size", n);
+            bprom_obs::counter_add("oracle.queries", n);
+            bprom_obs::counter_add("oracle.batches", 1);
+        }
+        Ok(out)
+    }
+
     fn num_classes(&self) -> usize {
         self.inner.num_classes()
     }
 
     fn queries_used(&self) -> u64 {
         self.inner.queries_used()
+    }
+
+    fn oracle_stats(&self) -> OracleStats {
+        self.inner.oracle_stats()
     }
 }
 

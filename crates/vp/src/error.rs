@@ -1,3 +1,4 @@
+use crate::QueryFault;
 use bprom_tensor::TensorError;
 use std::fmt;
 
@@ -13,6 +14,22 @@ pub enum VpError {
         /// Human-readable description of the violated requirement.
         reason: String,
     },
+    /// A transient oracle fault was not absorbed: either no retry layer
+    /// was installed, or the retry budget ran out. Callers that can
+    /// degrade gracefully (e.g. CMA-ES candidate evaluation) match on
+    /// this variant; everything else treats it as a failed query.
+    OracleFault {
+        /// The last fault observed.
+        fault: QueryFault,
+        /// Query attempts made before giving up (1 when unretried).
+        attempts: u32,
+    },
+    /// `CmaEs::tell` received a NaN fitness value, which would silently
+    /// poison the distribution update.
+    NanFitness {
+        /// Index of the first NaN entry in the fitness slice.
+        index: usize,
+    },
 }
 
 impl fmt::Display for VpError {
@@ -21,6 +38,12 @@ impl fmt::Display for VpError {
             VpError::Tensor(e) => write!(f, "tensor error: {e}"),
             VpError::Model(msg) => write!(f, "model error: {msg}"),
             VpError::InvalidConfig { reason } => write!(f, "invalid VP config: {reason}"),
+            VpError::OracleFault { fault, attempts } => {
+                write!(f, "oracle fault after {attempts} attempt(s): {fault}")
+            }
+            VpError::NanFitness { index } => {
+                write!(f, "NaN fitness at index {index} passed to CmaEs::tell")
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ mod label_map;
 mod prompt;
 mod train;
 
-pub use blackbox::{BlackBoxModel, QueryOracle};
+pub use blackbox::{BlackBoxModel, OracleStats, QueryFault, QueryOracle, QueryOutcome};
 pub use cmaes::CmaEs;
 pub use counting::CountingOracle;
 pub use error::VpError;

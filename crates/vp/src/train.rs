@@ -6,6 +6,7 @@ use crate::{BlackBoxModel, CmaEs, LabelMap, Result, VisualPrompt, VpError};
 use bprom_nn::loss::softmax_cross_entropy;
 use bprom_nn::{Layer, Mode, Sequential};
 use bprom_tensor::{Rng, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Hyperparameters for prompt learning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +48,10 @@ pub struct PromptTrainReport {
     pub losses: Vec<f32>,
     /// Queries consumed (black-box path only; 0 for backprop).
     pub queries: u64,
+    /// CMA-ES candidates skipped with an infinite penalty because their
+    /// oracle queries exhausted all retries (0 for backprop and for
+    /// fault-free oracles).
+    pub penalized_candidates: u64,
 }
 
 fn check_training_set(images: &Tensor, labels: &[usize]) -> Result<()> {
@@ -158,7 +163,11 @@ pub fn train_prompt_backprop(
         losses.push(epoch_loss);
         bprom_obs::event("prompt.epoch_loss", f64::from(epoch_loss));
     }
-    Ok(PromptTrainReport { losses, queries: 0 })
+    Ok(PromptTrainReport {
+        losses,
+        queries: 0,
+        penalized_candidates: 0,
+    })
 }
 
 /// Learns a visual prompt for a black-box model with CMA-ES over the
@@ -192,6 +201,7 @@ pub fn train_prompt_cmaes(
     let mut es = CmaEs::new(&prompt.to_flat(), cfg.cmaes_sigma, pop)?;
     let mut losses = Vec::with_capacity(cfg.cmaes_generations);
     let template = prompt.clone();
+    let penalized = AtomicU64::new(0);
     bprom_obs::span!("cmaes_prompt_training");
     for _gen in 0..cfg.cmaes_generations {
         let gen_start = bprom_obs::enabled().then(std::time::Instant::now);
@@ -209,7 +219,20 @@ pub fn train_prompt_cmaes(
             let mut scratch = template.clone();
             scratch.set_flat(&candidates[ci])?;
             let prompted = scratch.apply_batch(&bx)?;
-            let probs = oracle.query(&prompted)?;
+            // Graceful degradation: a candidate whose queries exhaust all
+            // retries is skipped with an infinite penalty (ranks last,
+            // never recombined) instead of aborting the whole generation.
+            // The fault decision is a property of the query content, not
+            // of scheduling, so this stays thread-count deterministic.
+            let probs = match oracle.query(&prompted) {
+                Ok(probs) => probs,
+                Err(VpError::OracleFault { .. }) => {
+                    penalized.fetch_add(1, Ordering::Relaxed);
+                    bprom_obs::counter_add("cmaes.candidates_penalized", 1);
+                    return Ok(f32::INFINITY);
+                }
+                Err(e) => return Err(e),
+            };
             let k = probs.shape()[1];
             let mut loss = 0.0f32;
             for (row, &want) in by.iter().enumerate() {
@@ -235,6 +258,7 @@ pub fn train_prompt_cmaes(
     Ok(PromptTrainReport {
         losses,
         queries: oracle.queries_used() - start_queries,
+        penalized_candidates: penalized.load(Ordering::Relaxed),
     })
 }
 

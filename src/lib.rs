@@ -9,6 +9,7 @@ pub use bprom;
 pub use bprom_attacks as attacks;
 pub use bprom_data as data;
 pub use bprom_defenses as defenses;
+pub use bprom_faults as faults;
 pub use bprom_meta as meta;
 pub use bprom_metrics as metrics;
 pub use bprom_nn as nn;

@@ -7,17 +7,25 @@
 
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{
-    build_suspicious_zoo, evaluate_detector, Bprom, BpromConfig, DetectionReport, ZooConfig,
+    build_suspicious_zoo, evaluate_detector, evaluate_detector_via, Bprom, BpromConfig,
+    DetectionReport, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
+use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
 use bprom_suite::nn::TrainConfig;
 use bprom_suite::par;
 use bprom_suite::tensor::Rng;
 use bprom_suite::vp::PromptTrainConfig;
+use std::sync::Mutex;
+
+/// Serializes the tests in this file: each one flips the process-global
+/// worker-pool size, so they must not interleave.
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
 
 /// One identically-seeded fit + zoo + evaluate run at whatever thread
-/// count is currently installed.
-fn run_pipeline() -> DetectionReport {
+/// count is currently installed; `hostile` stacks fault injection plus
+/// retries on every inspected oracle.
+fn run_pipeline(hostile: bool) -> DetectionReport {
     let mut rng = Rng::new(42);
     let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
     config.clean_shadows = 2;
@@ -45,7 +53,24 @@ fn run_pipeline() -> DetectionReport {
         ..TrainConfig::default()
     };
     let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
-    let mut report = evaluate_detector(&detector, zoo, &mut rng).unwrap();
+    let mut report = if hostile {
+        // The hostile stack: 10 % transient drops absorbed by bounded
+        // retries, responses quantized to 3 decimals. Fault draws are
+        // keyed on query content (never arrival order), so this is as
+        // schedule-invariant as the fault-free pipeline.
+        evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+            let plan = Stack(vec![
+                Box::new(Transient { rate: 0.1 }),
+                Box::new(Quantize { decimals: 3 }),
+            ]);
+            let faulty = FaultyOracle::new(&oracle, plan, 0xFA17);
+            let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+            detector.inspect(&retrying, rng)
+        })
+        .unwrap()
+    } else {
+        evaluate_detector(&detector, zoo, &mut rng).unwrap()
+    };
     // Wall-clock is the one legitimately nondeterministic field; zero it
     // so the comparison below covers everything else byte-for-byte.
     report.mean_inspect_ms = 0.0;
@@ -54,10 +79,11 @@ fn run_pipeline() -> DetectionReport {
 
 #[test]
 fn reports_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
     par::set_thread_count(1);
-    let sequential = run_pipeline();
+    let sequential = run_pipeline(false);
     par::set_thread_count(4);
-    let parallel = run_pipeline();
+    let parallel = run_pipeline(false);
     par::set_thread_count(0);
 
     assert!(parallel.total_queries > 0);
@@ -67,5 +93,34 @@ fn reports_identical_across_thread_counts() {
         sequential.to_json().unwrap(),
         parallel.to_json().unwrap(),
         "thread count leaked into the detection report"
+    );
+}
+
+/// The determinism contract must survive a hostile oracle: fault
+/// injection and retries are content-keyed, so the full report —
+/// including the fault/retry totals — is byte-identical at any thread
+/// count.
+#[test]
+fn faulty_reports_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    par::set_thread_count(1);
+    let sequential = run_pipeline(true);
+    par::set_thread_count(4);
+    let parallel = run_pipeline(true);
+    par::set_thread_count(0);
+
+    assert!(parallel.total_queries > 0);
+    assert!(
+        parallel.total_faults > 0,
+        "a 10 % transient rate must inject faults over a full inspection"
+    );
+    assert!(
+        parallel.total_retries > 0,
+        "injected transient faults must be absorbed by retries"
+    );
+    assert_eq!(
+        sequential.to_json().unwrap(),
+        parallel.to_json().unwrap(),
+        "thread count leaked into the faulty detection report"
     );
 }
