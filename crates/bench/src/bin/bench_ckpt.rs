@@ -1,0 +1,128 @@
+//! Checkpointing overhead benchmark: times CMA-ES prompt learning bare
+//! and with per-generation atomic snapshots (`train_prompt_cmaes_ckpt`
+//! against a `SnapshotStore`), and writes `BENCH_ckpt.json` with the
+//! wall-clock numbers, the per-generation snapshot cost, and the
+//! snapshot payload size. The acceptance target is snapshot overhead
+//! under 5 % of per-generation CMA-ES wall-clock.
+
+use bprom_bench::{header, quick, row};
+use bprom_ckpt::SnapshotStore;
+use bprom_data::SynthDataset;
+use bprom_nn::models::{mlp, ModelSpec};
+use bprom_obs::{ToJson, Value};
+use bprom_tensor::Rng;
+use bprom_vp::{
+    train_prompt_cmaes, train_prompt_cmaes_ckpt, CmaesCheckpoint, LabelMap, PromptTrainConfig,
+    QueryOracle, VisualPrompt,
+};
+use std::time::Instant;
+
+fn generations() -> usize {
+    if quick() {
+        10
+    } else {
+        25
+    }
+}
+
+fn cmaes_config() -> PromptTrainConfig {
+    PromptTrainConfig {
+        cmaes_generations: generations(),
+        cmaes_population: 12,
+        ..PromptTrainConfig::default()
+    }
+}
+
+fn oracle() -> QueryOracle {
+    let mut rng = Rng::new(100);
+    let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).expect("model");
+    QueryOracle::new(model, 10)
+}
+
+/// One full CMA-ES prompt-learning run, optionally snapshotting every
+/// generation; returns wall-clock seconds.
+fn time_cmaes(ckpt: Option<CmaesCheckpoint<'_>>) -> f64 {
+    let oracle = oracle();
+    let mut rng = Rng::new(200);
+    let target = SynthDataset::Stl10.generate(10, 16, 9).expect("dataset");
+    let map = LabelMap::identity(10, 10).expect("map");
+    let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).expect("prompt");
+    let t0 = Instant::now();
+    match ckpt {
+        Some(ckpt) => {
+            train_prompt_cmaes_ckpt(
+                &oracle,
+                &mut prompt,
+                &target.images,
+                &target.labels,
+                &map,
+                &cmaes_config(),
+                &mut rng,
+                Some(ckpt),
+            )
+            .expect("cmaes ckpt");
+        }
+        None => {
+            train_prompt_cmaes(
+                &oracle,
+                &mut prompt,
+                &target.images,
+                &target.labels,
+                &map,
+                &cmaes_config(),
+                &mut rng,
+            )
+            .expect("cmaes");
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    header(
+        "bprom-ckpt snapshot overhead (CMA-ES prompt learning)",
+        &["mode", "secs", "per_gen_ms"],
+    );
+    let gens = generations() as f64;
+
+    let bare_s = time_cmaes(None);
+    row("bare", &[bare_s as f32, (bare_s / gens * 1e3) as f32]);
+
+    let dir = std::env::temp_dir().join(format!("bprom-bench-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = SnapshotStore::open(&dir).expect("snapshot store");
+    let ckpt_s = time_cmaes(Some(CmaesCheckpoint {
+        store: &store,
+        name: "bench",
+    }));
+    row("ckpt", &[ckpt_s as f32, (ckpt_s / gens * 1e3) as f32]);
+
+    let snapshot_bytes = store
+        .latest_path("bench")
+        .and_then(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let overhead = ckpt_s / bare_s.max(1e-9) - 1.0;
+    let per_snapshot_ms = (ckpt_s - bare_s).max(0.0) / gens * 1e3;
+    println!(
+        "\nsnapshot overhead: {:.2} % of CMA-ES wall-clock ({per_snapshot_ms:.3} ms per \
+         generation, {snapshot_bytes} bytes per snapshot; target < 5 %)",
+        overhead * 100.0
+    );
+
+    let json = Value::object(vec![
+        ("bare_s", bare_s.to_json()),
+        ("ckpt_s", ckpt_s.to_json()),
+        ("overhead_frac", overhead.to_json()),
+        ("generations", (gens as u64).to_json()),
+        ("per_snapshot_ms", per_snapshot_ms.to_json()),
+        ("snapshot_bytes", snapshot_bytes.to_json()),
+    ])
+    .to_pretty();
+    match std::fs::write("BENCH_ckpt.json", &json) {
+        Ok(()) => println!("written -> BENCH_ckpt.json"),
+        Err(e) => eprintln!("BENCH_ckpt.json write failed: {e}"),
+    }
+}

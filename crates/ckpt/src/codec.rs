@@ -1,0 +1,350 @@
+//! Bit-exact binary encoding for snapshot payloads.
+//!
+//! Everything is little-endian and length-prefixed. Floats travel as
+//! their IEEE-754 bit patterns ([`f32::to_bits`]), so encode → decode is
+//! the identity on every value including NaNs, infinities and signed
+//! zeros — a restored optimizer continues *byte-identically*.
+
+use crate::CkptError;
+
+/// Append-only byte sink with typed put methods.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Encodes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Encodes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Encodes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Encodes an `f32` via its exact bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Encodes an optional `f32` (presence byte + bits).
+    pub fn put_opt_f32(&mut self, v: Option<f32>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_f32(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Encodes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Encodes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Encodes a length-prefixed `f32` slice, bit-exactly.
+    pub fn put_f32s(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Encodes a length-prefixed `u64` slice.
+    pub fn put_u64s(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Encodes a length-prefixed `usize` slice (as u64s).
+    pub fn put_usizes(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&(x as u64).to_le_bytes());
+        }
+    }
+}
+
+/// Cursor over encoded bytes with typed, bounds-checked get methods.
+///
+/// Every method returns [`CkptError::Decode`] instead of panicking when
+/// the buffer runs out or a length prefix is implausible, so corrupted
+/// payloads surface as typed errors with no partial state applied.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::decode(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Decodes one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decodes a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decodes a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Decodes a `usize` stored as `u64`.
+    pub fn get_usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CkptError::decode(format!("usize overflow: {v}")))
+    }
+
+    /// Decodes a bool.
+    pub fn get_bool(&mut self) -> Result<bool, CkptError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError::decode(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Decodes an `f32` from its bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, CkptError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Decodes an optional `f32`.
+    pub fn get_opt_f32(&mut self) -> Result<Option<f32>, CkptError> {
+        if self.get_bool()? {
+            Ok(Some(self.get_f32()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Decodes a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CkptError> {
+        let len = self.checked_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Decodes a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CkptError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|e| CkptError::decode(format!("invalid UTF-8: {e}")))
+    }
+
+    /// Decodes a length-prefixed `f32` slice.
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>, CkptError> {
+        let len = self.checked_len()?;
+        let bytes = self.take(
+            len.checked_mul(4)
+                .ok_or_else(|| CkptError::decode(format!("f32 slice length overflow: {len}")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    /// Decodes a length-prefixed `u64` slice.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, CkptError> {
+        let len = self.checked_len()?;
+        let bytes = self.take(
+            len.checked_mul(8)
+                .ok_or_else(|| CkptError::decode(format!("u64 slice length overflow: {len}")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    /// Decodes a length-prefixed `usize` slice.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, CkptError> {
+        self.get_u64s()?
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v).map_err(|_| CkptError::decode(format!("usize overflow: {v}")))
+            })
+            .collect()
+    }
+
+    /// Reads a length prefix and sanity-checks it against the bytes that
+    /// actually remain, so a corrupted length cannot trigger a huge
+    /// allocation.
+    fn checked_len(&mut self) -> Result<usize, CkptError> {
+        let len = self.get_usize()?;
+        if len > self.remaining().saturating_mul(8).max(self.remaining()) {
+            return Err(CkptError::decode(format!(
+                "length prefix {len} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Asserts the whole buffer was consumed — trailing garbage means the
+    /// payload layout does not match what the caller expected.
+    pub fn finish(&self) -> Result<(), CkptError> {
+        if self.remaining() != 0 {
+            return Err(CkptError::decode(format!(
+                "{} unconsumed trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip_is_bit_exact() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_usize(42);
+        enc.put_bool(true);
+        enc.put_f32(f32::NAN);
+        enc.put_f32(-0.0);
+        enc.put_opt_f32(Some(1.5e-40)); // subnormal
+        enc.put_opt_f32(None);
+        enc.put_str("snapshot");
+        enc.put_f32s(&[f32::INFINITY, f32::MIN_POSITIVE, -3.25]);
+        enc.put_u64s(&[0, 1, u64::MAX]);
+        enc.put_usizes(&[3, 1, 4]);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_usize().unwrap(), 42);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(dec.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(
+            dec.get_opt_f32().unwrap().unwrap().to_bits(),
+            1.5e-40f32.to_bits()
+        );
+        assert_eq!(dec.get_opt_f32().unwrap(), None);
+        assert_eq!(dec.get_str().unwrap(), "snapshot");
+        let f = dec.get_f32s().unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0], f32::INFINITY);
+        assert_eq!(f[1].to_bits(), f32::MIN_POSITIVE.to_bits());
+        assert_eq!(dec.get_u64s().unwrap(), vec![0, 1, u64::MAX]);
+        assert_eq!(dec.get_usizes().unwrap(), vec![3, 1, 4]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn short_buffer_is_typed_error_not_panic() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert!(matches!(dec.get_u32(), Err(CkptError::Decode { .. })));
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_without_allocation() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // length prefix promising 2^64 floats
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_f32s().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u8().unwrap();
+        assert!(dec.finish().is_err());
+        dec.get_u8().unwrap();
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut dec = Decoder::new(&[9]);
+        assert!(dec.get_bool().is_err());
+    }
+}

@@ -1,0 +1,131 @@
+use std::fmt;
+use std::path::PathBuf;
+
+/// Error type for checkpoint operations.
+///
+/// Every way a snapshot or journal can be damaged — truncated writes,
+/// flipped bits, wrong format version — maps to a dedicated variant, so
+/// callers can distinguish "no checkpoint yet" from "checkpoint exists
+/// but is unusable" and fall back accordingly. Nothing in this crate
+/// panics on bad input bytes.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the snapshot magic — it is not a
+    /// snapshot at all (or the first bytes were destroyed).
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// The snapshot declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found in the header.
+        version: u32,
+    },
+    /// The file is shorter than its header-declared payload — a torn or
+    /// interrupted write.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match — bit rot or tampering.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// Structurally invalid content (journal framing, impossible record
+    /// fields, fingerprint mismatch).
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The payload bytes do not decode as the expected record layout.
+    Decode {
+        /// What was expected and what was found.
+        reason: String,
+    },
+    /// A snapshot was requested by name but no file (valid or not)
+    /// exists for it.
+    NoSnapshot {
+        /// The requested snapshot name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { path, source } => write!(f, "ckpt I/O on {}: {source}", path.display()),
+            CkptError::BadMagic { path } => {
+                write!(f, "{} is not a bprom snapshot (bad magic)", path.display())
+            }
+            CkptError::UnsupportedVersion { path, version } => {
+                write!(
+                    f,
+                    "{} uses unsupported snapshot version {version}",
+                    path.display()
+                )
+            }
+            CkptError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{} is truncated: header promises {expected} payload bytes, file holds {actual}",
+                path.display()
+            ),
+            CkptError::ChecksumMismatch { path } => {
+                write!(f, "{} failed its checksum", path.display())
+            }
+            CkptError::Corrupt { reason } => write!(f, "corrupt checkpoint state: {reason}"),
+            CkptError::Decode { reason } => write!(f, "snapshot decode error: {reason}"),
+            CkptError::NoSnapshot { name } => write!(f, "no snapshot named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CkptError {
+    /// Wraps an I/O error with the path it happened on.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        CkptError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Shorthand for a [`CkptError::Decode`].
+    pub fn decode(reason: impl Into<String>) -> Self {
+        CkptError::Decode {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`CkptError::Corrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        CkptError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Append-only stage journal with per-entry checksums.
+
+use crate::{fnv1a64, CkptError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Per-entry framing: u32 payload length + u64 FNV-1a checksum.
+const FRAME_LEN: usize = 4 + 8;
+
+/// An append-only journal of completed pipeline units.
+///
+/// Each entry is length-prefixed and checksummed, and every append is
+/// fsynced before returning, so an entry either survives a crash whole
+/// or not at all. On open, a *torn tail* — the single partially-written
+/// entry a crash mid-append can leave — is detected, dropped, and
+/// truncated away; damage anywhere before the tail is a typed
+/// [`CkptError::Corrupt`] (the journal is append-only, so mid-file
+/// corruption means bit rot, not a crash).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` and replays it,
+    /// returning the journal handle plus every intact entry in append
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] on filesystem failure and
+    /// [`CkptError::Corrupt`] for non-tail corruption.
+    pub fn open(path: impl Into<PathBuf>) -> Result<(Self, Vec<Vec<u8>>)> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| CkptError::io(parent, e))?;
+        }
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CkptError::io(&path, e)),
+        };
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        let mut valid_end = 0usize;
+        while pos < bytes.len() {
+            // An incomplete frame or body at the very end of the file is
+            // a torn append; it is dropped and truncated away below.
+            if bytes.len() - pos < FRAME_LEN {
+                break;
+            }
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            let checksum =
+                u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8-byte slice"));
+            let body_start = pos + FRAME_LEN;
+            if bytes.len() - body_start < len {
+                break;
+            }
+            let body = &bytes[body_start..body_start + len];
+            if fnv1a64(body) != checksum {
+                // A checksum mismatch on the *last* entry is a torn
+                // append (the length landed but the body didn't finish);
+                // anywhere else it is corruption.
+                if body_start + len == bytes.len() {
+                    break;
+                }
+                return Err(CkptError::corrupt(format!(
+                    "journal {} entry at byte {pos} fails its checksum",
+                    path.display()
+                )));
+            }
+            entries.push(body.to_vec());
+            pos = body_start + len;
+            valid_end = pos;
+        }
+        if valid_end < bytes.len() {
+            // Drop the torn tail so future appends start on a clean frame.
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| CkptError::io(&path, e))?;
+            file.set_len(valid_end as u64)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| CkptError::io(&path, e))?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CkptError::io(&path, e))?;
+        Ok((Journal { file, path }, entries))
+    }
+
+    /// Appends one entry and fsyncs it durable before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] on write/sync failure and
+    /// [`CkptError::Corrupt`] for entries over `u32::MAX` bytes.
+    pub fn append(&mut self, entry: &[u8]) -> Result<()> {
+        let len = u32::try_from(entry.len())
+            .map_err(|_| CkptError::corrupt(format!("journal entry too large: {}", entry.len())))?;
+        let mut frame = Vec::with_capacity(FRAME_LEN + entry.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(entry).to_le_bytes());
+        frame.extend_from_slice(entry);
+        self.file
+            .write_all(&frame)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| CkptError::io(&self.path, e))
+    }
+
+    /// The file backing this journal.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bprom-ckpt-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.journal"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_journal("replay");
+        {
+            let (mut j, entries) = Journal::open(&path).unwrap();
+            assert!(entries.is_empty());
+            j.append(b"one").unwrap();
+            j.append(b"two").unwrap();
+        }
+        let (_, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries, vec![b"one".to_vec(), b"two".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_dropped_and_truncated() {
+        let path = temp_journal("torn");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(b"durable").unwrap();
+            j.append(b"about to be torn").unwrap();
+        }
+        // Chop into the last entry's body, simulating a crash mid-append.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut j, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries, vec![b"durable".to_vec()]);
+        // The tail was truncated, so new appends replay cleanly.
+        j.append(b"after recovery").unwrap();
+        drop(j);
+        let (_, entries) = Journal::open(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![b"durable".to_vec(), b"after recovery".to_vec()]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_typed_error() {
+        let path = temp_journal("midfile");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(b"first entry body").unwrap();
+            j.append(b"second entry body").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the FIRST entry's body (not the tail).
+        bytes[FRAME_LEN + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Journal::open(&path),
+            Err(CkptError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,359 @@
+//! Atomic, versioned, checksummed snapshot files.
+
+use crate::{fnv1a64, CkptError, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: "BPCKPT" + two ASCII digits of the container revision.
+pub const MAGIC: [u8; 8] = *b"BPCKPT01";
+/// Payload format version written into the header.
+pub const VERSION: u32 = 1;
+/// magic + version + payload length.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+/// Trailing FNV-1a checksum over the payload.
+const TRAILER_LEN: u64 = 8;
+/// Snapshot generations kept per name: the latest plus one fallback.
+const KEEP: usize = 2;
+
+/// A directory of named, sequence-numbered snapshot files.
+///
+/// Each `save` writes `name-<seq>.ckpt` atomically: the bytes go to a
+/// dot-prefixed temp file, are fsynced, and are renamed into place (the
+/// directory is fsynced too, so the rename itself survives power loss).
+/// A reader therefore only ever observes complete files; a crash
+/// mid-write leaves an ignored temp file behind.
+///
+/// `load` returns the newest snapshot that passes validation, silently
+/// falling back to the previous generation when the newest is truncated
+/// or corrupt — and returns the typed error only when *no* generation
+/// validates.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.starts_with('.')
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CkptError::io(&dir, e))?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All on-disk generations of `name`, newest first (no validation).
+    fn generations(&self, name: &str) -> Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| CkptError::io(&self.dir, e))?;
+        let prefix = format!("{name}-");
+        for entry in entries {
+            let entry = entry.map_err(|e| CkptError::io(&self.dir, e))?;
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            let Some(rest) = file_name
+                .strip_prefix(&prefix)
+                .and_then(|r| r.strip_suffix(".ckpt"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = rest.parse::<u64>() {
+                found.push((seq, entry.path()));
+            }
+        }
+        found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+        Ok(found)
+    }
+
+    /// Atomically writes a new generation of `name`, pruning to the two
+    /// most recent, and returns the sequence number written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Corrupt`] for an invalid name and
+    /// [`CkptError::Io`] on filesystem failure.
+    pub fn save(&self, name: &str, payload: &[u8]) -> Result<u64> {
+        if !valid_name(name) {
+            return Err(CkptError::corrupt(format!(
+                "invalid snapshot name {name:?} (use [A-Za-z0-9._-], not dot-leading)"
+            )));
+        }
+        let seq = self
+            .generations(name)?
+            .first()
+            .map_or(0, |(latest, _)| latest + 1);
+        let final_path = self.dir.join(format!("{name}-{seq:010}.ckpt"));
+        let tmp_path = self.dir.join(format!(".tmp-{name}-{seq:010}"));
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)
+                .map_err(|e| CkptError::io(&tmp_path, e))?;
+            file.write_all(&MAGIC)
+                .and_then(|()| file.write_all(&VERSION.to_le_bytes()))
+                .and_then(|()| file.write_all(&(payload.len() as u64).to_le_bytes()))
+                .and_then(|()| file.write_all(payload))
+                .and_then(|()| file.write_all(&fnv1a64(payload).to_le_bytes()))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| CkptError::io(&tmp_path, e))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| CkptError::io(&final_path, e))?;
+        // Persist the rename itself: fsync the containing directory.
+        if let Ok(dir_handle) = File::open(&self.dir) {
+            let _ = dir_handle.sync_all();
+        }
+        for (_, old) in self.generations(name)?.into_iter().skip(KEEP) {
+            let _ = fs::remove_file(old);
+        }
+        Ok(seq)
+    }
+
+    /// Reads and validates one snapshot file, returning its payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed corruption error ([`CkptError::BadMagic`],
+    /// [`CkptError::UnsupportedVersion`], [`CkptError::Truncated`],
+    /// [`CkptError::ChecksumMismatch`]) or [`CkptError::Io`].
+    pub fn read_file(path: &Path) -> Result<Vec<u8>> {
+        let bytes = fs::read(path).map_err(|e| CkptError::io(path, e))?;
+        let min = (HEADER_LEN + TRAILER_LEN) as usize;
+        if bytes.len() < 8 || bytes[..8] != MAGIC {
+            return Err(CkptError::BadMagic { path: path.into() });
+        }
+        if bytes.len() < min {
+            return Err(CkptError::Truncated {
+                path: path.into(),
+                expected: HEADER_LEN + TRAILER_LEN,
+                actual: bytes.len() as u64,
+            });
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != VERSION {
+            return Err(CkptError::UnsupportedVersion {
+                path: path.into(),
+                version,
+            });
+        }
+        let declared = u64::from_le_bytes([
+            bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+        ]);
+        let actual_payload = bytes.len() as u64 - HEADER_LEN - TRAILER_LEN;
+        if declared != actual_payload {
+            return Err(CkptError::Truncated {
+                path: path.into(),
+                expected: declared,
+                actual: actual_payload,
+            });
+        }
+        let payload = &bytes[HEADER_LEN as usize..bytes.len() - TRAILER_LEN as usize];
+        let stored = u64::from_le_bytes(
+            bytes[bytes.len() - 8..]
+                .try_into()
+                .expect("trailer is 8 bytes"),
+        );
+        if fnv1a64(payload) != stored {
+            return Err(CkptError::ChecksumMismatch { path: path.into() });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Loads the newest *valid* snapshot of `name`.
+    ///
+    /// Returns `Ok(None)` when no generation exists at all. When
+    /// generations exist but the newest is damaged, falls back to older
+    /// ones; only if every generation fails validation is the newest
+    /// generation's typed error returned.
+    ///
+    /// # Errors
+    ///
+    /// See above; plus [`CkptError::Io`] on directory-scan failure.
+    pub fn load(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        let generations = self.generations(name)?;
+        if generations.is_empty() {
+            return Ok(None);
+        }
+        let mut first_err: Option<CkptError> = None;
+        for (_, path) in &generations {
+            match Self::read_file(path) {
+                Ok(payload) => return Ok(Some(payload)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(first_err.expect("non-empty generation list"))
+    }
+
+    /// Loads `name`, converting "not found" into [`CkptError::NoSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::load`], plus `NoSnapshot` when absent.
+    pub fn load_required(&self, name: &str) -> Result<Vec<u8>> {
+        self.load(name)?.ok_or_else(|| CkptError::NoSnapshot {
+            name: name.to_string(),
+        })
+    }
+
+    /// Whether any generation of `name` exists on disk (valid or not).
+    pub fn exists(&self, name: &str) -> bool {
+        self.generations(name).is_ok_and(|g| !g.is_empty())
+    }
+
+    /// Path of the newest generation of `name`, if any (for tests and
+    /// diagnostics).
+    pub fn latest_path(&self, name: &str) -> Option<PathBuf> {
+        self.generations(name)
+            .ok()?
+            .into_iter()
+            .next()
+            .map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("bprom-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = temp_store("roundtrip");
+        store.save("alpha", b"hello snapshot").unwrap();
+        assert_eq!(store.load("alpha").unwrap().unwrap(), b"hello snapshot");
+        assert!(store.load("missing").unwrap().is_none());
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn generations_rotate_and_prune() {
+        let store = temp_store("rotate");
+        for i in 0..5u8 {
+            store.save("g", &[i]).unwrap();
+        }
+        assert_eq!(store.load("g").unwrap().unwrap(), vec![4]);
+        // Only the last two generations remain on disk.
+        let count = fs::read_dir(store.dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".ckpt")
+            })
+            .count();
+        assert_eq!(count, 2);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn truncation_is_typed_and_falls_back() {
+        let store = temp_store("truncate");
+        store.save("t", b"first good payload").unwrap();
+        store.save("t", b"second good payload").unwrap();
+        let latest = store.latest_path("t").unwrap();
+        // Truncate the newest mid-record.
+        let bytes = fs::read(&latest).unwrap();
+        fs::write(&latest, &bytes[..bytes.len() - 11]).unwrap();
+        assert!(matches!(
+            SnapshotStore::read_file(&latest),
+            Err(CkptError::Truncated { .. })
+        ));
+        // load() falls back to the previous good generation.
+        assert_eq!(store.load("t").unwrap().unwrap(), b"first good payload");
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn checksum_flip_is_typed_and_falls_back() {
+        let store = temp_store("checksum");
+        store.save("c", b"good old").unwrap();
+        store.save("c", b"shiny new").unwrap();
+        let latest = store.latest_path("c").unwrap();
+        let mut bytes = fs::read(&latest).unwrap();
+        let flip_at = HEADER_LEN as usize + 2; // a payload byte
+        bytes[flip_at] ^= 0x40;
+        fs::write(&latest, &bytes).unwrap();
+        assert!(matches!(
+            SnapshotStore::read_file(&latest),
+            Err(CkptError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(store.load("c").unwrap().unwrap(), b"good old");
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_an_error() {
+        let store = temp_store("allbad");
+        store.save("x", b"only generation").unwrap();
+        let latest = store.latest_path("x").unwrap();
+        fs::write(&latest, b"garbage").unwrap();
+        assert!(matches!(store.load("x"), Err(CkptError::BadMagic { .. })));
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let store = temp_store("version");
+        store.save("v", b"payload").unwrap();
+        let latest = store.latest_path("v").unwrap();
+        let mut bytes = fs::read(&latest).unwrap();
+        bytes[8] = 0xFF; // clobber the version field
+        fs::write(&latest, &bytes).unwrap();
+        assert!(matches!(
+            SnapshotStore::read_file(&latest),
+            Err(CkptError::UnsupportedVersion { .. })
+        ));
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let store = temp_store("names");
+        assert!(store.save("", b"x").is_err());
+        assert!(store.save("../escape", b"x").is_err());
+        assert!(store.save(".hidden", b"x").is_err());
+        assert!(store.save("ok-name_1.2", b"x").is_ok());
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn temp_files_are_ignored_by_load() {
+        let store = temp_store("tmpfiles");
+        store.save("n", b"real").unwrap();
+        // Simulate a crash mid-write: a stale temp file lying around.
+        fs::write(store.dir().join(".tmp-n-0000000042"), b"partial").unwrap();
+        assert_eq!(store.load("n").unwrap().unwrap(), b"real");
+        fs::remove_dir_all(store.dir()).ok();
+    }
+}

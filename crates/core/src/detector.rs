@@ -1,12 +1,15 @@
 //! The end-to-end BPROM detector.
 
-use crate::meta_model::{probe_features_blackbox, train_meta, ProbeSet};
-use crate::prompting::{prompt_shadows, prompt_suspicious};
+use crate::meta_model::{probe_features_blackbox, train_meta_ckpt, ProbeSet};
+use crate::prompting::{prompt_shadows_ckpt, prompt_suspicious_ckpt};
+use crate::resume::{decode_rng, encode_rng, run_fingerprint, Checkpointer, Decoder};
 use crate::{BpromConfig, Result, ShadowSet};
+use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_meta::RandomForest;
 use bprom_tensor::Rng;
-use bprom_vp::{BlackBoxModel, CountingOracle, LabelMap};
+use bprom_vp::{BlackBoxModel, CmaesCheckpoint, CountingOracle, LabelMap};
+use std::path::Path;
 use std::time::Instant;
 
 /// Query-budget and wall-clock breakdown of one [`Bprom::inspect`] call.
@@ -69,6 +72,45 @@ pub struct Verdict {
     pub queries: u64,
     /// Exact per-phase query and wall-clock breakdown.
     pub budget: InspectBudget,
+}
+
+fn encode_verdict(enc: &mut Encoder, v: &Verdict) {
+    enc.put_f32(v.score);
+    enc.put_bool(v.backdoored);
+    enc.put_u64(v.queries);
+    let b = &v.budget;
+    enc.put_u64(b.prompt_queries);
+    enc.put_u64(b.probe_queries);
+    enc.put_u64(b.prompt_ns);
+    enc.put_u64(b.probe_ns);
+    enc.put_u64(b.total_ns);
+    enc.put_u64(b.faults_injected);
+    enc.put_u64(b.retries);
+    enc.put_u64(b.retry_exhausted);
+    enc.put_u64(b.degraded_responses);
+    enc.put_u64(b.backoff_virtual_ms);
+    enc.put_u64(b.penalized_candidates);
+}
+
+fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
+    Ok(Verdict {
+        score: dec.get_f32()?,
+        backdoored: dec.get_bool()?,
+        queries: dec.get_u64()?,
+        budget: InspectBudget {
+            prompt_queries: dec.get_u64()?,
+            probe_queries: dec.get_u64()?,
+            prompt_ns: dec.get_u64()?,
+            probe_ns: dec.get_u64()?,
+            total_ns: dec.get_u64()?,
+            faults_injected: dec.get_u64()?,
+            retries: dec.get_u64()?,
+            retry_exhausted: dec.get_u64()?,
+            degraded_responses: dec.get_u64()?,
+            backoff_virtual_ms: dec.get_u64()?,
+            penalized_candidates: dec.get_u64()?,
+        },
+    })
 }
 
 fn fmt_secs(ns: u64) -> String {
@@ -136,6 +178,24 @@ impl Bprom {
     /// Propagates configuration, training, prompting and meta-model
     /// failures.
     pub fn fit(config: &BpromConfig, rng: &mut Rng) -> Result<Self> {
+        Self::fit_ckpt(config, rng, None)
+    }
+
+    /// Checkpointed variant of [`Bprom::fit`]: with a [`Checkpointer`],
+    /// every completed unit of work (shadow, prompt, meta forest) is
+    /// snapshotted and journalled, and a re-run against the same
+    /// directory — same config, same seed — skips completed units and
+    /// continues bit-identically from the first incomplete one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and checkpoint failures; rejects a checkpoint
+    /// directory whose manifest belongs to a different run.
+    pub fn fit_ckpt(
+        config: &BpromConfig,
+        rng: &mut Rng,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<Self> {
         config.validate()?;
         // Emulate the source test distribution and reserve D_S from it.
         let source_test = config.source_dataset.generate(
@@ -144,7 +204,24 @@ impl Bprom {
             rng.next_u64(),
         )?;
         let ds = source_test.subsample(config.ds_fraction, rng)?;
-        Self::fit_with_reserved(config, &ds, rng)
+        Self::fit_with_reserved_ckpt(config, &ds, rng, ckpt)
+    }
+
+    /// Re-opens the checkpoint directory of an interrupted [`fit_ckpt`]
+    /// run and finishes the fit. The caller supplies the *same* config
+    /// and a freshly seeded RNG in the *same* state as the original
+    /// call; deterministic replay recomputes the cheap setup and the
+    /// journal skips every completed unit.
+    ///
+    /// [`fit_ckpt`]: Bprom::fit_ckpt
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and checkpoint failures; rejects a directory
+    /// fingerprinted by a different config/seed.
+    pub fn resume_from(dir: impl AsRef<Path>, config: &BpromConfig, rng: &mut Rng) -> Result<Self> {
+        let ck = Checkpointer::open(dir.as_ref())?;
+        Self::fit_ckpt(config, rng, Some(&ck))
     }
 
     /// Variant of [`Bprom::fit`] taking an explicit reserved clean dataset
@@ -155,8 +232,30 @@ impl Bprom {
     /// Propagates configuration, training, prompting and meta-model
     /// failures.
     pub fn fit_with_reserved(config: &BpromConfig, ds: &Dataset, rng: &mut Rng) -> Result<Self> {
+        Self::fit_with_reserved_ckpt(config, ds, rng, None)
+    }
+
+    /// Checkpointed variant of [`Bprom::fit_with_reserved`]; see
+    /// [`Bprom::fit_ckpt`] for the resume contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and checkpoint failures; rejects a checkpoint
+    /// directory whose manifest belongs to a different run.
+    pub fn fit_with_reserved_ckpt(
+        config: &BpromConfig,
+        ds: &Dataset,
+        rng: &mut Rng,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<Self> {
         config.validate()?;
         bprom_obs::span!("fit");
+        if let Some(ck) = ckpt {
+            // Fingerprint at the single funnel point every fit variant
+            // passes through, so the guard sees the same (config, RNG
+            // state) pair on the original run and on resume.
+            ck.ensure_manifest(run_fingerprint(&format!("{config:?}"), rng))?;
+        }
         let target = config.target_dataset.generate(
             config.target_samples_per_class,
             config.image_size,
@@ -166,16 +265,16 @@ impl Bprom {
         let map = LabelMap::identity(t_train.num_classes, ds.num_classes)?;
         let mut shadows = {
             bprom_obs::span!("shadow_training");
-            ShadowSet::train(config, ds, rng)?
+            ShadowSet::train_ckpt(config, ds, rng, ckpt)?
         };
         let prompts = {
             bprom_obs::span!("prompt_shadows");
-            prompt_shadows(config, &mut shadows, &t_train, &map, rng)?
+            prompt_shadows_ckpt(config, &mut shadows, &t_train, &map, rng, ckpt)?
         };
         let probes = ProbeSet::sample(&t_test, config.probe_count, rng)?;
         let meta = {
             bprom_obs::span!("train_meta");
-            train_meta(config, &mut shadows, &prompts, &probes, rng)?
+            train_meta_ckpt(config, &mut shadows, &prompts, &probes, rng, ckpt)?
         };
         Ok(Bprom {
             config: config.clone(),
@@ -197,15 +296,63 @@ impl Bprom {
     ///
     /// Propagates prompting/query/meta failures.
     pub fn inspect(&self, oracle: &dyn BlackBoxModel, rng: &mut Rng) -> Result<Verdict> {
+        self.inspect_ckpt(oracle, rng, None, "adhoc")
+    }
+
+    /// Checkpointed variant of [`Bprom::inspect`]: the CMA-ES prompt
+    /// search snapshots its state per generation (snapshot
+    /// `cmaes-inspect-<unit>`), and the finished verdict is snapshotted
+    /// (unit `inspect-<unit>`) with the RNG state at completion, so a
+    /// killed inspection resumes mid-search and a completed one is
+    /// skipped outright on replay. `unit` names this inspection within
+    /// the run (e.g. the zoo index).
+    ///
+    /// Query accounting folds the pre-crash generations' queries and
+    /// fault/retry statistics into the budget, so a resumed verdict is
+    /// byte-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prompting/query/meta and checkpoint failures.
+    pub fn inspect_ckpt(
+        &self,
+        oracle: &dyn BlackBoxModel,
+        rng: &mut Rng,
+        ckpt: Option<&Checkpointer>,
+        unit: &str,
+    ) -> Result<Verdict> {
         bprom_obs::span!("inspect");
+        let artifact = format!("inspect-{unit}");
+        if let Some(ck) = ckpt {
+            if ck.is_done(&artifact) {
+                let bytes = ck.load_artifact(&artifact)?;
+                let mut dec = Decoder::new(&bytes);
+                let verdict = decode_verdict(&mut dec)?;
+                let restored = decode_rng(&mut dec)?;
+                dec.finish()?;
+                *rng = restored;
+                return Ok(verdict);
+            }
+        }
         let start = Instant::now();
         let stats_before = oracle.oracle_stats();
         let counting = CountingOracle::new(oracle);
-        let (prompt, prompt_report) = {
+        let cmaes_name = format!("cmaes-inspect-{unit}");
+        let (prompt, outcome) = {
             bprom_obs::span!("prompt_suspicious");
-            prompt_suspicious(&self.config, &counting, &self.t_train, &self.map, rng)?
+            prompt_suspicious_ckpt(
+                &self.config,
+                &counting,
+                &self.t_train,
+                &self.map,
+                rng,
+                ckpt.map(|ck| CmaesCheckpoint {
+                    store: ck.store(),
+                    name: &cmaes_name,
+                }),
+            )?
         };
-        let prompt_queries = prompt_report.queries;
+        let prompt_queries = outcome.report.queries;
         let prompt_ns = start.elapsed().as_nanos() as u64;
         let feature = {
             bprom_obs::span!("probe_features");
@@ -216,13 +363,20 @@ impl Bprom {
             self.meta.predict_proba(&feature)?
         };
         let total_ns = start.elapsed().as_nanos() as u64;
-        let queries = counting.local_queries();
+        // The counting decorator only saw this process's traffic; add the
+        // queries pre-crash generations spent so the budget matches an
+        // uninterrupted run exactly.
+        let queries = outcome.carried_queries + counting.local_queries();
         // Whatever the oracle stack absorbed on our behalf (fault
         // injection, retries, degraded responses) is part of this
-        // inspection's cost; surface the delta in the budget.
-        let faults = oracle.oracle_stats().delta_since(&stats_before);
+        // inspection's cost; surface the delta in the budget, plus the
+        // carried pre-crash statistics.
+        let faults = oracle
+            .oracle_stats()
+            .delta_since(&stats_before)
+            .merged(&outcome.carried_stats);
         bprom_obs::counter_add("inspect.models", 1);
-        Ok(Verdict {
+        let verdict = Verdict {
             score,
             backdoored: score > 0.5,
             queries,
@@ -237,9 +391,17 @@ impl Bprom {
                 retry_exhausted: faults.retry_exhausted,
                 degraded_responses: faults.degraded_responses,
                 backoff_virtual_ms: faults.backoff_virtual_ms,
-                penalized_candidates: prompt_report.penalized_candidates,
+                penalized_candidates: outcome.report.penalized_candidates,
             },
-        })
+        };
+        if let Some(ck) = ckpt {
+            let mut enc = Encoder::new();
+            encode_verdict(&mut enc, &verdict);
+            encode_rng(&mut enc, rng);
+            ck.save_artifact(&artifact, enc)?;
+            ck.mark_done(&artifact)?;
+        }
+        Ok(verdict)
     }
 
     /// The detector's configuration.

@@ -15,6 +15,9 @@ pub enum BpromError {
     Meta(String),
     /// Metric computation failed.
     Metrics(String),
+    /// A checkpoint could not be written, read, or validated (see
+    /// `bprom-ckpt`; the message carries the typed source error).
+    Ckpt(String),
     /// A pipeline configuration is invalid.
     InvalidConfig {
         /// Human-readable description of the violated requirement.
@@ -31,6 +34,7 @@ impl fmt::Display for BpromError {
             BpromError::Prompting(m) => write!(f, "prompting error: {m}"),
             BpromError::Meta(m) => write!(f, "meta-classifier error: {m}"),
             BpromError::Metrics(m) => write!(f, "metrics error: {m}"),
+            BpromError::Ckpt(m) => write!(f, "checkpoint error: {m}"),
             BpromError::InvalidConfig { reason } => write!(f, "invalid BPROM config: {reason}"),
         }
     }
@@ -71,6 +75,12 @@ impl From<bprom_meta::MetaError> for BpromError {
 impl From<bprom_metrics::MetricsError> for BpromError {
     fn from(e: bprom_metrics::MetricsError) -> Self {
         BpromError::Metrics(e.to_string())
+    }
+}
+
+impl From<bprom_ckpt::CkptError> for BpromError {
+    fn from(e: bprom_ckpt::CkptError) -> Self {
+        BpromError::Ckpt(e.to_string())
     }
 }
 

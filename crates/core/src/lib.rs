@@ -57,15 +57,19 @@ pub mod meta_model;
 pub mod persistence;
 pub mod prompting;
 pub mod report;
+pub mod resume;
 pub mod shadow;
 pub mod suspicious;
 
 pub use config::{BpromConfig, ShadowPrompting};
 pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;
-pub use report::{evaluate_detector, evaluate_detector_via, DetectionReport};
+pub use report::{
+    evaluate_detector, evaluate_detector_ckpt, evaluate_detector_via, DetectionReport,
+};
+pub use resume::{Checkpointer, CKPT_DIR_ENV};
 pub use shadow::{ShadowModel, ShadowSet};
-pub use suspicious::{build_suspicious_zoo, SuspiciousModel, ZooConfig};
+pub use suspicious::{build_suspicious_zoo, build_suspicious_zoo_ckpt, SuspiciousModel, ZooConfig};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, BpromError>;

@@ -3,7 +3,9 @@
 //! models, and train the random-forest meta-classifier on `D_meta`.
 
 use crate::prompting::LearnedPrompt;
+use crate::resume::{decode_rng, encode_rng, Checkpointer, Decoder};
 use crate::{BpromConfig, Result, ShadowSet};
+use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_meta::{ForestConfig, RandomForest, TreeConfig};
 use bprom_nn::{softmax, Layer, Mode, Sequential};
@@ -168,6 +170,38 @@ pub fn train_meta(
     probes: &ProbeSet,
     rng: &mut Rng,
 ) -> Result<RandomForest> {
+    train_meta_ckpt(config, shadows, prompts, probes, rng, None)
+}
+
+/// Checkpointed variant of [`train_meta`]: the fitted forest is
+/// snapshotted (unit `meta`) together with the RNG state at completion
+/// — forest training consumes the caller's stream directly, so the
+/// restore path must also restore the stream position to keep the
+/// continued run bit-identical.
+///
+/// # Errors
+///
+/// Propagates feature-extraction, forest-training and checkpoint
+/// failures.
+pub fn train_meta_ckpt(
+    config: &BpromConfig,
+    shadows: &mut ShadowSet,
+    prompts: &[LearnedPrompt],
+    probes: &ProbeSet,
+    rng: &mut Rng,
+    ckpt: Option<&Checkpointer>,
+) -> Result<RandomForest> {
+    if let Some(ck) = ckpt {
+        if ck.is_done("meta") {
+            let bytes = ck.load_artifact("meta")?;
+            let mut dec = Decoder::new(&bytes);
+            let forest = RandomForest::restore(&mut dec)?;
+            let restored = decode_rng(&mut dec)?;
+            dec.finish()?;
+            *rng = restored;
+            return Ok(forest);
+        }
+    }
     let mut features = Vec::with_capacity(shadows.len());
     {
         bprom_obs::span!("build_meta_dataset");
@@ -191,6 +225,13 @@ pub fn train_meta(
         },
         rng,
     )?;
+    if let Some(ck) = ckpt {
+        let mut enc = Encoder::new();
+        forest.persist(&mut enc);
+        encode_rng(&mut enc, rng);
+        ck.save_artifact("meta", enc)?;
+        ck.mark_done("meta")?;
+    }
     Ok(forest)
 }
 

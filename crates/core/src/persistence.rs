@@ -59,24 +59,45 @@ fn tensor_from_value(value: &Value) -> std::result::Result<Tensor, JsonError> {
     Tensor::from_vec(data, &dims).map_err(|e| JsonError::new(format!("bad tensor: {e}")))
 }
 
-/// Serializes a model's parameters (in visit order) to a JSON file.
+/// Serializes a model's parameters and state buffers (both in visit
+/// order) to a JSON file: `{"params": [...], "buffers": [[...], ...]}`.
 ///
-/// The architecture itself is not stored: loading requires rebuilding the
-/// same architecture and calling [`load_params`], which validates every
-/// shape.
+/// The buffers carry non-trainable state — batch-norm running statistics —
+/// without which a reloaded `ResNetMini` classifies through stale
+/// normalization. The architecture itself is not stored: loading requires
+/// rebuilding the same architecture and calling [`load_params`], which
+/// validates every shape.
 ///
 /// # Errors
 ///
 /// Returns [`BpromError::Data`] on I/O or serialization failure.
-pub fn save_params(model: &mut Sequential, path: &Path) -> Result<()> {
+pub fn save_params(model: &Sequential, path: &Path) -> Result<()> {
     let params = model.export_params();
-    let json = Value::Array(params.iter().map(tensor_to_value).collect()).to_compact();
+    let buffers = model.export_buffers();
+    let json = Value::object(vec![
+        (
+            "params",
+            Value::Array(params.iter().map(tensor_to_value).collect()),
+        ),
+        (
+            "buffers",
+            Value::Array(
+                buffers
+                    .iter()
+                    .map(|b| Value::Array(b.iter().map(|&x| Value::Num(f64::from(x))).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_compact();
     std::fs::write(path, json).map_err(|e| BpromError::Data(format!("write {path:?}: {e}")))?;
     Ok(())
 }
 
-/// Loads parameters previously written by [`save_params`] into a
-/// structurally identical model.
+/// Loads parameters (and, in the current format, state buffers)
+/// previously written by [`save_params`] into a structurally identical
+/// model. Legacy files holding a bare JSON array of tensors still load;
+/// their buffers keep the model's current values.
 ///
 /// # Errors
 ///
@@ -86,7 +107,21 @@ pub fn load_params(model: &mut Sequential, path: &Path) -> Result<()> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| BpromError::Data(format!("read {path:?}: {e}")))?;
     let value = Value::parse(&json).map_err(|e| BpromError::Data(format!("parse: {e}")))?;
-    let params: Vec<Tensor> = value
+    let (params_value, buffers_value) = if value.as_array().is_some() {
+        (&value, None)
+    } else {
+        (
+            value
+                .require("params")
+                .map_err(|e| BpromError::Data(format!("parse: {e}")))?,
+            Some(
+                value
+                    .require("buffers")
+                    .map_err(|e| BpromError::Data(format!("parse: {e}")))?,
+            ),
+        )
+    };
+    let params: Vec<Tensor> = params_value
         .as_array()
         .ok_or_else(|| BpromError::Data("expected a JSON array of tensors".to_string()))?
         .iter()
@@ -94,6 +129,27 @@ pub fn load_params(model: &mut Sequential, path: &Path) -> Result<()> {
         .collect::<std::result::Result<_, _>>()
         .map_err(|e| BpromError::Data(format!("parse: {e}")))?;
     model.import_params(&params)?;
+    if let Some(bv) = buffers_value {
+        let buffers: Vec<Vec<f32>> = bv
+            .as_array()
+            .ok_or_else(|| BpromError::Data("buffers must be an array of arrays".to_string()))?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or_else(|| {
+                        BpromError::Data("buffers must be an array of arrays".to_string())
+                    })?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().map(|n| n as f32).ok_or_else(|| {
+                            BpromError::Data("buffer values must be numbers".to_string())
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_>>()?;
+        model.import_buffers(&buffers)?;
+    }
     Ok(())
 }
 
@@ -117,21 +173,70 @@ mod tests {
         let dir = std::env::temp_dir().join("bprom-persistence-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
-        save_params(&mut a, &path).unwrap();
+        save_params(&a, &path).unwrap();
         load_params(&mut b, &path).unwrap();
         assert_eq!(ya, b.forward(&probe, Mode::Eval).unwrap());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn save_load_carries_batchnorm_running_stats() {
+        use bprom_nn::BatchNorm2d;
+        let mut rng = Rng::new(4);
+        let mut a = Sequential::new(vec![Box::new(BatchNorm2d::new(3))]);
+        let batch = Tensor::rand_uniform(&[4, 3, 6, 6], 0.0, 1.0, &mut rng);
+        // Train-mode forwards move the running statistics off their init.
+        a.forward(&batch, Mode::Train).unwrap();
+        a.forward(&batch, Mode::Train).unwrap();
+        let ya = a.forward(&batch, Mode::Eval).unwrap();
+
+        let dir = std::env::temp_dir().join("bprom-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batchnorm.json");
+        save_params(&a, &path).unwrap();
+        let mut b = Sequential::new(vec![Box::new(BatchNorm2d::new(3))]);
+        load_params(&mut b, &path).unwrap();
+        // Eval output depends on the running statistics, so equality here
+        // proves the buffers made the round trip (gamma/beta alone would
+        // normalize against the fresh init stats and differ).
+        let yb = b.forward(&batch, Mode::Eval).unwrap();
+        for (x, y) in ya.data().iter().zip(yb.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_bare_array_files_still_load() {
+        let mut rng = Rng::new(5);
+        let spec = ModelSpec::new(3, 8, 4);
+        let mut a = mlp(&spec, &mut rng).unwrap();
+        let mut b = mlp(&spec, &mut rng).unwrap();
+        let dir = std::env::temp_dir().join("bprom-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        // The pre-buffer format: a bare JSON array of tensors.
+        let legacy =
+            Value::Array(a.export_params().iter().map(tensor_to_value).collect()).to_compact();
+        std::fs::write(&path, legacy).unwrap();
+        load_params(&mut b, &path).unwrap();
+        let probe = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        assert_eq!(
+            a.forward(&probe, Mode::Eval).unwrap(),
+            b.forward(&probe, Mode::Eval).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_rejects_wrong_architecture() {
         let mut rng = Rng::new(1);
-        let mut small = mlp(&ModelSpec::new(3, 8, 4), &mut rng).unwrap();
+        let small = mlp(&ModelSpec::new(3, 8, 4), &mut rng).unwrap();
         let mut big = mlp(&ModelSpec::new(3, 8, 10), &mut rng).unwrap();
         let dir = std::env::temp_dir().join("bprom-persistence-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("mismatch.json");
-        save_params(&mut small, &path).unwrap();
+        save_params(&small, &path).unwrap();
         assert!(load_params(&mut big, &path).is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -3,12 +3,14 @@
 //! models by CMA-ES through the black-box query interface.
 
 use crate::config::ShadowPrompting;
-use crate::{BpromConfig, Result, ShadowModel, ShadowSet};
+use crate::resume::{Checkpointer, Decoder};
+use crate::{BpromConfig, BpromError, Result, ShadowModel, ShadowSet};
+use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_tensor::Rng;
 use bprom_vp::{
-    train_prompt_backprop, train_prompt_cmaes, BlackBoxModel, LabelMap, PromptTrainReport,
-    QueryOracle, VisualPrompt,
+    train_prompt_backprop, train_prompt_cmaes_ckpt, BlackBoxModel, CkptTrainOutcome,
+    CmaesCheckpoint, LabelMap, PromptTrainReport, QueryOracle, VisualPrompt,
 };
 
 /// A prompted shadow model: the prompt learned for it plus bookkeeping.
@@ -33,27 +35,67 @@ pub fn prompt_shadows(
     map: &LabelMap,
     rng: &mut Rng,
 ) -> Result<Vec<LearnedPrompt>> {
+    prompt_shadows_ckpt(config, shadows, t_train, map, rng, None)
+}
+
+/// Checkpointed variant of [`prompt_shadows`]: each learned prompt is
+/// snapshotted (unit `prompt-<i>`) and journalled; prompts the journal
+/// marks done are restored instead of relearned. CMA-ES shadow prompting
+/// additionally snapshots optimizer state per generation (snapshot
+/// `cmaes-prompt-<i>`), so even a half-finished prompt resumes from its
+/// last completed generation.
+///
+/// Like shadow training, each prompt runs from its own pre-forked RNG
+/// stream, so skipping a done unit discards that stream without touching
+/// the caller's.
+///
+/// # Errors
+///
+/// Propagates prompting and checkpoint failures.
+pub fn prompt_shadows_ckpt(
+    config: &BpromConfig,
+    shadows: &mut ShadowSet,
+    t_train: &Dataset,
+    map: &LabelMap,
+    rng: &mut Rng,
+    ckpt: Option<&Checkpointer>,
+) -> Result<Vec<LearnedPrompt>> {
     let num_classes = map.source_classes();
     // One forked generator per shadow, drawn in shadow order, makes the
     // learned prompts independent of worker scheduling.
-    let jobs: Vec<(&mut ShadowModel, Rng)> = shadows
+    let jobs: Vec<(usize, &mut ShadowModel, Rng)> = shadows
         .shadows
         .iter_mut()
-        .map(|shadow| {
+        .enumerate()
+        .map(|(i, shadow)| {
             let child = rng.fork();
-            (shadow, child)
+            (i, shadow, child)
         })
         .collect();
-    bprom_par::par_map(jobs, |(shadow, mut rng)| -> Result<LearnedPrompt> {
+    bprom_par::par_map(jobs, |(i, shadow, mut rng)| -> Result<LearnedPrompt> {
         bprom_obs::span!("prompt_shadow");
+        let unit = format!("prompt-{i}");
+        if let Some(ck) = ckpt {
+            if ck.is_done(&unit) {
+                let bytes = ck.load_artifact(&unit)?;
+                let mut dec = Decoder::new(&bytes);
+                let prompt = VisualPrompt::restore(&mut dec)?;
+                let final_loss = dec.get_f32()?;
+                dec.finish().map_err(BpromError::from)?;
+                return Ok(LearnedPrompt { prompt, final_loss });
+            }
+        }
         let mut prompt = VisualPrompt::random(
             t_train.channels(),
             config.image_size,
             config.prompt_border,
             &mut rng,
         )?;
+        let cmaes_name = format!("cmaes-prompt-{i}");
         let final_loss = match config.shadow_prompting {
             ShadowPrompting::Backprop => {
+                // Backprop prompting has no per-generation snapshots: an
+                // interrupted unit simply re-runs from its forked stream.
                 let report = train_prompt_backprop(
                     &mut shadow.model,
                     &mut prompt,
@@ -70,7 +112,7 @@ pub fn prompt_shadows(
                 // exact suspicious-model code path runs.
                 let model = std::mem::replace(&mut shadow.model, crate::shadow::empty_model());
                 let oracle = QueryOracle::new(model, num_classes);
-                let report = train_prompt_cmaes(
+                let outcome = train_prompt_cmaes_ckpt(
                     &oracle,
                     &mut prompt,
                     &t_train.images,
@@ -78,11 +120,22 @@ pub fn prompt_shadows(
                     map,
                     &config.prompt,
                     &mut rng,
+                    ckpt.map(|ck| CmaesCheckpoint {
+                        store: ck.store(),
+                        name: &cmaes_name,
+                    }),
                 )?;
                 shadow.model = oracle.into_inner();
-                report.losses.last().copied().unwrap_or(f32::NAN)
+                outcome.report.losses.last().copied().unwrap_or(f32::NAN)
             }
         };
+        if let Some(ck) = ckpt {
+            let mut enc = Encoder::new();
+            prompt.persist(&mut enc);
+            enc.put_f32(final_loss);
+            ck.save_artifact(&unit, enc)?;
+            ck.mark_done(&unit)?;
+        }
         bprom_obs::counter_add("prompts.shadow", 1);
         Ok(LearnedPrompt { prompt, final_loss })
     })
@@ -106,13 +159,34 @@ pub fn prompt_suspicious(
     map: &LabelMap,
     rng: &mut Rng,
 ) -> Result<(VisualPrompt, PromptTrainReport)> {
+    let (prompt, outcome) = prompt_suspicious_ckpt(config, oracle, t_train, map, rng, None)?;
+    Ok((prompt, outcome.report))
+}
+
+/// Checkpointed variant of [`prompt_suspicious`]: with a
+/// [`CmaesCheckpoint`], every CMA-ES generation snapshots the full
+/// optimizer state, and a resumed call continues from the last completed
+/// generation with carried query/fault accounting (see
+/// [`CkptTrainOutcome`]).
+///
+/// # Errors
+///
+/// Propagates prompting and checkpoint failures.
+pub fn prompt_suspicious_ckpt(
+    config: &BpromConfig,
+    oracle: &dyn BlackBoxModel,
+    t_train: &Dataset,
+    map: &LabelMap,
+    rng: &mut Rng,
+    ckpt: Option<CmaesCheckpoint<'_>>,
+) -> Result<(VisualPrompt, CkptTrainOutcome)> {
     let mut prompt = VisualPrompt::random(
         t_train.channels(),
         config.image_size,
         config.prompt_border,
         rng,
     )?;
-    let report = train_prompt_cmaes(
+    let outcome = train_prompt_cmaes_ckpt(
         oracle,
         &mut prompt,
         &t_train.images,
@@ -120,8 +194,9 @@ pub fn prompt_suspicious(
         map,
         &config.prompt,
         rng,
+        ckpt,
     )?;
-    Ok((prompt, report))
+    Ok((prompt, outcome))
 }
 
 #[cfg(test)]

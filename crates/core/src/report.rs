@@ -1,6 +1,7 @@
 //! Detector evaluation: run a detector against a suspicious-model zoo and
 //! compute the paper's metrics (AUROC, F1) plus the exact query budget.
 
+use crate::resume::Checkpointer;
 use crate::{Bprom, Result, SuspiciousModel, Verdict};
 use bprom_metrics::{auroc, f1_score};
 use bprom_obs::{FromJson, ToJson, Value};
@@ -70,6 +71,31 @@ pub fn evaluate_detector_via<F>(
 where
     F: FnMut(&Bprom, QueryOracle, &mut Rng) -> Result<Verdict>,
 {
+    evaluate_detector_ckpt(detector, zoo, rng, None, |detector, oracle, rng, _, _| {
+        inspect(detector, oracle, rng)
+    })
+}
+
+/// Checkpointed variant of [`evaluate_detector_via`]: the closure
+/// additionally receives the run's [`Checkpointer`] (if any) and the
+/// zoo index as a unit name, so it can route each inspection through
+/// [`Bprom::inspect_ckpt`]. Completed inspections are then skipped on
+/// resume and a killed run continues mid-CMA-ES-search.
+///
+/// # Errors
+///
+/// Propagates inspection failures; AUROC requires the zoo to contain
+/// both clean and backdoored models.
+pub fn evaluate_detector_ckpt<F>(
+    detector: &Bprom,
+    zoo: Vec<SuspiciousModel>,
+    rng: &mut Rng,
+    ckpt: Option<&Checkpointer>,
+    mut inspect: F,
+) -> Result<DetectionReport>
+where
+    F: FnMut(&Bprom, QueryOracle, &mut Rng, Option<&Checkpointer>, &str) -> Result<Verdict>,
+{
     bprom_obs::span!("evaluate_detector");
     let num_classes = detector.config().source_dataset.num_classes();
     let mut scores = Vec::with_capacity(zoo.len());
@@ -79,9 +105,9 @@ where
     let mut total_faults = 0u64;
     let mut total_retries = 0u64;
     let n = zoo.len();
-    for suspicious in zoo {
+    for (i, suspicious) in zoo.into_iter().enumerate() {
         let oracle = QueryOracle::new(suspicious.model, num_classes);
-        let verdict = inspect(detector, oracle, rng)?;
+        let verdict = inspect(detector, oracle, rng, ckpt, &i.to_string())?;
         scores.push(verdict.score);
         labels.push(suspicious.backdoored);
         total_queries += verdict.queries;

@@ -2,8 +2,10 @@
 //! Models"): clean shadows trained on `D_S`, backdoor shadows trained on
 //! poisoned copies `D_P` with per-shadow trigger/target variation.
 
+use crate::resume::{decode_model_into, encode_model, Checkpointer, Decoder};
 use crate::{BpromConfig, Result};
 use bprom_attacks::{poison_dataset, PoisonConfig};
+use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_nn::models::{build, ModelSpec};
 use bprom_nn::{Sequential, Trainer};
@@ -13,6 +15,35 @@ use bprom_tensor::Rng;
 /// oracle (swapped back immediately afterwards).
 pub(crate) fn empty_model() -> Sequential {
     Sequential::new(Vec::new())
+}
+
+/// Rebuilds a journalled shadow from its artifact snapshot: a fresh
+/// skeleton of the configured architecture (initialized from the
+/// shadow's private forked stream, which is then discarded) receives the
+/// snapshotted parameters and buffers.
+fn restore_shadow(
+    ck: &Checkpointer,
+    unit: &str,
+    config: &BpromConfig,
+    spec: &ModelSpec,
+    rng: &mut Rng,
+) -> Result<ShadowModel> {
+    let bytes = ck.load_artifact(unit)?;
+    let mut dec = Decoder::new(&bytes);
+    let backdoored = dec.get_bool()?;
+    let target_class = if dec.get_bool()? {
+        Some(dec.get_usize()?)
+    } else {
+        None
+    };
+    let mut model = build(config.architecture, spec, rng)?;
+    decode_model_into(&mut dec, &mut model)?;
+    dec.finish()?;
+    Ok(ShadowModel {
+        model,
+        backdoored,
+        target_class,
+    })
 }
 
 /// One trained shadow model plus its ground-truth label.
@@ -53,21 +84,47 @@ impl ShadowSet {
     ///
     /// Propagates training/poisoning failures.
     pub fn train(config: &BpromConfig, ds: &Dataset, rng: &mut Rng) -> Result<Self> {
+        Self::train_ckpt(config, ds, rng, None)
+    }
+
+    /// Checkpointed variant of [`ShadowSet::train`]: each trained shadow
+    /// is snapshotted (unit `shadow-<i>`) and journalled, and shadows the
+    /// journal marks done are restored instead of retrained.
+    ///
+    /// Each shadow trains from its own pre-forked RNG stream, so a
+    /// restored shadow simply discards that stream — no RNG state needs
+    /// recording, and the caller's stream is untouched either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/poisoning and checkpoint failures.
+    pub fn train_ckpt(
+        config: &BpromConfig,
+        ds: &Dataset,
+        rng: &mut Rng,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<Self> {
         let spec = ModelSpec::new(ds.channels(), ds.image_size(), ds.num_classes);
         let trainer = Trainer::new(config.train);
         // Fork one child generator per shadow *up front, in shadow order*.
         // Every shadow then trains from its own stream regardless of which
         // worker runs it, so the set is bit-identical at any thread count.
-        let mut jobs: Vec<(bool, Rng)> =
+        let mut jobs: Vec<(usize, bool, Rng)> =
             Vec::with_capacity(config.clean_shadows + config.backdoor_shadows);
-        for _ in 0..config.clean_shadows {
-            jobs.push((false, rng.fork()));
+        for i in 0..config.clean_shadows {
+            jobs.push((i, false, rng.fork()));
         }
-        for _ in 0..config.backdoor_shadows {
-            jobs.push((true, rng.fork()));
+        for i in 0..config.backdoor_shadows {
+            jobs.push((config.clean_shadows + i, true, rng.fork()));
         }
         let timed = bprom_obs::enabled();
-        let shadows = bprom_par::par_map(jobs, |(backdoored, mut rng)| -> Result<ShadowModel> {
+        let shadows = bprom_par::par_map(jobs, |(i, backdoored, mut rng)| -> Result<ShadowModel> {
+            let unit = format!("shadow-{i}");
+            if let Some(ck) = ckpt {
+                if ck.is_done(&unit) {
+                    return restore_shadow(ck, &unit, config, &spec, &mut rng);
+                }
+            }
             let start = timed.then(std::time::Instant::now);
             let (model, target_class) = if backdoored {
                 // Fresh trigger instance per shadow (random pattern
@@ -100,6 +157,17 @@ impl ShadowSet {
                     },
                     1,
                 );
+            }
+            if let Some(ck) = ckpt {
+                let mut enc = Encoder::new();
+                enc.put_bool(backdoored);
+                enc.put_bool(target_class.is_some());
+                if let Some(t) = target_class {
+                    enc.put_usize(t);
+                }
+                encode_model(&mut enc, &model);
+                ck.save_artifact(&unit, enc)?;
+                ck.mark_done(&unit)?;
             }
             Ok(ShadowModel {
                 model,

@@ -2,8 +2,12 @@
 //! models the experiments feed to the detector (paper Section 6.1 uses 30
 //! clean + 30 backdoored suspicious models per attack).
 
+use crate::resume::{
+    decode_model_into, decode_rng, encode_model, encode_rng, Checkpointer, Decoder,
+};
 use crate::{BpromError, Result};
 use bprom_attacks::{attack_success_rate, poison_dataset, AttackKind, PoisonConfig};
+use bprom_ckpt::Encoder;
 use bprom_data::SynthDataset;
 use bprom_nn::models::{build, Architecture, ModelSpec};
 use bprom_nn::{Sequential, TrainConfig, Trainer};
@@ -80,6 +84,24 @@ impl ZooConfig {
 ///
 /// Propagates training/poisoning failures and rejects empty zoos.
 pub fn build_suspicious_zoo(config: &ZooConfig, rng: &mut Rng) -> Result<Vec<SuspiciousModel>> {
+    build_suspicious_zoo_ckpt(config, rng, None)
+}
+
+/// Checkpointed variant of [`build_suspicious_zoo`]: each trained model
+/// is snapshotted (unit `zoo-<i>`) with its metrics and the RNG state at
+/// completion. Zoo models consume the caller's stream sequentially, so a
+/// restored unit also restores the stream position recorded when it
+/// finished, keeping every later model bit-identical.
+///
+/// # Errors
+///
+/// Propagates training/poisoning and checkpoint failures and rejects
+/// empty zoos.
+pub fn build_suspicious_zoo_ckpt(
+    config: &ZooConfig,
+    rng: &mut Rng,
+    ckpt: Option<&Checkpointer>,
+) -> Result<Vec<SuspiciousModel>> {
     if config.clean + config.backdoored == 0 {
         return Err(BpromError::InvalidConfig {
             reason: "zoo must contain at least one model".to_string(),
@@ -90,6 +112,31 @@ pub fn build_suspicious_zoo(config: &ZooConfig, rng: &mut Rng) -> Result<Vec<Sus
     let mut zoo = Vec::with_capacity(config.clean + config.backdoored);
     for i in 0..config.clean + config.backdoored {
         let is_backdoored = i >= config.clean;
+        let unit = format!("zoo-{i}");
+        if let Some(ck) = ckpt {
+            if ck.is_done(&unit) {
+                let bytes = ck.load_artifact(&unit)?;
+                let mut dec = Decoder::new(&bytes);
+                let backdoored = dec.get_bool()?;
+                let accuracy = dec.get_f32()?;
+                let asr = dec.get_f32()?;
+                // A fresh skeleton receives the snapshotted weights; the
+                // draws its construction makes are irrelevant because the
+                // recorded post-unit stream position is restored next.
+                let mut model = build(config.architecture, &spec, rng)?;
+                decode_model_into(&mut dec, &mut model)?;
+                let restored = decode_rng(&mut dec)?;
+                dec.finish()?;
+                *rng = restored;
+                zoo.push(SuspiciousModel {
+                    model,
+                    backdoored,
+                    accuracy,
+                    asr,
+                });
+                continue;
+            }
+        }
         let full =
             config
                 .dataset
@@ -117,6 +164,16 @@ pub fn build_suspicious_zoo(config: &ZooConfig, rng: &mut Rng) -> Result<Vec<Sus
             trainer.fit(&mut model, &train.images, &train.labels, rng)?;
             accuracy = trainer.evaluate(&mut model, &test.images, &test.labels)?;
             asr = 0.0;
+        }
+        if let Some(ck) = ckpt {
+            let mut enc = Encoder::new();
+            enc.put_bool(is_backdoored);
+            enc.put_f32(accuracy);
+            enc.put_f32(asr);
+            encode_model(&mut enc, &model);
+            encode_rng(&mut enc, rng);
+            ck.save_artifact(&unit, enc)?;
+            ck.mark_done(&unit)?;
         }
         zoo.push(SuspiciousModel {
             model,

@@ -2,6 +2,7 @@
 
 use crate::tree::{DecisionTree, TreeConfig};
 use crate::{validate_dataset, MetaError, Result};
+use bprom_ckpt::{CkptError, Decoder, Encoder};
 use bprom_tensor::Rng;
 
 /// Random-forest hyperparameters.
@@ -110,6 +111,35 @@ impl RandomForest {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Serializes the fitted forest into `enc` for checkpointing.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.persist(enc);
+        }
+    }
+
+    /// Rebuilds a forest from bytes written by [`RandomForest::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Decode`] on truncation or any invalid tree.
+    pub fn restore(dec: &mut Decoder) -> std::result::Result<Self, CkptError> {
+        let dim = dec.get_usize()?;
+        let count = dec.get_usize()?;
+        if dim == 0 || count == 0 {
+            return Err(CkptError::decode(format!(
+                "forest snapshot has dim {dim}, {count} trees"
+            )));
+        }
+        let mut trees = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            trees.push(DecisionTree::restore(dec)?);
+        }
+        Ok(RandomForest { trees, dim })
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +199,32 @@ mod tests {
         let f1 = RandomForest::fit(&features, &labels, &cfg, &mut Rng::new(9)).unwrap();
         let f2 = RandomForest::fit(&features, &labels, &cfg, &mut Rng::new(9)).unwrap();
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn persist_restore_round_trip_preserves_predictions() {
+        let mut rng = Rng::new(13);
+        let (features, labels) = two_blobs(&mut rng);
+        let cfg = ForestConfig {
+            trees: 25,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&features, &labels, &cfg, &mut rng).unwrap();
+        let mut enc = Encoder::new();
+        forest.persist(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = RandomForest::restore(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, forest);
+        for f in &features {
+            assert_eq!(
+                forest.predict_proba(f).unwrap().to_bits(),
+                back.predict_proba(f).unwrap().to_bits()
+            );
+        }
+        // Truncation is a typed error.
+        assert!(RandomForest::restore(&mut Decoder::new(&bytes[..bytes.len() / 2])).is_err());
     }
 
     #[test]

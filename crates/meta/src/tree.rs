@@ -1,6 +1,7 @@
 //! CART decision trees with Gini-impurity splitting.
 
 use crate::{validate_dataset, MetaError, Result};
+use bprom_ckpt::{CkptError, Decoder, Encoder};
 use bprom_tensor::Rng;
 
 /// Hyperparameters for a single decision tree.
@@ -208,6 +209,84 @@ impl DecisionTree {
     /// Number of nodes (for inspection).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Serializes the fitted tree into `enc` for checkpointing.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { prob_positive } => {
+                    enc.put_u8(0);
+                    enc.put_f32(*prob_positive);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    enc.put_u8(1);
+                    enc.put_usize(*feature);
+                    enc.put_f32(*threshold);
+                    enc.put_usize(*left);
+                    enc.put_usize(*right);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a tree from bytes written by [`DecisionTree::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Decode`] on truncation, unknown node tags, or
+    /// child indices / split features pointing out of range (a corrupted
+    /// tree must never be able to make `predict_proba` panic or loop).
+    pub fn restore(dec: &mut Decoder) -> std::result::Result<Self, CkptError> {
+        let dim = dec.get_usize()?;
+        let count = dec.get_usize()?;
+        let mut nodes = Vec::with_capacity(count.min(1 << 20));
+        for i in 0..count {
+            match dec.get_u8()? {
+                0 => nodes.push(Node::Leaf {
+                    prob_positive: dec.get_f32()?,
+                }),
+                1 => {
+                    let feature = dec.get_usize()?;
+                    let threshold = dec.get_f32()?;
+                    let left = dec.get_usize()?;
+                    let right = dec.get_usize()?;
+                    if feature >= dim {
+                        return Err(CkptError::decode(format!(
+                            "tree node {i} splits on feature {feature}, width is {dim}"
+                        )));
+                    }
+                    // Children always come after their parent (grow()
+                    // reserves the split slot first), which also rules out
+                    // cycles in a valid snapshot.
+                    if left <= i || right <= i || left >= count || right >= count {
+                        return Err(CkptError::decode(format!(
+                            "tree node {i} has invalid children {left}/{right} of {count}"
+                        )));
+                    }
+                    nodes.push(Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    });
+                }
+                other => return Err(CkptError::decode(format!("unknown tree node tag {other}"))),
+            }
+        }
+        if nodes.is_empty() || dim == 0 {
+            return Err(CkptError::decode(
+                "tree snapshot has no nodes or zero width".to_string(),
+            ));
+        }
+        Ok(DecisionTree { nodes, dim })
     }
 }
 

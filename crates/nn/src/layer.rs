@@ -76,6 +76,20 @@ pub trait Layer: Send + Sync {
     /// associate per-parameter state (momentum, Adam moments).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
 
+    /// Visits every parameter value through a shared reference, in the same
+    /// stable order as [`Layer::visit_params`]. Lets serialization read a
+    /// model without `&mut` access.
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor));
+
+    /// Visits every non-trainable state buffer (e.g. batch-norm running
+    /// statistics) in a stable order. Layers without buffers keep the
+    /// empty default.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
+    /// Shared-reference counterpart of [`Layer::visit_buffers`], in the
+    /// same stable order.
+    fn visit_buffers_shared(&self, _f: &mut dyn FnMut(&[f32])) {}
+
     /// Resets all accumulated gradients to zero.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| g.map_in_place(|_| 0.0));
@@ -111,6 +125,11 @@ impl Param {
     /// Visitor plumbing for [`Layer::visit_params`].
     pub fn visit(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.value, &mut self.grad);
+    }
+
+    /// Visitor plumbing for [`Layer::visit_params_shared`].
+    pub fn visit_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.value);
     }
 }
 

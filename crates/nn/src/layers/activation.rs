@@ -40,6 +40,8 @@ macro_rules! pointwise_activation {
 
             fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+            fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
             fn name(&self) -> &'static str {
                 stringify!($name)
             }

@@ -89,6 +89,10 @@ impl Layer for PatchEmbed {
         self.conv.visit_params(f);
     }
 
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.conv.visit_params_shared(f);
+    }
+
     fn name(&self) -> &'static str {
         "PatchEmbed"
     }
@@ -326,6 +330,13 @@ impl Layer for Attention {
         self.wk.visit(f);
         self.wv.visit(f);
         self.wo.visit(f);
+    }
+
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.wq.visit_shared(f);
+        self.wk.visit_shared(f);
+        self.wv.visit_shared(f);
+        self.wo.visit_shared(f);
     }
 
     fn name(&self) -> &'static str {

@@ -121,6 +121,11 @@ impl Layer for Conv2d {
         self.bias.visit(f);
     }
 
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.weight.visit_shared(f);
+        self.bias.visit_shared(f);
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }
@@ -257,6 +262,11 @@ impl Layer for DepthwiseConv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         self.weight.visit(f);
         self.bias.visit(f);
+    }
+
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.weight.visit_shared(f);
+        self.bias.visit_shared(f);
     }
 
     fn name(&self) -> &'static str {

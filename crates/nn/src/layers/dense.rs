@@ -94,6 +94,11 @@ impl Layer for Dense {
         self.bias.visit(f);
     }
 
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.weight.visit_shared(f);
+        self.bias.visit_shared(f);
+    }
+
     fn name(&self) -> &'static str {
         "Dense"
     }

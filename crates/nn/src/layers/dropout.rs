@@ -69,6 +69,8 @@ impl Layer for Dropout {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "Dropout"
     }

@@ -45,6 +45,8 @@ impl Layer for Flatten {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "Flatten"
     }

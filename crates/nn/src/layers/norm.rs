@@ -199,6 +199,21 @@ impl Layer for BatchNorm2d {
         self.beta.visit(f);
     }
 
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.gamma.visit_shared(f);
+        self.beta.visit_shared(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn visit_buffers_shared(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.running_mean);
+        f(&self.running_var);
+    }
+
     fn name(&self) -> &'static str {
         "BatchNorm2d"
     }
@@ -322,6 +337,11 @@ impl Layer for LayerNorm {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         self.gamma.visit(f);
         self.beta.visit(f);
+    }
+
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.gamma.visit_shared(f);
+        self.beta.visit_shared(f);
     }
 
     fn name(&self) -> &'static str {

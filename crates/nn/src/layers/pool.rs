@@ -45,6 +45,8 @@ impl Layer for MaxPool2d {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
@@ -96,6 +98,8 @@ impl Layer for AvgPool2d {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
     fn name(&self) -> &'static str {
         "AvgPool2d"
@@ -167,6 +171,8 @@ impl Layer for GlobalAvgPool {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
     fn name(&self) -> &'static str {
         "GlobalAvgPool"

@@ -73,6 +73,27 @@ impl Layer for Residual {
         }
     }
 
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.body.visit_params_shared(f);
+        if let Some(proj) = &self.shortcut {
+            proj.visit_params_shared(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.body.visit_buffers(f);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_buffers(f);
+        }
+    }
+
+    fn visit_buffers_shared(&self, f: &mut dyn FnMut(&[f32])) {
+        self.body.visit_buffers_shared(f);
+        if let Some(proj) = &self.shortcut {
+            proj.visit_buffers_shared(f);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Residual"
     }

@@ -51,6 +51,8 @@ impl Layer for FoldTokens {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "FoldTokens"
     }
@@ -100,6 +102,8 @@ impl Layer for UnfoldTokens {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
     fn name(&self) -> &'static str {
         "UnfoldTokens"
@@ -171,6 +175,8 @@ impl Layer for TokenMeanPool {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_shared(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
     fn name(&self) -> &'static str {
         "TokenMeanPool"

@@ -72,10 +72,65 @@ impl Sequential {
     }
 
     /// Copies all parameter values out of the model, in visit order.
-    pub fn export_params(&mut self) -> Vec<Tensor> {
+    pub fn export_params(&self) -> Vec<Tensor> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p, _| out.push(p.clone()));
+        self.visit_params_shared(&mut |p| out.push(p.clone()));
         out
+    }
+
+    /// Copies all non-trainable state buffers (batch-norm running
+    /// statistics) out of the model, in visit order.
+    pub fn export_buffers(&self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        self.visit_buffers_shared(&mut |b| out.push(b.to_vec()));
+        out
+    }
+
+    /// Loads buffer values previously produced by
+    /// [`Sequential::export_buffers`] on a structurally identical model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::InvalidConfig`] if the buffer count or any
+    /// length differs.
+    pub fn import_buffers(&mut self, buffers: &[Vec<f32>]) -> Result<()> {
+        let mut idx = 0;
+        let mut err: Option<crate::NnError> = None;
+        self.visit_buffers(&mut |b| {
+            if err.is_some() {
+                return;
+            }
+            match buffers.get(idx) {
+                Some(src) if src.len() == b.len() => b.copy_from_slice(src),
+                Some(src) => {
+                    err = Some(crate::NnError::InvalidConfig {
+                        reason: format!(
+                            "buffer {idx} length mismatch: model {} vs import {}",
+                            b.len(),
+                            src.len()
+                        ),
+                    })
+                }
+                None => {
+                    err = Some(crate::NnError::InvalidConfig {
+                        reason: format!("too few buffers: needed more than {idx}"),
+                    })
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if idx != buffers.len() {
+            return Err(crate::NnError::InvalidConfig {
+                reason: format!(
+                    "too many buffers: model has {idx}, import has {}",
+                    buffers.len()
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Loads parameter values previously produced by
@@ -154,6 +209,24 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_shared(&self, f: &mut dyn FnMut(&Tensor)) {
+        for layer in &self.layers {
+            layer.visit_params_shared(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    fn visit_buffers_shared(&self, f: &mut dyn FnMut(&[f32])) {
+        for layer in &self.layers {
+            layer.visit_buffers_shared(f);
         }
     }
 
@@ -242,6 +315,33 @@ mod tests {
         let y_mut = net.forward(&x, Mode::Eval).unwrap();
         let y_shared = net.forward_eval(&x).unwrap();
         assert_eq!(y_mut, y_shared);
+    }
+
+    #[test]
+    fn buffer_export_import_round_trip_carries_batchnorm_stats() {
+        use crate::BatchNorm2d;
+        let mut rng = Rng::new(8);
+        let mut a = Sequential::new(vec![Box::new(BatchNorm2d::new(2))]);
+        // Train-mode forwards update the running statistics.
+        let x = Tensor::randn(&[3, 2, 4, 4], &mut rng);
+        a.forward(&x, Mode::Train).unwrap();
+        a.forward(&x, Mode::Train).unwrap();
+        let buffers = a.export_buffers();
+        assert_eq!(buffers.len(), 2); // running mean + running var
+
+        let mut b = Sequential::new(vec![Box::new(BatchNorm2d::new(2))]);
+        b.import_params(&a.export_params()).unwrap();
+        b.import_buffers(&buffers).unwrap();
+        // Eval-mode forward uses the running statistics, so outputs only
+        // match if the buffers actually made it across.
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya, yb);
+
+        let mut wrong = vec![vec![0.0f32; 2]];
+        assert!(b.import_buffers(&wrong).is_err());
+        wrong.push(vec![0.0f32; 3]);
+        assert!(b.import_buffers(&wrong).is_err());
     }
 
     #[test]

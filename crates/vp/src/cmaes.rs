@@ -8,6 +8,7 @@
 //! ask/tell evolution-strategy behaviour.
 
 use crate::{Result, VpError};
+use bprom_ckpt::{CkptError, Decoder, Encoder};
 use bprom_tensor::Rng;
 
 /// Ask/tell separable CMA-ES minimizer.
@@ -240,6 +241,118 @@ impl CmaEs {
     pub fn parents(&self) -> usize {
         self.mu
     }
+
+    /// Serializes the complete optimizer state — including the derived
+    /// learning-rate constants, verbatim, so a restored optimizer never
+    /// recomputes anything — into `enc`. A restore via
+    /// [`CmaEs::restore`] continues ask/tell bit-identically.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.lambda);
+        enc.put_usize(self.mu);
+        enc.put_f32s(&self.weights);
+        enc.put_f32(self.mu_eff);
+        enc.put_f32(self.c_sigma);
+        enc.put_f32(self.d_sigma);
+        enc.put_f32(self.c_c);
+        enc.put_f32(self.c_1);
+        enc.put_f32(self.c_mu);
+        enc.put_f32(self.chi_n);
+        enc.put_f32s(&self.mean);
+        enc.put_f32(self.sigma);
+        enc.put_f32s(&self.diag);
+        enc.put_f32s(&self.p_sigma);
+        enc.put_f32s(&self.p_c);
+        enc.put_usize(self.last_z.len());
+        for z in &self.last_z {
+            enc.put_f32s(z);
+        }
+        enc.put_u32(self.generation);
+        match &self.best {
+            Some((x, f)) => {
+                enc.put_bool(true);
+                enc.put_f32s(x);
+                enc.put_f32(*f);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    /// Rebuilds an optimizer from bytes written by [`CmaEs::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Decode`] when the payload is truncated or the
+    /// recorded dimensions are internally inconsistent.
+    pub fn restore(dec: &mut Decoder) -> std::result::Result<Self, CkptError> {
+        let dim = dec.get_usize()?;
+        let lambda = dec.get_usize()?;
+        let mu = dec.get_usize()?;
+        let weights = dec.get_f32s()?;
+        let mu_eff = dec.get_f32()?;
+        let c_sigma = dec.get_f32()?;
+        let d_sigma = dec.get_f32()?;
+        let c_c = dec.get_f32()?;
+        let c_1 = dec.get_f32()?;
+        let c_mu = dec.get_f32()?;
+        let chi_n = dec.get_f32()?;
+        let mean = dec.get_f32s()?;
+        let sigma = dec.get_f32()?;
+        let diag = dec.get_f32s()?;
+        let p_sigma = dec.get_f32s()?;
+        let p_c = dec.get_f32s()?;
+        let z_rows = dec.get_usize()?;
+        let mut last_z = Vec::with_capacity(z_rows.min(4096));
+        for _ in 0..z_rows {
+            last_z.push(dec.get_f32s()?);
+        }
+        let generation = dec.get_u32()?;
+        let best = if dec.get_bool()? {
+            let x = dec.get_f32s()?;
+            let f = dec.get_f32()?;
+            Some((x, f))
+        } else {
+            None
+        };
+        if dim == 0 || lambda < 4 || mu == 0 || mu > lambda {
+            return Err(CkptError::decode(format!(
+                "CMA-ES snapshot has implausible sizes: dim={dim} lambda={lambda} mu={mu}"
+            )));
+        }
+        if weights.len() != mu
+            || mean.len() != dim
+            || diag.len() != dim
+            || p_sigma.len() != dim
+            || p_c.len() != dim
+            || last_z.iter().any(|z| z.len() != dim)
+            || best.as_ref().is_some_and(|(x, _)| x.len() != dim)
+        {
+            return Err(CkptError::decode(
+                "CMA-ES snapshot vector lengths disagree with recorded dimensions".to_string(),
+            ));
+        }
+        Ok(CmaEs {
+            dim,
+            lambda,
+            mu,
+            weights,
+            mu_eff,
+            c_sigma,
+            d_sigma,
+            c_c,
+            c_1,
+            c_mu,
+            chi_n,
+            mean,
+            sigma,
+            diag,
+            p_sigma,
+            p_c,
+            last_z,
+            generation,
+            best,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +461,78 @@ mod tests {
         let (_, best) = es.best().unwrap();
         assert!(best.is_finite());
         assert!(best < 0.5, "best={best}");
+    }
+
+    #[test]
+    fn persist_restore_round_trip_is_bit_identical_for_50_generations() {
+        // Satellite contract: an optimizer that is serialized and
+        // deserialized every generation must stay bit-identical to one
+        // that never touched the codec, for 50 generations, across seeds.
+        let f = |x: &[f32]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (i + 1) as f32 * (v - 0.3).powi(2))
+                .sum::<f32>()
+        };
+        for seed in [5u64, 77, 1234] {
+            let mut rng_a = Rng::new(seed);
+            let mut rng_b = Rng::new(seed);
+            let mut a = CmaEs::new(&[1.0; 7], 0.4, 8).unwrap();
+            let mut b = CmaEs::new(&[1.0; 7], 0.4, 8).unwrap();
+            for generation in 0..50 {
+                // Round-trip B through the codec, sometimes mid-generation
+                // (after ask, before tell) so outstanding populations
+                // survive too.
+                let pop_a = a.ask(&mut rng_a);
+                let pop_b = b.ask(&mut rng_b);
+                if generation % 3 == 0 {
+                    let mut enc = Encoder::new();
+                    b.persist(&mut enc);
+                    let bytes = enc.into_bytes();
+                    let mut dec = Decoder::new(&bytes);
+                    b = CmaEs::restore(&mut dec).unwrap();
+                    dec.finish().unwrap();
+                }
+                let fit_a: Vec<f32> = pop_a.iter().map(|x| f(x)).collect();
+                let fit_b: Vec<f32> = pop_b.iter().map(|x| f(x)).collect();
+                a.tell(&pop_a, &fit_a).unwrap();
+                b.tell(&pop_b, &fit_b).unwrap();
+                let mut enc = Encoder::new();
+                b.persist(&mut enc);
+                let bytes = enc.into_bytes();
+                b = CmaEs::restore(&mut Decoder::new(&bytes)).unwrap();
+
+                assert_eq!(a.generation(), b.generation());
+                assert_eq!(
+                    a.sigma().to_bits(),
+                    b.sigma().to_bits(),
+                    "seed {seed} gen {generation}: sigma diverged"
+                );
+                for (x, y) in a.mean().iter().zip(b.mean()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} gen {generation}");
+                }
+                let (bx_a, bf_a) = a.best().unwrap();
+                let (bx_b, bf_b) = b.best().unwrap();
+                assert_eq!(bf_a.to_bits(), bf_b.to_bits());
+                for (x, y) in bx_a.iter().zip(bx_b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshot() {
+        let es = CmaEs::new(&[0.5; 4], 0.3, 6).unwrap();
+        let mut enc = Encoder::new();
+        es.persist(&mut enc);
+        let mut bytes = enc.into_bytes();
+        // Truncation is a typed error, not a panic.
+        assert!(CmaEs::restore(&mut Decoder::new(&bytes[..bytes.len() - 3])).is_err());
+        // Corrupting the recorded dimension makes the vector lengths
+        // disagree with it.
+        bytes[0] = 250;
+        assert!(CmaEs::restore(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

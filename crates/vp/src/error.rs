@@ -30,6 +30,9 @@ pub enum VpError {
         /// Index of the first NaN entry in the fitness slice.
         index: usize,
     },
+    /// A checkpoint snapshot could not be written or restored (see
+    /// `bprom-ckpt`; the message carries the typed source error).
+    Ckpt(String),
 }
 
 impl fmt::Display for VpError {
@@ -44,6 +47,7 @@ impl fmt::Display for VpError {
             VpError::NanFitness { index } => {
                 write!(f, "NaN fitness at index {index} passed to CmaEs::tell")
             }
+            VpError::Ckpt(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -66,6 +70,12 @@ impl From<TensorError> for VpError {
 impl From<bprom_nn::NnError> for VpError {
     fn from(e: bprom_nn::NnError) -> Self {
         VpError::Model(e.to_string())
+    }
+}
+
+impl From<bprom_ckpt::CkptError> for VpError {
+    fn from(e: bprom_ckpt::CkptError) -> Self {
+        VpError::Ckpt(e.to_string())
     }
 }
 

@@ -1,4 +1,5 @@
 use crate::{Result, VpError};
+use bprom_ckpt::{CkptError, Decoder, Encoder};
 use bprom_tensor::Tensor;
 
 /// Output label mapping between the target task's classes and the source
@@ -111,6 +112,35 @@ impl LabelMap {
         })
     }
 
+    /// Serializes the mapping into `enc` for checkpointing.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_usizes(&self.assignment);
+        enc.put_usize(self.source_classes);
+    }
+
+    /// Rebuilds a mapping from bytes written by [`LabelMap::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Decode`] on truncation or out-of-range
+    /// assignments.
+    pub fn restore(dec: &mut Decoder) -> std::result::Result<Self, CkptError> {
+        let assignment = dec.get_usizes()?;
+        let source_classes = dec.get_usize()?;
+        if assignment.is_empty() {
+            return Err(CkptError::decode("label map snapshot is empty".to_string()));
+        }
+        if let Some(&bad) = assignment.iter().find(|&&s| s >= source_classes) {
+            return Err(CkptError::decode(format!(
+                "label map assigns source class {bad}, only {source_classes} exist"
+            )));
+        }
+        Ok(LabelMap {
+            assignment,
+            source_classes,
+        })
+    }
+
     /// Source class representing target class `t`.
     pub fn source_class(&self, t: usize) -> Option<usize> {
         self.assignment.get(t).copied()
@@ -201,6 +231,24 @@ mod tests {
             Tensor::from_vec(vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1, 0.1, 0.1, 0.8], &[3, 3]).unwrap();
         let acc = map.accuracy(&conf, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn persist_restore_round_trip() {
+        let map = LabelMap::identity(4, 9).unwrap();
+        let mut enc = Encoder::new();
+        map.persist(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = LabelMap::restore(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, map);
+        // An assignment pointing past the source classes is rejected.
+        let mut enc = Encoder::new();
+        enc.put_usizes(&[0, 12]);
+        enc.put_usize(9);
+        let bad = enc.into_bytes();
+        assert!(LabelMap::restore(&mut Decoder::new(&bad)).is_err());
     }
 
     #[test]

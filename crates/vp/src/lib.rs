@@ -56,7 +56,8 @@ pub use label_map::LabelMap;
 pub use prompt::{PromptStyle, VisualPrompt};
 pub use train::{
     prompted_accuracy, prompted_accuracy_blackbox, train_prompt_backprop, train_prompt_cmaes,
-    PromptTrainConfig, PromptTrainReport,
+    train_prompt_cmaes_ckpt, CkptTrainOutcome, CmaesCheckpoint, PromptTrainConfig,
+    PromptTrainReport,
 };
 
 /// Convenience alias for results produced by this crate.

@@ -1,4 +1,5 @@
 use crate::{Result, VpError};
+use bprom_ckpt::{CkptError, Decoder, Encoder};
 use bprom_tensor::{Rng, Tensor};
 
 /// A trainable visual prompt: additive border noise around a downscaled
@@ -263,6 +264,62 @@ impl VisualPrompt {
             .collect()
     }
 
+    /// Serializes the prompt (geometry, style, and the full θ canvas)
+    /// bit-exactly into `enc` for checkpointing.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.channels);
+        enc.put_usize(self.source_size);
+        enc.put_usize(self.border);
+        enc.put_u8(match self.style {
+            PromptStyle::Pad => 0,
+            PromptStyle::Overlay => 1,
+        });
+        enc.put_f32s(self.theta.data());
+    }
+
+    /// Rebuilds a prompt from bytes written by [`VisualPrompt::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Decode`] on truncation, an unknown style tag,
+    /// or geometry that does not match the stored canvas.
+    pub fn restore(dec: &mut Decoder) -> std::result::Result<Self, CkptError> {
+        let channels = dec.get_usize()?;
+        let source_size = dec.get_usize()?;
+        let border = dec.get_usize()?;
+        let style = match dec.get_u8()? {
+            0 => PromptStyle::Pad,
+            1 => PromptStyle::Overlay,
+            other => {
+                return Err(CkptError::decode(format!(
+                    "unknown prompt style tag {other}"
+                )))
+            }
+        };
+        let data = dec.get_f32s()?;
+        if border == 0 || 2 * border >= source_size {
+            return Err(CkptError::decode(format!(
+                "prompt snapshot geometry invalid: border {border}, size {source_size}"
+            )));
+        }
+        if data.len() != channels * source_size * source_size {
+            return Err(CkptError::decode(format!(
+                "prompt canvas has {} values, geometry needs {}",
+                data.len(),
+                channels * source_size * source_size
+            )));
+        }
+        let theta = Tensor::from_vec(data, &[channels, source_size, source_size])
+            .map_err(|e| CkptError::decode(format!("prompt canvas: {e}")))?;
+        Ok(VisualPrompt {
+            theta,
+            channels,
+            source_size,
+            border,
+            style,
+        })
+    }
+
     /// Installs border parameters from a flat vector (CMA-ES interface).
     ///
     /// # Errors
@@ -348,6 +405,23 @@ mod tests {
         other.set_flat(&flat).unwrap();
         assert_eq!(other.to_flat(), flat);
         assert!(prompt.set_flat(&flat[1..]).is_err());
+    }
+
+    #[test]
+    fn persist_restore_round_trip() {
+        let mut rng = Rng::new(6);
+        let prompt = VisualPrompt::random(3, 16, 4, &mut rng)
+            .unwrap()
+            .with_style(PromptStyle::Pad);
+        let mut enc = Encoder::new();
+        prompt.persist(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = VisualPrompt::restore(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, prompt);
+        // Truncated payloads are typed errors.
+        assert!(VisualPrompt::restore(&mut Decoder::new(&bytes[..10])).is_err());
     }
 
     #[test]

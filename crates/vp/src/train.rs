@@ -2,7 +2,8 @@
 //! CMA-ES for suspicious models (black-box), plus prompted-accuracy
 //! evaluation.
 
-use crate::{BlackBoxModel, CmaEs, LabelMap, Result, VisualPrompt, VpError};
+use crate::{BlackBoxModel, CmaEs, LabelMap, OracleStats, Result, VisualPrompt, VpError};
+use bprom_ckpt::{crash_point, Decoder, Encoder, SnapshotStore};
 use bprom_nn::loss::softmax_cross_entropy;
 use bprom_nn::{Layer, Mode, Sequential};
 use bprom_tensor::{Rng, Tensor};
@@ -170,6 +171,40 @@ pub fn train_prompt_backprop(
     })
 }
 
+/// Where a checkpointed CMA-ES run persists its per-generation state.
+///
+/// Each generation's complete optimizer state — distribution mean and
+/// covariance factors, evolution paths, step size, the caller's RNG
+/// stream position, loss history and query/fault accounting — is written
+/// as one atomic snapshot under `name`, so a crash at any point loses at
+/// most the generation in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct CmaesCheckpoint<'a> {
+    /// Store receiving the per-generation snapshots.
+    pub store: &'a SnapshotStore,
+    /// Snapshot name (one CMA-ES run per name).
+    pub name: &'a str,
+}
+
+/// Outcome of a checkpointed CMA-ES run: the ordinary report plus the
+/// accounting carried over from progress made before a crash.
+///
+/// `report.queries` and `report.penalized_candidates` already *include*
+/// the carried amounts; the `carried_*` fields exist so a caller that
+/// meters live traffic separately (e.g. `Bprom::inspect` through a
+/// `CountingOracle` created after the restart) can reconstruct the
+/// uninterrupted totals exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptTrainOutcome {
+    /// The training report, with carried accounting folded in.
+    pub report: PromptTrainReport,
+    /// Oracle queries consumed by pre-crash generations (0 when the run
+    /// was never interrupted).
+    pub carried_queries: u64,
+    /// Fault/retry accounting accumulated by pre-crash generations.
+    pub carried_stats: OracleStats,
+}
+
 /// Learns a visual prompt for a black-box model with CMA-ES over the
 /// border parameters, minimizing cross-entropy of the queried confidence
 /// vectors. This is how BPROM prompts the suspicious model.
@@ -186,6 +221,37 @@ pub fn train_prompt_cmaes(
     cfg: &PromptTrainConfig,
     rng: &mut Rng,
 ) -> Result<PromptTrainReport> {
+    Ok(train_prompt_cmaes_ckpt(oracle, prompt, images, labels, map, cfg, rng, None)?.report)
+}
+
+/// Checkpointed variant of [`train_prompt_cmaes`]: with a
+/// [`CmaesCheckpoint`], every generation ends with an atomic snapshot of
+/// the full optimizer state, and a later call against the same store
+/// resumes from the last completed generation with a bit-identical RNG
+/// stream, losses, and query/fault accounting.
+///
+/// Resume semantics: the snapshot *overwrites* `rng` with the stream
+/// position recorded at the last completed generation, so the continued
+/// run consumes exactly the draws the uninterrupted run would have.
+/// `prompt` must be the same template the original call started from
+/// (deterministic replay of the caller guarantees this); its border
+/// values are fully overwritten by the best candidate at the end.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches, optimizer misuse, or a
+/// snapshot that fails to write or validate ([`VpError::Ckpt`]).
+#[allow(clippy::too_many_arguments)]
+pub fn train_prompt_cmaes_ckpt(
+    oracle: &dyn BlackBoxModel,
+    prompt: &mut VisualPrompt,
+    images: &Tensor,
+    labels: &[usize],
+    map: &LabelMap,
+    cfg: &PromptTrainConfig,
+    rng: &mut Rng,
+    ckpt: Option<CmaesCheckpoint<'_>>,
+) -> Result<CkptTrainOutcome> {
     check_training_set(images, labels)?;
     let n = images.shape()[0];
     let mapped: Vec<usize> = labels
@@ -193,6 +259,7 @@ pub fn train_prompt_cmaes(
         .map(|&l| map.map_label(l))
         .collect::<Result<_>>()?;
     let start_queries = oracle.queries_used();
+    let stats_start = oracle.oracle_stats();
     let pop = if cfg.cmaes_population == 0 {
         CmaEs::default_population(prompt.num_border_params())
     } else {
@@ -202,8 +269,45 @@ pub fn train_prompt_cmaes(
     let mut losses = Vec::with_capacity(cfg.cmaes_generations);
     let template = prompt.clone();
     let penalized = AtomicU64::new(0);
+    let mut start_gen = 0usize;
+    let mut carried_queries = 0u64;
+    let mut carried_stats = OracleStats::default();
+    if let Some(ckpt) = &ckpt {
+        if let Some(bytes) = ckpt.store.load(ckpt.name)? {
+            let mut dec = Decoder::new(&bytes);
+            let gens_done = dec.get_usize()?;
+            if gens_done > cfg.cmaes_generations {
+                return Err(VpError::Ckpt(format!(
+                    "snapshot {} holds {gens_done} generations, run wants {}",
+                    ckpt.name, cfg.cmaes_generations
+                )));
+            }
+            let restored = CmaEs::restore(&mut dec)?;
+            let state = dec.get_u64s()?;
+            let spare = dec.get_opt_f32()?;
+            let restored_losses = dec.get_f32s()?;
+            let restored_penalized = dec.get_u64()?;
+            carried_queries = dec.get_u64()?;
+            carried_stats = OracleStats {
+                faults_injected: dec.get_u64()?,
+                degraded_responses: dec.get_u64()?,
+                retries: dec.get_u64()?,
+                retry_exhausted: dec.get_u64()?,
+                backoff_virtual_ms: dec.get_u64()?,
+            };
+            dec.finish()?;
+            let state: [u64; 4] = state.as_slice().try_into().map_err(|_| {
+                VpError::Ckpt(format!("snapshot {} has a malformed RNG state", ckpt.name))
+            })?;
+            es = restored;
+            losses = restored_losses;
+            penalized.store(restored_penalized, Ordering::Relaxed);
+            *rng = Rng::from_state(state, spare);
+            start_gen = gens_done;
+        }
+    }
     bprom_obs::span!("cmaes_prompt_training");
-    for _gen in 0..cfg.cmaes_generations {
+    for _gen in start_gen..cfg.cmaes_generations {
         let gen_start = bprom_obs::enabled().then(std::time::Instant::now);
         // One shared minibatch per generation: candidates are ranked on the
         // same data, resampled across generations for coverage.
@@ -250,15 +354,45 @@ pub fn train_prompt_cmaes(
             bprom_obs::observe("cmaes.generation_ns", gen_start.elapsed().as_nanos() as u64);
             bprom_obs::event("cmaes.best_fitness", f64::from(best));
         }
+        if let Some(ckpt) = &ckpt {
+            // The generation is complete: all candidate queries are in,
+            // `tell` has updated the distribution, and the RNG stream sits
+            // exactly where the next generation will read it. Persist
+            // everything a resumed process needs, then mark the boundary.
+            let mut enc = Encoder::new();
+            enc.put_usize(losses.len());
+            es.persist(&mut enc);
+            let (state, spare) = rng.state();
+            enc.put_u64s(&state);
+            enc.put_opt_f32(spare);
+            enc.put_f32s(&losses);
+            enc.put_u64(penalized.load(Ordering::Relaxed));
+            enc.put_u64(carried_queries + (oracle.queries_used() - start_queries));
+            let stats = oracle
+                .oracle_stats()
+                .delta_since(&stats_start)
+                .merged(&carried_stats);
+            enc.put_u64(stats.faults_injected);
+            enc.put_u64(stats.degraded_responses);
+            enc.put_u64(stats.retries);
+            enc.put_u64(stats.retry_exhausted);
+            enc.put_u64(stats.backoff_virtual_ms);
+            ckpt.store.save(ckpt.name, &enc.into_bytes())?;
+            crash_point("cmaes-generation");
+        }
     }
     // Install the best-ever candidate.
     if let Some((best, _)) = es.best() {
         prompt.set_flat(best)?;
     }
-    Ok(PromptTrainReport {
-        losses,
-        queries: oracle.queries_used() - start_queries,
-        penalized_candidates: penalized.load(Ordering::Relaxed),
+    Ok(CkptTrainOutcome {
+        report: PromptTrainReport {
+            losses,
+            queries: carried_queries + (oracle.queries_used() - start_queries),
+            penalized_candidates: penalized.load(Ordering::Relaxed),
+        },
+        carried_queries,
+        carried_stats,
     })
 }
 

@@ -1,0 +1,27 @@
+//! Crash-safety contract of the `bprom-ckpt` subsystem, driven through
+//! the `ckpt_fixture` binary: a pipeline killed at a checkpoint boundary
+//! and resumed must produce a detection report byte-identical to an
+//! uninterrupted run. The full boundary sweep (every kill point × thread
+//! counts × hostile oracle) runs in CI; here a spread of kill points at
+//! one thread count keeps tier-1 wall-clock bounded while still crossing
+//! every stage kind (manifest, shadow, CMA-ES generation, prompt, meta,
+//! zoo, verdict).
+
+use std::process::Command;
+
+#[test]
+fn kill_resume_sweep_is_byte_identical() {
+    let status = Command::new(env!("CARGO_BIN_EXE_ckpt_fixture"))
+        .args([
+            "--sweep",
+            "--threads",
+            "2",
+            "--points",
+            "1,3,9,14,19,23,27,32",
+        ])
+        .env_remove("BPROM_CRASH_AFTER")
+        .env_remove("BPROM_CKPT_DIR")
+        .status()
+        .expect("spawn ckpt_fixture");
+    assert!(status.success(), "kill-resume sweep failed: {status}");
+}
