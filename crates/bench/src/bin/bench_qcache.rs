@@ -1,0 +1,147 @@
+//! Query-cache benchmark: measures (a) the real provider-side hit rate
+//! the cache achieves on the pipeline's own workload — a CMA-ES prompt
+//! search followed by the prompted-accuracy pass, exactly the suspicious
+//! -model inspection path — and (b) the wall-clock overhead the cache
+//! layer adds on a pure-miss adversarial stream (every batch unique, so
+//! digesting and bookkeeping buy nothing). Writes `BENCH_qcache.json`;
+//! the acceptance targets are a strictly positive hit rate on the
+//! pipeline workload and < 5 % overhead at a 0 % hit rate (gated in CI).
+
+use bprom_bench::{header, quick, row};
+use bprom_data::SynthDataset;
+use bprom_nn::models::{mlp, ModelSpec};
+use bprom_obs::{ToJson, Value};
+use bprom_qcache::{CacheConfig, CachingOracle};
+use bprom_tensor::{Rng, Tensor};
+use bprom_vp::{
+    prompted_accuracy_blackbox, train_prompt_cmaes, BlackBoxModel, LabelMap, PromptTrainConfig,
+    QueryOracle, VisualPrompt,
+};
+use std::time::Instant;
+
+fn oracle() -> QueryOracle {
+    let mut rng = Rng::new(100);
+    let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).expect("model");
+    QueryOracle::new(model, 10)
+}
+
+/// Leg A: the inspection workload — CMA-ES prompt learning plus the
+/// prompted-accuracy replay — through an unbounded cache. Returns
+/// (hit_rate, hits, misses, logical, provider).
+fn pipeline_hit_rate() -> (f64, u64, u64, u64, u64) {
+    let cached = CachingOracle::new(oracle(), CacheConfig::unbounded());
+    let mut rng = Rng::new(200);
+    let target = SynthDataset::Stl10.generate(10, 16, 9).expect("dataset");
+    let map = LabelMap::identity(10, 10).expect("map");
+    let mut prompt = VisualPrompt::random(3, 16, 4, &mut rng).expect("prompt");
+    let config = PromptTrainConfig {
+        cmaes_generations: if quick() { 6 } else { 15 },
+        cmaes_population: 8,
+        ..PromptTrainConfig::default()
+    };
+    train_prompt_cmaes(
+        &cached,
+        &mut prompt,
+        &target.images,
+        &target.labels,
+        &map,
+        &config,
+        &mut rng,
+    )
+    .expect("cmaes");
+    // The accuracy pass replays prompted content the search already paid
+    // for — the same call Bprom::inspect makes after installing θ*.
+    prompted_accuracy_blackbox(&cached, &prompt, &target.images, &target.labels, &map)
+        .expect("accuracy");
+    let (hits, misses) = (cached.hits(), cached.misses());
+    let logical = cached.queries_used();
+    let provider = cached.inner().queries_used();
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    (rate, hits, misses, logical, provider)
+}
+
+/// Times one pass of a pure-miss stream (every batch unique) through
+/// `oracle`; the stream is pre-generated so only the query path is
+/// timed.
+fn time_stream(oracle: &dyn BlackBoxModel, batches: &[Tensor]) -> f64 {
+    let t0 = Instant::now();
+    for b in batches {
+        std::hint::black_box(oracle.query(b).expect("query"));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Leg B: 0 %-hit overhead — the same unique-batch stream through a bare
+/// oracle and through an LRU cache that never hits. Both legs are
+/// repeated and the minimum kept, so scheduler noise does not decide a
+/// 5 % gate. Returns (bare_s, cached_s, hit_rate_check).
+fn adversarial_overhead() -> (f64, f64, f64) {
+    let mut rng = Rng::new(300);
+    let rounds = if quick() { 40 } else { 160 };
+    let batches: Vec<Tensor> = (0..rounds)
+        .map(|_| Tensor::rand_uniform(&[16, 3, 16, 16], 0.0, 1.0, &mut rng))
+        .collect();
+
+    let bare = oracle();
+    // Warm both code paths once, then keep the fastest of three passes.
+    // Every timed cached pass gets a *fresh* cache: replaying the stream
+    // into a warm cache would measure hits, not the pure-miss tax.
+    time_stream(&bare, &batches[..batches.len().min(4)]);
+    time_stream(
+        &CachingOracle::new(oracle(), CacheConfig::lru(4096)),
+        &batches[..batches.len().min(4)],
+    );
+    let bare_s = (0..3)
+        .map(|_| time_stream(&bare, &batches))
+        .fold(f64::INFINITY, f64::min);
+    let mut cached_s = f64::INFINITY;
+    let mut rate = f64::NAN;
+    for _ in 0..3 {
+        let cached = CachingOracle::new(oracle(), CacheConfig::lru(4096));
+        cached_s = cached_s.min(time_stream(&cached, &batches));
+        rate = cached.hits() as f64 / (cached.hits() + cached.misses()).max(1) as f64;
+    }
+    (bare_s, cached_s, rate)
+}
+
+fn main() {
+    header(
+        "bprom-qcache: pipeline hit rate & pure-miss overhead",
+        &["leg", "value"],
+    );
+
+    let (hit_rate, hits, misses, logical, provider) = pipeline_hit_rate();
+    row("pipeline_hit_rate", &[hit_rate as f32]);
+    println!(
+        "  CMA-ES + accuracy pass: {hits} hits / {misses} misses \
+         ({logical} logical queries, {provider} sent to the provider)"
+    );
+
+    let (bare_s, cached_s, miss_rate_check) = adversarial_overhead();
+    let overhead = cached_s / bare_s.max(1e-9) - 1.0;
+    row("bare_s", &[bare_s as f32]);
+    row("cached_s", &[cached_s as f32]);
+    row("overhead_frac", &[overhead as f32]);
+    println!(
+        "  pure-miss stream: {:.2} % cache overhead (target < 5 %; stream hit rate {:.3})",
+        overhead * 100.0,
+        miss_rate_check
+    );
+
+    let json = Value::object(vec![
+        ("hit_rate", hit_rate.to_json()),
+        ("cache_hits", hits.to_json()),
+        ("cache_misses", misses.to_json()),
+        ("logical_queries", logical.to_json()),
+        ("provider_queries", provider.to_json()),
+        ("bare_s", bare_s.to_json()),
+        ("cached_s", cached_s.to_json()),
+        ("overhead_frac", overhead.to_json()),
+        ("adversarial_hit_rate", miss_rate_check.to_json()),
+    ])
+    .to_pretty();
+    match std::fs::write("BENCH_qcache.json", &json) {
+        Ok(()) => println!("written -> BENCH_qcache.json"),
+        Err(e) => eprintln!("BENCH_qcache.json write failed: {e}"),
+    }
+}

@@ -3,6 +3,7 @@ use bprom_attacks::AttackKind;
 use bprom_data::SynthDataset;
 use bprom_nn::models::Architecture;
 use bprom_nn::TrainConfig;
+use bprom_qcache::CacheConfig;
 use bprom_vp::PromptTrainConfig;
 
 /// How shadow-model prompts are learned.
@@ -65,6 +66,13 @@ pub struct BpromConfig {
     /// Optimizer used for shadow prompts (suspicious models always use
     /// CMA-ES — the defender has no gradients there).
     pub shadow_prompting: ShadowPrompting,
+    /// Query-cache policy applied to every oracle the pipeline builds
+    /// (shadow prompting and suspicious-model inspection). Defaults to
+    /// unbounded memoization; `BPROM_QCACHE=off|mem|lru:<n>` overrides
+    /// the default at construction time. Part of the config fingerprint,
+    /// so a checkpointed run cannot silently resume under a different
+    /// cache policy.
+    pub cache: CacheConfig,
 }
 
 impl BpromConfig {
@@ -87,6 +95,7 @@ impl BpromConfig {
             probe_count: 32,
             forest_trees: 300,
             shadow_prompting: ShadowPrompting::default(),
+            cache: CacheConfig::from_env_or(CacheConfig::unbounded()),
         }
     }
 

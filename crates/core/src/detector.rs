@@ -22,6 +22,11 @@ use std::time::Instant;
 pub struct InspectBudget {
     /// Oracle images spent learning the CMA-ES prompt.
     pub prompt_queries: u64,
+    /// Oracle images spent measuring the learned prompt's accuracy on
+    /// the target training split (this pass replays images the prompt
+    /// search already queried, so with the query cache enabled most of
+    /// it is served without provider spend).
+    pub accuracy_queries: u64,
     /// Oracle images spent extracting the probe feature.
     pub probe_queries: u64,
     /// Wall-clock of the prompt-learning phase, in nanoseconds.
@@ -46,12 +51,20 @@ pub struct InspectBudget {
     /// CMA-ES candidates skipped with an infinite penalty because their
     /// queries exhausted all retries.
     pub penalized_candidates: u64,
+    /// Query rows served from the content-addressed cache instead of the
+    /// provider (0 with `BPROM_QCACHE=off`; see `bprom-qcache`).
+    pub cache_hits: u64,
+    /// Deduplicated query rows the cache forwarded to the provider.
+    pub cache_misses: u64,
+    /// Cache entries evicted by a bounded-memory (`lru:<n>`) policy.
+    pub cache_evictions: u64,
 }
 
 impl InspectBudget {
-    /// Total oracle images spent.
+    /// Total oracle images spent (logical spend: cache hits included, so
+    /// the figure is identical whether or not caching is enabled).
     pub fn total_queries(&self) -> u64 {
-        self.prompt_queries + self.probe_queries
+        self.prompt_queries + self.accuracy_queries + self.probe_queries
     }
 
     /// Whether the oracle stack misbehaved at all during this inspection.
@@ -68,6 +81,10 @@ pub struct Verdict {
     pub score: f32,
     /// Hard decision at threshold 0.5.
     pub backdoored: bool,
+    /// Accuracy of the prompted suspicious model on the target training
+    /// split (measured black-box after the CMA-ES search installs its
+    /// best prompt).
+    pub prompted_accuracy: f32,
     /// Black-box queries consumed inspecting this model.
     pub queries: u64,
     /// Exact per-phase query and wall-clock breakdown.
@@ -77,9 +94,11 @@ pub struct Verdict {
 fn encode_verdict(enc: &mut Encoder, v: &Verdict) {
     enc.put_f32(v.score);
     enc.put_bool(v.backdoored);
+    enc.put_f32(v.prompted_accuracy);
     enc.put_u64(v.queries);
     let b = &v.budget;
     enc.put_u64(b.prompt_queries);
+    enc.put_u64(b.accuracy_queries);
     enc.put_u64(b.probe_queries);
     enc.put_u64(b.prompt_ns);
     enc.put_u64(b.probe_ns);
@@ -90,15 +109,20 @@ fn encode_verdict(enc: &mut Encoder, v: &Verdict) {
     enc.put_u64(b.degraded_responses);
     enc.put_u64(b.backoff_virtual_ms);
     enc.put_u64(b.penalized_candidates);
+    enc.put_u64(b.cache_hits);
+    enc.put_u64(b.cache_misses);
+    enc.put_u64(b.cache_evictions);
 }
 
 fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
     Ok(Verdict {
         score: dec.get_f32()?,
         backdoored: dec.get_bool()?,
+        prompted_accuracy: dec.get_f32()?,
         queries: dec.get_u64()?,
         budget: InspectBudget {
             prompt_queries: dec.get_u64()?,
+            accuracy_queries: dec.get_u64()?,
             probe_queries: dec.get_u64()?,
             prompt_ns: dec.get_u64()?,
             probe_ns: dec.get_u64()?,
@@ -109,6 +133,9 @@ fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
             degraded_responses: dec.get_u64()?,
             backoff_virtual_ms: dec.get_u64()?,
             penalized_candidates: dec.get_u64()?,
+            cache_hits: dec.get_u64()?,
+            cache_misses: dec.get_u64()?,
+            cache_evictions: dec.get_u64()?,
         },
     })
 }
@@ -121,20 +148,29 @@ impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} (score {:.2}) — {} queries ({} prompt + {} probe) in {} ({} prompt, {} probe)",
+            "{} (score {:.2}, prompted acc {:.2}) — {} queries ({} prompt + {} accuracy + {} probe) in {} ({} prompt, {} probe)",
             if self.backdoored {
                 "BACKDOORED"
             } else {
                 "clean"
             },
             self.score,
+            self.prompted_accuracy,
             self.queries,
             self.budget.prompt_queries,
+            self.budget.accuracy_queries,
             self.budget.probe_queries,
             fmt_secs(self.budget.total_ns),
             fmt_secs(self.budget.prompt_ns),
             fmt_secs(self.budget.probe_ns),
         )?;
+        if self.budget.cache_hits + self.budget.cache_misses > 0 {
+            write!(
+                f,
+                " [cache: {} hits / {} misses, {} evictions]",
+                self.budget.cache_hits, self.budget.cache_misses, self.budget.cache_evictions,
+            )?;
+        }
         if self.budget.degraded() || self.budget.retries > 0 {
             write!(
                 f,
@@ -354,6 +390,23 @@ impl Bprom {
         };
         let prompt_queries = outcome.report.queries;
         let prompt_ns = start.elapsed().as_nanos() as u64;
+        // Measure the learned prompt on the target training split. The
+        // pass re-submits prompted images the CMA-ES search already
+        // queried (the winning candidate's generation minibatch), so with
+        // the query cache enabled part of it costs no provider spend. It
+        // consumes no RNG — scores are unchanged by its presence.
+        let queries_before_accuracy = counting.local_queries();
+        let prompted_accuracy = {
+            bprom_obs::span!("prompted_accuracy");
+            bprom_vp::prompted_accuracy_blackbox(
+                &counting,
+                &prompt,
+                &self.t_train.images,
+                &self.t_train.labels,
+                &self.map,
+            )?
+        };
+        let accuracy_queries = counting.local_queries() - queries_before_accuracy;
         let feature = {
             bprom_obs::span!("probe_features");
             probe_features_blackbox(&counting, &prompt, &self.probes)?
@@ -379,11 +432,15 @@ impl Bprom {
         let verdict = Verdict {
             score,
             backdoored: score > 0.5,
+            prompted_accuracy,
             queries,
             budget: InspectBudget {
                 prompt_queries,
-                probe_queries: queries - prompt_queries,
+                accuracy_queries,
+                probe_queries: queries - prompt_queries - accuracy_queries,
                 prompt_ns,
+                // Everything after the prompt phase (accuracy measurement,
+                // probe queries, meta prediction).
                 probe_ns: total_ns - prompt_ns,
                 total_ns,
                 faults_injected: faults.faults_injected,
@@ -392,6 +449,9 @@ impl Bprom {
                 degraded_responses: faults.degraded_responses,
                 backoff_virtual_ms: faults.backoff_virtual_ms,
                 penalized_candidates: outcome.report.penalized_candidates,
+                cache_hits: faults.cache_hits,
+                cache_misses: faults.cache_misses,
+                cache_evictions: faults.cache_evictions,
             },
         };
         if let Some(ck) = ckpt {
@@ -473,7 +533,9 @@ mod tests {
         // The budget decomposes the total exactly, and both phases ran.
         assert_eq!(verdict.budget.total_queries(), verdict.queries);
         assert!(verdict.budget.prompt_queries > 0);
+        assert!(verdict.budget.accuracy_queries > 0);
         assert!(verdict.budget.probe_queries > 0);
+        assert!((0.0..=1.0).contains(&verdict.prompted_accuracy));
         assert!(verdict.budget.prompt_ns > 0);
         assert!(verdict.budget.total_ns >= verdict.budget.prompt_ns);
         // Display mentions the decision and the query budget.

@@ -61,6 +61,7 @@ pub mod resume;
 pub mod shadow;
 pub mod suspicious;
 
+pub use bprom_qcache::{CacheConfig, CacheMode, QCACHE_ENV};
 pub use config::{BpromConfig, ShadowPrompting};
 pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;

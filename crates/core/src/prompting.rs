@@ -7,6 +7,7 @@ use crate::resume::{Checkpointer, Decoder};
 use crate::{BpromConfig, BpromError, Result, ShadowModel, ShadowSet};
 use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
+use bprom_qcache::CachingOracle;
 use bprom_tensor::Rng;
 use bprom_vp::{
     train_prompt_backprop, train_prompt_cmaes_ckpt, BlackBoxModel, CkptTrainOutcome,
@@ -109,9 +110,11 @@ pub fn prompt_shadows_ckpt(
             }
             ShadowPrompting::CmaEs => {
                 // Temporarily seal the shadow behind the oracle so the
-                // exact suspicious-model code path runs.
+                // exact suspicious-model code path runs — including the
+                // query cache, whose policy comes from the same config as
+                // the suspicious-model side.
                 let model = std::mem::replace(&mut shadow.model, crate::shadow::empty_model());
-                let oracle = QueryOracle::new(model, num_classes);
+                let oracle = CachingOracle::new(QueryOracle::new(model, num_classes), config.cache);
                 let outcome = train_prompt_cmaes_ckpt(
                     &oracle,
                     &mut prompt,
@@ -125,7 +128,7 @@ pub fn prompt_shadows_ckpt(
                         name: &cmaes_name,
                     }),
                 )?;
-                shadow.model = oracle.into_inner();
+                shadow.model = oracle.into_inner().into_inner();
                 outcome.report.losses.last().copied().unwrap_or(f32::NAN)
             }
         };

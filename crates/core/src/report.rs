@@ -5,6 +5,7 @@ use crate::resume::Checkpointer;
 use crate::{Bprom, Result, SuspiciousModel, Verdict};
 use bprom_metrics::{auroc, f1_score};
 use bprom_obs::{FromJson, ToJson, Value};
+use bprom_qcache::CachingOracle;
 use bprom_tensor::Rng;
 use bprom_vp::QueryOracle;
 
@@ -15,6 +16,9 @@ pub struct DetectionReport {
     pub scores: Vec<f32>,
     /// Ground-truth labels, in zoo order.
     pub labels: Vec<bool>,
+    /// Prompted-model accuracy on the target training split, in zoo
+    /// order (see `Verdict::prompted_accuracy`).
+    pub prompted_accuracies: Vec<f32>,
     /// Area under the ROC curve.
     pub auroc: f32,
     /// F1 score at the 0.5 decision threshold.
@@ -30,6 +34,16 @@ pub struct DetectionReport {
     pub total_faults: u64,
     /// Retry attempts absorbed over the whole zoo.
     pub total_retries: u64,
+    /// CMA-ES candidates penalized (retry budget exhausted) over the
+    /// whole zoo.
+    pub total_penalized: u64,
+    /// Query rows served from the content-addressed cache over the whole
+    /// zoo (0 with `BPROM_QCACHE=off`; see `bprom-qcache`).
+    pub total_cache_hits: u64,
+    /// Deduplicated query rows the cache forwarded to the provider.
+    pub total_cache_misses: u64,
+    /// Cache entries evicted by a bounded-memory policy.
+    pub total_cache_evictions: u64,
 }
 
 /// Inspects every model in the zoo and computes AUROC / F1.
@@ -53,9 +67,11 @@ pub fn evaluate_detector(
 
 /// Variant of [`evaluate_detector`] that delegates each inspection to a
 /// caller-supplied closure. The closure receives the sealed base oracle
-/// by value and may stack arbitrary decorators on it (fault injection,
-/// retries, extra metering — see `bprom-faults`) before calling
-/// [`Bprom::inspect`]; fault/retry totals from the verdicts are
+/// by value — already wrapped in the detector's query cache (see
+/// `bprom-qcache`; `CacheConfig::off()` makes the wrapper a passthrough)
+/// — and may stack arbitrary decorators on it (fault injection, retries,
+/// extra metering — see `bprom-faults`) before calling
+/// [`Bprom::inspect`]; fault/retry/cache totals from the verdicts are
 /// aggregated into the report.
 ///
 /// # Errors
@@ -69,7 +85,7 @@ pub fn evaluate_detector_via<F>(
     mut inspect: F,
 ) -> Result<DetectionReport>
 where
-    F: FnMut(&Bprom, QueryOracle, &mut Rng) -> Result<Verdict>,
+    F: FnMut(&Bprom, CachingOracle<QueryOracle>, &mut Rng) -> Result<Verdict>,
 {
     evaluate_detector_ckpt(detector, zoo, rng, None, |detector, oracle, rng, _, _| {
         inspect(detector, oracle, rng)
@@ -94,26 +110,48 @@ pub fn evaluate_detector_ckpt<F>(
     mut inspect: F,
 ) -> Result<DetectionReport>
 where
-    F: FnMut(&Bprom, QueryOracle, &mut Rng, Option<&Checkpointer>, &str) -> Result<Verdict>,
+    F: FnMut(
+        &Bprom,
+        CachingOracle<QueryOracle>,
+        &mut Rng,
+        Option<&Checkpointer>,
+        &str,
+    ) -> Result<Verdict>,
 {
     bprom_obs::span!("evaluate_detector");
     let num_classes = detector.config().source_dataset.num_classes();
     let mut scores = Vec::with_capacity(zoo.len());
     let mut labels = Vec::with_capacity(zoo.len());
+    let mut prompted_accuracies = Vec::with_capacity(zoo.len());
     let mut total_queries = 0u64;
     let mut total_ns = 0u64;
     let mut total_faults = 0u64;
     let mut total_retries = 0u64;
+    let mut total_penalized = 0u64;
+    let mut total_cache_hits = 0u64;
+    let mut total_cache_misses = 0u64;
+    let mut total_cache_evictions = 0u64;
     let n = zoo.len();
     for (i, suspicious) in zoo.into_iter().enumerate() {
-        let oracle = QueryOracle::new(suspicious.model, num_classes);
+        // One cache per suspicious model: the cache key is the query
+        // content only, so sharing entries across models would serve one
+        // model's confidences for another.
+        let oracle = CachingOracle::new(
+            QueryOracle::new(suspicious.model, num_classes),
+            detector.config().cache,
+        );
         let verdict = inspect(detector, oracle, rng, ckpt, &i.to_string())?;
         scores.push(verdict.score);
         labels.push(suspicious.backdoored);
+        prompted_accuracies.push(verdict.prompted_accuracy);
         total_queries += verdict.queries;
         total_ns += verdict.budget.total_ns;
         total_faults += verdict.budget.faults_injected;
         total_retries += verdict.budget.retries;
+        total_penalized += verdict.budget.penalized_candidates;
+        total_cache_hits += verdict.budget.cache_hits;
+        total_cache_misses += verdict.budget.cache_misses;
+        total_cache_evictions += verdict.budget.cache_evictions;
     }
     let auroc = auroc(&scores, &labels)?;
     let predictions: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
@@ -121,6 +159,7 @@ where
     Ok(DetectionReport {
         scores,
         labels,
+        prompted_accuracies,
         auroc,
         f1,
         mean_queries: total_queries as f32 / n.max(1) as f32,
@@ -128,6 +167,10 @@ where
         mean_inspect_ms: total_ns as f32 / 1e6 / n.max(1) as f32,
         total_faults,
         total_retries,
+        total_penalized,
+        total_cache_hits,
+        total_cache_misses,
+        total_cache_evictions,
     })
 }
 
@@ -196,6 +239,7 @@ impl ToJson for DetectionReport {
         Value::object(vec![
             ("scores", self.scores.to_json()),
             ("labels", self.labels.to_json()),
+            ("prompted_accuracies", self.prompted_accuracies.to_json()),
             ("auroc", self.auroc.to_json()),
             ("f1", self.f1.to_json()),
             ("mean_queries", self.mean_queries.to_json()),
@@ -203,6 +247,13 @@ impl ToJson for DetectionReport {
             ("mean_inspect_ms", self.mean_inspect_ms.to_json()),
             ("total_faults", self.total_faults.to_json()),
             ("total_retries", self.total_retries.to_json()),
+            ("total_penalized", self.total_penalized.to_json()),
+            ("total_cache_hits", self.total_cache_hits.to_json()),
+            ("total_cache_misses", self.total_cache_misses.to_json()),
+            (
+                "total_cache_evictions",
+                self.total_cache_evictions.to_json(),
+            ),
         ])
     }
 }
@@ -212,6 +263,7 @@ impl FromJson for DetectionReport {
         Ok(DetectionReport {
             scores: FromJson::from_json(value.require("scores")?)?,
             labels: FromJson::from_json(value.require("labels")?)?,
+            prompted_accuracies: FromJson::from_json(value.require("prompted_accuracies")?)?,
             auroc: FromJson::from_json(value.require("auroc")?)?,
             f1: FromJson::from_json(value.require("f1")?)?,
             mean_queries: FromJson::from_json(value.require("mean_queries")?)?,
@@ -219,6 +271,10 @@ impl FromJson for DetectionReport {
             mean_inspect_ms: FromJson::from_json(value.require("mean_inspect_ms")?)?,
             total_faults: FromJson::from_json(value.require("total_faults")?)?,
             total_retries: FromJson::from_json(value.require("total_retries")?)?,
+            total_penalized: FromJson::from_json(value.require("total_penalized")?)?,
+            total_cache_hits: FromJson::from_json(value.require("total_cache_hits")?)?,
+            total_cache_misses: FromJson::from_json(value.require("total_cache_misses")?)?,
+            total_cache_evictions: FromJson::from_json(value.require("total_cache_evictions")?)?,
         })
     }
 }
@@ -234,6 +290,7 @@ mod tests {
         DetectionReport {
             scores: vec![0.9, 0.1, 0.6, 0.4],
             labels: vec![true, false, true, false],
+            prompted_accuracies: vec![0.5, 0.75, 0.25, 0.9],
             auroc: 1.0,
             f1: 1.0,
             mean_queries: 100.0,
@@ -241,6 +298,10 @@ mod tests {
             mean_inspect_ms: 12.5,
             total_faults: 7,
             total_retries: 5,
+            total_penalized: 2,
+            total_cache_hits: 120,
+            total_cache_misses: 280,
+            total_cache_evictions: 3,
         }
     }
 

@@ -177,6 +177,7 @@ mod tests {
     use bprom_data::SynthDataset;
 
     #[test]
+    #[ignore = "tier-2 model-training sweep; CI runs it via -- --ignored"]
     fn mmbd_scores_backdoored_higher_than_clean() {
         let mut rng = Rng::new(0);
         let data = SynthDataset::Cifar10.generate(25, 16, 11).unwrap();

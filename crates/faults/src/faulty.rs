@@ -1,6 +1,7 @@
 //! The fault-injecting oracle decorator.
 
 use crate::FaultPlan;
+use bprom_ckpt::{Decoder, Encoder};
 use bprom_tensor::{Rng, Tensor};
 use bprom_vp::{BlackBoxModel, OracleStats, QueryOutcome, Result, VpError};
 use std::collections::HashMap;
@@ -156,6 +157,14 @@ impl<F: FaultPlan> BlackBoxModel for FaultyOracle<'_, F> {
             degraded_responses: self.degraded.load(Ordering::Relaxed),
             ..OracleStats::default()
         })
+    }
+
+    fn export_cache(&self, enc: &mut Encoder) -> bool {
+        self.inner.export_cache(enc)
+    }
+
+    fn import_cache(&self, dec: &mut Decoder<'_>) -> Result<()> {
+        self.inner.import_cache(dec)
     }
 }
 

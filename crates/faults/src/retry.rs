@@ -1,5 +1,6 @@
 //! Bounded-retry decorator with virtual-clock exponential backoff.
 
+use bprom_ckpt::{Decoder, Encoder};
 use bprom_tensor::Tensor;
 use bprom_vp::{BlackBoxModel, OracleStats, QueryOutcome, Result, VpError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,6 +152,14 @@ impl BlackBoxModel for RetryingOracle<'_> {
             backoff_virtual_ms: self.backoff_ms.load(Ordering::Relaxed),
             ..OracleStats::default()
         })
+    }
+
+    fn export_cache(&self, enc: &mut Encoder) -> bool {
+        self.inner.export_cache(enc)
+    }
+
+    fn import_cache(&self, dec: &mut Decoder<'_>) -> Result<()> {
+        self.inner.import_cache(dec)
     }
 }
 

@@ -1,0 +1,125 @@
+//! Cache policy configuration and the `BPROM_QCACHE` environment knob.
+
+/// Environment variable selecting the cache policy: `off`, `mem`
+/// (unbounded), or `lru:<n>` (bounded to `n` entries). Unparseable
+/// values fall back to the caller's default, mirroring the lenient
+/// `BPROM_THREADS` handling in `bprom-par`.
+pub const QCACHE_ENV: &str = "BPROM_QCACHE";
+
+/// Cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheMode {
+    /// No caching: the decorator is a zero-overhead passthrough.
+    Off,
+    /// Memoize every distinct query image for the oracle's lifetime.
+    #[default]
+    Unbounded,
+    /// Bounded memory: keep at most `n` entries, evicting the least
+    /// recently used (capacity is split evenly across the lock shards).
+    Lru(usize),
+}
+
+/// Configuration handed to `CachingOracle::new`.
+///
+/// The default is [`CacheMode::Unbounded`] — inspection caches by
+/// default — and [`CacheConfig::from_env`] lets `BPROM_QCACHE` override
+/// it per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheConfig {
+    /// Replacement policy.
+    pub mode: CacheMode,
+}
+
+impl CacheConfig {
+    /// Caching disabled.
+    pub fn off() -> Self {
+        CacheConfig {
+            mode: CacheMode::Off,
+        }
+    }
+
+    /// Unbounded memoization.
+    pub fn unbounded() -> Self {
+        CacheConfig {
+            mode: CacheMode::Unbounded,
+        }
+    }
+
+    /// Bounded LRU with `capacity` total entries (`0` disables caching).
+    pub fn lru(capacity: usize) -> Self {
+        CacheConfig {
+            mode: if capacity == 0 {
+                CacheMode::Off
+            } else {
+                CacheMode::Lru(capacity)
+            },
+        }
+    }
+
+    /// The policy selected by `BPROM_QCACHE`, if the variable is set to a
+    /// well-formed value (`off`, `mem`, or `lru:<n>`).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(QCACHE_ENV).ok()?;
+        Self::parse(&raw)
+    }
+
+    /// [`CacheConfig::from_env`] with a fallback for unset/malformed
+    /// values.
+    pub fn from_env_or(default: Self) -> Self {
+        Self::from_env().unwrap_or(default)
+    }
+
+    fn parse(raw: &str) -> Option<Self> {
+        let raw = raw.trim();
+        if raw.eq_ignore_ascii_case("off") {
+            return Some(Self::off());
+        }
+        if raw.eq_ignore_ascii_case("mem") {
+            return Some(Self::unbounded());
+        }
+        if let Some(n) = raw.strip_prefix("lru:") {
+            if let Ok(n) = n.trim().parse::<usize>() {
+                return Some(Self::lru(n));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        assert_eq!(CacheConfig::parse("off"), Some(CacheConfig::off()));
+        assert_eq!(CacheConfig::parse("OFF"), Some(CacheConfig::off()));
+        assert_eq!(CacheConfig::parse("mem"), Some(CacheConfig::unbounded()));
+        assert_eq!(
+            CacheConfig::parse(" lru:4096 "),
+            Some(CacheConfig::lru(4096))
+        );
+        assert_eq!(
+            CacheConfig::parse("lru:4096").unwrap().mode,
+            CacheMode::Lru(4096)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_lru_is_off() {
+        assert_eq!(CacheConfig::parse("lru:0"), Some(CacheConfig::off()));
+        assert_eq!(CacheConfig::lru(0).mode, CacheMode::Off);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        for bad in ["", "on", "lru", "lru:", "lru:x", "mem:4"] {
+            assert_eq!(CacheConfig::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_unbounded() {
+        assert_eq!(CacheConfig::default().mode, CacheMode::Unbounded);
+    }
+}

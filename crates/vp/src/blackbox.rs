@@ -1,4 +1,5 @@
 use crate::{Result, VpError};
+use bprom_ckpt::{Decoder, Encoder};
 use bprom_nn::{softmax, Layer, Sequential};
 use bprom_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +52,13 @@ pub struct OracleStats {
     /// Virtual backoff time accumulated while retrying, in milliseconds
     /// (no wall-clock sleeping happens; see `bprom-faults::RetryPolicy`).
     pub backoff_virtual_ms: u64,
+    /// Query rows served from a content-addressed cache instead of the
+    /// provider (see `bprom-qcache`).
+    pub cache_hits: u64,
+    /// Deduplicated query rows a cache forwarded to the provider.
+    pub cache_misses: u64,
+    /// Cache entries evicted by a bounded-memory (LRU) policy.
+    pub cache_evictions: u64,
 }
 
 impl OracleStats {
@@ -67,6 +75,9 @@ impl OracleStats {
             backoff_virtual_ms: self
                 .backoff_virtual_ms
                 .saturating_sub(earlier.backoff_virtual_ms),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 
@@ -79,6 +90,9 @@ impl OracleStats {
             retries: self.retries + other.retries,
             retry_exhausted: self.retry_exhausted + other.retry_exhausted,
             backoff_virtual_ms: self.backoff_virtual_ms + other.backoff_virtual_ms,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
         }
     }
 }
@@ -137,6 +151,62 @@ pub trait BlackBoxModel: Send + Sync {
     /// their inner oracle's (see [`OracleStats`]).
     fn oracle_stats(&self) -> OracleStats {
         OracleStats::default()
+    }
+
+    /// Serializes any memoized query state this stack holds (see
+    /// `bprom-qcache`) into `enc`, returning `true` if something was
+    /// written. Oracles without a cache keep this default and return
+    /// `false`; passive decorators forward to their inner oracle so a
+    /// checkpoint snapshot can reach the cache through the whole stack.
+    fn export_cache(&self, enc: &mut Encoder) -> bool {
+        let _ = enc;
+        false
+    }
+
+    /// Restores memoized query state previously written by
+    /// [`BlackBoxModel::export_cache`]. The cacheless default ignores the
+    /// payload; decorators forward to their inner oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the payload is malformed for the receiving
+    /// cache (wrong version, truncated bytes).
+    fn import_cache(&self, dec: &mut Decoder<'_>) -> Result<()> {
+        let _ = dec;
+        Ok(())
+    }
+}
+
+/// Every `&T` is itself a black-box oracle, forwarding to `T`. This lets
+/// owning decorators (e.g. `bprom-qcache`'s `CachingOracle<B>`) wrap a
+/// *borrowed* oracle without a dedicated borrowing variant.
+impl<T: BlackBoxModel + ?Sized> BlackBoxModel for &T {
+    fn query(&self, batch: &Tensor) -> Result<Tensor> {
+        (**self).query(batch)
+    }
+
+    fn try_query_batch(&self, batch: &Tensor) -> Result<QueryOutcome> {
+        (**self).try_query_batch(batch)
+    }
+
+    fn num_classes(&self) -> usize {
+        (**self).num_classes()
+    }
+
+    fn queries_used(&self) -> u64 {
+        (**self).queries_used()
+    }
+
+    fn oracle_stats(&self) -> OracleStats {
+        (**self).oracle_stats()
+    }
+
+    fn export_cache(&self, enc: &mut Encoder) -> bool {
+        (**self).export_cache(enc)
+    }
+
+    fn import_cache(&self, dec: &mut Decoder<'_>) -> Result<()> {
+        (**self).import_cache(dec)
     }
 }
 

@@ -7,6 +7,7 @@
 //! `oracle.query_ns` / `oracle.batch_size` histograms.
 
 use crate::{BlackBoxModel, OracleStats, QueryOutcome, Result};
+use bprom_ckpt::{Decoder, Encoder};
 use bprom_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -107,6 +108,14 @@ impl BlackBoxModel for CountingOracle<'_> {
 
     fn oracle_stats(&self) -> OracleStats {
         self.inner.oracle_stats()
+    }
+
+    fn export_cache(&self, enc: &mut Encoder) -> bool {
+        self.inner.export_cache(enc)
+    }
+
+    fn import_cache(&self, dec: &mut Decoder<'_>) -> Result<()> {
+        self.inner.import_cache(dec)
     }
 }
 

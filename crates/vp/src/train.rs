@@ -294,7 +294,16 @@ pub fn train_prompt_cmaes_ckpt(
                 retries: dec.get_u64()?,
                 retry_exhausted: dec.get_u64()?,
                 backoff_virtual_ms: dec.get_u64()?,
+                cache_hits: dec.get_u64()?,
+                cache_misses: dec.get_u64()?,
+                cache_evictions: dec.get_u64()?,
             };
+            // Restore any memoized query state the killed run had paid
+            // for, so the resumed run re-spends nothing (see bprom-qcache).
+            if dec.get_bool()? {
+                let payload = dec.get_bytes()?;
+                oracle.import_cache(&mut Decoder::new(&payload))?;
+            }
             dec.finish()?;
             let state: [u64; 4] = state.as_slice().try_into().map_err(|_| {
                 VpError::Ckpt(format!("snapshot {} has a malformed RNG state", ckpt.name))
@@ -377,6 +386,16 @@ pub fn train_prompt_cmaes_ckpt(
             enc.put_u64(stats.retries);
             enc.put_u64(stats.retry_exhausted);
             enc.put_u64(stats.backoff_virtual_ms);
+            enc.put_u64(stats.cache_hits);
+            enc.put_u64(stats.cache_misses);
+            enc.put_u64(stats.cache_evictions);
+            let mut cache = Encoder::new();
+            if oracle.export_cache(&mut cache) {
+                enc.put_bool(true);
+                enc.put_bytes(&cache.into_bytes());
+            } else {
+                enc.put_bool(false);
+            }
             ckpt.store.save(ckpt.name, &enc.into_bytes())?;
             crash_point("cmaes-generation");
         }

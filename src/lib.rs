@@ -16,5 +16,6 @@ pub use bprom_metrics as metrics;
 pub use bprom_nn as nn;
 pub use bprom_obs as obs;
 pub use bprom_par as par;
+pub use bprom_qcache as qcache;
 pub use bprom_tensor as tensor;
 pub use bprom_vp as vp;
