@@ -49,16 +49,22 @@ pub fn zoo_config(dataset: SynthDataset, attack: AttackKind) -> ZooConfig {
 }
 
 /// RAII telemetry session for experiment binaries: installs a `bprom-obs`
-/// session on construction and writes the full run snapshot as pretty JSON
-/// on drop.
+/// session plus the `bprom-verdict` audit sink on construction, and on
+/// drop writes the full run snapshot (`telemetry.json`) and the
+/// machine-readable incident report (`incident.json`) as pretty JSON.
 ///
 /// Control via environment:
 /// - `BPROM_TELEMETRY=0` disables collection entirely (zero overhead);
 /// - `BPROM_TELEMETRY_DIR=<dir>` chooses the output directory (default:
-///   current directory). The file is always named `telemetry.json`.
+///   current directory). The files are always named `telemetry.json` and
+///   `incident.json`;
+/// - `BPROM_MODE=learning|strict` selects the incident response mode
+///   (default strict — see `bprom_verdict::Mode`).
 pub struct TelemetryGuard {
     session: Option<bprom_obs::Session>,
+    label: String,
     path: std::path::PathBuf,
+    incident_path: std::path::PathBuf,
 }
 
 impl TelemetryGuard {
@@ -67,9 +73,14 @@ impl TelemetryGuard {
     pub fn begin(label: &str) -> Self {
         let disabled = std::env::var("BPROM_TELEMETRY").is_ok_and(|v| v == "0");
         let dir = std::env::var("BPROM_TELEMETRY_DIR").unwrap_or_else(|_| ".".into());
+        if !disabled {
+            bprom_verdict::sink::install();
+        }
         TelemetryGuard {
             session: (!disabled).then(|| bprom_obs::Session::begin(label)),
+            label: label.to_string(),
             path: std::path::Path::new(&dir).join("telemetry.json"),
+            incident_path: std::path::Path::new(&dir).join("incident.json"),
         }
     }
 
@@ -86,6 +97,24 @@ impl Drop for TelemetryGuard {
             match std::fs::write(&self.path, snapshot.to_json_string()) {
                 Ok(()) => eprintln!("telemetry written to {}", self.path.display()),
                 Err(e) => eprintln!("telemetry write failed ({}): {e}", self.path.display()),
+            }
+            let records = bprom_verdict::sink::drain();
+            let mode = bprom_verdict::Mode::from_env_or(bprom_verdict::Mode::Strict);
+            let report = bprom_verdict::IncidentReport::assemble(
+                &self.label,
+                &bprom_verdict::RulePolicy::default(),
+                mode,
+                &records,
+            );
+            match std::fs::write(&self.incident_path, report.to_json_string()) {
+                Ok(()) => eprintln!(
+                    "incident report written to {}",
+                    self.incident_path.display()
+                ),
+                Err(e) => eprintln!(
+                    "incident write failed ({}): {e}",
+                    self.incident_path.display()
+                ),
             }
         }
     }
@@ -122,6 +151,14 @@ mod tests {
         let snapshot = bprom_obs::TelemetrySnapshot::from_json_str(&json).unwrap();
         assert_eq!(snapshot.counter("guard.test"), 3);
         assert_eq!(snapshot.label, "guard-test");
+        // The guard also emits an incident report (empty: no audits ran)
+        // that passes the schema validator.
+        let json = std::fs::read_to_string(dir.join("incident.json")).unwrap();
+        let report = bprom_verdict::IncidentReport::from_json_str(&json).unwrap();
+        assert_eq!(report.label, "guard-test");
+        assert_eq!(report.audits, 0);
+        let doc = bprom_obs::json::Value::parse(&json).unwrap();
+        bprom_verdict::validate_incident(&doc).unwrap();
     }
 
     #[test]

@@ -4,6 +4,7 @@ use bprom_data::SynthDataset;
 use bprom_nn::models::Architecture;
 use bprom_nn::TrainConfig;
 use bprom_qcache::CacheConfig;
+use bprom_verdict::{Mode, RulePolicy};
 use bprom_vp::PromptTrainConfig;
 
 /// How shadow-model prompts are learned.
@@ -73,6 +74,14 @@ pub struct BpromConfig {
     /// so a checkpointed run cannot silently resume under a different
     /// cache policy.
     pub cache: CacheConfig,
+    /// Response mode for the verdict pipeline: learning records findings
+    /// without flagging, strict flags/quarantines on backdoor evidence.
+    /// Defaults to strict; `BPROM_MODE=learning|strict` overrides the
+    /// default at construction time.
+    pub mode: Mode,
+    /// Thresholds the verdict rules stage matches each audit against
+    /// (see `bprom_verdict::RulePolicy`).
+    pub policy: RulePolicy,
 }
 
 impl BpromConfig {
@@ -96,6 +105,8 @@ impl BpromConfig {
             forest_trees: 300,
             shadow_prompting: ShadowPrompting::default(),
             cache: CacheConfig::from_env_or(CacheConfig::unbounded()),
+            mode: Mode::from_env_or(Mode::Strict),
+            policy: RulePolicy::default(),
         }
     }
 

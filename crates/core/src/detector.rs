@@ -8,6 +8,7 @@ use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_meta::RandomForest;
 use bprom_tensor::Rng;
+use bprom_verdict::{Signals, Timing};
 use bprom_vp::{BlackBoxModel, CmaesCheckpoint, CountingOracle, LabelMap};
 use std::path::Path;
 use std::time::Instant;
@@ -140,49 +141,57 @@ fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
     })
 }
 
-fn fmt_secs(ns: u64) -> String {
-    format!("{:.2}s", ns as f64 / 1e9)
+impl Verdict {
+    /// This verdict's observations in the verdict pipeline's wall-clock-
+    /// free [`Signals`] form — the input to rule evaluation and the
+    /// byte-stable `incident.json` artifact.
+    pub fn signals(&self) -> Signals {
+        Signals {
+            score: self.score,
+            backdoored: self.backdoored,
+            prompted_accuracy: self.prompted_accuracy,
+            queries: self.queries,
+            prompt_queries: self.budget.prompt_queries,
+            accuracy_queries: self.budget.accuracy_queries,
+            probe_queries: self.budget.probe_queries,
+            faults_injected: self.budget.faults_injected,
+            retries: self.budget.retries,
+            retry_exhausted: self.budget.retry_exhausted,
+            degraded_responses: self.budget.degraded_responses,
+            penalized_candidates: self.budget.penalized_candidates,
+            cache_hits: self.budget.cache_hits,
+            cache_misses: self.budget.cache_misses,
+            cache_evictions: self.budget.cache_evictions,
+        }
+    }
+
+    /// The wall-clock portion of the budget, for human rendering (kept
+    /// out of [`Signals`] so incident artifacts stay byte-stable).
+    pub fn timing(&self) -> Timing {
+        Timing {
+            prompt_ns: self.budget.prompt_ns,
+            probe_ns: self.budget.probe_ns,
+            total_ns: self.budget.total_ns,
+        }
+    }
+
+    /// Runs the verdict rules stage over this verdict's signals,
+    /// returning every finding (stable rule ID, severity, reason,
+    /// evidence) the policy raises.
+    pub fn findings(&self, policy: &bprom_verdict::RulePolicy) -> Vec<bprom_verdict::Finding> {
+        policy.evaluate(&self.signals())
+    }
 }
 
 impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} (score {:.2}, prompted acc {:.2}) — {} queries ({} prompt + {} accuracy + {} probe) in {} ({} prompt, {} probe)",
-            if self.backdoored {
-                "BACKDOORED"
-            } else {
-                "clean"
-            },
-            self.score,
-            self.prompted_accuracy,
-            self.queries,
-            self.budget.prompt_queries,
-            self.budget.accuracy_queries,
-            self.budget.probe_queries,
-            fmt_secs(self.budget.total_ns),
-            fmt_secs(self.budget.prompt_ns),
-            fmt_secs(self.budget.probe_ns),
-        )?;
-        if self.budget.cache_hits + self.budget.cache_misses > 0 {
-            write!(
-                f,
-                " [cache: {} hits / {} misses, {} evictions]",
-                self.budget.cache_hits, self.budget.cache_misses, self.budget.cache_evictions,
-            )?;
-        }
-        if self.budget.degraded() || self.budget.retries > 0 {
-            write!(
-                f,
-                " [hostile oracle: {} faults, {} retries, {} exhausted, {} degraded responses, {} penalized candidates]",
-                self.budget.faults_injected,
-                self.budget.retries,
-                self.budget.retry_exhausted,
-                self.budget.degraded_responses,
-                self.budget.penalized_candidates,
-            )?;
-        }
-        Ok(())
+        // One formatting path for human and machine output: `render` is
+        // shared with the bench binaries and fed from the same Signals
+        // that incident.json serializes.
+        f.write_str(&bprom_verdict::render(
+            &self.signals(),
+            Some(&self.timing()),
+        ))
     }
 }
 
@@ -429,6 +438,15 @@ impl Bprom {
             .delta_since(&stats_before)
             .merged(&outcome.carried_stats);
         bprom_obs::counter_add("inspect.models", 1);
+        bprom_obs::log_event(
+            "inspect.verdict",
+            [
+                ("score", f64::from(score).into()),
+                ("backdoored", (score > 0.5).into()),
+                ("prompted_accuracy", f64::from(prompted_accuracy).into()),
+                ("queries", queries.into()),
+            ],
+        );
         let verdict = Verdict {
             score,
             backdoored: score > 0.5,

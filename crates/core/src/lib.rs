@@ -62,6 +62,10 @@ pub mod shadow;
 pub mod suspicious;
 
 pub use bprom_qcache::{CacheConfig, CacheMode, QCACHE_ENV};
+pub use bprom_verdict::{
+    validate_incident, Action, AuditRecord, Finding, IncidentReport, Mode, RuleId, RulePolicy,
+    Severity, Signals, VerdictPipeline, MODE_ENV,
+};
 pub use config::{BpromConfig, ShadowPrompting};
 pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;
@@ -70,7 +74,9 @@ pub use report::{
 };
 pub use resume::{Checkpointer, CKPT_DIR_ENV};
 pub use shadow::{ShadowModel, ShadowSet};
-pub use suspicious::{build_suspicious_zoo, build_suspicious_zoo_ckpt, SuspiciousModel, ZooConfig};
+pub use suspicious::{
+    build_suspicious_zoo, build_suspicious_zoo_ckpt, model_fingerprint, SuspiciousModel, ZooConfig,
+};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, BpromError>;

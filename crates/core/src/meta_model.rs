@@ -225,6 +225,13 @@ pub fn train_meta_ckpt(
         },
         rng,
     )?;
+    bprom_obs::log_event(
+        "meta.forest_fit",
+        [
+            ("shadows", features.len().into()),
+            ("trees", config.forest_trees.into()),
+        ],
+    );
     if let Some(ck) = ckpt {
         let mut enc = Encoder::new();
         forest.persist(&mut enc);

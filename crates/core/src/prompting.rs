@@ -140,6 +140,10 @@ pub fn prompt_shadows_ckpt(
             ck.mark_done(&unit)?;
         }
         bprom_obs::counter_add("prompts.shadow", 1);
+        bprom_obs::log_event(
+            "prompt.shadow_learned",
+            [("index", i.into()), ("final_loss", final_loss.into())],
+        );
         Ok(LearnedPrompt { prompt, final_loss })
     })
     .into_iter()

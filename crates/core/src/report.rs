@@ -7,6 +7,7 @@ use bprom_metrics::{auroc, f1_score};
 use bprom_obs::{FromJson, ToJson, Value};
 use bprom_qcache::CachingOracle;
 use bprom_tensor::Rng;
+use bprom_verdict::{sink, AuditRecord, IncidentReport, Mode, RulePolicy};
 use bprom_vp::QueryOracle;
 
 /// Aggregated detection results over a zoo.
@@ -44,6 +45,11 @@ pub struct DetectionReport {
     pub total_cache_misses: u64,
     /// Cache entries evicted by a bounded-memory policy.
     pub total_cache_evictions: u64,
+    /// One explainable audit record per inspected model, in zoo order:
+    /// the model's weight fingerprint, its wall-clock-free signals, and
+    /// the findings the detector's rule policy raised (see
+    /// `bprom-verdict`). Input to [`DetectionReport::incident`].
+    pub audits: Vec<AuditRecord>,
 }
 
 /// Inspects every model in the zoo and computes AUROC / F1.
@@ -131,8 +137,12 @@ where
     let mut total_cache_hits = 0u64;
     let mut total_cache_misses = 0u64;
     let mut total_cache_evictions = 0u64;
+    let mut audits = Vec::with_capacity(zoo.len());
     let n = zoo.len();
     for (i, suspicious) in zoo.into_iter().enumerate() {
+        // The fingerprint must be taken before the oracle seals the
+        // model behind the query boundary.
+        let fingerprint = suspicious.fingerprint();
         // One cache per suspicious model: the cache key is the query
         // content only, so sharing entries across models would serve one
         // model's confidences for another.
@@ -152,10 +162,41 @@ where
         total_cache_hits += verdict.budget.cache_hits;
         total_cache_misses += verdict.budget.cache_misses;
         total_cache_evictions += verdict.budget.cache_evictions;
+        // Rules stage: every inspection becomes an explainable audit
+        // record, carried by the report and handed to any installed
+        // incident sink (e.g. the bench harness's TelemetryGuard).
+        let record = AuditRecord {
+            model: fingerprint,
+            signals: verdict.signals(),
+            findings: verdict.findings(&detector.config().policy),
+        };
+        bprom_obs::log_event(
+            "audit.findings",
+            [
+                ("model", record.model.as_str().into()),
+                ("zoo_index", (i as u64).into()),
+                ("findings", record.findings.len().into()),
+                (
+                    "summary",
+                    bprom_verdict::summarize_findings(&record.findings).into(),
+                ),
+            ],
+        );
+        sink::record(record.clone());
+        audits.push(record);
     }
     let auroc = auroc(&scores, &labels)?;
     let predictions: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
     let f1 = f1_score(&predictions, &labels)?;
+    bprom_obs::log_event(
+        "report.metrics",
+        [
+            ("models", n.into()),
+            ("auroc", f64::from(auroc).into()),
+            ("f1", f64::from(f1).into()),
+            ("total_queries", total_queries.into()),
+        ],
+    );
     Ok(DetectionReport {
         scores,
         labels,
@@ -171,10 +212,18 @@ where
         total_cache_hits,
         total_cache_misses,
         total_cache_evictions,
+        audits,
     })
 }
 
 impl DetectionReport {
+    /// Runs the verdict pipeline's correlate + respond stages over this
+    /// report's audit records and returns the machine-readable incident
+    /// report (`incident.json` content).
+    pub fn incident(&self, label: &str, policy: &RulePolicy, mode: Mode) -> IncidentReport {
+        IncidentReport::assemble(label, policy, mode, &self.audits)
+    }
+
     /// Detection accuracy at an arbitrary decision threshold.
     pub fn accuracy_at(&self, threshold: f32) -> f32 {
         if self.scores.is_empty() {
@@ -254,6 +303,10 @@ impl ToJson for DetectionReport {
                 "total_cache_evictions",
                 self.total_cache_evictions.to_json(),
             ),
+            (
+                "audits",
+                Value::Array(self.audits.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }
@@ -275,6 +328,7 @@ impl FromJson for DetectionReport {
             total_cache_hits: FromJson::from_json(value.require("total_cache_hits")?)?,
             total_cache_misses: FromJson::from_json(value.require("total_cache_misses")?)?,
             total_cache_evictions: FromJson::from_json(value.require("total_cache_evictions")?)?,
+            audits: FromJson::from_json(value.require("audits")?)?,
         })
     }
 }
@@ -287,6 +341,29 @@ mod tests {
     // (tests/bprom_detection.rs); here we only check report invariants via
     // the public constructor path used there.
     fn sample_report() -> DetectionReport {
+        let policy = RulePolicy::default();
+        let audits: Vec<AuditRecord> = [0.9f32, 0.1, 0.6, 0.4]
+            .iter()
+            .zip([0.5f32, 0.75, 0.25, 0.9])
+            .enumerate()
+            .map(|(i, (&score, prompted_accuracy))| {
+                let signals = bprom_verdict::Signals {
+                    score,
+                    backdoored: score > 0.5,
+                    prompted_accuracy,
+                    queries: 100,
+                    prompt_queries: 80,
+                    accuracy_queries: 10,
+                    probe_queries: 10,
+                    ..Default::default()
+                };
+                AuditRecord {
+                    model: format!("m{i:016x}"),
+                    findings: policy.evaluate(&signals),
+                    signals,
+                }
+            })
+            .collect();
         DetectionReport {
             scores: vec![0.9, 0.1, 0.6, 0.4],
             labels: vec![true, false, true, false],
@@ -302,6 +379,7 @@ mod tests {
             total_cache_hits: 120,
             total_cache_misses: 280,
             total_cache_evictions: 3,
+            audits,
         }
     }
 
@@ -340,5 +418,25 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(DetectionReport::from_json("{").is_err());
         assert!(DetectionReport::from_json("{\"scores\": []}").is_err());
+    }
+
+    #[test]
+    fn incident_assembles_from_audit_records() {
+        let report = sample_report();
+        let incident = report.incident("unit", &RulePolicy::default(), Mode::Strict);
+        assert_eq!(incident.audits, 4);
+        assert_eq!(incident.incidents.len(), 4);
+        // Scores 0.9 and 0.6 exceed the suspicion threshold; 0.9 sits on
+        // the Critical cut and quarantines, 0.6 flags.
+        assert_eq!(incident.flagged, 1);
+        assert_eq!(incident.quarantined, 1);
+        // The same evidence in learning mode enforces nothing.
+        let learning = report.incident("unit", &RulePolicy::default(), Mode::Learning);
+        assert_eq!(learning.flagged, 0);
+        assert_eq!(learning.quarantined, 0);
+        assert_eq!(
+            learning.incidents[0].findings,
+            incident.incidents[0].findings
+        );
     }
 }

@@ -157,6 +157,10 @@ impl ShadowSet {
                     },
                     1,
                 );
+                bprom_obs::log_event(
+                    "shadow.trained",
+                    [("index", i.into()), ("backdoored", backdoored.into())],
+                );
             }
             if let Some(ck) = ckpt {
                 let mut enc = Encoder::new();

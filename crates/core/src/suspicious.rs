@@ -35,6 +35,44 @@ impl std::fmt::Debug for SuspiciousModel {
     }
 }
 
+impl SuspiciousModel {
+    /// Stable fingerprint of this model's weights (see
+    /// [`model_fingerprint`]) — the identity the verdict pipeline's
+    /// correlation stage groups repeated audits by.
+    pub fn fingerprint(&self) -> String {
+        model_fingerprint(&self.model)
+    }
+}
+
+/// Stable 16-hex-digit fingerprint of a model's exact parameters and
+/// batch-norm buffers (FNV-1a over the IEEE-754 bits, in visit order).
+///
+/// In the MLaaS threat model the auditor holds the model artifact it
+/// uploaded even though inference is query-only, so a weight fingerprint
+/// is available without extra oracle spend. Deterministic training makes
+/// it bit-stable across reruns and thread counts, which the byte-stable
+/// `incident.json` fixtures rely on.
+pub fn model_fingerprint(model: &Sequential) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bits: u32| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for tensor in model.export_params() {
+        for &v in tensor.data() {
+            absorb(v.to_bits());
+        }
+    }
+    for buffer in model.export_buffers() {
+        for &v in &buffer {
+            absorb(v.to_bits());
+        }
+    }
+    format!("m{hash:016x}")
+}
+
 /// Configuration for building a suspicious-model zoo.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZooConfig {
@@ -206,6 +244,19 @@ mod tests {
                 assert_eq!(m.asr, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_weight_sensitive() {
+        let mut rng = Rng::new(7);
+        let spec = ModelSpec::new(3, 8, 10);
+        let a = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        let b = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+        let fp_a = model_fingerprint(&a);
+        assert_eq!(fp_a, model_fingerprint(&a), "same weights, same id");
+        assert_ne!(fp_a, model_fingerprint(&b), "different weights differ");
+        assert_eq!(fp_a.len(), 17);
+        assert!(fp_a.starts_with('m'));
     }
 
     #[test]

@@ -125,6 +125,10 @@ impl BlackBoxModel for RetryingOracle<'_> {
                     if failed_attempts >= self.policy.max_attempts {
                         self.exhausted.fetch_add(1, Ordering::Relaxed);
                         bprom_obs::counter_add("oracle.retry_exhausted", 1);
+                        bprom_obs::log_event(
+                            "oracle.retry_exhausted",
+                            [("attempts", u64::from(self.policy.max_attempts).into())],
+                        );
                         return Ok(Err(fault));
                     }
                     let delay = self.policy.delay_ms(failed_attempts);

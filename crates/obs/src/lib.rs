@@ -11,6 +11,12 @@
 //! * **Counters and histograms** — [`counter_add`] maintains monotonic
 //!   `u64` counters (oracle queries); [`observe`] feeds fixed-bucket
 //!   power-of-two [`Histogram`]s (query latency, batch sizes).
+//! * **Structured event log** — [`log_event`] appends typed key/value
+//!   records tagged with their pipeline stage (the innermost open span)
+//!   to a bounded per-session log ([`LOG_CAPACITY`] records, overflow
+//!   counted). Records are timestamp-free — their *content* is
+//!   deterministic for a deterministic run — and worker buffers merge in
+//!   worker-index order with reassigned gapless sequence numbers.
 //! * **JSON run reports** — a [`Session`] collects everything recorded on
 //!   its thread and [`Session::finish`] returns a [`TelemetrySnapshot`]
 //!   that serializes to `telemetry.json` via the crate's own
@@ -46,13 +52,15 @@
 
 pub mod histogram;
 pub mod json;
+pub mod log;
 pub mod span;
 pub mod telemetry;
 
 pub use histogram::Histogram;
 pub use json::{FromJson, JsonError, JsonResult, ToJson, Value};
+pub use log::{LogRecord, LogValue};
 pub use span::{EventRecord, SpanGuard, SpanRecord};
 pub use telemetry::{
-    absorb_workers, counter_add, enabled, event, observe, span_enter, worker_context, Session,
-    TelemetrySnapshot, WorkerContext, WorkerRecords, WorkerSession,
+    absorb_workers, counter_add, enabled, event, log_event, observe, span_enter, worker_context,
+    Session, TelemetrySnapshot, WorkerContext, WorkerRecords, WorkerSession, LOG_CAPACITY,
 };

@@ -1,0 +1,210 @@
+//! Structured event-log record types (see [`crate::log_event`]).
+//!
+//! Unlike the numeric [`crate::EventRecord`]s attached to spans, log
+//! records are **typed key/value events** meant for machine triage: each
+//! carries the pipeline stage it was recorded under (the innermost open
+//! span), a monotonic sequence number, and a list of typed fields. The
+//! log is deliberately free of wall-clock timestamps — it captures
+//! *ordering and content*, so a deterministic pipeline produces
+//! bit-identical records on every rerun (durations belong to spans and
+//! histograms).
+
+use crate::json::{FromJson, JsonError, JsonResult, ToJson, Value};
+
+/// One typed field value in a [`LogRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogValue {
+    /// An exact unsigned integer (counts, sizes, indices).
+    U64(u64),
+    /// A floating-point measurement (fitness, accuracy, rates).
+    F64(f64),
+    /// A short string (labels, outcomes).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for LogValue {
+    fn from(v: u64) -> Self {
+        LogValue::U64(v)
+    }
+}
+
+impl From<usize> for LogValue {
+    fn from(v: usize) -> Self {
+        LogValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for LogValue {
+    fn from(v: f64) -> Self {
+        LogValue::F64(v)
+    }
+}
+
+impl From<f32> for LogValue {
+    fn from(v: f32) -> Self {
+        LogValue::F64(f64::from(v))
+    }
+}
+
+impl From<&str> for LogValue {
+    fn from(v: &str) -> Self {
+        LogValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for LogValue {
+    fn from(v: String) -> Self {
+        LogValue::Str(v)
+    }
+}
+
+impl From<bool> for LogValue {
+    fn from(v: bool) -> Self {
+        LogValue::Bool(v)
+    }
+}
+
+impl LogValue {
+    fn type_tag(&self) -> &'static str {
+        match self {
+            LogValue::U64(_) => "u64",
+            LogValue::F64(_) => "f64",
+            LogValue::Str(_) => "str",
+            LogValue::Bool(_) => "bool",
+        }
+    }
+}
+
+/// One structured event in the bounded session log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Position in the merged session log (0-based, gapless). Worker
+    /// records are re-sequenced on merge, so the final log reads as one
+    /// deterministic stream.
+    pub seq: u64,
+    /// Name of the innermost span open when the event was recorded
+    /// (empty when none was).
+    pub stage: String,
+    /// Event name, dotted-namespace style (`cmaes.generation`).
+    pub name: String,
+    /// Typed payload fields, in recording order.
+    pub fields: Vec<(String, LogValue)>,
+}
+
+impl LogRecord {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&LogValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+impl ToJson for LogValue {
+    fn to_json(&self) -> Value {
+        let value = match self {
+            LogValue::U64(v) => v.to_json(),
+            LogValue::F64(v) => v.to_json(),
+            LogValue::Str(v) => v.to_json(),
+            LogValue::Bool(v) => v.to_json(),
+        };
+        Value::object(vec![
+            ("type", Value::Str(self.type_tag().to_string())),
+            ("value", value),
+        ])
+    }
+}
+
+impl FromJson for LogValue {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let tag = String::from_json(value.require("type")?)?;
+        let payload = value.require("value")?;
+        match tag.as_str() {
+            "u64" => Ok(LogValue::U64(u64::from_json(payload)?)),
+            "f64" => Ok(LogValue::F64(f64::from_json(payload)?)),
+            "str" => Ok(LogValue::Str(String::from_json(payload)?)),
+            "bool" => Ok(LogValue::Bool(bool::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown log value type {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for LogRecord {
+    fn to_json(&self) -> Value {
+        let fields: Vec<Value> = self
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let Value::Object(mut pairs) = v.to_json() else {
+                    unreachable!("LogValue serializes as an object")
+                };
+                pairs.insert(0, ("name".to_string(), k.to_json()));
+                Value::Object(pairs)
+            })
+            .collect();
+        Value::object(vec![
+            ("seq", self.seq.to_json()),
+            ("stage", self.stage.to_json()),
+            ("name", self.name.to_json()),
+            ("fields", Value::Array(fields)),
+        ])
+    }
+}
+
+impl FromJson for LogRecord {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let mut fields = Vec::new();
+        for field in value
+            .require("fields")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("fields must be an array"))?
+        {
+            fields.push((
+                String::from_json(field.require("name")?)?,
+                LogValue::from_json(field)?,
+            ));
+        }
+        Ok(LogRecord {
+            seq: u64::from_json(value.require("seq")?)?,
+            stage: String::from_json(value.require("stage")?)?,
+            name: String::from_json(value.require("name")?)?,
+            fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_value_conversions_preserve_type() {
+        assert_eq!(LogValue::from(3u64), LogValue::U64(3));
+        assert_eq!(LogValue::from(3usize), LogValue::U64(3));
+        assert_eq!(LogValue::from(0.5f64), LogValue::F64(0.5));
+        assert_eq!(LogValue::from(0.5f32), LogValue::F64(0.5));
+        assert_eq!(LogValue::from("ok"), LogValue::Str("ok".into()));
+        assert_eq!(LogValue::from(true), LogValue::Bool(true));
+    }
+
+    #[test]
+    fn record_json_round_trip_keeps_types() {
+        let record = LogRecord {
+            seq: 7,
+            stage: "prompt_suspicious".into(),
+            name: "cmaes.generation".into(),
+            fields: vec![
+                ("gen".into(), LogValue::U64(3)),
+                ("best".into(), LogValue::F64(2.0)),
+                ("converged".into(), LogValue::Bool(false)),
+                ("phase".into(), LogValue::Str("explore".into())),
+            ],
+        };
+        let back = LogRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(back, record);
+        // The tagged encoding keeps U64(2) and F64(2.0) distinct.
+        assert_eq!(back.field("best"), Some(&LogValue::F64(2.0)));
+        assert_eq!(back.field("gen"), Some(&LogValue::U64(3)));
+        assert_eq!(back.field("missing"), None);
+    }
+}

@@ -21,10 +21,16 @@
 
 use crate::histogram::Histogram;
 use crate::json::{FromJson, JsonResult, ToJson, Value};
+use crate::log::{LogRecord, LogValue};
 use crate::span::{EventRecord, SpanGuard, SpanRecord};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Maximum structured-log records one session retains; further
+/// [`log_event`] calls only bump the drop counter. Bounds memory on
+/// long fleet runs without making any recording call fallible.
+pub const LOG_CAPACITY: usize = 4096;
 
 struct Collector {
     label: String,
@@ -37,6 +43,10 @@ struct Collector {
     stack: Vec<SpanRecord>,
     /// Events recorded while no span was open.
     orphan_events: Vec<EventRecord>,
+    /// Bounded structured event log (see [`log_event`]).
+    log: Vec<LogRecord>,
+    /// Records rejected because the log was at [`LOG_CAPACITY`].
+    log_dropped: u64,
 }
 
 impl Collector {
@@ -56,6 +66,16 @@ impl Collector {
             roots: Vec::new(),
             stack: Vec::new(),
             orphan_events: Vec::new(),
+            log: Vec::new(),
+            log_dropped: 0,
+        }
+    }
+
+    fn push_log(&mut self, record: LogRecord) {
+        if self.log.len() >= LOG_CAPACITY {
+            self.log_dropped += 1;
+        } else {
+            self.log.push(record);
         }
     }
 
@@ -92,6 +112,8 @@ impl Collector {
                 .collect(),
             spans: self.roots,
             events: self.orphan_events,
+            log: self.log,
+            log_dropped: self.log_dropped,
         }
     }
 }
@@ -176,6 +198,42 @@ pub fn event(name: &'static str, value: f64) {
 pub fn observe(name: &'static str, value: u64) {
     with_collector(|c| {
         c.histograms.entry(name).or_default().record(value);
+    });
+}
+
+/// Appends one typed record to the session's bounded structured event
+/// log, tagged with the innermost open span as its stage:
+///
+/// ```
+/// bprom_obs::log_event("cmaes.generation", [
+///     ("generation", 3u64.into()),
+///     ("best_fitness", 0.25.into()),
+/// ]);
+/// ```
+///
+/// The log holds at most [`LOG_CAPACITY`] records per session; further
+/// calls only increment the snapshot's `log_dropped` counter. Unlike
+/// span [`event`]s, log records carry no wall-clock — only sequence,
+/// stage and typed fields — so record *content* is bit-identical across
+/// reruns of a deterministic pipeline (ordering is deterministic on the
+/// session thread; across pool workers it follows the work-stealing
+/// schedule). No-op when telemetry is disabled.
+pub fn log_event(name: &'static str, fields: impl IntoIterator<Item = (&'static str, LogValue)>) {
+    if !enabled() {
+        return;
+    }
+    let fields: Vec<(String, LogValue)> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    with_collector(|c| {
+        let record = LogRecord {
+            seq: c.log.len() as u64,
+            stage: c.stack.last().map(|s| s.name.clone()).unwrap_or_default(),
+            name: name.to_string(),
+            fields,
+        };
+        c.push_log(record);
     });
 }
 
@@ -308,6 +366,8 @@ impl WorkerSession {
                     histograms: col.histograms,
                     spans: col.roots,
                     events: col.orphan_events,
+                    log: col.log,
+                    log_dropped: col.log_dropped,
                 }
             }
             None => WorkerRecords::default(),
@@ -331,6 +391,8 @@ pub struct WorkerRecords {
     histograms: BTreeMap<&'static str, Histogram>,
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
+    log: Vec<LogRecord>,
+    log_dropped: u64,
 }
 
 impl WorkerRecords {
@@ -340,15 +402,20 @@ impl WorkerRecords {
             && self.histograms.is_empty()
             && self.spans.is_empty()
             && self.events.is_empty()
+            && self.log.is_empty()
+            && self.log_dropped == 0
     }
 }
 
 /// Merges worker buffers into the current thread's session: counters
-/// add, histograms merge bucket-wise, and worker root spans / orphan
-/// events attach under the innermost span currently open on this thread
-/// (or at the top level when none is open). Pass buffers in worker-index
-/// order for a deterministic span order. No-op when telemetry is
-/// disabled.
+/// add, histograms merge bucket-wise, worker root spans / orphan events
+/// attach under the innermost span currently open on this thread (or at
+/// the top level when none is open), and worker structured-log records
+/// append in worker order with their sequence numbers reassigned to the
+/// session's stream (the merged log is one gapless sequence, capped at
+/// [`LOG_CAPACITY`] with overflow counted as dropped). Pass buffers in
+/// worker-index order for a deterministic span and log order. No-op when
+/// telemetry is disabled.
 pub fn absorb_workers(records: impl IntoIterator<Item = WorkerRecords>) {
     with_collector(|c| {
         for rec in records {
@@ -357,6 +424,11 @@ pub fn absorb_workers(records: impl IntoIterator<Item = WorkerRecords>) {
             }
             for (name, hist) in rec.histograms {
                 c.histograms.entry(name).or_default().merge(&hist);
+            }
+            c.log_dropped += rec.log_dropped;
+            for mut record in rec.log {
+                record.seq = c.log.len() as u64;
+                c.push_log(record);
             }
             match c.stack.last_mut() {
                 Some(open) => {
@@ -387,6 +459,11 @@ pub struct TelemetrySnapshot {
     pub spans: Vec<SpanRecord>,
     /// Events recorded while no span was open.
     pub events: Vec<EventRecord>,
+    /// Structured event log, one gapless deterministic stream (worker
+    /// records merged in worker order; see [`log_event`]).
+    pub log: Vec<LogRecord>,
+    /// Log records rejected because the session hit [`LOG_CAPACITY`].
+    pub log_dropped: u64,
 }
 
 impl TelemetrySnapshot {
@@ -398,6 +475,8 @@ impl TelemetrySnapshot {
             histograms: BTreeMap::new(),
             spans: Vec::new(),
             events: Vec::new(),
+            log: Vec::new(),
+            log_dropped: 0,
         }
     }
 
@@ -437,6 +516,8 @@ impl ToJson for TelemetrySnapshot {
             ("histograms", self.histograms.to_json()),
             ("spans", self.spans.to_json()),
             ("events", self.events.to_json()),
+            ("log", self.log.to_json()),
+            ("log_dropped", self.log_dropped.to_json()),
         ])
     }
 }
@@ -450,6 +531,8 @@ impl FromJson for TelemetrySnapshot {
             histograms: BTreeMap::from_json(value.require("histograms")?)?,
             spans: Vec::from_json(value.require("spans")?)?,
             events: Vec::from_json(value.require("events")?)?,
+            log: Vec::from_json(value.require("log")?)?,
+            log_dropped: u64::from_json(value.require("log_dropped")?)?,
         })
     }
 }
@@ -647,6 +730,102 @@ mod tests {
         let snapshot = session.finish();
         assert!(snapshot.find_span("detached_work").is_some());
         assert_eq!(snapshot.events.len(), 1);
+    }
+
+    #[test]
+    fn log_events_capture_stage_and_sequence() {
+        let session = Session::begin("log");
+        log_event("fit.start", [("shadows", LogValue::U64(4))]);
+        {
+            crate::span!("prompt_suspicious");
+            log_event(
+                "cmaes.generation",
+                [("generation", 0u64.into()), ("best_fitness", 0.5.into())],
+            );
+        }
+        let snapshot = session.finish();
+        assert_eq!(snapshot.log.len(), 2);
+        assert_eq!(snapshot.log_dropped, 0);
+        assert_eq!(snapshot.log[0].seq, 0);
+        assert_eq!(snapshot.log[0].stage, "");
+        assert_eq!(snapshot.log[0].name, "fit.start");
+        assert_eq!(snapshot.log[1].seq, 1);
+        assert_eq!(snapshot.log[1].stage, "prompt_suspicious");
+        assert_eq!(
+            snapshot.log[1].field("best_fitness"),
+            Some(&LogValue::F64(0.5))
+        );
+    }
+
+    #[test]
+    fn log_is_bounded_and_counts_drops() {
+        let session = Session::begin("bounded");
+        for i in 0..(LOG_CAPACITY + 10) {
+            log_event("tick", [("i", LogValue::U64(i as u64))]);
+        }
+        let snapshot = session.finish();
+        assert_eq!(snapshot.log.len(), LOG_CAPACITY);
+        assert_eq!(snapshot.log_dropped, 10);
+        // The retained prefix stays gapless.
+        assert_eq!(snapshot.log.last().unwrap().seq, LOG_CAPACITY as u64 - 1);
+    }
+
+    #[test]
+    fn disabled_log_event_is_a_no_op() {
+        assert!(!enabled());
+        log_event("dead", [("x", LogValue::U64(1))]);
+        let snapshot = Session::begin("check").finish();
+        assert!(snapshot.log.is_empty());
+    }
+
+    #[test]
+    fn worker_logs_merge_in_worker_order_with_resequencing() {
+        let session = Session::begin("worker-logs");
+        log_event("parent.before", []);
+        let ctx = worker_context().unwrap();
+        let records: Vec<WorkerRecords> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let worker = ctx.begin();
+                        {
+                            crate::span!("work_item");
+                            log_event("worker.tick", [("worker", LogValue::U64(w))]);
+                        }
+                        worker.finish()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        absorb_workers(records);
+        let snapshot = session.finish();
+        assert_eq!(snapshot.log.len(), 4);
+        // Gapless resequencing, worker records in worker-index order.
+        for (i, record) in snapshot.log.iter().enumerate() {
+            assert_eq!(record.seq, i as u64);
+        }
+        for (i, record) in snapshot.log[1..].iter().enumerate() {
+            assert_eq!(record.name, "worker.tick");
+            assert_eq!(record.stage, "work_item");
+            assert_eq!(record.field("worker"), Some(&LogValue::U64(i as u64)));
+        }
+    }
+
+    #[test]
+    fn snapshot_with_log_round_trips() {
+        let session = Session::begin("log-round-trip");
+        log_event(
+            "verdict.finding",
+            [
+                ("rule", "B002".into()),
+                ("score", 0.9.into()),
+                ("escalated", true.into()),
+            ],
+        );
+        let snapshot = session.finish();
+        let back = TelemetrySnapshot::from_json_str(&snapshot.to_json_string()).unwrap();
+        assert_eq!(back, snapshot);
     }
 
     #[test]

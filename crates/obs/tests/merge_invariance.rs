@@ -1,0 +1,210 @@
+//! Property-style sweep over worker-buffer merging: counters and
+//! histograms recorded on parallel worker sessions are *sums*, so the
+//! session snapshot must be identical whatever order the buffers are
+//! absorbed in — and identical to recording the same operations inline
+//! on the session thread. This is the contract `bprom-par` relies on
+//! when work-stealing assigns jobs to workers nondeterministically.
+//!
+//! Each trial derives a random workload (worker count, operation mix,
+//! names, values) from a seeded xorshift stream, replays it three ways
+//! (inline, absorbed in worker order, absorbed in rotated + reversed
+//! order), and requires the aggregate state to match exactly.
+
+use bprom_obs::{
+    absorb_workers, counter_add, log_event, observe, worker_context, LogValue, Session,
+    TelemetrySnapshot, WorkerRecords,
+};
+
+const COUNTERS: [&str; 4] = ["sweep.a", "sweep.b", "sweep.c", "sweep.d"];
+const HISTOGRAMS: [&str; 3] = ["sweep.h0", "sweep.h1", "sweep.h2"];
+const EVENTS: [&str; 2] = ["sweep.ev0", "sweep.ev1"];
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// One recordable operation, derived deterministically from the seed.
+#[derive(Clone)]
+enum Op {
+    Counter(&'static str, u64),
+    Observe(&'static str, u64),
+    Log(&'static str, u64, bool),
+}
+
+impl Op {
+    fn random(state: &mut u64) -> Op {
+        match xorshift(state) % 3 {
+            0 => Op::Counter(
+                COUNTERS[(xorshift(state) % COUNTERS.len() as u64) as usize],
+                xorshift(state) % 1000,
+            ),
+            1 => Op::Observe(
+                HISTOGRAMS[(xorshift(state) % HISTOGRAMS.len() as u64) as usize],
+                xorshift(state) % 1_000_000,
+            ),
+            _ => Op::Log(
+                EVENTS[(xorshift(state) % EVENTS.len() as u64) as usize],
+                xorshift(state) % 100,
+                xorshift(state).is_multiple_of(2),
+            ),
+        }
+    }
+
+    fn apply(&self) {
+        match *self {
+            Op::Counter(name, delta) => counter_add(name, delta),
+            Op::Observe(name, value) => observe(name, value),
+            Op::Log(name, value, flag) => {
+                log_event(name, [("value", value.into()), ("flag", flag.into())]);
+            }
+        }
+    }
+}
+
+/// A seed-derived workload: one operation list per worker.
+fn workload(seed: u64) -> Vec<Vec<Op>> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let workers = 1 + (xorshift(&mut state) % 5) as usize;
+    (0..workers)
+        .map(|_| {
+            let ops = (xorshift(&mut state) % 40) as usize;
+            (0..ops).map(|_| Op::random(&mut state)).collect()
+        })
+        .collect()
+}
+
+/// Records every worker's operations on its own thread (real worker
+/// sessions, like `bprom-par` workers), returning the buffers in worker
+/// order.
+fn record_on_workers(ops: &[Vec<Op>]) -> Vec<WorkerRecords> {
+    let contexts: Vec<_> = ops
+        .iter()
+        .map(|_| worker_context().expect("session installed"))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = contexts
+            .into_iter()
+            .zip(ops)
+            .map(|(ctx, worker_ops)| {
+                scope.spawn(move || {
+                    let session = ctx.begin();
+                    for op in worker_ops {
+                        op.apply();
+                    }
+                    session.finish()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Runs the workload on worker threads and absorbs the buffers in the
+/// order produced by `reorder`.
+fn absorbed_snapshot(
+    ops: &[Vec<Op>],
+    reorder: impl Fn(Vec<WorkerRecords>) -> Vec<WorkerRecords>,
+) -> TelemetrySnapshot {
+    let session = Session::begin("merge-invariance");
+    let records = record_on_workers(ops);
+    absorb_workers(reorder(records));
+    session.finish()
+}
+
+/// Runs the same operations inline on the session thread, worker 0
+/// first — the sequential reference.
+fn inline_snapshot(ops: &[Vec<Op>]) -> TelemetrySnapshot {
+    let session = Session::begin("merge-invariance");
+    for worker_ops in ops {
+        for op in worker_ops {
+            op.apply();
+        }
+    }
+    session.finish()
+}
+
+/// One log record's content: (stage, name, fields) — everything but the
+/// merge-assigned sequence number.
+type LogContent = (String, String, Vec<(String, LogValue)>);
+
+/// Sorted multiset view of a snapshot's log content (order is the one
+/// thing permuted absorption legitimately changes).
+fn log_content(snapshot: &TelemetrySnapshot) -> Vec<LogContent> {
+    let mut content: Vec<_> = snapshot
+        .log
+        .iter()
+        .map(|r| (r.stage.clone(), r.name.clone(), r.fields.clone()))
+        .collect();
+    content.sort_by(|a, b| {
+        (&a.0, &a.1, format!("{:?}", a.2)).cmp(&(&b.0, &b.1, format!("{:?}", b.2)))
+    });
+    content
+}
+
+#[test]
+fn counter_and_histogram_merges_are_order_invariant() {
+    for seed in 1..=25u64 {
+        let ops = workload(seed);
+        let inline = inline_snapshot(&ops);
+        let in_order = absorbed_snapshot(&ops, |r| r);
+        let rotated = absorbed_snapshot(&ops, |mut r| {
+            if !r.is_empty() {
+                r.rotate_left(1);
+            }
+            r
+        });
+        let reversed = absorbed_snapshot(&ops, |mut r| {
+            r.reverse();
+            r
+        });
+
+        for (label, other) in [
+            ("in-order", &in_order),
+            ("rotated", &rotated),
+            ("reversed", &reversed),
+        ] {
+            assert_eq!(
+                inline.counters, other.counters,
+                "seed {seed}: {label} absorption changed counter totals"
+            );
+            assert_eq!(
+                inline.histograms, other.histograms,
+                "seed {seed}: {label} absorption changed histogram contents"
+            );
+            assert_eq!(
+                log_content(&inline),
+                log_content(other),
+                "seed {seed}: {label} absorption changed log content"
+            );
+            assert_eq!(other.log_dropped, 0, "seed {seed}: workload fits the log");
+        }
+
+        // Worker-index-order absorption reproduces the inline log
+        // *sequence* exactly (same records, same stages, gapless seq).
+        assert_eq!(
+            inline.log, in_order.log,
+            "seed {seed}: in-order absorption must reproduce the inline log stream"
+        );
+        for (i, record) in in_order.log.iter().enumerate() {
+            assert_eq!(
+                record.seq, i as u64,
+                "seed {seed}: merged seq must be gapless"
+            );
+        }
+    }
+}
+
+/// Absorbing the same worker workload twice (two independent sessions)
+/// is bit-identical — the merge itself adds no nondeterminism.
+#[test]
+fn repeated_runs_are_identical() {
+    let ops = workload(7);
+    let a = absorbed_snapshot(&ops, |r| r);
+    let b = absorbed_snapshot(&ops, |r| r);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.histograms, b.histograms);
+    assert_eq!(a.log, b.log);
+}

@@ -329,6 +329,7 @@ impl<B: BlackBoxModel> CachingOracle<B> {
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
                 if bprom_obs::enabled() {
                     bprom_obs::counter_add("qcache.evictions", evicted);
+                    bprom_obs::log_event("qcache.evicted", [("entries", evicted.into())]);
                 }
             }
             if added > 0 && bprom_obs::enabled() {

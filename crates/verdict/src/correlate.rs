@@ -1,0 +1,313 @@
+//! The correlate stage: merging repeated audits of the same model
+//! fingerprint into one incident per model.
+//!
+//! A fleet auditor re-inspects the same deployed model over time (new
+//! query budgets, refreshed shadows, different oracle conditions). One
+//! audit tripping `B002` could be forest noise; the same rule firing on
+//! every audit of one fingerprint is persistent evidence. Correlation
+//! groups audits by fingerprint, counts per-rule occurrences, and
+//! escalates backdoor-evidence rules that fire repeatedly.
+
+use crate::rules::{Finding, Signals};
+use bprom_obs::{FromJson, JsonError, JsonResult, ToJson, Value};
+
+/// One audit of one model: the fingerprint the caller supplied, the
+/// collected signals, and the findings the rules stage produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Stable model fingerprint (e.g. 16 hex digits over the weights).
+    pub model: String,
+    /// The collect stage's distilled observations.
+    pub signals: Signals,
+    /// Findings from the rules stage, in rule-ID order.
+    pub findings: Vec<Finding>,
+}
+
+/// One rule's merged evidence across every audit of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedFinding {
+    /// The most severe instance of the rule across the audits (after
+    /// escalation, its severity reflects persistence too).
+    pub finding: Finding,
+    /// How many of the model's audits raised this rule.
+    pub occurrences: u64,
+    /// Whether persistence escalated the severity: backdoor-evidence
+    /// rules that fired on two or more audits are bumped one level.
+    pub escalated: bool,
+}
+
+/// Everything the pipeline concluded about one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelIncident {
+    /// The model fingerprint the audits were grouped by.
+    pub model: String,
+    /// How many audits of this model the run collected.
+    pub audits: u64,
+    /// Merged findings, in rule-ID order.
+    pub findings: Vec<CorrelatedFinding>,
+    /// The response stage's decision (filled in by `respond`; defaults
+    /// to `Action::None` straight out of correlation).
+    pub action: crate::respond::Action,
+}
+
+impl ModelIncident {
+    /// Whether any merged finding is backdoor evidence (the class that
+    /// can flag or quarantine in strict mode).
+    pub fn has_backdoor_evidence(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.finding.rule.is_backdoor_evidence())
+    }
+
+    /// The most severe merged severity, if any finding exists.
+    pub fn max_severity(&self) -> Option<crate::rules::Severity> {
+        self.findings.iter().map(|f| f.finding.severity).max()
+    }
+}
+
+/// The correlate stage: groups `records` by model fingerprint (incidents
+/// come back in first-seen order — deterministic for deterministic
+/// input) and merges each rule's findings across a model's audits.
+///
+/// Merge semantics per (model, rule):
+/// - `occurrences` counts the audits that raised the rule;
+/// - the representative [`Finding`] is the most severe instance (ties
+///   broken toward the earliest audit, keeping output stable);
+/// - backdoor-evidence rules raised by ≥ 2 audits escalate one severity
+///   level — persistence across independent audits is itself evidence.
+pub fn correlate(records: &[AuditRecord]) -> Vec<ModelIncident> {
+    let mut incidents: Vec<ModelIncident> = Vec::new();
+    for record in records {
+        let incident = match incidents.iter_mut().find(|i| i.model == record.model) {
+            Some(existing) => existing,
+            None => {
+                incidents.push(ModelIncident {
+                    model: record.model.clone(),
+                    audits: 0,
+                    findings: Vec::new(),
+                    action: crate::respond::Action::None,
+                });
+                incidents.last_mut().expect("just pushed")
+            }
+        };
+        incident.audits += 1;
+        for finding in &record.findings {
+            match incident
+                .findings
+                .iter_mut()
+                .find(|c| c.finding.rule == finding.rule)
+            {
+                Some(merged) => {
+                    merged.occurrences += 1;
+                    if finding.severity > merged.finding.severity {
+                        merged.finding = finding.clone();
+                    }
+                }
+                None => incident.findings.push(CorrelatedFinding {
+                    finding: finding.clone(),
+                    occurrences: 1,
+                    escalated: false,
+                }),
+            }
+        }
+    }
+    for incident in &mut incidents {
+        // Rules stage emits per-audit findings in rule-ID order, but
+        // different audits may raise different subsets; restore global
+        // rule-ID order across the merge.
+        incident.findings.sort_by_key(|c| c.finding.rule);
+        for merged in &mut incident.findings {
+            if merged.occurrences >= 2 && merged.finding.rule.is_backdoor_evidence() {
+                merged.escalated = true;
+                merged.finding.severity = merged.finding.severity.escalated();
+            }
+        }
+    }
+    incidents
+}
+
+impl ToJson for AuditRecord {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("model", self.model.to_json()),
+            ("signals", self.signals.to_json()),
+            (
+                "findings",
+                Value::Array(self.findings.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for AuditRecord {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let mut findings = Vec::new();
+        for f in value
+            .require("findings")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("findings must be an array"))?
+        {
+            findings.push(Finding::from_json(f)?);
+        }
+        Ok(AuditRecord {
+            model: String::from_json(value.require("model")?)?,
+            signals: Signals::from_json(value.require("signals")?)?,
+            findings,
+        })
+    }
+}
+
+impl ToJson for CorrelatedFinding {
+    fn to_json(&self) -> Value {
+        // Inline the representative finding's fields so each correlated
+        // finding reads as one flat object in incident.json.
+        let Value::Object(mut fields) = self.finding.to_json() else {
+            unreachable!("Finding serializes as an object")
+        };
+        fields.push(("occurrences".to_string(), self.occurrences.to_json()));
+        fields.push(("escalated".to_string(), self.escalated.to_json()));
+        Value::Object(fields)
+    }
+}
+
+impl FromJson for CorrelatedFinding {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(CorrelatedFinding {
+            finding: Finding::from_json(value)?,
+            occurrences: u64::from_json(value.require("occurrences")?)?,
+            escalated: bool::from_json(value.require("escalated")?)?,
+        })
+    }
+}
+
+impl ToJson for ModelIncident {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("model", self.model.to_json()),
+            ("audits", self.audits.to_json()),
+            ("action", self.action.as_str().to_string().to_json()),
+            (
+                "findings",
+                Value::Array(self.findings.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ModelIncident {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let action_str = String::from_json(value.require("action")?)?;
+        let action = crate::respond::Action::from_str_opt(&action_str)
+            .ok_or_else(|| JsonError::new(format!("unknown action {action_str:?}")))?;
+        let mut findings = Vec::new();
+        for f in value
+            .require("findings")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("findings must be an array"))?
+        {
+            findings.push(CorrelatedFinding::from_json(f)?);
+        }
+        Ok(ModelIncident {
+            model: String::from_json(value.require("model")?)?,
+            audits: u64::from_json(value.require("audits")?)?,
+            findings,
+            action,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RulePolicy, Severity, Signals};
+
+    fn audit(model: &str, score: f32, prompted_accuracy: f32) -> AuditRecord {
+        let signals = Signals {
+            score,
+            backdoored: score > 0.5,
+            prompted_accuracy,
+            queries: 100,
+            accuracy_queries: 20,
+            ..Signals::default()
+        };
+        AuditRecord {
+            model: model.into(),
+            findings: RulePolicy::default().evaluate(&signals),
+            signals,
+        }
+    }
+
+    #[test]
+    fn groups_by_fingerprint_in_first_seen_order() {
+        let incidents = correlate(&[
+            audit("mB", 0.9, 0.1),
+            audit("mA", 0.2, 0.8),
+            audit("mB", 0.9, 0.1),
+        ]);
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].model, "mB");
+        assert_eq!(incidents[0].audits, 2);
+        assert_eq!(incidents[1].model, "mA");
+        assert_eq!(incidents[1].audits, 1);
+        assert!(incidents[1].findings.is_empty());
+    }
+
+    #[test]
+    fn persistence_escalates_backdoor_evidence_only() {
+        let mut degraded = audit("mB", 0.9, 0.1);
+        degraded.signals.penalized_candidates = 3;
+        degraded.findings = RulePolicy::default().evaluate(&degraded.signals);
+        let mut degraded2 = degraded.clone();
+        degraded2.findings = RulePolicy::default().evaluate(&degraded2.signals);
+        let incidents = correlate(&[degraded, degraded2]);
+        let findings = &incidents[0].findings;
+        let b002 = findings
+            .iter()
+            .find(|f| f.finding.rule.code() == "B002")
+            .unwrap();
+        assert_eq!(b002.occurrences, 2);
+        assert!(b002.escalated);
+        assert_eq!(b002.finding.severity, Severity::Critical); // High escalated
+        let b004 = findings
+            .iter()
+            .find(|f| f.finding.rule.code() == "B004")
+            .unwrap();
+        assert_eq!(b004.occurrences, 2);
+        assert!(!b004.escalated, "integrity rules never escalate");
+    }
+
+    #[test]
+    fn single_occurrence_never_escalates() {
+        let incidents = correlate(&[audit("mB", 0.95, 0.05)]);
+        assert!(incidents[0].findings.iter().all(|f| !f.escalated));
+        assert!(incidents[0].has_backdoor_evidence());
+        assert_eq!(incidents[0].max_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn merged_findings_keep_rule_id_order_across_disjoint_audits() {
+        // First audit raises only B011; the second raises B001/B002/B003.
+        let mut cache_only = audit("mC", 0.2, 0.9);
+        cache_only.signals.cache_evictions = 5;
+        cache_only.findings = RulePolicy::default().evaluate(&cache_only.signals);
+        let incidents = correlate(&[cache_only, audit("mC", 0.9, 0.1)]);
+        let codes: Vec<&str> = incidents[0]
+            .findings
+            .iter()
+            .map(|f| f.finding.rule.code())
+            .collect();
+        assert_eq!(codes, ["B001", "B002", "B003", "B011"]);
+    }
+
+    #[test]
+    fn record_and_incident_round_trip() {
+        let record = audit("mB", 0.9, 0.1);
+        assert_eq!(AuditRecord::from_json(&record.to_json()).unwrap(), record);
+        let incidents = correlate(&[record.clone(), record]);
+        let incident = &incidents[0];
+        assert_eq!(
+            ModelIncident::from_json(&incident.to_json()).unwrap(),
+            *incident
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! The versioned, machine-readable incident report (`incident.json`).
+//!
+//! Schema version policy: `schema_version` bumps on any
+//! **backward-incompatible** change (field removed/renamed/retyped,
+//! enum value removed, semantics changed). Purely additive fields do
+//! *not* bump the version; consumers must ignore unknown keys. Rule IDs
+//! are stable independently of the schema version: an ID is never
+//! reused and never changes meaning (see `RuleId`). [`validate_incident`]
+//! checks a parsed JSON value against the current schema with no
+//! external dependencies, so CI can gate emitted artifacts.
+
+use crate::correlate::{correlate, AuditRecord, ModelIncident};
+use crate::respond::{respond, Action, Mode};
+use crate::rules::{RuleId, RulePolicy, Severity};
+use bprom_obs::{FromJson, JsonError, JsonResult, ToJson, Value};
+
+/// Current `incident.json` schema version.
+pub const INCIDENT_SCHEMA_VERSION: u64 = 1;
+
+/// The pipeline's final artifact: everything the run concluded, per
+/// model, plus fleet-level tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentReport {
+    /// Schema version of this document (see module docs for the policy).
+    pub schema_version: u64,
+    /// Run label the pipeline was created with.
+    pub label: String,
+    /// Response mode the respond stage ran under.
+    pub mode: Mode,
+    /// Thresholds the rules stage matched against.
+    pub policy: RulePolicy,
+    /// Total audits collected across all models.
+    pub audits: u64,
+    /// Per-model incidents, in first-audited order.
+    pub incidents: Vec<ModelIncident>,
+    /// Models whose action is [`Action::Flag`].
+    pub flagged: u64,
+    /// Models whose action is [`Action::Quarantine`].
+    pub quarantined: u64,
+    /// `(rule code, models raising it)` tallies, in rule-ID order,
+    /// omitting rules no model raised.
+    pub findings_by_rule: Vec<(String, u64)>,
+}
+
+impl IncidentReport {
+    /// Runs correlate + respond over `records` and assembles the report.
+    pub fn assemble(
+        label: &str,
+        policy: &RulePolicy,
+        mode: Mode,
+        records: &[AuditRecord],
+    ) -> IncidentReport {
+        let mut incidents = correlate(records);
+        respond(&mut incidents, mode);
+        let flagged = incidents
+            .iter()
+            .filter(|i| i.action == Action::Flag)
+            .count() as u64;
+        let quarantined = incidents
+            .iter()
+            .filter(|i| i.action == Action::Quarantine)
+            .count() as u64;
+        let mut findings_by_rule = Vec::new();
+        for rule in RuleId::ALL {
+            let models = incidents
+                .iter()
+                .filter(|i| i.findings.iter().any(|f| f.finding.rule == rule))
+                .count() as u64;
+            if models > 0 {
+                findings_by_rule.push((rule.code().to_string(), models));
+            }
+        }
+        IncidentReport {
+            schema_version: INCIDENT_SCHEMA_VERSION,
+            label: label.to_string(),
+            mode,
+            policy: *policy,
+            audits: records.len() as u64,
+            incidents,
+            flagged,
+            quarantined,
+            findings_by_rule,
+        }
+    }
+
+    /// Pretty-printed JSON document (the exact `incident.json` bytes).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a document produced by [`IncidentReport::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON or schema mismatch.
+    pub fn from_json_str(text: &str) -> JsonResult<IncidentReport> {
+        IncidentReport::from_json(&Value::parse(text)?)
+    }
+}
+
+impl ToJson for IncidentReport {
+    fn to_json(&self) -> Value {
+        let by_rule: Vec<Value> = self
+            .findings_by_rule
+            .iter()
+            .map(|(rule, models)| {
+                Value::object(vec![("rule", rule.to_json()), ("models", models.to_json())])
+            })
+            .collect();
+        Value::object(vec![
+            ("schema_version", self.schema_version.to_json()),
+            ("label", self.label.to_json()),
+            ("mode", self.mode.as_str().to_string().to_json()),
+            ("policy", self.policy.to_json()),
+            ("audits", self.audits.to_json()),
+            ("flagged", self.flagged.to_json()),
+            ("quarantined", self.quarantined.to_json()),
+            ("findings_by_rule", Value::Array(by_rule)),
+            (
+                "incidents",
+                Value::Array(self.incidents.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for IncidentReport {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let version = u64::from_json(value.require("schema_version")?)?;
+        if version != INCIDENT_SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported incident schema version {version} (this build reads {INCIDENT_SCHEMA_VERSION})"
+            )));
+        }
+        let mode_str = String::from_json(value.require("mode")?)?;
+        let mode = Mode::from_str_opt(&mode_str)
+            .ok_or_else(|| JsonError::new(format!("unknown mode {mode_str:?}")))?;
+        let mut incidents = Vec::new();
+        for i in value
+            .require("incidents")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("incidents must be an array"))?
+        {
+            incidents.push(ModelIncident::from_json(i)?);
+        }
+        let mut findings_by_rule = Vec::new();
+        for entry in value
+            .require("findings_by_rule")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("findings_by_rule must be an array"))?
+        {
+            findings_by_rule.push((
+                String::from_json(entry.require("rule")?)?,
+                u64::from_json(entry.require("models")?)?,
+            ));
+        }
+        Ok(IncidentReport {
+            schema_version: version,
+            label: String::from_json(value.require("label")?)?,
+            mode,
+            policy: RulePolicy::from_json(value.require("policy")?)?,
+            audits: u64::from_json(value.require("audits")?)?,
+            incidents,
+            flagged: u64::from_json(value.require("flagged")?)?,
+            quarantined: u64::from_json(value.require("quarantined")?)?,
+            findings_by_rule,
+        })
+    }
+}
+
+/// Zero-dependency structural validator for an `incident.json` document.
+///
+/// Checks every constraint the current schema promises — required keys,
+/// types, enum values (mode / action / severity / rule code), and the
+/// internal consistency of the tallies (`audits` = Σ incident audits,
+/// `flagged` / `quarantined` match the per-incident actions, every
+/// `findings_by_rule` code resolves). Collects *all* violations instead
+/// of stopping at the first, so a CI failure names everything wrong at
+/// once.
+///
+/// # Errors
+///
+/// Returns the full list of violations (each a human-readable path +
+/// reason) when the document does not conform.
+pub fn validate_incident(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    check_u64(doc, "schema_version", &mut errors);
+    if let Some(v) = doc.get("schema_version").and_then(Value::as_u64) {
+        if v != INCIDENT_SCHEMA_VERSION {
+            errors.push(format!(
+                "schema_version: expected {INCIDENT_SCHEMA_VERSION}, found {v}"
+            ));
+        }
+    }
+    check_str(doc, "label", &mut errors);
+    if let Some(mode) = check_str(doc, "mode", &mut errors) {
+        if Mode::from_str_opt(mode).is_none() {
+            errors.push(format!("mode: unknown value {mode:?}"));
+        }
+    }
+    match doc.get("policy") {
+        Some(policy) => {
+            for key in [
+                "accuracy_collapse",
+                "suspicion_score",
+                "strong_vote_margin",
+                "max_fault_rate",
+            ] {
+                if policy.get(key).and_then(Value::as_f64).is_none() {
+                    errors.push(format!("policy.{key}: expected a number"));
+                }
+            }
+        }
+        None => errors.push("policy: missing".to_string()),
+    }
+    let audits = check_u64(doc, "audits", &mut errors);
+    let flagged = check_u64(doc, "flagged", &mut errors);
+    let quarantined = check_u64(doc, "quarantined", &mut errors);
+    if let Some(entries) = doc.get("findings_by_rule") {
+        match entries.as_array() {
+            Some(entries) => {
+                for (i, entry) in entries.iter().enumerate() {
+                    let path = format!("findings_by_rule[{i}]");
+                    if let Some(code) = entry.get("rule").and_then(Value::as_str) {
+                        if RuleId::from_code(code).is_none() {
+                            errors.push(format!("{path}.rule: unknown rule id {code:?}"));
+                        }
+                    } else {
+                        errors.push(format!("{path}.rule: expected a string"));
+                    }
+                    if entry.get("models").and_then(Value::as_u64).is_none() {
+                        errors.push(format!("{path}.models: expected an unsigned integer"));
+                    }
+                }
+            }
+            None => errors.push("findings_by_rule: expected an array".to_string()),
+        }
+    } else {
+        errors.push("findings_by_rule: missing".to_string());
+    }
+    let mut audit_sum = 0u64;
+    let mut flag_count = 0u64;
+    let mut quarantine_count = 0u64;
+    match doc.get("incidents").map(|v| (v, v.as_array())) {
+        Some((_, Some(incidents))) => {
+            for (i, incident) in incidents.iter().enumerate() {
+                let path = format!("incidents[{i}]");
+                check_str_at(incident, &path, "model", &mut errors);
+                audit_sum += check_u64_at(incident, &path, "audits", &mut errors).unwrap_or(0);
+                match check_str_at(incident, &path, "action", &mut errors)
+                    .and_then(Action::from_str_opt)
+                {
+                    Some(Action::Flag) => flag_count += 1,
+                    Some(Action::Quarantine) => quarantine_count += 1,
+                    Some(_) => {}
+                    None => {
+                        if incident.get("action").and_then(Value::as_str).is_some() {
+                            errors.push(format!("{path}.action: unknown value"));
+                        }
+                    }
+                }
+                validate_findings(incident, &path, &mut errors);
+            }
+        }
+        Some((_, None)) => errors.push("incidents: expected an array".to_string()),
+        None => errors.push("incidents: missing".to_string()),
+    }
+    if let Some(audits) = audits {
+        if audits != audit_sum && errors.is_empty() {
+            errors.push(format!(
+                "audits: total {audits} does not equal the per-incident sum {audit_sum}"
+            ));
+        }
+    }
+    if let (Some(flagged), true) = (flagged, errors.is_empty()) {
+        if flagged != flag_count {
+            errors.push(format!(
+                "flagged: total {flagged} does not match {flag_count} flag actions"
+            ));
+        }
+    }
+    if let (Some(quarantined), true) = (quarantined, errors.is_empty()) {
+        if quarantined != quarantine_count {
+            errors.push(format!(
+                "quarantined: total {quarantined} does not match {quarantine_count} quarantine actions"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_findings(incident: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(findings) = incident.get("findings") else {
+        errors.push(format!("{path}.findings: missing"));
+        return;
+    };
+    let Some(findings) = findings.as_array() else {
+        errors.push(format!("{path}.findings: expected an array"));
+        return;
+    };
+    for (j, finding) in findings.iter().enumerate() {
+        let fpath = format!("{path}.findings[{j}]");
+        match finding.get("rule").and_then(Value::as_str) {
+            Some(code) if RuleId::from_code(code).is_some() => {}
+            Some(code) => errors.push(format!("{fpath}.rule: unknown rule id {code:?}")),
+            None => errors.push(format!("{fpath}.rule: expected a string")),
+        }
+        match finding.get("severity").and_then(Value::as_str) {
+            Some(sev) if Severity::from_str_opt(sev).is_some() => {}
+            Some(sev) => errors.push(format!("{fpath}.severity: unknown value {sev:?}")),
+            None => errors.push(format!("{fpath}.severity: expected a string")),
+        }
+        if finding.get("reason").and_then(Value::as_str).is_none() {
+            errors.push(format!("{fpath}.reason: expected a string"));
+        }
+        if finding
+            .get("occurrences")
+            .and_then(Value::as_u64)
+            .is_none_or(|n| n == 0)
+        {
+            errors.push(format!("{fpath}.occurrences: expected a positive integer"));
+        }
+        if finding.get("escalated").and_then(Value::as_bool).is_none() {
+            errors.push(format!("{fpath}.escalated: expected a bool"));
+        }
+        match finding.get("evidence").map(Value::as_array) {
+            Some(Some(evidence)) => {
+                for (k, pair) in evidence.iter().enumerate() {
+                    if pair.get("name").and_then(Value::as_str).is_none()
+                        || pair.get("value").and_then(Value::as_f64).is_none()
+                    {
+                        errors.push(format!(
+                            "{fpath}.evidence[{k}]: expected {{name: string, value: number}}"
+                        ));
+                    }
+                }
+            }
+            Some(None) => errors.push(format!("{fpath}.evidence: expected an array")),
+            None => errors.push(format!("{fpath}.evidence: missing")),
+        }
+    }
+}
+
+fn check_u64(doc: &Value, key: &str, errors: &mut Vec<String>) -> Option<u64> {
+    let found = doc.get(key).and_then(Value::as_u64);
+    if found.is_none() {
+        errors.push(format!("{key}: expected an unsigned integer"));
+    }
+    found
+}
+
+fn check_u64_at(doc: &Value, path: &str, key: &str, errors: &mut Vec<String>) -> Option<u64> {
+    let found = doc.get(key).and_then(Value::as_u64);
+    if found.is_none() {
+        errors.push(format!("{path}.{key}: expected an unsigned integer"));
+    }
+    found
+}
+
+fn check_str<'a>(doc: &'a Value, key: &str, errors: &mut Vec<String>) -> Option<&'a str> {
+    let found = doc.get(key).and_then(Value::as_str);
+    if found.is_none() {
+        errors.push(format!("{key}: expected a string"));
+    }
+    found
+}
+
+fn check_str_at<'a>(
+    doc: &'a Value,
+    path: &str,
+    key: &str,
+    errors: &mut Vec<String>,
+) -> Option<&'a str> {
+    let found = doc.get(key).and_then(Value::as_str);
+    if found.is_none() {
+        errors.push(format!("{path}.{key}: expected a string"));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Signals;
+
+    fn sample_report() -> IncidentReport {
+        let signals = Signals {
+            score: 0.95,
+            backdoored: true,
+            prompted_accuracy: 0.05,
+            queries: 500,
+            accuracy_queries: 50,
+            cache_evictions: 2,
+            ..Signals::default()
+        };
+        let records = vec![
+            AuditRecord {
+                model: "mA".into(),
+                findings: RulePolicy::default().evaluate(&signals),
+                signals,
+            },
+            AuditRecord {
+                model: "mB".into(),
+                signals: Signals::default(),
+                findings: Vec::new(),
+            },
+        ];
+        IncidentReport::assemble("sample", &RulePolicy::default(), Mode::Strict, &records)
+    }
+
+    #[test]
+    fn assemble_tallies_and_summarizes() {
+        let report = sample_report();
+        assert_eq!(report.schema_version, INCIDENT_SCHEMA_VERSION);
+        assert_eq!(report.audits, 2);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.flagged, 0);
+        let rules: Vec<&str> = report
+            .findings_by_rule
+            .iter()
+            .map(|(r, _)| r.as_str())
+            .collect();
+        assert_eq!(rules, ["B001", "B002", "B003", "B011"]);
+        assert!(report.findings_by_rule.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn emitted_document_validates_and_round_trips() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let doc = Value::parse(&text).unwrap();
+        validate_incident(&doc).unwrap();
+        assert_eq!(IncidentReport::from_json_str(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn validator_collects_all_violations() {
+        let doc = Value::object(vec![
+            ("schema_version", Value::Num(99.0)),
+            ("label", Value::Num(1.0)),
+            ("mode", Value::Str("panic".into())),
+            ("audits", Value::Str("three".into())),
+            ("incidents", Value::Bool(true)),
+        ]);
+        let errors = validate_incident(&doc).unwrap_err();
+        for needle in [
+            "schema_version",
+            "label",
+            "mode",
+            "policy",
+            "audits",
+            "flagged",
+            "quarantined",
+            "findings_by_rule",
+            "incidents",
+        ] {
+            assert!(
+                errors.iter().any(|e| e.contains(needle)),
+                "expected a violation mentioning {needle}, got {errors:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_tallies_and_unknown_enums() {
+        let report = sample_report();
+        let Value::Object(mut fields) = report.to_json() else {
+            unreachable!()
+        };
+        for (key, value) in &mut fields {
+            if key == "quarantined" {
+                *value = Value::Num(7.0);
+            }
+        }
+        let errors = validate_incident(&Value::Object(fields)).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("quarantined")));
+
+        let mut doc = Value::parse(&report.to_json_string()).unwrap();
+        if let Value::Object(fields) = &mut doc {
+            for (key, value) in fields {
+                if key == "findings_by_rule" {
+                    *value = Value::Array(vec![Value::object(vec![
+                        ("rule", Value::Str("B999".into())),
+                        ("models", Value::Num(1.0)),
+                    ])]);
+                }
+            }
+        }
+        let errors = validate_incident(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("B999")));
+    }
+
+    #[test]
+    fn reader_rejects_future_schema_versions() {
+        let report = sample_report();
+        let text = report
+            .to_json_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let err = IncidentReport::from_json_str(&text).unwrap_err();
+        assert!(err.reason.contains("schema version"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The single human-readable formatting path for verdicts and findings.
+//!
+//! `Verdict`'s `Display` in `bprom-core` and the bench binaries' report
+//! printing both call [`render`], so the human text and the machine
+//! `incident.json` are views of the same [`Signals`] and cannot drift.
+
+use crate::rules::{Finding, Signals};
+
+/// Wall-clock view of one inspection, kept separate from [`Signals`] so
+/// the byte-stable incident artifacts never carry timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timing {
+    /// Wall-clock of the prompt-learning phase, in nanoseconds.
+    pub prompt_ns: u64,
+    /// Wall-clock of the probe + meta-prediction phase, in nanoseconds.
+    pub probe_ns: u64,
+    /// Total inspection wall-clock, in nanoseconds.
+    pub total_ns: u64,
+}
+
+fn fmt_secs(ns: u64) -> String {
+    format!("{:.2}s", ns as f64 / 1e9)
+}
+
+/// Formats one audit's signals as the canonical one-line human verdict:
+///
+/// ```text
+/// BACKDOORED (score 0.92, prompted acc 0.08) — 1000 queries (800 prompt
+/// + 100 accuracy + 100 probe) in 1.20s (1.00s prompt, 0.20s probe)
+/// [cache: ...] [hostile oracle: ...]
+/// ```
+///
+/// With `timing` = `None` (e.g. rendering from a timing-free incident
+/// artifact) the wall-clock clause is omitted. The cache and
+/// hostile-oracle suffixes appear only when those subsystems were
+/// active, exactly as `Verdict`'s `Display` always has.
+pub fn render(s: &Signals, timing: Option<&Timing>) -> String {
+    let mut out = format!(
+        "{} (score {:.2}, prompted acc {:.2}) — {} queries ({} prompt + {} accuracy + {} probe)",
+        if s.backdoored { "BACKDOORED" } else { "clean" },
+        s.score,
+        s.prompted_accuracy,
+        s.queries,
+        s.prompt_queries,
+        s.accuracy_queries,
+        s.probe_queries,
+    );
+    if let Some(t) = timing {
+        out.push_str(&format!(
+            " in {} ({} prompt, {} probe)",
+            fmt_secs(t.total_ns),
+            fmt_secs(t.prompt_ns),
+            fmt_secs(t.probe_ns),
+        ));
+    }
+    if s.cache_hits + s.cache_misses > 0 {
+        out.push_str(&format!(
+            " [cache: {} hits / {} misses, {} evictions]",
+            s.cache_hits, s.cache_misses, s.cache_evictions,
+        ));
+    }
+    let degraded = s.faults_injected > 0 || s.degraded_responses > 0 || s.retry_exhausted > 0;
+    if degraded || s.retries > 0 {
+        out.push_str(&format!(
+            " [hostile oracle: {} faults, {} retries, {} exhausted, {} degraded responses, {} penalized candidates]",
+            s.faults_injected,
+            s.retries,
+            s.retry_exhausted,
+            s.degraded_responses,
+            s.penalized_candidates,
+        ));
+    }
+    out
+}
+
+/// One-line summary of a finding list for log output: rule codes with
+/// severities, e.g. `B001(high) B002(critical) B011(advisory)`, or
+/// `no findings` when empty.
+pub fn summarize_findings(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "no findings".to_string();
+    }
+    findings
+        .iter()
+        .map(|f| format!("{}({})", f.rule.code(), f.severity.as_str()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RulePolicy;
+
+    fn busy_signals() -> Signals {
+        Signals {
+            score: 0.92,
+            backdoored: true,
+            prompted_accuracy: 0.08,
+            queries: 1000,
+            prompt_queries: 800,
+            accuracy_queries: 100,
+            probe_queries: 100,
+            faults_injected: 50,
+            retries: 40,
+            retry_exhausted: 1,
+            degraded_responses: 10,
+            penalized_candidates: 2,
+            cache_hits: 100,
+            cache_misses: 900,
+            cache_evictions: 3,
+        }
+    }
+
+    #[test]
+    fn renders_full_line_with_all_suffixes() {
+        let timing = Timing {
+            prompt_ns: 1_000_000_000,
+            probe_ns: 200_000_000,
+            total_ns: 1_200_000_000,
+        };
+        let line = render(&busy_signals(), Some(&timing));
+        assert_eq!(
+            line,
+            "BACKDOORED (score 0.92, prompted acc 0.08) — 1000 queries \
+             (800 prompt + 100 accuracy + 100 probe) in 1.20s (1.00s prompt, 0.20s probe) \
+             [cache: 100 hits / 900 misses, 3 evictions] \
+             [hostile oracle: 50 faults, 40 retries, 1 exhausted, 10 degraded responses, \
+             2 penalized candidates]"
+        );
+    }
+
+    #[test]
+    fn quiet_signals_render_without_suffixes() {
+        let s = Signals {
+            score: 0.2,
+            prompted_accuracy: 0.85,
+            queries: 300,
+            prompt_queries: 200,
+            accuracy_queries: 50,
+            probe_queries: 50,
+            ..Signals::default()
+        };
+        let line = render(&s, None);
+        assert_eq!(
+            line,
+            "clean (score 0.20, prompted acc 0.85) — 300 queries (200 prompt + 50 accuracy + 50 probe)"
+        );
+        assert!(!line.contains("cache"));
+        assert!(!line.contains("hostile"));
+    }
+
+    #[test]
+    fn summarize_lists_codes_with_severities() {
+        let findings = RulePolicy::default().evaluate(&busy_signals());
+        let summary = summarize_findings(&findings);
+        assert_eq!(
+            summary,
+            "B001(high) B002(critical) B003(medium) B004(low) B010(low) B011(advisory)"
+        );
+        assert_eq!(summarize_findings(&[]), "no findings");
+    }
+}

@@ -1,0 +1,220 @@
+//! The respond stage: turning correlated evidence into an operational
+//! action under the active response mode.
+//!
+//! Learning mode is the safe rollout default for a new fleet: every
+//! finding is recorded with full evidence, but no model is ever flagged
+//! or quarantined, so a mis-calibrated policy cannot take a clean model
+//! out of service. Strict mode is the enforcement posture: backdoor
+//! evidence flags the model, and critical or persistent evidence
+//! quarantines it. Both modes see identical findings — the mode changes
+//! only the action, never the evidence (asserted by CI's learning-mode
+//! leg).
+
+use crate::correlate::ModelIncident;
+use crate::rules::Severity;
+
+/// Environment variable selecting the response mode (`learning` or
+/// `strict`).
+pub const MODE_ENV: &str = "BPROM_MODE";
+
+/// Response posture for the respond stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Record findings only; never flag or quarantine.
+    Learning,
+    /// Flag on backdoor evidence; quarantine on critical or persistent
+    /// evidence.
+    #[default]
+    Strict,
+}
+
+impl Mode {
+    /// Wire form (`"learning"` / `"strict"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Learning => "learning",
+            Mode::Strict => "strict",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_str_opt(s: &str) -> Option<Mode> {
+        match s {
+            "learning" => Some(Mode::Learning),
+            "strict" => Some(Mode::Strict),
+            _ => None,
+        }
+    }
+
+    /// Reads [`MODE_ENV`], falling back to `default` when unset or
+    /// unparseable (never panics: a bad env var cannot kill an audit).
+    pub fn from_env_or(default: Mode) -> Mode {
+        std::env::var(MODE_ENV)
+            .ok()
+            .and_then(|s| Mode::from_str_opt(s.trim()))
+            .unwrap_or(default)
+    }
+}
+
+/// The operational decision for one model incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// No findings at all — nothing to act on.
+    None,
+    /// Findings recorded; no enforcement (learning mode, or strict mode
+    /// with only audit-integrity findings).
+    Record,
+    /// Backdoor evidence present — the model needs operator review.
+    Flag,
+    /// Critical or persistent backdoor evidence — take the model out of
+    /// service pending review.
+    Quarantine,
+}
+
+impl Action {
+    /// Wire form (`"none"`, `"record"`, `"flag"`, `"quarantine"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Action::None => "none",
+            Action::Record => "record",
+            Action::Flag => "flag",
+            Action::Quarantine => "quarantine",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_str_opt(s: &str) -> Option<Action> {
+        [
+            Action::None,
+            Action::Record,
+            Action::Flag,
+            Action::Quarantine,
+        ]
+        .into_iter()
+        .find(|a| a.as_str() == s)
+    }
+}
+
+/// The respond stage: assigns each incident its [`Action`] in place.
+///
+/// Decision table (per incident):
+///
+/// | evidence | learning | strict |
+/// |---|---|---|
+/// | no findings | `None` | `None` |
+/// | integrity findings only | `Record` | `Record` |
+/// | backdoor evidence | `Record` | `Flag` |
+/// | backdoor evidence, critical or escalated | `Record` | `Quarantine` |
+pub fn respond(incidents: &mut [ModelIncident], mode: Mode) {
+    for incident in incidents {
+        incident.action = decide(incident, mode);
+    }
+}
+
+fn decide(incident: &ModelIncident, mode: Mode) -> Action {
+    if incident.findings.is_empty() {
+        return Action::None;
+    }
+    if mode == Mode::Learning || !incident.has_backdoor_evidence() {
+        return Action::Record;
+    }
+    let quarantine = incident.findings.iter().any(|f| {
+        f.finding.rule.is_backdoor_evidence()
+            && (f.finding.severity >= Severity::Critical || f.escalated)
+    });
+    if quarantine {
+        Action::Quarantine
+    } else {
+        Action::Flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::correlate;
+    use crate::correlate::AuditRecord;
+    use crate::rules::{RulePolicy, Signals};
+
+    fn incident_for(records: &[AuditRecord], mode: Mode) -> ModelIncident {
+        let mut incidents = correlate(records);
+        respond(&mut incidents, mode);
+        incidents.remove(0)
+    }
+
+    fn audit(score: f32, prompted_accuracy: f32, evictions: u64) -> AuditRecord {
+        let signals = Signals {
+            score,
+            backdoored: score > 0.5,
+            prompted_accuracy,
+            queries: 100,
+            accuracy_queries: 20,
+            cache_evictions: evictions,
+            ..Signals::default()
+        };
+        AuditRecord {
+            model: "m".into(),
+            findings: RulePolicy::default().evaluate(&signals),
+            signals,
+        }
+    }
+
+    #[test]
+    fn clean_incident_is_none_in_both_modes() {
+        for mode in [Mode::Learning, Mode::Strict] {
+            assert_eq!(
+                incident_for(&[audit(0.2, 0.9, 0)], mode).action,
+                Action::None
+            );
+        }
+    }
+
+    #[test]
+    fn integrity_only_records_even_in_strict() {
+        let incident = incident_for(&[audit(0.2, 0.9, 5)], Mode::Strict);
+        assert!(!incident.has_backdoor_evidence());
+        assert_eq!(incident.action, Action::Record);
+    }
+
+    #[test]
+    fn strict_flags_moderate_evidence_and_quarantines_critical() {
+        // score 0.6 → B002 High, no Critical, single audit → Flag.
+        let flagged = incident_for(&[audit(0.6, 0.9, 0)], Mode::Strict);
+        assert_eq!(flagged.action, Action::Flag);
+        // score 0.95 → B002 Critical → Quarantine.
+        let critical = incident_for(&[audit(0.95, 0.9, 0)], Mode::Strict);
+        assert_eq!(critical.action, Action::Quarantine);
+        // Persistent moderate evidence escalates to quarantine too.
+        let persistent = incident_for(&[audit(0.6, 0.9, 0), audit(0.6, 0.9, 0)], Mode::Strict);
+        assert!(persistent.findings[0].escalated);
+        assert_eq!(persistent.action, Action::Quarantine);
+    }
+
+    #[test]
+    fn learning_mode_never_enforces() {
+        for records in [
+            vec![audit(0.95, 0.05, 3)],
+            vec![audit(0.6, 0.9, 0), audit(0.6, 0.9, 0)],
+        ] {
+            let incident = incident_for(&records, Mode::Learning);
+            assert_eq!(incident.action, Action::Record);
+            assert!(incident.has_backdoor_evidence());
+        }
+    }
+
+    #[test]
+    fn mode_env_parsing_is_forgiving() {
+        assert_eq!(Mode::from_str_opt("learning"), Some(Mode::Learning));
+        assert_eq!(Mode::from_str_opt("strict"), Some(Mode::Strict));
+        assert_eq!(Mode::from_str_opt("SHOUTING"), None);
+        assert_eq!(Mode::default(), Mode::Strict);
+        for a in [
+            Action::None,
+            Action::Record,
+            Action::Flag,
+            Action::Quarantine,
+        ] {
+            assert_eq!(Action::from_str_opt(a.as_str()), Some(a));
+        }
+    }
+}

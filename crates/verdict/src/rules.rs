@@ -1,0 +1,567 @@
+//! The rules stage: the stable rule-ID registry and the policy that
+//! matches rules against one audit's collected signals.
+//!
+//! Rule IDs are **stable identifiers**: once shipped, an ID never changes
+//! meaning and is never reused. Downstream tooling (dashboards, fleet
+//! triage, incident diffing) keys on the ID, not the reason string. The
+//! registry table lives in `DESIGN.md` §5g.
+
+use bprom_obs::{FromJson, JsonError, JsonResult, ToJson, Value};
+
+/// Stable identifiers for every detection rule BPROM can raise.
+///
+/// `B00x` rules are **backdoor evidence** (signals from the paper's
+/// detection pipeline); `B01x` rules are **audit-integrity** signals
+/// (the oracle or the audit infrastructure misbehaved — they qualify the
+/// verdict, they do not imply a backdoor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `B001` — prompted-accuracy collapse: the CMA-ES-prompted model's
+    /// accuracy on the target split fell below the policy floor (the
+    /// paper's headline statistic for backdoored models).
+    B001,
+    /// `B002` — subspace inconsistency: the meta-classifier's
+    /// backdoor probability exceeded the suspicion threshold.
+    B002,
+    /// `B003` — forest vote margin: the random-forest vote was not just
+    /// past the threshold but decisively so (margin above the policy
+    /// floor), i.e. strong ensemble agreement on the backdoor class.
+    B003,
+    /// `B004` — search degradation: CMA-ES candidates were penalized or
+    /// queries exhausted their retry budget, so the prompt search ran on
+    /// partial information.
+    B004,
+    /// `B010` — fault-rate anomaly: the oracle injected faults at a rate
+    /// above the policy ceiling (hostile or unhealthy provider).
+    B010,
+    /// `B011` — cache anomaly: the bounded query cache evicted entries,
+    /// so repeated audit content may re-spend provider queries.
+    B011,
+}
+
+impl RuleId {
+    /// Every registered rule, in ID order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::B001,
+        RuleId::B002,
+        RuleId::B003,
+        RuleId::B004,
+        RuleId::B010,
+        RuleId::B011,
+    ];
+
+    /// The stable wire code (`"B001"`, ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::B001 => "B001",
+            RuleId::B002 => "B002",
+            RuleId::B003 => "B003",
+            RuleId::B004 => "B004",
+            RuleId::B010 => "B010",
+            RuleId::B011 => "B011",
+        }
+    }
+
+    /// One-line human title.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::B001 => "prompted-accuracy collapse",
+            RuleId::B002 => "subspace inconsistency",
+            RuleId::B003 => "forest vote margin",
+            RuleId::B004 => "search degradation",
+            RuleId::B010 => "fault-rate anomaly",
+            RuleId::B011 => "cache anomaly",
+        }
+    }
+
+    /// Whether this rule is backdoor evidence (as opposed to an
+    /// audit-integrity signal). Only backdoor evidence can flag or
+    /// quarantine a model in strict mode, and only backdoor evidence
+    /// escalates when it fires across repeated audits.
+    pub fn is_backdoor_evidence(self) -> bool {
+        matches!(self, RuleId::B001 | RuleId::B002 | RuleId::B003)
+    }
+
+    /// Parses a wire code back to the ID.
+    pub fn from_code(code: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code() == code)
+    }
+}
+
+/// Finding severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; no operator action expected.
+    Advisory,
+    Low,
+    Medium,
+    High,
+    /// Immediate operator action expected.
+    Critical,
+}
+
+impl Severity {
+    /// Wire form (`"advisory"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Advisory => "advisory",
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_str_opt(s: &str) -> Option<Severity> {
+        [
+            Severity::Advisory,
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+            Severity::Critical,
+        ]
+        .into_iter()
+        .find(|v| v.as_str() == s)
+    }
+
+    /// One level more severe (saturating at [`Severity::Critical`]).
+    pub fn escalated(self) -> Severity {
+        match self {
+            Severity::Advisory => Severity::Low,
+            Severity::Low => Severity::Medium,
+            Severity::Medium => Severity::High,
+            Severity::High | Severity::Critical => Severity::Critical,
+        }
+    }
+}
+
+/// One rule that fired on one audit: the stable ID, how severe it was,
+/// a human-readable reason, and the concrete evidence values backing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How severe the match was.
+    pub severity: Severity,
+    /// Human-readable reason, self-contained (includes the threshold).
+    pub reason: String,
+    /// Concrete `(name, value)` evidence pairs the rule matched on.
+    pub evidence: Vec<(String, f64)>,
+}
+
+/// The collect stage's output: everything one audit observed, distilled
+/// to the values rules match on.
+///
+/// Deliberately excludes wall-clock (`*_ns`) fields: signals feed the
+/// incident report, which must be byte-stable across reruns, thread
+/// counts and machines.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Signals {
+    /// Meta-classifier backdoor probability (fraction of forest votes).
+    pub score: f32,
+    /// Hard decision at threshold 0.5 (the raw verdict bit).
+    pub backdoored: bool,
+    /// Accuracy of the prompted model on the target training split.
+    pub prompted_accuracy: f32,
+    /// Total logical oracle queries the audit spent.
+    pub queries: u64,
+    /// Queries spent by the CMA-ES prompt search.
+    pub prompt_queries: u64,
+    /// Queries spent measuring the learned prompt's accuracy.
+    pub accuracy_queries: u64,
+    /// Queries spent extracting the probe feature.
+    pub probe_queries: u64,
+    /// Faults the oracle stack injected.
+    pub faults_injected: u64,
+    /// Retry attempts absorbed.
+    pub retries: u64,
+    /// Queries whose retry budget ran out.
+    pub retry_exhausted: u64,
+    /// Degraded (quantized/truncated/jittered) responses delivered.
+    pub degraded_responses: u64,
+    /// CMA-ES candidates skipped with an infinite penalty.
+    pub penalized_candidates: u64,
+    /// Query rows served from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Deduplicated rows the cache forwarded to the provider.
+    pub cache_misses: u64,
+    /// Cache entries evicted by a bounded-memory policy.
+    pub cache_evictions: u64,
+}
+
+impl Signals {
+    /// Forest vote margin in `[0, 1]`: how far the vote sits from the
+    /// 50/50 decision boundary (`2 * |score - 0.5|`).
+    pub fn vote_margin(&self) -> f32 {
+        2.0 * (self.score - 0.5).abs()
+    }
+
+    /// Fraction of queries that drew an injected fault (0 when no
+    /// queries were spent).
+    pub fn fault_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.faults_injected as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Thresholds the rules stage matches against. Severity policy is part
+/// of the rule definitions; only the decision boundaries are tunable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RulePolicy {
+    /// `B001` fires when `prompted_accuracy` falls strictly below this.
+    pub accuracy_collapse: f32,
+    /// `B002` fires when `score` exceeds this (strictly).
+    pub suspicion_score: f32,
+    /// `B003` fires when `score` exceeds `suspicion_score` *and* the
+    /// vote margin reaches this floor.
+    pub strong_vote_margin: f32,
+    /// `B010` fires when the injected-fault rate exceeds this.
+    pub max_fault_rate: f64,
+}
+
+impl Default for RulePolicy {
+    fn default() -> Self {
+        RulePolicy {
+            accuracy_collapse: 0.30,
+            suspicion_score: 0.5,
+            strong_vote_margin: 0.2,
+            max_fault_rate: 0.01,
+        }
+    }
+}
+
+impl RulePolicy {
+    /// The rules stage: matches every registered rule against one
+    /// audit's signals. Findings come back in rule-ID order — stable
+    /// output for stable input, regardless of evaluation details.
+    pub fn evaluate(&self, s: &Signals) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        // Gated on the accuracy pass actually running: an audit that
+        // never measured prompted accuracy reports 0.0 vacuously.
+        if s.accuracy_queries > 0 && s.prompted_accuracy < self.accuracy_collapse {
+            findings.push(Finding {
+                rule: RuleId::B001,
+                severity: if s.prompted_accuracy < self.accuracy_collapse / 2.0 {
+                    Severity::High
+                } else {
+                    Severity::Medium
+                },
+                reason: format!(
+                    "prompted accuracy {:.4} collapsed below the {:.4} floor",
+                    s.prompted_accuracy, self.accuracy_collapse
+                ),
+                evidence: vec![
+                    ("prompted_accuracy".into(), f64::from(s.prompted_accuracy)),
+                    ("threshold".into(), f64::from(self.accuracy_collapse)),
+                ],
+            });
+        }
+        if s.score > self.suspicion_score {
+            findings.push(Finding {
+                rule: RuleId::B002,
+                severity: if s.score >= 0.9 {
+                    Severity::Critical
+                } else {
+                    Severity::High
+                },
+                reason: format!(
+                    "meta-classifier subspace-inconsistency score {:.4} exceeds the {:.4} threshold",
+                    s.score, self.suspicion_score
+                ),
+                evidence: vec![
+                    ("score".into(), f64::from(s.score)),
+                    ("threshold".into(), f64::from(self.suspicion_score)),
+                ],
+            });
+        }
+        if s.score > self.suspicion_score && s.vote_margin() >= self.strong_vote_margin {
+            findings.push(Finding {
+                rule: RuleId::B003,
+                severity: Severity::Medium,
+                reason: format!(
+                    "forest vote margin {:.4} (score {:.4}) reaches the {:.4} strong-agreement floor",
+                    s.vote_margin(),
+                    s.score,
+                    self.strong_vote_margin
+                ),
+                evidence: vec![
+                    ("vote_margin".into(), f64::from(s.vote_margin())),
+                    ("score".into(), f64::from(s.score)),
+                    ("threshold".into(), f64::from(self.strong_vote_margin)),
+                ],
+            });
+        }
+        if s.penalized_candidates > 0 || s.retry_exhausted > 0 {
+            findings.push(Finding {
+                rule: RuleId::B004,
+                severity: Severity::Low,
+                reason: format!(
+                    "prompt search degraded: {} CMA-ES candidates penalized, {} queries exhausted retries",
+                    s.penalized_candidates, s.retry_exhausted
+                ),
+                evidence: vec![
+                    (
+                        "penalized_candidates".into(),
+                        s.penalized_candidates as f64,
+                    ),
+                    ("retry_exhausted".into(), s.retry_exhausted as f64),
+                ],
+            });
+        }
+        if s.queries > 0 && s.fault_rate() > self.max_fault_rate {
+            findings.push(Finding {
+                rule: RuleId::B010,
+                severity: Severity::Low,
+                reason: format!(
+                    "oracle injected faults on {:.4} of queries (ceiling {:.4})",
+                    s.fault_rate(),
+                    self.max_fault_rate
+                ),
+                evidence: vec![
+                    ("fault_rate".into(), s.fault_rate()),
+                    ("faults_injected".into(), s.faults_injected as f64),
+                    ("threshold".into(), self.max_fault_rate),
+                ],
+            });
+        }
+        if s.cache_evictions > 0 {
+            findings.push(Finding {
+                rule: RuleId::B011,
+                severity: Severity::Advisory,
+                reason: format!(
+                    "bounded query cache evicted {} entries; repeated audit content may re-spend provider queries",
+                    s.cache_evictions
+                ),
+                evidence: vec![
+                    ("cache_evictions".into(), s.cache_evictions as f64),
+                    ("cache_hits".into(), s.cache_hits as f64),
+                    ("cache_misses".into(), s.cache_misses as f64),
+                ],
+            });
+        }
+        findings
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Value {
+        let evidence: Vec<Value> = self
+            .evidence
+            .iter()
+            .map(|(k, v)| Value::object(vec![("name", k.to_json()), ("value", v.to_json())]))
+            .collect();
+        Value::object(vec![
+            ("rule", self.rule.code().to_string().to_json()),
+            ("title", self.rule.title().to_string().to_json()),
+            ("severity", self.severity.as_str().to_string().to_json()),
+            ("reason", self.reason.to_json()),
+            ("evidence", Value::Array(evidence)),
+        ])
+    }
+}
+
+impl FromJson for Finding {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        let code = String::from_json(value.require("rule")?)?;
+        let rule = RuleId::from_code(&code)
+            .ok_or_else(|| JsonError::new(format!("unknown rule id {code:?}")))?;
+        let sev = String::from_json(value.require("severity")?)?;
+        let severity = Severity::from_str_opt(&sev)
+            .ok_or_else(|| JsonError::new(format!("unknown severity {sev:?}")))?;
+        let mut evidence = Vec::new();
+        for pair in value
+            .require("evidence")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("evidence must be an array"))?
+        {
+            evidence.push((
+                String::from_json(pair.require("name")?)?,
+                f64::from_json(pair.require("value")?)?,
+            ));
+        }
+        Ok(Finding {
+            rule,
+            severity,
+            reason: String::from_json(value.require("reason")?)?,
+            evidence,
+        })
+    }
+}
+
+impl ToJson for Signals {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("score", self.score.to_json()),
+            ("backdoored", self.backdoored.to_json()),
+            ("prompted_accuracy", self.prompted_accuracy.to_json()),
+            ("queries", self.queries.to_json()),
+            ("prompt_queries", self.prompt_queries.to_json()),
+            ("accuracy_queries", self.accuracy_queries.to_json()),
+            ("probe_queries", self.probe_queries.to_json()),
+            ("faults_injected", self.faults_injected.to_json()),
+            ("retries", self.retries.to_json()),
+            ("retry_exhausted", self.retry_exhausted.to_json()),
+            ("degraded_responses", self.degraded_responses.to_json()),
+            ("penalized_candidates", self.penalized_candidates.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("cache_evictions", self.cache_evictions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Signals {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(Signals {
+            score: f32::from_json(value.require("score")?)?,
+            backdoored: bool::from_json(value.require("backdoored")?)?,
+            prompted_accuracy: f32::from_json(value.require("prompted_accuracy")?)?,
+            queries: u64::from_json(value.require("queries")?)?,
+            prompt_queries: u64::from_json(value.require("prompt_queries")?)?,
+            accuracy_queries: u64::from_json(value.require("accuracy_queries")?)?,
+            probe_queries: u64::from_json(value.require("probe_queries")?)?,
+            faults_injected: u64::from_json(value.require("faults_injected")?)?,
+            retries: u64::from_json(value.require("retries")?)?,
+            retry_exhausted: u64::from_json(value.require("retry_exhausted")?)?,
+            degraded_responses: u64::from_json(value.require("degraded_responses")?)?,
+            penalized_candidates: u64::from_json(value.require("penalized_candidates")?)?,
+            cache_hits: u64::from_json(value.require("cache_hits")?)?,
+            cache_misses: u64::from_json(value.require("cache_misses")?)?,
+            cache_evictions: u64::from_json(value.require("cache_evictions")?)?,
+        })
+    }
+}
+
+impl ToJson for RulePolicy {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("accuracy_collapse", self.accuracy_collapse.to_json()),
+            ("suspicion_score", self.suspicion_score.to_json()),
+            ("strong_vote_margin", self.strong_vote_margin.to_json()),
+            ("max_fault_rate", self.max_fault_rate.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RulePolicy {
+    fn from_json(value: &Value) -> JsonResult<Self> {
+        Ok(RulePolicy {
+            accuracy_collapse: f32::from_json(value.require("accuracy_collapse")?)?,
+            suspicion_score: f32::from_json(value.require("suspicion_score")?)?,
+            strong_vote_margin: f32::from_json(value.require("strong_vote_margin")?)?,
+            max_fault_rate: f64::from_json(value.require("max_fault_rate")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_are_stable_and_parse_back() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::from_code(rule.code()), Some(rule));
+            assert!(!rule.title().is_empty());
+        }
+        assert_eq!(RuleId::from_code("B999"), None);
+    }
+
+    #[test]
+    fn severity_orders_and_escalates() {
+        assert!(Severity::Advisory < Severity::Low);
+        assert!(Severity::High < Severity::Critical);
+        assert_eq!(Severity::Medium.escalated(), Severity::High);
+        assert_eq!(Severity::Critical.escalated(), Severity::Critical);
+        for s in ["advisory", "low", "medium", "high", "critical"] {
+            assert_eq!(Severity::from_str_opt(s).unwrap().as_str(), s);
+        }
+    }
+
+    #[test]
+    fn clean_signals_raise_nothing() {
+        let s = Signals {
+            prompted_accuracy: 0.8,
+            score: 0.2,
+            queries: 500,
+            accuracy_queries: 50,
+            ..Signals::default()
+        };
+        assert!(RulePolicy::default().evaluate(&s).is_empty());
+    }
+
+    #[test]
+    fn backdoor_evidence_rules_fire_with_expected_severities() {
+        let s = Signals {
+            score: 0.95,
+            backdoored: true,
+            prompted_accuracy: 0.05,
+            queries: 100,
+            accuracy_queries: 20,
+            ..Signals::default()
+        };
+        let findings = RulePolicy::default().evaluate(&s);
+        let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
+        assert_eq!(codes, ["B001", "B002", "B003"]);
+        assert_eq!(findings[0].severity, Severity::High); // deep collapse
+        assert_eq!(findings[1].severity, Severity::Critical); // score >= 0.9
+        assert!(findings.iter().all(|f| f.rule.is_backdoor_evidence()));
+        // Reasons are self-contained and carry the threshold.
+        assert!(findings[0].reason.contains("0.30"));
+    }
+
+    #[test]
+    fn marginal_score_fires_b002_but_not_b003() {
+        let s = Signals {
+            score: 0.55,
+            prompted_accuracy: 0.9,
+            queries: 100,
+            accuracy_queries: 20,
+            ..Signals::default()
+        };
+        let findings = RulePolicy::default().evaluate(&s);
+        let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
+        assert_eq!(codes, ["B002"]);
+        assert_eq!(findings[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn integrity_rules_fire_on_degraded_audits() {
+        let s = Signals {
+            prompted_accuracy: 0.9,
+            queries: 1000,
+            accuracy_queries: 100,
+            faults_injected: 100,
+            retry_exhausted: 2,
+            penalized_candidates: 1,
+            cache_evictions: 7,
+            ..Signals::default()
+        };
+        let findings = RulePolicy::default().evaluate(&s);
+        let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
+        assert_eq!(codes, ["B004", "B010", "B011"]);
+        assert!(findings.iter().all(|f| !f.rule.is_backdoor_evidence()));
+    }
+
+    #[test]
+    fn finding_json_round_trip() {
+        let s = Signals {
+            score: 0.7,
+            queries: 10,
+            ..Signals::default()
+        };
+        let findings = RulePolicy::default().evaluate(&s);
+        for f in &findings {
+            let back = Finding::from_json(&f.to_json()).unwrap();
+            assert_eq!(&back, f);
+        }
+        let back = Signals::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        let policy = RulePolicy::default();
+        assert_eq!(RulePolicy::from_json(&policy.to_json()).unwrap(), policy);
+    }
+}

@@ -1,0 +1,86 @@
+//! Thread-local audit sink: how detection code hands [`AuditRecord`]s to
+//! whoever owns artifact emission, without threading a collector through
+//! every call signature.
+//!
+//! Mirrors `bprom_obs`'s thread-local telemetry session: the bench
+//! harness's `TelemetryGuard` calls [`install`] at run start, detection
+//! code calls [`record`] per audited model (a no-op when nothing is
+//! installed — library users pay nothing), and the guard [`drain`]s the
+//! records into an `incident.json` on drop. Thread-local (not global) so
+//! parallel tests cannot contaminate each other's incident reports.
+
+use crate::correlate::AuditRecord;
+use std::cell::RefCell;
+
+thread_local! {
+    static SINK: RefCell<Option<Vec<AuditRecord>>> = const { RefCell::new(None) };
+}
+
+/// Starts collecting audit records on this thread, discarding any
+/// previously collected ones.
+pub fn install() {
+    SINK.with(|sink| *sink.borrow_mut() = Some(Vec::new()));
+}
+
+/// Whether a sink is currently installed on this thread.
+pub fn installed() -> bool {
+    SINK.with(|sink| sink.borrow().is_some())
+}
+
+/// Hands one audit's record to the installed sink. A no-op when no sink
+/// is installed, so detection code can call this unconditionally.
+pub fn record(record: AuditRecord) {
+    SINK.with(|sink| {
+        if let Some(records) = sink.borrow_mut().as_mut() {
+            records.push(record);
+        }
+    });
+}
+
+/// Takes every collected record and uninstalls the sink. Returns an
+/// empty vec when no sink was installed.
+pub fn drain() -> Vec<AuditRecord> {
+    SINK.with(|sink| sink.borrow_mut().take().unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Signals;
+
+    fn sample(model: &str) -> AuditRecord {
+        AuditRecord {
+            model: model.into(),
+            signals: Signals::default(),
+            findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_only_while_installed() {
+        assert!(!installed());
+        record(sample("dropped"));
+        assert!(drain().is_empty());
+
+        install();
+        assert!(installed());
+        record(sample("a"));
+        record(sample("b"));
+        let records = drain();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].model, "a");
+        assert!(!installed(), "drain uninstalls");
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn reinstall_discards_previous_records() {
+        install();
+        record(sample("stale"));
+        install();
+        record(sample("fresh"));
+        let records = drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].model, "fresh");
+    }
+}

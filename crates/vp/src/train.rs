@@ -316,7 +316,7 @@ pub fn train_prompt_cmaes_ckpt(
         }
     }
     bprom_obs::span!("cmaes_prompt_training");
-    for _gen in start_gen..cfg.cmaes_generations {
+    for gen_index in start_gen..cfg.cmaes_generations {
         let gen_start = bprom_obs::enabled().then(std::time::Instant::now);
         // One shared minibatch per generation: candidates are ranked on the
         // same data, resampled across generations for coverage.
@@ -362,6 +362,14 @@ pub fn train_prompt_cmaes_ckpt(
         if let Some(gen_start) = gen_start {
             bprom_obs::observe("cmaes.generation_ns", gen_start.elapsed().as_nanos() as u64);
             bprom_obs::event("cmaes.best_fitness", f64::from(best));
+            bprom_obs::log_event(
+                "cmaes.generation",
+                [
+                    ("gen", gen_index.into()),
+                    ("best_fitness", best.into()),
+                    ("penalized_total", penalized.load(Ordering::Relaxed).into()),
+                ],
+            );
         }
         if let Some(ckpt) = &ckpt {
             // The generation is complete: all candidate queries are in,

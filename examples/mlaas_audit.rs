@@ -9,6 +9,7 @@ use bprom_suite::bprom::{build_suspicious_zoo, Bprom, BpromConfig, ZooConfig};
 use bprom_suite::data::SynthDataset;
 use bprom_suite::obs;
 use bprom_suite::tensor::Rng;
+use bprom_suite::verdict::{summarize_findings, Mode, RulePolicy, VerdictPipeline};
 use bprom_suite::vp::QueryOracle;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,23 +36,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         marketplace.extend(build_suspicious_zoo(&zoo_cfg, &mut rng)?);
     }
 
+    // Every inspection flows through the verdict pipeline: the raw score
+    // becomes stable-rule-ID findings, repeated audits of one fingerprint
+    // correlate, and the active mode (BPROM_MODE=learning|strict) decides
+    // whether evidence only gets recorded or actually flags the vendor.
+    let mode = Mode::from_env_or(Mode::Strict);
+    let mut pipeline = VerdictPipeline::new("mlaas_audit", RulePolicy::default(), mode);
+
     println!("\n{:<8} {:<12} verdict", "model", "truth");
     let mut correct = 0usize;
     let total = marketplace.len();
     for (i, suspicious) in marketplace.into_iter().enumerate() {
         let truth = suspicious.backdoored;
+        let fingerprint = suspicious.fingerprint();
         let oracle = QueryOracle::new(suspicious.model, 10);
         let verdict = detector.inspect(&oracle, &mut rng)?;
         if verdict.backdoored == truth {
             correct += 1;
         }
+        let record = pipeline.collect(&fingerprint, verdict.signals());
         println!(
             "{:<8} {:<12} {verdict}",
             format!("#{i}"),
             if truth { "backdoored" } else { "clean" },
         );
+        println!(
+            "         findings: {}",
+            summarize_findings(&record.findings)
+        );
     }
     println!("\naudit agreement with ground truth: {correct}/{total}");
+
+    // Correlate + respond: one machine-readable incident report for the
+    // whole marketplace screen.
+    let incident = pipeline.report();
+    println!(
+        "incident report ({} mode): {} audits, {} flagged, {} quarantined \
+         -> mlaas_audit_incident.json",
+        mode.as_str(),
+        incident.audits,
+        incident.flagged,
+        incident.quarantined,
+    );
+    std::fs::write("mlaas_audit_incident.json", incident.to_json_string())?;
 
     // Dump the machine-readable audit trail next to the binary.
     let snapshot = session.finish();
