@@ -11,22 +11,57 @@ use bprom_meta::{ForestConfig, RandomForest};
 use bprom_metrics::auroc;
 use bprom_nn::models::{build, Architecture, ModelSpec};
 use bprom_nn::{Layer, Mode};
+use bprom_tensor::reference::{conv2d_reference, matmul_reference};
 use bprom_tensor::{conv2d, Rng, Tensor};
 use bprom_vp::{CmaEs, VisualPrompt};
+
+/// The zero-skip `matmul_tn` loop the packed kernel replaced, kept here
+/// so the deletion stays re-measurable: `matmul_tn_sparse_64x64` (packed,
+/// no skip) vs `matmul_tn_sparse_64x64_zero_skip` on a post-ReLU-like
+/// half-zero left operand. At this tiny square shape the skip still edges
+/// out the packed kernel (~20%: pack overhead dominates); the branch was
+/// retired anyway because it cannot live inside the vectorized
+/// microkernel, and the pipeline's GEMM-shaped products — where the
+/// packed path wins outright — are what the gated `bench_kernels` floor
+/// measures.
+fn matmul_tn_zero_skip(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let a_row = &ad[p * m..(p + 1) * m];
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
 
 fn bench_tensor(c: &mut Criterion) {
     let mut rng = Rng::new(0);
     let a = Tensor::randn(&[64, 64], &mut rng);
     let b = Tensor::randn(&[64, 64], &mut rng);
+    // Packed kernel vs the retained scalar oracle, on the same shape.
     c.bench_function("matmul_64x64", |bch| {
         bch.iter(|| black_box(a.matmul(&b).unwrap()))
     });
-    // matmul_tn keeps a zero-skip on its left operand; these two cases
-    // justify it: post-ReLU-like half-zero inputs win big, dense inputs
-    // pay only one well-predicted branch per row.
+    c.bench_function("matmul_64x64_reference", |bch| {
+        bch.iter(|| black_box(matmul_reference(&a, &b).unwrap()))
+    });
     let relu_like = a.map(|v| if v > 0.0 { v } else { 0.0 });
     c.bench_function("matmul_tn_sparse_64x64", |bch| {
         bch.iter(|| black_box(relu_like.matmul_tn(&b).unwrap()))
+    });
+    c.bench_function("matmul_tn_sparse_64x64_zero_skip", |bch| {
+        bch.iter(|| black_box(matmul_tn_zero_skip(&relu_like, &b)))
     });
     c.bench_function("matmul_tn_dense_64x64", |bch| {
         bch.iter(|| black_box(a.matmul_tn(&b).unwrap()))
@@ -35,6 +70,9 @@ fn bench_tensor(c: &mut Criterion) {
     let w = Tensor::randn(&[8, 3, 3, 3], &mut rng);
     c.bench_function("conv2d_8x3x16x16", |bch| {
         bch.iter(|| black_box(conv2d(&x, &w, 1, 1).unwrap()))
+    });
+    c.bench_function("conv2d_8x3x16x16_reference", |bch| {
+        bch.iter(|| black_box(conv2d_reference(&x, &w, 1, 1).unwrap()))
     });
 }
 

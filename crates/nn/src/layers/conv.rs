@@ -166,11 +166,49 @@ impl DepthwiseConv2d {
         }
     }
 
-    fn channel_slice(t: &Tensor, n: usize, c: usize) -> Tensor {
-        let (ch, h, w) = (t.shape()[1], t.shape()[2], t.shape()[3]);
-        let base = (n * ch + c) * h * w;
-        Tensor::from_vec(t.data()[base..base + h * w].to_vec(), &[1, 1, h, w])
-            .expect("channel slice shape is consistent by construction")
+    /// Gathers channel `c` of every sample into a `[n, 1, h, w]` batch,
+    /// so each channel runs through the batched conv kernels once
+    /// instead of once per sample.
+    fn channel_batch(t: &Tensor, c: usize) -> Tensor {
+        let (n, ch, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+        let hw = h * w;
+        let mut out = vec![0.0f32; n * hw];
+        for ni in 0..n {
+            let base = (ni * ch + c) * hw;
+            out[ni * hw..(ni + 1) * hw].copy_from_slice(&t.data()[base..base + hw]);
+        }
+        Tensor::from_vec(out, &[n, 1, h, w])
+            .expect("channel batch shape is consistent by construction")
+    }
+
+    /// Inverse of [`Self::channel_batch`]: adds a `[n, 1, h, w]` batch
+    /// into channel `c` of an `[n, ch, h, w]` accumulator.
+    fn scatter_channel(acc: &mut Tensor, src: &Tensor, c: usize) {
+        let (n, ch, h, w) = (
+            acc.shape()[0],
+            acc.shape()[1],
+            acc.shape()[2],
+            acc.shape()[3],
+        );
+        let hw = h * w;
+        for ni in 0..n {
+            let base = (ni * ch + c) * hw;
+            for (a, &s) in acc.data_mut()[base..base + hw]
+                .iter_mut()
+                .zip(&src.data()[ni * hw..(ni + 1) * hw])
+            {
+                *a += s;
+            }
+        }
+    }
+
+    fn kernel_tensor(&self, c: usize) -> Tensor {
+        let k = self.kernel;
+        Tensor::from_vec(
+            self.weight.value.data()[c * k * k..(c + 1) * k * k].to_vec(),
+            &[1, 1, k, k],
+        )
+        .expect("kernel slice shape is consistent by construction")
     }
 }
 
@@ -194,24 +232,26 @@ impl Layer for DepthwiseConv2d {
             }));
         }
         let n = input.shape()[0];
-        let mut per_sample = Vec::with_capacity(n);
-        for ni in 0..n {
-            let mut per_channel = Vec::with_capacity(self.channels);
-            for ci in 0..self.channels {
-                let x = Self::channel_slice(input, ni, ci);
-                let k = self.kernel;
-                let w = Tensor::from_vec(
-                    self.weight.value.data()[ci * k * k..(ci + 1) * k * k].to_vec(),
-                    &[1, 1, k, k],
-                )?;
-                let mut y = conv2d(&x, &w, self.stride, self.padding)?;
-                let bv = self.bias.value.data()[ci];
-                y.map_in_place(|v| v + bv);
-                per_channel.push(y.reshape(&[y.shape()[2], y.shape()[3]])?);
+        let mut out: Option<Tensor> = None;
+        for ci in 0..self.channels {
+            let x = Self::channel_batch(input, ci);
+            let w = self.kernel_tensor(ci);
+            let mut y = conv2d(&x, &w, self.stride, self.padding)?;
+            let bv = self.bias.value.data()[ci];
+            y.map_in_place(|v| v + bv);
+            let (oh, ow) = (y.shape()[2], y.shape()[3]);
+            let dst = out.get_or_insert_with(|| Tensor::zeros(&[n, self.channels, oh, ow]));
+            let hw = oh * ow;
+            for ni in 0..n {
+                let base = (ni * self.channels + ci) * hw;
+                dst.data_mut()[base..base + hw].copy_from_slice(&y.data()[ni * hw..(ni + 1) * hw]);
             }
-            per_sample.push(Tensor::stack(&per_channel)?);
         }
-        Ok(Tensor::stack(&per_sample)?)
+        out.ok_or_else(|| {
+            NnError::Tensor(bprom_tensor::TensorError::InvalidShape {
+                reason: "DepthwiseConv2d requires at least one channel".to_string(),
+            })
+        })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -223,38 +263,22 @@ impl Layer for DepthwiseConv2d {
             })?;
         let n = input.shape()[0];
         let (h, w) = (input.shape()[2], input.shape()[3]);
-        let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
         let k = self.kernel;
         let mut grad_in = Tensor::zeros(input.shape());
-        for ni in 0..n {
-            for ci in 0..self.channels {
-                let x = Self::channel_slice(input, ni, ci);
-                let go_base = (ni * self.channels + ci) * oh * ow;
-                let go = Tensor::from_vec(
-                    grad_output.data()[go_base..go_base + oh * ow].to_vec(),
-                    &[1, 1, oh, ow],
-                )?;
-                let wt = Tensor::from_vec(
-                    self.weight.value.data()[ci * k * k..(ci + 1) * k * k].to_vec(),
-                    &[1, 1, k, k],
-                )?;
-                let dw = conv2d_backward_weight(&x, &go, (k, k), self.stride, self.padding)?;
-                for (g, &d) in self.weight.grad.data_mut()[ci * k * k..(ci + 1) * k * k]
-                    .iter_mut()
-                    .zip(dw.data())
-                {
-                    *g += d;
-                }
-                self.bias.grad.data_mut()[ci] += go.sum();
-                let dx = conv2d_backward_input(&wt, &go, &[1, 1, h, w], self.stride, self.padding)?;
-                let base = (ni * self.channels + ci) * h * w;
-                for (g, &d) in grad_in.data_mut()[base..base + h * w]
-                    .iter_mut()
-                    .zip(dx.data())
-                {
-                    *g += d;
-                }
+        for ci in 0..self.channels {
+            let x = Self::channel_batch(input, ci);
+            let go = Self::channel_batch(grad_output, ci);
+            let wt = self.kernel_tensor(ci);
+            let dw = conv2d_backward_weight(&x, &go, (k, k), self.stride, self.padding)?;
+            for (g, &d) in self.weight.grad.data_mut()[ci * k * k..(ci + 1) * k * k]
+                .iter_mut()
+                .zip(dw.data())
+            {
+                *g += d;
             }
+            self.bias.grad.data_mut()[ci] += go.sum();
+            let dx = conv2d_backward_input(&wt, &go, &[n, 1, h, w], self.stride, self.padding)?;
+            Self::scatter_channel(&mut grad_in, &dx, ci);
         }
         Ok(grad_in)
     }

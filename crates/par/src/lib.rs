@@ -39,11 +39,31 @@
 //! assert_eq!(out, seq);
 //! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Programmatic thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Whether the current thread is a bprom-par pool worker.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling thread is executing inside a [`par_map`] /
+/// [`par_map_indexed`] worker.
+///
+/// Library-level parallelism (e.g. the `bprom-tensor` GEMM driver
+/// splitting one large matrix product over the pool) uses this to stay
+/// sequential when the caller is *already* a work unit of an outer
+/// parallel section — the outer section owns the cores, and nested
+/// pools would only oversubscribe them. The sequential fast path of
+/// `par_map*` (one worker, or `n <= 1`) runs on the calling thread and
+/// does **not** mark it, so a single big work item can still fan out.
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
 
 /// Overrides the worker-pool size for the whole process; pass `0` to
 /// clear the override and fall back to `BPROM_THREADS` / available
@@ -108,6 +128,7 @@ where
                 let slots = &slots;
                 let f = &f;
                 scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
                     let session = ctx.map(bprom_obs::WorkerContext::begin);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -282,6 +303,17 @@ mod tests {
                 8
             );
         }
+    }
+
+    #[test]
+    fn worker_flag_tracks_execution_context() {
+        assert!(!in_parallel_worker());
+        let flags = with_threads(4, || par_map_indexed(8, |_| in_parallel_worker()));
+        assert!(flags.iter().all(|&f| f), "pool workers must be marked");
+        // The sequential fast path runs on the calling thread, unmarked.
+        let flags = with_threads(1, || par_map_indexed(8, |_| in_parallel_worker()));
+        assert!(flags.iter().all(|&f| !f));
+        assert!(!in_parallel_worker());
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! * Tensors are always contiguous and row-major; no strides or views. The
 //!   workloads here (tiny CNNs on 16×16 images) never need them, and the
 //!   simplicity pays off in testability.
+//! * Every rank-2 product (`matmul`/`matmul_tn`/`matmul_nt`) and both
+//!   convolution directions run on one packed, cache-blocked GEMM driver
+//!   ([`kernels`] + [`pack`], threaded over `bprom-par`), with the
+//!   pre-kernel scalar implementations retained in [`reference`] as
+//!   correctness oracles and benchmark baselines. The driver's fixed
+//!   k-accumulation order keeps results byte-identical at any
+//!   `BPROM_THREADS`.
 //! * Every fallible operation returns [`Result`]; shape mismatches are
 //!   errors, not panics.
 //! * All randomness flows through [`Rng`], a SplitMix64-seeded xoshiro256++
@@ -40,12 +47,16 @@
 
 mod conv;
 mod error;
+mod kernels;
 mod matmul;
 mod ops;
+mod pack;
 mod pool;
+pub mod reference;
 mod rng;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, pad2d, unpad2d};
 pub use error::TensorError;

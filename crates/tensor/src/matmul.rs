@@ -1,13 +1,30 @@
 //! Matrix multiplication for rank-2 tensors.
+//!
+//! All three transpose flavours are thin shape-checking wrappers over the
+//! packed, cache-blocked GEMM driver in [`crate::kernels`]; the packing
+//! step absorbs the transposes, so nothing is ever materialized. The
+//! driver keeps the historical accumulation contract — each output
+//! element sums its products in strictly increasing `k` order — so all
+//! three are bit-identical to the retained scalar reference
+//! ([`crate::reference::matmul_reference`]) and thread-count invariant.
+//!
+//! The pre-kernel `matmul_tn` carried a zero-skip branch on its left
+//! operand (post-ReLU activations are ~half zeros). The packed kernel
+//! deleted it: a data-dependent branch cannot live inside the vectorized
+//! microkernel, and the uniform driver is what keeps all three flavours
+//! bit-identical and threadable. The skip's one remaining win is tiny
+//! half-zero squares (~20 % at 64×64, where pack overhead dominates);
+//! on the pipeline's GEMM-shaped products the packed path wins outright
+//! — see the `matmul_tn_*` micro-benches in
+//! `crates/bench/benches/micro.rs`, which keep the old loop around for
+//! re-measurement.
 
+use crate::kernels::gemm;
+use crate::pack::Trans;
 use crate::{Tensor, TensorError};
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
-    ///
-    /// Uses an i-k-j loop order so the inner loop streams both the output
-    /// row and the right-hand-side row — cache-friendly without blocking,
-    /// which is plenty at the matrix sizes this workspace uses.
     ///
     /// # Errors
     ///
@@ -31,19 +48,17 @@ impl Tensor {
                 actual: vec![k2, n],
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a_ip = a[i * k + p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * bv;
-                }
-            }
-        }
+        gemm(
+            m,
+            n,
+            k,
+            self.data(),
+            Trans::N,
+            other.data(),
+            Trans::N,
+            &mut out,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -68,27 +83,17 @@ impl Tensor {
                 actual: vec![k2, n],
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                // Unlike `matmul`, the zero-skip here pays for itself: the
-                // left operand of `matmul_tn` in backward passes is a
-                // post-ReLU activation matrix, typically half zeros, and the
-                // skip elides the whole inner row update (see the
-                // `matmul_tn_sparse_*` micro-benches).
-                if av == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm(
+            m,
+            n,
+            k,
+            self.data(),
+            Trans::T,
+            other.data(),
+            Trans::N,
+            &mut out,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -113,20 +118,17 @@ impl Tensor {
                 actual: vec![n, k2],
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        gemm(
+            m,
+            n,
+            k,
+            self.data(),
+            Trans::N,
+            other.data(),
+            Trans::T,
+            &mut out,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -212,6 +214,18 @@ mod tests {
         }
         assert_close(&a.matmul(&eye).unwrap(), &a, 1e-6);
         assert_close(&eye.matmul(&a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_reference() {
+        let mut rng = Rng::new(11);
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 7), (33, 65, 17), (64, 64, 64)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let packed = a.matmul(&b).unwrap();
+            let reference = crate::reference::matmul_reference(&a, &b).unwrap();
+            assert_eq!(packed.data(), reference.data(), "m={m} k={k} n={n}");
+        }
     }
 
     #[test]

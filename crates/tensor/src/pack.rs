@@ -1,0 +1,202 @@
+//! Panel packing for the blocked GEMM driver in [`crate::kernels`].
+//!
+//! The microkernel wants both operands in a layout where each step of the
+//! k-loop reads one contiguous `MR`-wide sliver of A and one contiguous
+//! `NR`-wide sliver of B. Packing copies a `[mc × kc]` block of the
+//! (possibly transposed) operand into that layout once per cache block,
+//! so the O(m·n·k) inner loop never strides through the original matrix.
+//!
+//! Edge strips are zero-padded to the full `MR`/`NR` width. Padded lanes
+//! multiply real data by `0.0` and accumulate into lanes that are never
+//! stored back, so they cannot perturb valid outputs (the accumulators
+//! start at `0.0`, and `0.0 · x` contributions stay in the dead lanes).
+
+use crate::kernels::NR;
+
+/// Storage orientation of a GEMM operand relative to its *operational*
+/// shape. The driver works on `A_op: [m, k]` and `B_op: [k, n]`;
+/// `Trans` says how those are laid out in the backing slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Trans {
+    /// Stored exactly as its operational shape, row-major.
+    N,
+    /// Stored transposed: `A_op[i][p]` lives at `a[p * m + i]`
+    /// (respectively `B_op[p][j]` at `b[j * k + p]`).
+    T,
+}
+
+/// Packs the `[mc × kc]` block of `A_op` starting at row `i0`, depth `p0`
+/// into `mr`-row strips: strip `s`, depth `p`, row `r` lands at
+/// `buf[(s * kc + p) * mr + r]`. Rows past `m` are zero-filled.
+///
+/// `m` and `k` are the operational dimensions of the whole matrix; `mr`
+/// is the strip width the selected microkernel consumes
+/// ([`crate::kernels::MR`] or [`crate::kernels::MR_WIDE`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a(
+    a: &[f32],
+    trans: Trans,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    mr: usize,
+    buf: &mut Vec<f32>,
+) {
+    let strips = mc.div_ceil(mr);
+    buf.clear();
+    buf.resize(strips * kc * mr, 0.0);
+    for s in 0..strips {
+        let strip_rows = mr.min(mc - s * mr);
+        let row0 = i0 + s * mr;
+        let dst_base = s * kc * mr;
+        match trans {
+            Trans::N => {
+                // A_op[i][p] = a[i * k + p]: copy row slivers, transposing
+                // into the p-major strip.
+                for r in 0..strip_rows {
+                    let src = &a[(row0 + r) * k + p0..(row0 + r) * k + p0 + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[dst_base + p * mr + r] = v;
+                    }
+                }
+            }
+            Trans::T => {
+                // A_op[i][p] = a[p * m + i]: each depth step is contiguous
+                // in the source, so copy sliver-by-sliver.
+                for p in 0..kc {
+                    let src = &a[(p0 + p) * m + row0..(p0 + p) * m + row0 + strip_rows];
+                    buf[dst_base + p * mr..dst_base + p * mr + strip_rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `[kc × nc]` block of `B_op` starting at depth `p0`, column
+/// `j0` into `NR`-column strips: strip `t`, depth `p`, column `c` lands
+/// at `buf[(t * kc + p) * NR + c]`. Columns past `n` are zero-filled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b(
+    b: &[f32],
+    trans: Trans,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    buf: &mut Vec<f32>,
+) {
+    let strips = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(strips * kc * NR, 0.0);
+    for t in 0..strips {
+        let strip_cols = NR.min(nc - t * NR);
+        let col0 = j0 + t * NR;
+        let dst_base = t * kc * NR;
+        match trans {
+            Trans::N => {
+                // B_op[p][j] = b[p * n + j]: depth steps are contiguous.
+                for p in 0..kc {
+                    let src = &b[(p0 + p) * n + col0..(p0 + p) * n + col0 + strip_cols];
+                    buf[dst_base + p * NR..dst_base + p * NR + strip_cols].copy_from_slice(src);
+                }
+            }
+            Trans::T => {
+                // B_op[p][j] = b[j * k + p]: source rows are the columns.
+                for c in 0..strip_cols {
+                    let src = &b[(col0 + c) * k + p0..(col0 + c) * k + p0 + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[dst_base + p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{MR, MR_WIDE};
+
+    /// 5×7 matrix with distinguishable entries.
+    fn sample(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|i| i as f32 + 1.0).collect()
+    }
+
+    #[test]
+    fn pack_a_n_round_trips() {
+        for mr in [MR, MR_WIDE] {
+            let (m, k) = (5, 7);
+            let a = sample(m, k);
+            let mut buf = Vec::new();
+            pack_a(&a, Trans::N, m, k, 0, m, 0, k, mr, &mut buf);
+            for i in 0..m {
+                for p in 0..k {
+                    let (s, r) = (i / mr, i % mr);
+                    assert_eq!(buf[(s * k + p) * mr + r], a[i * k + p], "mr={mr} ({i},{p})");
+                }
+            }
+            // Padded rows of the last strip are zero.
+            let last = m.div_ceil(mr) - 1;
+            for p in 0..k {
+                for r in (m - last * mr)..mr {
+                    assert_eq!(buf[(last * k + p) * mr + r], 0.0, "mr={mr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_t_matches_pack_a_n_of_transpose() {
+        let (m, k) = (6, 5);
+        // at stores A_op transposed: at[p * m + i] = A_op[i][p].
+        let a: Vec<f32> = sample(m, k);
+        let mut at = vec![0.0; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        for mr in [MR, MR_WIDE] {
+            let (mut b1, mut b2) = (Vec::new(), Vec::new());
+            pack_a(&a, Trans::N, m, k, 2, 3, 1, 4, mr, &mut b1);
+            pack_a(&at, Trans::T, m, k, 2, 3, 1, 4, mr, &mut b2);
+            assert_eq!(b1, b2, "mr={mr}");
+        }
+    }
+
+    #[test]
+    fn pack_b_t_matches_pack_b_n_of_transpose() {
+        let (k, n) = (5, 11);
+        let b: Vec<f32> = sample(k, n);
+        let mut bt = vec![0.0; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        pack_b(&b, Trans::N, k, n, 1, 3, 2, 9, &mut b1);
+        pack_b(&bt, Trans::T, k, n, 1, 3, 2, 9, &mut b2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn pack_b_pads_edge_strip_with_zeros() {
+        let (k, n) = (3, NR + 2);
+        let b = sample(k, n);
+        let mut buf = Vec::new();
+        pack_b(&b, Trans::N, k, n, 0, k, 0, n, &mut buf);
+        for p in 0..k {
+            for c in 0..NR {
+                let expect = if c < 2 { b[p * n + NR + c] } else { 0.0 };
+                assert_eq!(buf[(k + p) * NR + c], expect, "({p},{c})");
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Property sweep for the packed GEMM + batched-im2col conv kernels:
+//! every kernel-backed op is checked against the retained scalar oracles
+//! in `bprom_tensor::reference` over seeded sweeps of awkward shapes —
+//! unit dims, primes, and ±1 around every blocking parameter
+//! (MR 4 / MR_WIDE·NR 8, MC 64, KC 256, NC 512).
+//!
+//! Equality is **bitwise** wherever the determinism contract promises it
+//! (`matmul`/`matmul_tn`/`matmul_nt`, `conv2d`, `conv2d_backward_input`,
+//! and `conv2d_backward_weight` against a flat-reduction-order scalar
+//! model). `conv2d_backward_weight` vs the *per-sample-order* reference
+//! is compared to rounding tolerance only: the kernel reduces over one
+//! flat `n·oh·ow` axis while the pre-kernel implementation summed
+//! complete per-sample dots in batch order (see DESIGN.md §5h for the
+//! golden-fixture re-bless this ordering change required).
+//!
+//! The build environment is offline, so instead of proptest each sweep
+//! draws `CASES` shape tuples from a seeded [`Rng`]; a failing case
+//! index pins the exact inputs.
+
+use bprom_suite::par;
+use bprom_suite::tensor::reference::{
+    conv2d_backward_input_reference, conv2d_backward_weight_reference, conv2d_reference,
+    matmul_reference,
+};
+use bprom_suite::tensor::{
+    conv2d, conv2d_backward_input, conv2d_backward_weight, pad2d, Rng, Tensor,
+};
+use std::sync::Mutex;
+
+const CASES: u64 = 48;
+const SEED_BASE: u64 = 0x4b45_524e; // "KERN"
+
+/// Guards the process-global `bprom_par` thread knob: the invariance
+/// test flips it, and no other test here may time-slice against that.
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+fn case_rng(case: u64) -> Rng {
+    Rng::new(SEED_BASE ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Picks one element of `choices` using the case RNG.
+fn pick<T: Copy>(choices: &[T], rng: &mut Rng) -> T {
+    let u = rng.next_u64() as usize;
+    choices[u % choices.len()]
+}
+
+fn assert_bits(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        let scale = 1.0 + x.abs().max(y.abs());
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "{what}: element {i} differs beyond {tol}: {x} vs {y}"
+        );
+    }
+}
+
+// ---- GEMM ----
+
+/// Dims that straddle every microkernel/blocking boundary: 1, small
+/// primes, NR±1 (7..9), MC±1 (63..65).
+const MN_DIMS: &[usize] = &[1, 2, 3, 5, 7, 8, 9, 13, 17, 31, 63, 64, 65];
+/// The reduction dim additionally straddles the KC=256 panel boundary
+/// and the k ≤ 384 single-panel stretch.
+const K_DIMS: &[usize] = &[1, 2, 3, 5, 7, 8, 9, 13, 31, 64, 65, 255, 256, 257, 384, 385];
+
+#[test]
+fn matmul_bitwise_matches_reference_on_awkward_shapes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let m = pick(MN_DIMS, &mut rng);
+        let k = pick(K_DIMS, &mut rng);
+        let n = pick(MN_DIMS, &mut rng);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let packed = a.matmul(&b).unwrap();
+        let oracle = matmul_reference(&a, &b).unwrap();
+        assert_bits(
+            &packed,
+            &oracle,
+            &format!("case {case}: matmul {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn matmul_tn_bitwise_matches_transposed_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let m = pick(MN_DIMS, &mut rng);
+        let k = pick(K_DIMS, &mut rng);
+        let n = pick(MN_DIMS, &mut rng);
+        let at = Tensor::randn(&[k, m], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let packed = at.matmul_tn(&b).unwrap();
+        let oracle = matmul_reference(&at.transpose().unwrap(), &b).unwrap();
+        assert_bits(
+            &packed,
+            &oracle,
+            &format!("case {case}: matmul_tn {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn matmul_nt_bitwise_matches_transposed_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let m = pick(MN_DIMS, &mut rng);
+        let k = pick(K_DIMS, &mut rng);
+        let n = pick(MN_DIMS, &mut rng);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        let packed = a.matmul_nt(&bt).unwrap();
+        let oracle = matmul_reference(&a, &bt.transpose().unwrap()).unwrap();
+        assert_bits(
+            &packed,
+            &oracle,
+            &format!("case {case}: matmul_nt {m}x{k}x{n}"),
+        );
+    }
+}
+
+// ---- conv ----
+
+/// One random conv problem with every dial on an awkward setting.
+/// `o` deliberately straddles the backward-input hybrid threshold
+/// (`GEMM_MIN_O = 16`) so both the whole-batch-GEMM and the fused
+/// per-channel paths are swept, and `stride` covers both col2im paths
+/// (extended-row buffer at stride 1, per-element scatter above).
+struct ConvCase {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+}
+
+fn conv_case(rng: &mut Rng) -> ConvCase {
+    loop {
+        let case = ConvCase {
+            n: pick(&[1, 2, 3, 5], rng),
+            c: pick(&[1, 2, 3, 5, 8], rng),
+            h: pick(&[4, 5, 7, 8, 9, 16], rng),
+            w: pick(&[4, 5, 7, 8, 9, 16], rng),
+            o: pick(&[1, 3, 8, 15, 16, 17, 33], rng),
+            kh: pick(&[1, 2, 3, 5], rng),
+            kw: pick(&[1, 2, 3, 5], rng),
+            stride: pick(&[1, 2, 3], rng),
+            pad: pick(&[0, 1, 2], rng),
+        };
+        // Keep only windows that fit the padded input.
+        if case.h + 2 * case.pad >= case.kh && case.w + 2 * case.pad >= case.kw {
+            return case;
+        }
+    }
+}
+
+/// Scalar model of the kernel-backed `conv2d_backward_weight` reduction
+/// order: each `grad_w[oi, ki]` accumulates over the one flat `n·oh·ow`
+/// axis in strictly increasing order from 0.0, one separate mul+add per
+/// step — exactly the contract the packed GEMM keeps, so the comparison
+/// below is bitwise.
+fn backward_weight_flat_order(
+    input: &Tensor,
+    grad_output: &Tensor,
+    kernel: (usize, usize),
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (kh, kw) = kernel;
+    let o = grad_output.shape()[1];
+    let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
+    let padded = pad2d(input, pad).unwrap();
+    let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+    let pd = padded.data();
+    let go = grad_output.data();
+    let k = c * kh * kw;
+    let spat = oh * ow;
+    let mut gw = vec![0.0f32; o * k];
+    for oi in 0..o {
+        for ki in 0..k {
+            let (ci, khi, kwi) = (ki / (kh * kw), (ki / kw) % kh, ki % kw);
+            let mut acc = 0.0f32;
+            for ni in 0..n {
+                let g_row = &go[(ni * o + oi) * spat..][..spat];
+                for (j, &gv) in g_row.iter().enumerate() {
+                    let (oy, ox) = (j / ow, j % ow);
+                    let iv = pd[((ni * c + ci) * hp + oy * stride + khi) * wp + ox * stride + kwi];
+                    acc += gv * iv;
+                }
+            }
+            gw[oi * k + ki] = acc;
+        }
+    }
+    Tensor::from_vec(gw, &[o, c, kh, kw]).unwrap()
+}
+
+#[test]
+fn conv2d_bitwise_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x100 ^ case);
+        let cc = conv_case(&mut rng);
+        let x = Tensor::randn(&[cc.n, cc.c, cc.h, cc.w], &mut rng);
+        let wt = Tensor::randn(&[cc.o, cc.c, cc.kh, cc.kw], &mut rng);
+        let fast = conv2d(&x, &wt, cc.stride, cc.pad).unwrap();
+        let oracle = conv2d_reference(&x, &wt, cc.stride, cc.pad).unwrap();
+        assert_bits(&fast, &oracle, &format!("case {case}: conv2d"));
+    }
+}
+
+#[test]
+fn conv2d_backward_input_bitwise_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x200 ^ case);
+        let cc = conv_case(&mut rng);
+        let x_shape = [cc.n, cc.c, cc.h, cc.w];
+        let wt = Tensor::randn(&[cc.o, cc.c, cc.kh, cc.kw], &mut rng);
+        let y = conv2d(&Tensor::zeros(&x_shape), &wt, cc.stride, cc.pad).unwrap();
+        let gy = Tensor::randn(y.shape(), &mut rng);
+        let fast = conv2d_backward_input(&wt, &gy, &x_shape, cc.stride, cc.pad).unwrap();
+        let oracle =
+            conv2d_backward_input_reference(&wt, &gy, &x_shape, cc.stride, cc.pad).unwrap();
+        assert_bits(
+            &fast,
+            &oracle,
+            &format!(
+                "case {case}: backward_input o={} stride={}",
+                cc.o, cc.stride
+            ),
+        );
+    }
+}
+
+#[test]
+fn conv2d_backward_weight_bitwise_matches_flat_order_model() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x300 ^ case);
+        let cc = conv_case(&mut rng);
+        let x = Tensor::randn(&[cc.n, cc.c, cc.h, cc.w], &mut rng);
+        let wt = Tensor::randn(&[cc.o, cc.c, cc.kh, cc.kw], &mut rng);
+        let y = conv2d(&x, &wt, cc.stride, cc.pad).unwrap();
+        let gy = Tensor::randn(y.shape(), &mut rng);
+        let fast = conv2d_backward_weight(&x, &gy, (cc.kh, cc.kw), cc.stride, cc.pad).unwrap();
+        let model = backward_weight_flat_order(&x, &gy, (cc.kh, cc.kw), cc.stride, cc.pad);
+        assert_bits(&fast, &model, &format!("case {case}: backward_weight"));
+    }
+}
+
+#[test]
+fn conv2d_backward_weight_matches_per_sample_reference_to_tolerance() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x400 ^ case);
+        let cc = conv_case(&mut rng);
+        let x = Tensor::randn(&[cc.n, cc.c, cc.h, cc.w], &mut rng);
+        let wt = Tensor::randn(&[cc.o, cc.c, cc.kh, cc.kw], &mut rng);
+        let y = conv2d(&x, &wt, cc.stride, cc.pad).unwrap();
+        let gy = Tensor::randn(y.shape(), &mut rng);
+        let fast = conv2d_backward_weight(&x, &gy, (cc.kh, cc.kw), cc.stride, cc.pad).unwrap();
+        let oracle =
+            conv2d_backward_weight_reference(&x, &gy, (cc.kh, cc.kw), cc.stride, cc.pad).unwrap();
+        // Same value up to summation-order rounding, never bit-compared.
+        assert_close(
+            &fast,
+            &oracle,
+            1e-4,
+            &format!("case {case}: backward_weight vs per-sample"),
+        );
+    }
+}
+
+// ---- threading ----
+
+/// Shapes big enough to clear the kernels' `PAR_MIN_FLOPS` gate, so the
+/// 4-thread leg genuinely runs on the worker pool.
+#[test]
+fn results_invariant_under_thread_count() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let mut rng = Rng::new(SEED_BASE);
+    let a = Tensor::randn(&[128, 129], &mut rng);
+    let b = Tensor::randn(&[129, 128], &mut rng);
+    let x = Tensor::randn(&[8, 8, 16, 16], &mut rng);
+    let wt = Tensor::randn(&[32, 8, 3, 3], &mut rng);
+    let y1;
+    let gw1;
+    let gx1;
+    let mm1;
+    par::set_thread_count(1);
+    {
+        mm1 = a.matmul(&b).unwrap();
+        y1 = conv2d(&x, &wt, 1, 1).unwrap();
+        let gy = Tensor::ones(y1.shape());
+        gw1 = conv2d_backward_weight(&x, &gy, (3, 3), 1, 1).unwrap();
+        gx1 = conv2d_backward_input(&wt, &gy, x.shape(), 1, 1).unwrap();
+    }
+    par::set_thread_count(4);
+    let mm4 = a.matmul(&b).unwrap();
+    let y4 = conv2d(&x, &wt, 1, 1).unwrap();
+    let gy = Tensor::ones(y4.shape());
+    let gw4 = conv2d_backward_weight(&x, &gy, (3, 3), 1, 1).unwrap();
+    let gx4 = conv2d_backward_input(&wt, &gy, x.shape(), 1, 1).unwrap();
+    par::set_thread_count(0);
+    assert_bits(&mm1, &mm4, "matmul 1t vs 4t");
+    assert_bits(&y1, &y4, "conv2d 1t vs 4t");
+    assert_bits(&gw1, &gw4, "backward_weight 1t vs 4t");
+    assert_bits(&gx1, &gx4, "backward_input 1t vs 4t");
+}
+
+// ---- error paths ----
+
+#[test]
+fn degenerate_shapes_are_rejected_not_miscomputed() {
+    // Zero dimensions are rejected at construction.
+    assert!(Tensor::from_vec(vec![], &[0, 4]).is_err());
+    assert!(Tensor::from_vec(vec![], &[4, 0]).is_err());
+
+    // Inner-dim mismatches error identically in kernel and oracle.
+    let mut rng = Rng::new(SEED_BASE ^ 0xdead);
+    let a = Tensor::randn(&[3, 4], &mut rng);
+    let b = Tensor::randn(&[5, 2], &mut rng);
+    assert!(a.matmul(&b).is_err());
+    assert!(matmul_reference(&a, &b).is_err());
+
+    // Rank violations.
+    let v = Tensor::randn(&[4], &mut rng);
+    assert!(v.matmul(&a).is_err());
+    assert!(a.matmul_tn(&v).is_err());
+    assert!(a.matmul_nt(&v).is_err());
+
+    // Conv window larger than the padded input, and zero stride.
+    let x = Tensor::randn(&[1, 1, 2, 2], &mut rng);
+    let w_big = Tensor::randn(&[1, 1, 5, 5], &mut rng);
+    assert!(conv2d(&x, &w_big, 1, 0).is_err());
+    assert!(conv2d_reference(&x, &w_big, 1, 0).is_err());
+    let w_ok = Tensor::randn(&[1, 1, 2, 2], &mut rng);
+    assert!(conv2d(&x, &w_ok, 0, 0).is_err());
+    let gy = Tensor::randn(&[1, 1, 1, 1], &mut rng);
+    assert!(conv2d_backward_input(&w_ok, &gy, &[1, 1, 2, 2], 0, 0).is_err());
+    assert!(conv2d_backward_weight(&x, &gy, (2, 2), 0, 0).is_err());
+}
