@@ -1,0 +1,36 @@
+//! Fleet-scale audits for the BPROM detector.
+//!
+//! The paper evaluates BPROM one suspicious model at a time, but the
+//! MLaaS threat model it targets is a *fleet* problem: a marketplace
+//! operator holds a queue of uploaded models and must audit all of them,
+//! continuously, at a bounded query and compute budget. The expensive
+//! half of the pipeline — shadow training, shadow prompting, fitting the
+//! meta forest — depends only on the detector configuration, never on
+//! the audited model, so a fleet should pay it once per configuration,
+//! not once per audit.
+//!
+//! This crate splits the pipeline accordingly:
+//!
+//! * [`ShadowZooRegistry`] — a content-addressed store of fitted
+//!   detectors, keyed on a digest of the full `(config, fit_seed)` spec
+//!   (displayed as the operator's (dataset, arch, attack, seed) tuple).
+//!   Entries are shared in memory as `Arc`s and optionally persisted to
+//!   a `bprom-ckpt` snapshot store; damaged snapshots fall back to a
+//!   rebuild via typed errors, never a panic.
+//! * [`AuditEngine`] — drains a queue of [`AuditRequest`]s: registry
+//!   phase (each distinct spec resolved once), inspect phase (groups of
+//!   same-fingerprint requests audited concurrently on the `bprom-par`
+//!   pool), roll-up phase (queue-ordered outcomes correlated into one
+//!   `incident.json`-ready report through `bprom-verdict`).
+//!
+//! The correctness bar is *fleet equivalence*: with cache sharing off, a
+//! fleet audit of N requests produces byte-identical verdicts, findings,
+//! and incident reports to N independent single-model runs, at any
+//! `BPROM_THREADS` value. The workspace's `fleet_equivalence` test suite
+//! proves this over thread-count × cache-mode × oracle-hostility sweeps.
+
+mod engine;
+mod registry;
+
+pub use engine::{AuditEngine, AuditOutcome, AuditRequest, FleetReport};
+pub use registry::{DetectorSpec, RegistryKey, RegistryStats, ShadowZooRegistry};

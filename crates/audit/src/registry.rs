@@ -1,0 +1,381 @@
+//! The content-addressed shadow-zoo registry.
+//!
+//! Fitting a BPROM detector — shadow training, shadow prompting, meta
+//! forest — is the expensive half of the pipeline, and it depends only on
+//! the detector configuration and the fit seed, never on the suspicious
+//! model. A fleet audit therefore pays each fit **once**: detectors are
+//! registered under a content digest of `(config, fit_seed)`, held in
+//! memory as shared [`Arc`]s, and optionally persisted to a
+//! [`SnapshotStore`] so later processes restore the asset instead of
+//! re-training shadows.
+
+use bprom::{Bprom, BpromConfig, Result};
+use bprom_attacks::AttackKind;
+use bprom_ckpt::{Decoder, Encoder, SnapshotStore};
+use bprom_data::SynthDataset;
+use bprom_nn::models::Architecture;
+use bprom_qcache::bytes_digest;
+use bprom_tensor::Rng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a detector fit depends on: the full configuration plus the
+/// seed of the RNG the fit consumes. Two specs with equal [`digest`]s
+/// produce bit-identical detectors, so the registry can share one fit
+/// across every audit that names the same spec.
+///
+/// [`digest`]: DetectorSpec::digest
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSpec {
+    /// Detector configuration (covers dataset pair, architecture, shadow
+    /// attack, cache policy, rule thresholds — every field).
+    pub config: BpromConfig,
+    /// Seed of the fresh RNG handed to [`Bprom::fit`].
+    pub fit_seed: u64,
+}
+
+impl DetectorSpec {
+    /// A spec for fitting `config` from `Rng::new(fit_seed)`.
+    pub fn new(config: BpromConfig, fit_seed: u64) -> Self {
+        DetectorSpec { config, fit_seed }
+    }
+
+    /// Content digest of this spec. Computed over the full `Debug` form
+    /// of the configuration plus the fit seed, so *any* configuration
+    /// difference — not just the headline (dataset, arch, attack, seed)
+    /// tuple — addresses a distinct registry entry.
+    pub fn digest(&self) -> u64 {
+        let identity = format!("fit_seed={};{:?}", self.fit_seed, self.config);
+        bytes_digest(identity.as_bytes())
+    }
+
+    /// Name of this spec's entry in the backing snapshot store.
+    pub fn snapshot_name(&self) -> String {
+        format!("det-{:016x}", self.digest())
+    }
+
+    /// The human-facing identity of this spec: the (dataset, arch,
+    /// attack, seed) tuple fleet operators key their zoo on.
+    pub fn key(&self) -> RegistryKey {
+        RegistryKey {
+            dataset: self.config.source_dataset,
+            arch: self.config.architecture,
+            attack: self.config.shadow_attack,
+            seed: self.fit_seed,
+        }
+    }
+}
+
+/// The display identity of a registry entry — the coordinates an
+/// operator thinks in. Collision safety does **not** rest on this tuple:
+/// the content digest covers the whole configuration (see
+/// [`DetectorSpec::digest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegistryKey {
+    /// Source dataset the shadow zoo emulates.
+    pub dataset: SynthDataset,
+    /// Shadow-model architecture.
+    pub arch: Architecture,
+    /// Attack planted in the backdoored shadows.
+    pub attack: AttackKind,
+    /// Fit seed.
+    pub seed: u64,
+}
+
+impl std::fmt::Display for RegistryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}/{:?}/{:?}/seed{}",
+            self.dataset, self.arch, self.attack, self.seed
+        )
+    }
+}
+
+/// How the registry served its lookups so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Detectors fitted from scratch (the expensive path).
+    pub builds: u64,
+    /// Lookups served by an in-memory entry.
+    pub mem_hits: u64,
+    /// Lookups served by restoring a persisted snapshot.
+    pub disk_hits: u64,
+    /// Persisted entries that failed validation (truncated, corrupt,
+    /// stale codec, foreign config) and were rebuilt from scratch.
+    pub rebuilds: u64,
+}
+
+impl RegistryStats {
+    /// Lookups that did not pay a fit.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+/// A content-addressed store of fitted detectors, shared across a fleet
+/// of concurrent audits.
+///
+/// Lookups go memory → disk → build. The entry lock is held across a
+/// build, so concurrent audits naming the same spec serialize on one fit
+/// instead of racing to duplicate it; every caller then shares the same
+/// [`Arc`]. A damaged snapshot (truncated, checksum-flipped, written by
+/// a different codec or configuration) is *never* fatal: the typed
+/// [`bprom_ckpt::CkptError`] / [`bprom::BpromError::Ckpt`] is absorbed,
+/// counted as a rebuild, and the detector is re-fitted from scratch —
+/// registry corruption can cost time, not correctness.
+pub struct ShadowZooRegistry {
+    store: Option<SnapshotStore>,
+    entries: Mutex<HashMap<u64, Arc<Bprom>>>,
+    builds: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl std::fmt::Debug for ShadowZooRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowZooRegistry")
+            .field("dir", &self.store.as_ref().map(SnapshotStore::dir))
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ShadowZooRegistry {
+    /// A registry with no persistence: entries live (and die) with the
+    /// process.
+    pub fn in_memory() -> Self {
+        ShadowZooRegistry {
+            store: None,
+            entries: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    /// A registry backed by a snapshot directory: every build is
+    /// persisted, and a fresh process restores entries instead of
+    /// re-fitting them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failure.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let store = SnapshotStore::open(dir)?;
+        Ok(ShadowZooRegistry {
+            store: Some(store),
+            ..Self::in_memory()
+        })
+    }
+
+    /// The snapshot directory backing this registry, if persistent.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.store.as_ref().map(SnapshotStore::dir)
+    }
+
+    /// Number of detectors currently resident in memory.
+    pub fn len(&self) -> usize {
+        self.lock_entries().len()
+    }
+
+    /// Whether no detector is resident yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup tallies so far.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Bprom>>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn restore_entry(config: &BpromConfig, bytes: &[u8]) -> Result<Bprom> {
+        let mut dec = Decoder::new(bytes);
+        let detector = Bprom::restore(config, &mut dec)?;
+        dec.finish()?;
+        Ok(detector)
+    }
+
+    /// The fitted detector for `spec`: an in-memory entry if resident, a
+    /// restored snapshot if persisted, a fresh [`Bprom::fit`] from
+    /// `Rng::new(spec.fit_seed)` otherwise (recorded under a
+    /// `registry_build` span and persisted when the registry has a
+    /// store). Every path returns a detector bit-identical to a direct
+    /// fit of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit failures and snapshot-store I/O errors. Damaged
+    /// persisted entries are *not* errors — they fall back to a rebuild.
+    pub fn detector(&self, spec: &DetectorSpec) -> Result<Arc<Bprom>> {
+        let digest = spec.digest();
+        let mut entries = self.lock_entries();
+        if let Some(found) = entries.get(&digest) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let name = spec.snapshot_name();
+        if let Some(store) = &self.store {
+            let outcome = match store.load(&name) {
+                Ok(Some(bytes)) => Some(Self::restore_entry(&spec.config, &bytes)),
+                Ok(None) => None,
+                Err(e) => Some(Err(e.into())),
+            };
+            match outcome {
+                Some(Ok(detector)) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    bprom_obs::log_event(
+                        "registry.restored",
+                        [("key", spec.key().to_string().as_str().into())],
+                    );
+                    let shared = Arc::new(detector);
+                    entries.insert(digest, Arc::clone(&shared));
+                    return Ok(shared);
+                }
+                Some(Err(err)) => {
+                    // Typed corruption/foreign-payload error: absorb it
+                    // and pay the fit again.
+                    self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    bprom_obs::log_event(
+                        "registry.rebuild",
+                        [
+                            ("key", spec.key().to_string().as_str().into()),
+                            ("reason", err.to_string().as_str().into()),
+                        ],
+                    );
+                }
+                None => {}
+            }
+        }
+        let built = {
+            bprom_obs::span!("registry_build");
+            bprom_obs::log_event(
+                "registry.build",
+                [("key", spec.key().to_string().as_str().into())],
+            );
+            Bprom::fit(&spec.config, &mut Rng::new(spec.fit_seed))?
+        };
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            let mut enc = Encoder::new();
+            built.persist(&mut enc);
+            store.save(&name, &enc.into_bytes())?;
+        }
+        let shared = Arc::new(built);
+        entries.insert(digest, Arc::clone(&shared));
+        Ok(shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_nn::TrainConfig;
+    use bprom_vp::PromptTrainConfig;
+
+    fn tiny_config() -> BpromConfig {
+        let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+        config.clean_shadows = 2;
+        config.backdoor_shadows = 2;
+        config.test_samples_per_class = 20;
+        config.target_samples_per_class = 10;
+        config.train = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        config.prompt = PromptTrainConfig {
+            epochs: 2,
+            cmaes_generations: 3,
+            cmaes_population: 4,
+            ..PromptTrainConfig::default()
+        };
+        config
+    }
+
+    #[test]
+    fn digest_covers_the_whole_config_and_seed() {
+        let spec = DetectorSpec::new(tiny_config(), 7);
+        assert_eq!(spec.digest(), spec.digest(), "digest is pure");
+        let reseeded = DetectorSpec::new(tiny_config(), 8);
+        assert_ne!(spec.digest(), reseeded.digest());
+        // A field *outside* the (dataset, arch, attack, seed) display
+        // tuple still separates entries: content addressing covers the
+        // full configuration.
+        let mut off_tuple = tiny_config();
+        off_tuple.probe_count += 1;
+        let varied = DetectorSpec::new(off_tuple, 7);
+        assert_eq!(spec.key(), varied.key(), "same display identity");
+        assert_ne!(spec.digest(), varied.digest(), "different content");
+        assert_eq!(spec.snapshot_name(), format!("det-{:016x}", spec.digest()));
+    }
+
+    #[test]
+    fn key_renders_the_operator_tuple() {
+        let spec = DetectorSpec::new(tiny_config(), 42);
+        let text = spec.key().to_string();
+        assert!(text.contains("seed42"), "{text}");
+        assert!(text.contains("Cifar10"), "{text}");
+    }
+
+    #[test]
+    fn memory_entries_are_shared_not_refitted() {
+        let registry = ShadowZooRegistry::in_memory();
+        let spec = DetectorSpec::new(tiny_config(), 7);
+        let first = registry.detector(&spec).unwrap();
+        let second = registry.detector(&spec).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "one fit, shared by all");
+        let stats = registry.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.rebuilds, 0);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn persisted_entries_restore_across_processes() {
+        let dir = std::env::temp_dir().join(format!("bprom-audit-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = DetectorSpec::new(tiny_config(), 7);
+
+        let registry = ShadowZooRegistry::open(&dir).unwrap();
+        registry.detector(&spec).unwrap();
+        assert_eq!(registry.stats().builds, 1);
+        drop(registry);
+
+        // A fresh registry over the same directory restores the fit.
+        let reopened = ShadowZooRegistry::open(&dir).unwrap();
+        reopened.detector(&spec).unwrap();
+        let stats = reopened.stats();
+        assert_eq!(stats.builds, 0, "no second fit");
+        assert_eq!(stats.disk_hits, 1);
+        drop(reopened);
+
+        // Truncate the snapshot: the next lookup rebuilds instead of
+        // panicking or serving garbage.
+        let store = SnapshotStore::open(&dir).unwrap();
+        let path = store.latest_path(&spec.snapshot_name()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let damaged = ShadowZooRegistry::open(&dir).unwrap();
+        damaged.detector(&spec).unwrap();
+        let stats = damaged.stats();
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(stats.builds, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

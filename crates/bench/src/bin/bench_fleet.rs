@@ -1,0 +1,254 @@
+//! Fleet-audit benchmark: measures what the shadow-zoo registry buys a
+//! marketplace operator. Leg A pins the worker pool to one thread and
+//! times (a) one detector fit, (b) the eight per-model inspections, and
+//! (c) the engine draining the same eight-model queue end to end — the
+//! amortization gate requires the fleet run to cost at most 1.25× the
+//! "one fit + N inspections" budget (versus N fits for N naive runs).
+//! Leg B re-screens the same fleet (each model audited twice with shared
+//! per-model caches) and requires the fleet-mode cache hit rate to
+//! materially exceed the <1 % single-run baseline recorded in
+//! `BENCH_qcache.json`. Writes `BENCH_fleet.json`; CI re-checks both
+//! gates from the JSON.
+
+use bprom::{build_suspicious_zoo, Bprom, BpromConfig, SuspiciousModel, ZooConfig};
+use bprom_attacks::AttackKind;
+use bprom_audit::{AuditEngine, AuditRequest, DetectorSpec, ShadowZooRegistry};
+use bprom_bench::{header, quick, row};
+use bprom_data::SynthDataset;
+use bprom_nn::TrainConfig;
+use bprom_obs::{ToJson, Value};
+use bprom_qcache::CachingOracle;
+use bprom_tensor::Rng;
+use bprom_vp::{PromptTrainConfig, QueryOracle};
+use std::time::Instant;
+
+const N_MODELS: usize = 8;
+const FIT_SEED: u64 = 7;
+const ZOO_SEED: u64 = 99;
+
+fn fleet_config() -> BpromConfig {
+    let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    if quick() {
+        config.clean_shadows = 2;
+        config.backdoor_shadows = 2;
+        config.test_samples_per_class = 20;
+        config.target_samples_per_class = 10;
+        config.train = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        config.prompt = PromptTrainConfig {
+            epochs: 2,
+            cmaes_generations: 4,
+            cmaes_population: 6,
+            ..PromptTrainConfig::default()
+        };
+    } else {
+        config.clean_shadows = 4;
+        config.backdoor_shadows = 4;
+        config.prompt.cmaes_generations = 10;
+    }
+    config
+}
+
+/// The audited fleet, rebuilt bit-identically on every call (training is
+/// deterministic in `ZOO_SEED`), since models are consumed by queues.
+fn marketplace() -> Vec<SuspiciousModel> {
+    let mut zoo_cfg = ZooConfig::new(SynthDataset::Cifar10, AttackKind::Blend);
+    zoo_cfg.clean = N_MODELS / 2;
+    zoo_cfg.backdoored = N_MODELS / 2;
+    if quick() {
+        zoo_cfg.samples_per_class = 20;
+        zoo_cfg.train = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+    }
+    build_suspicious_zoo(&zoo_cfg, &mut Rng::new(ZOO_SEED)).expect("zoo")
+}
+
+fn queue(spec: &DetectorSpec) -> Vec<AuditRequest> {
+    marketplace()
+        .into_iter()
+        .enumerate()
+        .map(|(i, suspicious)| {
+            AuditRequest::from_suspicious(
+                format!("m{i}"),
+                suspicious,
+                10,
+                spec.clone(),
+                1000 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn aggregate_hit_rate(outcomes: &[bprom_audit::AuditOutcome]) -> f64 {
+    let hits: u64 = outcomes.iter().map(|o| o.record.signals.cache_hits).sum();
+    let misses: u64 = outcomes.iter().map(|o| o.record.signals.cache_misses).sum();
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// The single-run hit-rate baseline from `BENCH_qcache.json`, falling
+/// back to the committed measurement when the file is absent.
+fn single_run_baseline() -> f64 {
+    const COMMITTED: f64 = 0.008191126279863481;
+    let Ok(text) = std::fs::read_to_string("BENCH_qcache.json") else {
+        return COMMITTED;
+    };
+    let Ok(Value::Object(fields)) = Value::parse(&text) else {
+        return COMMITTED;
+    };
+    fields
+        .iter()
+        .find(|(k, _)| k == "hit_rate")
+        .and_then(|(_, v)| match v {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(COMMITTED)
+}
+
+fn main() {
+    header(
+        "bprom-audit: fleet amortization & fleet-mode cache payoff",
+        &["leg", "value"],
+    );
+    let config = fleet_config();
+    let spec = DetectorSpec::new(config.clone(), FIT_SEED);
+
+    // ---- Leg A: amortization, one thread so the comparison is apples
+    // to apples (the engine's concurrency would otherwise hide any
+    // overhead the gate is supposed to bound).
+    bprom_par::set_thread_count(1);
+    let t0 = Instant::now();
+    let detector = Bprom::fit(&config, &mut Rng::new(FIT_SEED)).expect("fit");
+    let fit_s = t0.elapsed().as_secs_f64();
+
+    let mut inspect_total_s = 0.0;
+    for (i, suspicious) in marketplace().into_iter().enumerate() {
+        let oracle = CachingOracle::new(QueryOracle::new(suspicious.model, 10), config.cache);
+        let t = Instant::now();
+        detector
+            .inspect(&oracle, &mut Rng::new(1000 + i as u64))
+            .expect("inspect");
+        inspect_total_s += t.elapsed().as_secs_f64();
+    }
+
+    let engine = AuditEngine::new("bench-fleet", ShadowZooRegistry::in_memory());
+    let fleet_queue = queue(&spec);
+    let t = Instant::now();
+    let fleet = engine.run(fleet_queue).expect("fleet");
+    let fleet_s = t.elapsed().as_secs_f64();
+    bprom_par::set_thread_count(0);
+    assert_eq!(fleet.registry.builds, 1, "one fit serves the fleet");
+
+    let budget_s = fit_s + inspect_total_s;
+    let overhead_frac = fleet_s / budget_s.max(1e-9) - 1.0;
+    let naive_s = N_MODELS as f64 * fit_s + inspect_total_s;
+    let amortization_ratio = naive_s / fleet_s.max(1e-9);
+    row("fit_s", &[fit_s as f32]);
+    row("inspect_total_s", &[inspect_total_s as f32]);
+    row("budget_s", &[budget_s as f32]);
+    row("fleet_s", &[fleet_s as f32]);
+    row("overhead_frac", &[overhead_frac as f32]);
+    row("amortization_ratio", &[amortization_ratio as f32]);
+    println!(
+        "  {N_MODELS}-model fleet: {fleet_s:.2}s vs {budget_s:.2}s budget \
+         (1 fit + {N_MODELS} inspections; gate <= 1.25x), \
+         {amortization_ratio:.2}x cheaper than {N_MODELS} naive runs"
+    );
+    assert!(
+        fleet_s <= 1.25 * budget_s,
+        "amortization gate: fleet {fleet_s:.3}s > 1.25 x budget {budget_s:.3}s"
+    );
+
+    // Steady state at the default thread count: the registry is warm, so
+    // this is the sustained screening throughput a long-running engine
+    // delivers.
+    let steady_queue = queue(&spec);
+    let t = Instant::now();
+    let steady = engine.run(steady_queue).expect("steady fleet");
+    let steady_s = t.elapsed().as_secs_f64();
+    assert_eq!(steady.registry.builds, 1, "warm registry: still one fit");
+    let models_per_hour = N_MODELS as f64 * 3600.0 / steady_s.max(1e-9);
+    row("steady_s", &[steady_s as f32]);
+    row("models_per_hour", &[models_per_hour as f32]);
+
+    // ---- Leg B: fleet-mode cache payoff. Re-screening the fleet (each
+    // model audited twice, per-model caches shared across same-model
+    // audits) is where the PR 5 query cache finally earns its keep: the
+    // second audit of each model replays content the first already paid
+    // for.
+    let rescreen = AuditEngine::new("bench-fleet-rescreen", ShadowZooRegistry::in_memory())
+        .share_model_caches(true);
+    let mut double_queue = queue(&spec);
+    double_queue.extend(queue(&spec).into_iter().map(|mut request| {
+        request.label.push_str("-rescreen");
+        request
+    }));
+    let refleet = rescreen.run(double_queue).expect("rescreen fleet");
+    assert_eq!(refleet.len(), 2 * N_MODELS);
+    let single_pass_hit_rate = aggregate_hit_rate(&refleet.outcomes[..N_MODELS]);
+    let re_audit_hit_rate = aggregate_hit_rate(&refleet.outcomes[N_MODELS..]);
+    let fleet_hit_rate = refleet.cache_hit_rate();
+    let baseline = single_run_baseline();
+    row("single_pass_hit_rate", &[single_pass_hit_rate as f32]);
+    row("re_audit_hit_rate", &[re_audit_hit_rate as f32]);
+    row("fleet_hit_rate", &[fleet_hit_rate as f32]);
+    println!(
+        "  re-screen: {:.1}% fleet hit rate vs {:.2}% single-run baseline \
+         (re-audits alone: {:.1}%)",
+        100.0 * fleet_hit_rate,
+        100.0 * baseline,
+        100.0 * re_audit_hit_rate,
+    );
+    assert!(
+        fleet_hit_rate >= 0.25 && fleet_hit_rate > 10.0 * baseline,
+        "fleet-mode hit rate {fleet_hit_rate:.4} must materially exceed \
+         the single-run baseline {baseline:.4}"
+    );
+    assert!(
+        re_audit_hit_rate > 0.9,
+        "a same-seed re-audit should replay from cache, got {re_audit_hit_rate:.4}"
+    );
+
+    let json = Value::object(vec![
+        (
+            "note",
+            Value::Str(
+                "Leg A runs single-threaded: fleet_s covers the engine \
+                 draining an 8-model queue with one shared registry fit, \
+                 budget_s is the measured cost of 1 fit + 8 standalone \
+                 inspections, and naive_s is what 8 independent runs \
+                 (8 fits) would pay. Leg B re-screens the fleet with \
+                 shared per-model caches; the single-run hit-rate \
+                 baseline comes from BENCH_qcache.json."
+                    .to_string(),
+            ),
+        ),
+        ("n_models", (N_MODELS as u64).to_json()),
+        ("fit_s", fit_s.to_json()),
+        ("inspect_total_s", inspect_total_s.to_json()),
+        ("budget_s", budget_s.to_json()),
+        ("fleet_s", fleet_s.to_json()),
+        ("overhead_frac", overhead_frac.to_json()),
+        ("naive_s", naive_s.to_json()),
+        ("amortization_ratio", amortization_ratio.to_json()),
+        ("steady_s", steady_s.to_json()),
+        ("models_per_hour", models_per_hour.to_json()),
+        ("single_pass_hit_rate", single_pass_hit_rate.to_json()),
+        ("re_audit_hit_rate", re_audit_hit_rate.to_json()),
+        ("fleet_hit_rate", fleet_hit_rate.to_json()),
+        ("single_run_baseline_hit_rate", baseline.to_json()),
+    ])
+    .to_pretty();
+    match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => println!("written -> BENCH_fleet.json"),
+        Err(e) => eprintln!("BENCH_fleet.json write failed: {e}"),
+    }
+}

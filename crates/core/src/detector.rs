@@ -2,8 +2,11 @@
 
 use crate::meta_model::{probe_features_blackbox, train_meta_ckpt, ProbeSet};
 use crate::prompting::{prompt_shadows_ckpt, prompt_suspicious_ckpt};
-use crate::resume::{decode_rng, encode_rng, run_fingerprint, Checkpointer, Decoder};
-use crate::{BpromConfig, Result, ShadowSet};
+use crate::resume::{
+    decode_dataset, decode_rng, decode_tensor, encode_dataset, encode_rng, encode_tensor,
+    run_fingerprint, Checkpointer, Decoder,
+};
+use crate::{BpromConfig, BpromError, Result, ShadowSet};
 use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_meta::RandomForest;
@@ -194,6 +197,11 @@ impl std::fmt::Display for Verdict {
         ))
     }
 }
+
+/// Version prefix of the [`Bprom::persist`] payload; bumped on any
+/// layout change so stale registry entries fail typed instead of
+/// decoding garbage.
+const DETECTOR_CODEC_VERSION: u32 = 1;
 
 /// A fitted BPROM detector (the output of Algorithm 1).
 pub struct Bprom {
@@ -482,6 +490,69 @@ impl Bprom {
         Ok(verdict)
     }
 
+    /// Stable fingerprint of a detector configuration (FNV-1a over the
+    /// `Debug` form, which covers every field). [`Bprom::persist`]
+    /// embeds it and [`Bprom::restore`] rejects a payload fitted under a
+    /// different configuration, so a content-addressed registry can
+    /// never splice a mismatched detector into a pipeline.
+    pub fn config_fingerprint(config: &BpromConfig) -> u64 {
+        bprom_ckpt::fnv1a64(format!("{config:?}").as_bytes())
+    }
+
+    /// Serializes the fitted detector — meta forest, probe set, target
+    /// training split, and label map — bit-exactly, prefixed with the
+    /// codec version and [`Bprom::config_fingerprint`]. This is the
+    /// registry-build half of the pipeline split: a fit is paid once,
+    /// persisted, and every later inspection restores the asset instead
+    /// of re-training shadows.
+    pub fn persist(&self, enc: &mut Encoder) {
+        enc.put_u32(DETECTOR_CODEC_VERSION);
+        enc.put_u64(Self::config_fingerprint(&self.config));
+        self.meta.persist(enc);
+        encode_tensor(enc, &self.probes.images);
+        enc.put_usizes(&self.probes.labels);
+        encode_dataset(enc, &self.t_train);
+        self.map.persist(enc);
+    }
+
+    /// Restores a detector written by [`Bprom::persist`]. The caller
+    /// supplies the configuration the detector was fitted under; the
+    /// embedded fingerprint must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpromError::Ckpt`] on codec-version or fingerprint
+    /// mismatch, and typed decode errors (truncation, corruption) from
+    /// the payload itself — never panics on malformed bytes.
+    pub fn restore(config: &BpromConfig, dec: &mut Decoder<'_>) -> Result<Self> {
+        let version = dec.get_u32()?;
+        if version != DETECTOR_CODEC_VERSION {
+            return Err(BpromError::Ckpt(format!(
+                "unsupported detector codec version {version} (expected {DETECTOR_CODEC_VERSION})"
+            )));
+        }
+        let stored = dec.get_u64()?;
+        let expected = Self::config_fingerprint(config);
+        if stored != expected {
+            return Err(BpromError::Ckpt(format!(
+                "detector snapshot belongs to a different configuration \
+                 (stored fingerprint {stored:#018x}, this config {expected:#018x})"
+            )));
+        }
+        let meta = RandomForest::restore(dec)?;
+        let images = decode_tensor(dec)?;
+        let labels = dec.get_usizes()?;
+        let t_train = decode_dataset(dec)?;
+        let map = LabelMap::restore(dec)?;
+        Ok(Bprom {
+            config: config.clone(),
+            meta,
+            probes: ProbeSet { images, labels },
+            t_train,
+            map,
+        })
+    }
+
     /// The detector's configuration.
     pub fn config(&self) -> &BpromConfig {
         &self.config
@@ -563,5 +634,40 @@ mod tests {
             text.contains("BACKDOORED") || text.contains("clean"),
             "{text}"
         );
+
+        // Persist/restore round trip: the restored detector must produce
+        // a bit-identical verdict from the same seed.
+        let mut enc = Encoder::new();
+        detector.persist(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = Bprom::restore(&config, &mut dec).unwrap();
+        dec.finish().unwrap();
+        let source = SynthDataset::Cifar10.generate(10, 16, 9).unwrap();
+        let mut model = build(config.architecture, &spec, &mut rng).unwrap();
+        Trainer::new(config.train)
+            .fit(&mut model, &source.images, &source.labels, &mut rng)
+            .unwrap();
+        let oracle = QueryOracle::new(model, 10);
+        let a = detector.inspect(&oracle, &mut Rng::new(123)).unwrap();
+        let b = restored.inspect(&oracle, &mut Rng::new(123)).unwrap();
+        // Signals carry everything except wall-clock, which legitimately
+        // differs between the two runs.
+        assert_eq!(
+            a.signals(),
+            b.signals(),
+            "restored detector must inspect bit-identically"
+        );
+
+        // A different configuration is rejected by the fingerprint guard,
+        // and a truncated payload fails typed instead of panicking.
+        let mut other = config.clone();
+        other.probe_count += 1;
+        let err = Bprom::restore(&other, &mut Decoder::new(&bytes)).unwrap_err();
+        assert!(matches!(err, crate::BpromError::Ckpt(_)), "{err}");
+        assert!(err.to_string().contains("different configuration"), "{err}");
+        let truncated = &bytes[..bytes.len() / 2];
+        let err = Bprom::restore(&config, &mut Decoder::new(truncated)).unwrap_err();
+        assert!(matches!(err, crate::BpromError::Ckpt(_)), "{err}");
     }
 }

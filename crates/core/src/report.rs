@@ -224,6 +224,39 @@ impl DetectionReport {
         IncidentReport::assemble(label, policy, mode, &self.audits)
     }
 
+    /// Per-audit cache hit rate, in zoo order: the fraction of each
+    /// inspection's logical query rows the content-addressed cache
+    /// served without provider spend (`hits / (hits + misses)` from the
+    /// audit's signals; 0 for an uncached inspection). Derived from the
+    /// per-audit records so the serialized report shape is unchanged.
+    pub fn cache_hit_rates(&self) -> Vec<f32> {
+        self.audits
+            .iter()
+            .map(|a| {
+                let total = a.signals.cache_hits + a.signals.cache_misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    a.signals.cache_hits as f32 / total as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate cache hit rate over the whole report
+    /// (`total_cache_hits / (total_cache_hits + total_cache_misses)`).
+    /// Single-model audits sit below 1 % here (see BENCH_qcache.json);
+    /// fleet audits that reuse a model's cache across repeated
+    /// inspections are where this figure becomes material.
+    pub fn cache_hit_rate(&self) -> f32 {
+        let total = self.total_cache_hits + self.total_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_cache_hits as f32 / total as f32
+        }
+    }
+
     /// Detection accuracy at an arbitrary decision threshold.
     pub fn accuracy_at(&self, threshold: f32) -> f32 {
         if self.scores.is_empty() {
@@ -404,6 +437,22 @@ mod tests {
         let report = sample_report();
         let t = report.best_threshold();
         assert_eq!(report.accuracy_at(t), 1.0);
+    }
+
+    #[test]
+    fn cache_hit_rates_derive_from_audit_signals() {
+        let mut report = sample_report();
+        report.audits[0].signals.cache_hits = 30;
+        report.audits[0].signals.cache_misses = 70;
+        report.audits[1].signals.cache_hits = 0;
+        report.audits[1].signals.cache_misses = 100;
+        // Audits 2 and 3 ran uncached: no tallies, rate 0.
+        let rates = report.cache_hit_rates();
+        assert_eq!(rates, vec![0.3, 0.0, 0.0, 0.0]);
+        assert!((report.cache_hit_rate() - 0.3).abs() < 1e-6); // 120 / 400
+        report.total_cache_hits = 0;
+        report.total_cache_misses = 0;
+        assert_eq!(report.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -229,6 +229,40 @@ pub(crate) fn decode_model_into(dec: &mut Decoder<'_>, model: &mut Sequential) -
     Ok(())
 }
 
+/// Serializes one tensor: shape, then the exact data bits.
+pub(crate) fn encode_tensor(enc: &mut Encoder, t: &Tensor) {
+    enc.put_usizes(t.shape());
+    enc.put_f32s(t.data());
+}
+
+/// Restores a tensor written by [`encode_tensor`].
+pub(crate) fn decode_tensor(dec: &mut Decoder<'_>) -> Result<Tensor> {
+    let shape = dec.get_usizes()?;
+    let data = dec.get_f32s()?;
+    Tensor::from_vec(data, &shape)
+        .map_err(|e| BpromError::Ckpt(format!("bad tensor in snapshot: {e}")))
+}
+
+/// Serializes a dataset (images, labels, label space, name) bit-exactly.
+pub(crate) fn encode_dataset(enc: &mut Encoder, ds: &bprom_data::Dataset) {
+    encode_tensor(enc, &ds.images);
+    enc.put_usizes(&ds.labels);
+    enc.put_usize(ds.num_classes);
+    enc.put_str(&ds.name);
+}
+
+/// Restores a dataset written by [`encode_dataset`]. Routed through the
+/// validating constructor so a corrupted payload that still decodes
+/// surfaces as a typed error instead of an inconsistent dataset.
+pub(crate) fn decode_dataset(dec: &mut Decoder<'_>) -> Result<bprom_data::Dataset> {
+    let images = decode_tensor(dec)?;
+    let labels = dec.get_usizes()?;
+    let num_classes = dec.get_usize()?;
+    let name = dec.get_str()?;
+    bprom_data::Dataset::new(images, labels, num_classes, name)
+        .map_err(|e| BpromError::Ckpt(format!("bad dataset in snapshot: {e}")))
+}
+
 /// Serializes the caller's RNG stream position.
 pub(crate) fn encode_rng(enc: &mut Encoder, rng: &Rng) {
     let (state, spare) = rng.state();

@@ -46,6 +46,15 @@ impl SpanRecord {
     pub fn child_duration_ns(&self) -> u64 {
         self.children.iter().map(|c| c.duration_ns).sum()
     }
+
+    /// Number of spans named `name` in this subtree (self included) —
+    /// unlike [`SpanRecord::find`], which stops at the first match.
+    /// Work-dedup assertions use this: a shared registry entry must
+    /// yield exactly one `shadow_training` span however many audits
+    /// consume it.
+    pub fn count(&self, name: &str) -> usize {
+        usize::from(self.name == name) + self.children.iter().map(|c| c.count(name)).sum::<usize>()
+    }
 }
 
 /// RAII guard returned by [`crate::span_enter`]; closing (dropping) it

@@ -491,6 +491,12 @@ impl TelemetrySnapshot {
         self.spans.iter().find_map(|s| s.find(name))
     }
 
+    /// Total number of spans named `name` across all root span trees
+    /// (see [`SpanRecord::count`]).
+    pub fn count_spans(&self, name: &str) -> usize {
+        self.spans.iter().map(|s| s.count(name)).sum()
+    }
+
     /// Serializes the snapshot as pretty-printed JSON (the
     /// `telemetry.json` artifact format).
     pub fn to_json_string(&self) -> String {
@@ -598,6 +604,27 @@ mod tests {
         assert_eq!(inner.events.len(), 1);
         assert_eq!(inner.events[0].name, "tick");
         assert!(snapshot.wall_ns >= outer.duration_ns);
+    }
+
+    #[test]
+    fn count_spans_sees_every_occurrence() {
+        let session = Session::begin("counting");
+        for _ in 0..3 {
+            crate::span!("unit");
+            {
+                crate::span!("nested");
+            }
+        }
+        {
+            crate::span!("outer");
+            crate::span!("unit");
+        }
+        let snapshot = session.finish();
+        // `find_span` stops at the first match; `count_spans` must see
+        // all four "unit" spans, including the one nested under "outer".
+        assert_eq!(snapshot.count_spans("unit"), 4);
+        assert_eq!(snapshot.count_spans("nested"), 3);
+        assert_eq!(snapshot.count_spans("absent"), 0);
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub fn image_digest(dims: &[usize], pixels: &[f32]) -> u64 {
     h
 }
 
+/// Digest of an arbitrary byte string with the same word-FNV variant
+/// [`image_digest`] uses: the length, then each little-endian 8-byte
+/// word (the trailing partial word zero-padded). The length prefix
+/// keeps zero-padded tails from aliasing genuinely longer inputs.
+///
+/// This is the content-addressing primitive for non-image keys — the
+/// fleet registry digests `(config, seed)` encodings through it to name
+/// shared shadow-zoo entries.
+pub fn bytes_digest(bytes: &[u8]) -> u64 {
+    let mut h = eat_word(FNV_OFFSET, bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = eat_word(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +75,19 @@ mod tests {
             image_digest(&[1, 2, 8], &pixels),
             image_digest(&[1, 4, 4], &pixels)
         );
+    }
+
+    #[test]
+    fn bytes_digest_is_stable_and_length_aware() {
+        assert_eq!(bytes_digest(b"registry"), bytes_digest(b"registry"));
+        assert_ne!(bytes_digest(b"registry"), bytes_digest(b"registrz"));
+        // A zero tail must not alias the same prefix without it (the
+        // trailing partial word is zero-padded; the length prefix keeps
+        // the digests apart).
+        assert_ne!(bytes_digest(b"abc"), bytes_digest(b"abc\0"));
+        assert_ne!(bytes_digest(b""), bytes_digest(b"\0"));
+        // Spot-check sensitivity at a word boundary.
+        assert_ne!(bytes_digest(&[1u8; 8]), bytes_digest(&[1u8; 9]));
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod digest;
 mod oracle;
 
 pub use config::{CacheConfig, CacheMode, QCACHE_ENV};
-pub use digest::image_digest;
+pub use digest::{bytes_digest, image_digest};
 pub use oracle::CachingOracle;
 
 #[cfg(test)]

@@ -216,6 +216,18 @@ impl<B: BlackBoxModel> CachingOracle<B> {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Fraction of logical rows served from the cache so far
+    /// (`hits / (hits + misses)`; 0 before any traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// Approximate bytes currently held by cached entries.
     pub fn bytes_cached(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)

@@ -55,7 +55,7 @@ pub mod sink;
 
 pub use correlate::{correlate, AuditRecord, CorrelatedFinding, ModelIncident};
 pub use incident::{validate_incident, IncidentReport, INCIDENT_SCHEMA_VERSION};
-pub use render::{render, summarize_findings, Timing};
+pub use render::{render, render_fleet, summarize_findings, Timing};
 pub use respond::{respond, Action, Mode, MODE_ENV};
 pub use rules::{Finding, RuleId, RulePolicy, Severity, Signals};
 

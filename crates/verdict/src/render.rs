@@ -3,7 +3,11 @@
 //! `Verdict`'s `Display` in `bprom-core` and the bench binaries' report
 //! printing both call [`render`], so the human text and the machine
 //! `incident.json` are views of the same [`Signals`] and cannot drift.
+//! Fleet-level roll-ups go through [`render_fleet`] for the same
+//! reason: the audit engine's summary and the `incident.json` it writes
+//! share one [`crate::IncidentReport`].
 
+use crate::incident::IncidentReport;
 use crate::rules::{Finding, Signals};
 
 /// Wall-clock view of one inspection, kept separate from [`Signals`] so
@@ -68,6 +72,44 @@ pub fn render(s: &Signals, timing: Option<&Timing>) -> String {
             s.retry_exhausted,
             s.degraded_responses,
             s.penalized_candidates,
+        ));
+    }
+    out
+}
+
+/// Fleet roll-up of an incident report: one header line with the audit
+/// and enforcement tallies, then one line per model incident (in the
+/// report's first-audited order) with its audit count, merged findings,
+/// and action.
+///
+/// ```text
+/// fleet "mlaas" (strict): 8 audits over 6 models — 1 flagged, 1 quarantined
+///   m00000000000000aa  2 audits  quarantine  B001(high) B002(critical)
+///   m00000000000000bb  1 audit   none        no findings
+/// ```
+pub fn render_fleet(report: &IncidentReport) -> String {
+    let mut out = format!(
+        "fleet \"{}\" ({}): {} audits over {} models — {} flagged, {} quarantined",
+        report.label,
+        report.mode.as_str(),
+        report.audits,
+        report.incidents.len(),
+        report.flagged,
+        report.quarantined,
+    );
+    for incident in &report.incidents {
+        let findings: Vec<Finding> = incident
+            .findings
+            .iter()
+            .map(|f| f.finding.clone())
+            .collect();
+        out.push_str(&format!(
+            "\n  {}  {} audit{}  {:<10}  {}",
+            incident.model,
+            incident.audits,
+            if incident.audits == 1 { " " } else { "s" },
+            incident.action.as_str(),
+            summarize_findings(&findings),
         ));
     }
     out
@@ -148,6 +190,48 @@ mod tests {
         );
         assert!(!line.contains("cache"));
         assert!(!line.contains("hostile"));
+    }
+
+    #[test]
+    fn render_fleet_rolls_up_per_model_lines() {
+        use crate::correlate::AuditRecord;
+        use crate::respond::Mode;
+        let policy = RulePolicy::default();
+        let hot = busy_signals();
+        let quiet = Signals {
+            score: 0.1,
+            prompted_accuracy: 0.9,
+            queries: 100,
+            prompt_queries: 80,
+            accuracy_queries: 10,
+            probe_queries: 10,
+            ..Signals::default()
+        };
+        let record = |model: &str, s: &Signals| AuditRecord {
+            model: model.to_string(),
+            findings: policy.evaluate(s),
+            signals: *s,
+        };
+        // Two audits of the hot model (escalation), one of the quiet one.
+        let records = vec![
+            record("m00000000000000aa", &hot),
+            record("m00000000000000bb", &quiet),
+            record("m00000000000000aa", &hot),
+        ];
+        let report = crate::IncidentReport::assemble("fleet-test", &policy, Mode::Strict, &records);
+        let text = render_fleet(&report);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 2, "header + one line per model:\n{text}");
+        assert!(
+            lines[0].contains("fleet \"fleet-test\" (strict): 3 audits over 2 models"),
+            "{text}"
+        );
+        assert!(lines[1].contains("m00000000000000aa"), "{text}");
+        assert!(lines[1].contains("2 audits"), "{text}");
+        assert!(lines[1].contains("B001"), "{text}");
+        assert!(lines[2].contains("m00000000000000bb"), "{text}");
+        assert!(lines[2].contains("1 audit"), "{text}");
+        assert!(lines[2].contains("no findings"), "{text}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 pub use bprom;
 pub use bprom_attacks as attacks;
+pub use bprom_audit as audit;
 pub use bprom_ckpt as ckpt;
 pub use bprom_data as data;
 pub use bprom_defenses as defenses;

@@ -1,0 +1,216 @@
+//! Property tests for the shadow-zoo registry (`bprom-audit`): content
+//! addressing over the operator's (dataset, arch, attack, seed) space
+//! never collides, same-spec lookups always hit the shared entry, and a
+//! damaged persisted snapshot — truncated, bit-flipped, overwritten with
+//! garbage, or holding a foreign configuration's payload — degrades to a
+//! typed-error rebuild, never a panic and never a wrong detector.
+
+use bprom_suite::attacks::AttackKind;
+use bprom_suite::audit::{DetectorSpec, ShadowZooRegistry};
+use bprom_suite::bprom::BpromConfig;
+use bprom_suite::ckpt::SnapshotStore;
+use bprom_suite::data::SynthDataset;
+use bprom_suite::nn::models::Architecture;
+use bprom_suite::nn::TrainConfig;
+use bprom_suite::vp::PromptTrainConfig;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny_config() -> BpromConfig {
+    let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.clean_shadows = 2;
+    config.backdoor_shadows = 2;
+    config.test_samples_per_class = 20;
+    config.target_samples_per_class = 10;
+    config.train = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    config.prompt = PromptTrainConfig {
+        epochs: 2,
+        cmaes_generations: 3,
+        cmaes_population: 4,
+        ..PromptTrainConfig::default()
+    };
+    config
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bprom-registry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Exhaustive sweep of the operator tuple space (5 datasets × 5 archs ×
+/// 7 attacks × 3 seeds = 525 specs): every tuple gets a distinct digest,
+/// a distinct well-formed snapshot name, and a faithful display key.
+/// Digesting is pure computation — no fitting happens here.
+#[test]
+fn distinct_operator_tuples_never_collide() {
+    let datasets = [
+        SynthDataset::Cifar10,
+        SynthDataset::Gtsrb,
+        SynthDataset::Stl10,
+        SynthDataset::Svhn,
+        SynthDataset::Cifar100,
+    ];
+    let archs = [
+        Architecture::ResNetMini,
+        Architecture::MobileNetMini,
+        Architecture::VitMini,
+        Architecture::SwinMini,
+        Architecture::Mlp,
+    ];
+    let attacks = [
+        AttackKind::BadNets,
+        AttackKind::Blend,
+        AttackKind::Trojan,
+        AttackKind::WaNet,
+        AttackKind::Dynamic,
+        AttackKind::AdapBlend,
+        AttackKind::AdapPatch,
+    ];
+    let mut digests = HashMap::new();
+    let mut names = HashSet::new();
+    let mut specs = 0u64;
+    for &dataset in &datasets {
+        for &arch in &archs {
+            for &attack in &attacks {
+                for seed in [0u64, 7, u64::MAX] {
+                    let mut config = tiny_config();
+                    config.source_dataset = dataset;
+                    config.architecture = arch;
+                    config.shadow_attack = attack;
+                    let spec = DetectorSpec::new(config, seed);
+                    let key = spec.key();
+                    assert_eq!(
+                        (key.dataset, key.arch, key.attack, key.seed),
+                        (dataset, arch, attack, seed),
+                        "key reflects the operator tuple"
+                    );
+                    if let Some(prior) = digests.insert(spec.digest(), key) {
+                        panic!("digest collision: {prior} vs {key}");
+                    }
+                    let name = spec.snapshot_name();
+                    assert_eq!(name.len(), "det-".len() + 16, "{name}");
+                    assert!(name.starts_with("det-"), "{name}");
+                    assert!(
+                        name["det-".len()..].bytes().all(|b| b.is_ascii_hexdigit()),
+                        "{name}"
+                    );
+                    assert!(names.insert(name), "snapshot name collision");
+                    specs += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(specs, 525);
+    assert_eq!(digests.len(), 525);
+}
+
+/// Same-tuple lookups always hit: across two distinct specs and repeated
+/// interleaved lookups, each spec is fitted exactly once and every later
+/// lookup returns the *same* shared allocation.
+#[test]
+fn same_tuple_always_hits_the_shared_entry() {
+    let registry = ShadowZooRegistry::in_memory();
+    let spec_a = DetectorSpec::new(tiny_config(), 7);
+    let mut off_tuple = tiny_config();
+    off_tuple.probe_count += 1;
+    // Same display tuple as `spec_a`, different content — must not share.
+    let spec_b = DetectorSpec::new(off_tuple, 7);
+    assert_eq!(spec_a.key(), spec_b.key());
+
+    let first_a = registry.detector(&spec_a).unwrap();
+    let first_b = registry.detector(&spec_b).unwrap();
+    assert!(!Arc::ptr_eq(&first_a, &first_b));
+    for _ in 0..3 {
+        assert!(Arc::ptr_eq(&first_a, &registry.detector(&spec_a).unwrap()));
+        assert!(Arc::ptr_eq(&first_b, &registry.detector(&spec_b).unwrap()));
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.builds, 2, "one fit per distinct content");
+    assert_eq!(stats.mem_hits, 6, "every repeat lookup hit");
+    assert_eq!(stats.rebuilds, 0);
+    assert_eq!(registry.len(), 2);
+}
+
+/// Damage matrix: truncation, a flipped payload byte, and garbage that
+/// keeps a plausible length all surface as typed checkpoint errors, are
+/// absorbed as rebuilds, and the re-fitted entry is persisted again so
+/// the *next* process gets a clean disk hit.
+#[test]
+fn damaged_snapshots_rebuild_instead_of_panicking() {
+    let dir = scratch_dir("damage");
+    let spec = DetectorSpec::new(tiny_config(), 7);
+    ShadowZooRegistry::open(&dir)
+        .unwrap()
+        .detector(&spec)
+        .unwrap();
+
+    type Corruptor = fn(&[u8]) -> Vec<u8>;
+    let damage: [(&str, Corruptor); 3] = [
+        ("truncated", |bytes| bytes[..bytes.len() / 2].to_vec()),
+        ("bit-flipped", |bytes| {
+            let mut copy = bytes.to_vec();
+            let mid = copy.len() / 2;
+            copy[mid] ^= 0x40;
+            copy
+        }),
+        ("garbage", |bytes| vec![0xA5; bytes.len()]),
+    ];
+    for (label, corrupt) in damage {
+        let store = SnapshotStore::open(&dir).unwrap();
+        let path = store.latest_path(&spec.snapshot_name()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, corrupt(&bytes)).unwrap();
+
+        let registry = ShadowZooRegistry::open(&dir).unwrap();
+        let detector = registry.detector(&spec).unwrap();
+        assert_eq!(detector.config(), &spec.config, "{label}");
+        let stats = registry.stats();
+        assert_eq!(stats.rebuilds, 1, "{label}: damage absorbed as rebuild");
+        assert_eq!(stats.builds, 1, "{label}: re-fitted once");
+        assert_eq!(stats.disk_hits, 0, "{label}");
+
+        // The rebuild re-persisted: a fresh process restores cleanly.
+        let healed = ShadowZooRegistry::open(&dir).unwrap();
+        healed.detector(&spec).unwrap();
+        assert_eq!(healed.stats().disk_hits, 1, "{label}: healed on disk");
+        assert_eq!(healed.stats().builds, 0, "{label}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot holding a *different* configuration's payload (same
+/// operator tuple, off-tuple config drift) is rejected by the restore
+/// fingerprint check and rebuilt — content addressing is enforced on
+/// read, not just on write.
+#[test]
+fn foreign_config_payloads_are_rejected_and_rebuilt() {
+    let dir = scratch_dir("foreign");
+    let spec = DetectorSpec::new(tiny_config(), 7);
+    let mut off_tuple = tiny_config();
+    off_tuple.probe_count += 1;
+    let foreign = DetectorSpec::new(off_tuple, 7);
+    assert_eq!(spec.key(), foreign.key());
+
+    // Persist `spec`'s fit, then graft its payload under `foreign`'s name.
+    ShadowZooRegistry::open(&dir)
+        .unwrap()
+        .detector(&spec)
+        .unwrap();
+    let store = SnapshotStore::open(&dir).unwrap();
+    let payload = store.load(&spec.snapshot_name()).unwrap().unwrap();
+    store.save(&foreign.snapshot_name(), &payload).unwrap();
+
+    let registry = ShadowZooRegistry::open(&dir).unwrap();
+    let detector = registry.detector(&foreign).unwrap();
+    assert_eq!(detector.config(), &foreign.config);
+    let stats = registry.stats();
+    assert_eq!(stats.rebuilds, 1, "foreign payload rejected");
+    assert_eq!(stats.builds, 1);
+    assert_eq!(stats.disk_hits, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
