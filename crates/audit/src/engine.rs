@@ -400,6 +400,7 @@ impl AuditEngine {
             };
             let record = AuditRecord {
                 model: fingerprint.clone(),
+                regime: detector.config().regime.as_wire(),
                 signals: verdict.signals(),
                 findings: verdict.findings(&self.policy),
             };

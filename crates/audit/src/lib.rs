@@ -33,4 +33,4 @@ mod engine;
 mod registry;
 
 pub use engine::{AuditEngine, AuditOutcome, AuditRequest, FleetReport};
-pub use registry::{DetectorSpec, RegistryKey, RegistryStats, ShadowZooRegistry};
+pub use registry::{DetectorSpec, RegistryKey, RegistryStats, ShadowZooRegistry, REGISTRY_MEM_ENV};

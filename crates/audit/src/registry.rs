@@ -94,6 +94,13 @@ impl std::fmt::Display for RegistryKey {
     }
 }
 
+/// Environment variable bounding the registry's in-memory detector map:
+/// `BPROM_REGISTRY_MEM=<n>` keeps at most `n` detectors resident,
+/// evicting the least recently used. Disk snapshots are untouched, so an
+/// evicted entry comes back as a disk hit, not a rebuild — the bound
+/// trades lookup cost, never results.
+pub const REGISTRY_MEM_ENV: &str = "BPROM_REGISTRY_MEM";
+
 /// How the registry served its lookups so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStats {
@@ -106,6 +113,9 @@ pub struct RegistryStats {
     /// Persisted entries that failed validation (truncated, corrupt,
     /// stale codec, foreign config) and were rebuilt from scratch.
     pub rebuilds: u64,
+    /// In-memory entries evicted by the [`REGISTRY_MEM_ENV`] /
+    /// [`ShadowZooRegistry::with_mem_cap`] bound.
+    pub evictions: u64,
 }
 
 impl RegistryStats {
@@ -126,13 +136,85 @@ impl RegistryStats {
 /// [`bprom_ckpt::CkptError`] / [`bprom::BpromError::Ckpt`] is absorbed,
 /// counted as a rebuild, and the detector is re-fitted from scratch —
 /// registry corruption can cost time, not correctness.
+///
+/// The resident set can be bounded ([`REGISTRY_MEM_ENV`] or
+/// [`ShadowZooRegistry::with_mem_cap`]): past the cap the least recently
+/// used detector is dropped from memory (its disk snapshot, if any,
+/// stays). Eviction moves cost between the stats columns — an evicted
+/// entry returns as a disk hit or a rebuild — but every path still
+/// yields a detector bit-identical to a direct fit, so fleet results do
+/// not depend on the cap.
 pub struct ShadowZooRegistry {
     store: Option<SnapshotStore>,
-    entries: Mutex<HashMap<u64, Arc<Bprom>>>,
+    entries: Mutex<MemEntries>,
+    /// Maximum resident detectors (LRU eviction past it); `None` keeps
+    /// everything. Seeded from [`REGISTRY_MEM_ENV`] at construction.
+    mem_cap: Option<usize>,
     builds: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     rebuilds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The in-memory detector map plus the recency counter driving LRU
+/// eviction. One struct under one lock: recency updates are atomic with
+/// the lookups they describe.
+#[derive(Default)]
+struct MemEntries {
+    /// digest → (detector, last-touched tick).
+    map: HashMap<u64, (Arc<Bprom>, u64)>,
+    /// Monotonic access counter (deterministic, no wall-clock).
+    tick: u64,
+}
+
+impl MemEntries {
+    /// Marks `digest` used now and returns its entry, if resident.
+    fn touch(&mut self, digest: u64) -> Option<Arc<Bprom>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&digest).map(|(shared, t)| {
+            *t = tick;
+            Arc::clone(shared)
+        })
+    }
+
+    /// Inserts `shared` as the most recently used entry, evicting the
+    /// least recently used ones past `cap`. Returns how many entries
+    /// were evicted.
+    fn insert(&mut self, digest: u64, shared: &Arc<Bprom>, cap: Option<usize>) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(digest, (Arc::clone(shared), tick));
+        let mut evicted = 0;
+        if let Some(cap) = cap {
+            while self.map.len() > cap {
+                let Some(oldest) = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(&digest, _)| digest)
+                else {
+                    break;
+                };
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+fn mem_cap_from_env() -> Option<usize> {
+    // Lenient like the other BPROM_* knobs: unset or unparsable means
+    // unbounded. A cap of 0 is clamped to 1 so the entry just built is
+    // still the one returned (and shared by concurrent callers).
+    std::env::var(REGISTRY_MEM_ENV)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(1))
 }
 
 impl std::fmt::Debug for ShadowZooRegistry {
@@ -151,12 +233,22 @@ impl ShadowZooRegistry {
     pub fn in_memory() -> Self {
         ShadowZooRegistry {
             store: None,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(MemEntries::default()),
+            mem_cap: mem_cap_from_env(),
             builds: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the in-memory detector map to `n` entries (LRU eviction),
+    /// overriding any [`REGISTRY_MEM_ENV`] setting. `0` is clamped to 1.
+    #[must_use]
+    pub fn with_mem_cap(mut self, n: usize) -> Self {
+        self.mem_cap = Some(n.max(1));
+        self
     }
 
     /// A registry backed by a snapshot directory: every build is
@@ -181,7 +273,7 @@ impl ShadowZooRegistry {
 
     /// Number of detectors currently resident in memory.
     pub fn len(&self) -> usize {
-        self.lock_entries().len()
+        self.lock_entries().map.len()
     }
 
     /// Whether no detector is resident yet.
@@ -196,10 +288,11 @@ impl ShadowZooRegistry {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Bprom>>> {
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, MemEntries> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -224,9 +317,9 @@ impl ShadowZooRegistry {
     pub fn detector(&self, spec: &DetectorSpec) -> Result<Arc<Bprom>> {
         let digest = spec.digest();
         let mut entries = self.lock_entries();
-        if let Some(found) = entries.get(&digest) {
+        if let Some(found) = entries.touch(digest) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
+            return Ok(found);
         }
         let name = spec.snapshot_name();
         if let Some(store) = &self.store {
@@ -243,7 +336,8 @@ impl ShadowZooRegistry {
                         [("key", spec.key().to_string().as_str().into())],
                     );
                     let shared = Arc::new(detector);
-                    entries.insert(digest, Arc::clone(&shared));
+                    let evicted = entries.insert(digest, &shared, self.mem_cap);
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
                     return Ok(shared);
                 }
                 Some(Err(err)) => {
@@ -276,7 +370,8 @@ impl ShadowZooRegistry {
             store.save(&name, &enc.into_bytes())?;
         }
         let shared = Arc::new(built);
-        entries.insert(digest, Arc::clone(&shared));
+        let evicted = entries.insert(digest, &shared, self.mem_cap);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(shared)
     }
 }
@@ -344,6 +439,44 @@ mod tests {
         assert_eq!(stats.disk_hits, 0);
         assert_eq!(stats.rebuilds, 0);
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn bounded_memory_evicts_lru_and_falls_back_to_disk() {
+        let dir = std::env::temp_dir().join(format!("bprom-audit-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ShadowZooRegistry::open(&dir).unwrap().with_mem_cap(1);
+        let spec_a = DetectorSpec::new(tiny_config(), 7);
+        let spec_b = DetectorSpec::new(tiny_config(), 8);
+        let a = registry.detector(&spec_a).unwrap();
+        registry.detector(&spec_b).unwrap(); // evicts A from memory
+        assert_eq!(registry.len(), 1, "cap holds");
+        assert_eq!(registry.stats().evictions, 1);
+        // A's snapshot is untouched: the re-request restores from disk
+        // instead of paying a third fit, and the restored detector is
+        // the same asset (identical persisted bytes).
+        let a_again = registry.detector(&spec_a).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.rebuilds, 0);
+        assert_eq!(stats.evictions, 2, "the re-insert evicted B");
+        let (mut enc_a, mut enc_b) = (Encoder::new(), Encoder::new());
+        a.persist(&mut enc_a);
+        a_again.persist(&mut enc_b);
+        assert_eq!(enc_a.into_bytes(), enc_b.into_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_cap_zero_clamps_to_one() {
+        let registry = ShadowZooRegistry::in_memory().with_mem_cap(0);
+        let spec = DetectorSpec::new(tiny_config(), 7);
+        let first = registry.detector(&spec).unwrap();
+        let second = registry.detector(&spec).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "entry stays resident");
+        assert_eq!(registry.stats().mem_hits, 1);
+        assert_eq!(registry.stats().evictions, 0);
     }
 
     #[test]

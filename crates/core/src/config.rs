@@ -4,8 +4,9 @@ use bprom_data::SynthDataset;
 use bprom_nn::models::Architecture;
 use bprom_nn::TrainConfig;
 use bprom_qcache::CacheConfig;
+use bprom_regimes::OracleRegime;
 use bprom_verdict::{Mode, RulePolicy};
-use bprom_vp::PromptTrainConfig;
+use bprom_vp::{PromptStyle, PromptTrainConfig};
 
 /// How shadow-model prompts are learned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -60,6 +61,14 @@ pub struct BpromConfig {
     pub prompt: PromptTrainConfig,
     /// Prompt border width in pixels.
     pub prompt_border: usize,
+    /// How the prompt combines with target images (see
+    /// [`bprom_vp::PromptStyle`]). Overlay (the default) adds `θ` onto
+    /// the border of the resized image, so every prompted row is unique;
+    /// Pad writes `θ` verbatim around a shrunken image, which makes the
+    /// border bit-identical across a batch — a signature an adaptive
+    /// endpoint's similarity tests can detect (see
+    /// `bprom_faults::AdaptiveOracle`).
+    pub prompt_style: PromptStyle,
     /// Number of probe samples `q` drawn from `D_T`'s test split.
     pub probe_count: usize,
     /// Number of trees in the random-forest meta-classifier.
@@ -82,6 +91,16 @@ pub struct BpromConfig {
     /// Thresholds the verdict rules stage matches each audit against
     /// (see `bprom_verdict::RulePolicy`).
     pub policy: RulePolicy,
+    /// Declared response contract of the suspicious endpoint (full
+    /// scores, quantized, top-k, or label-only). Unlike a fault plan —
+    /// transient hostility the client retries around — a regime changes
+    /// which fitness and meta-features the detector uses, and which
+    /// meta-forest it trains. Defaults to full scores;
+    /// `BPROM_ORACLE_REGIME=quantized:<d>|top_k:<k>|label_only`
+    /// overrides the default at construction time. Part of the config
+    /// fingerprint, so detectors for different regimes never share a
+    /// registry entry.
+    pub regime: OracleRegime,
 }
 
 impl BpromConfig {
@@ -101,12 +120,14 @@ impl BpromConfig {
             train: TrainConfig::default(),
             prompt: PromptTrainConfig::default(),
             prompt_border: 4,
+            prompt_style: PromptStyle::default(),
             probe_count: 32,
             forest_trees: 300,
             shadow_prompting: ShadowPrompting::default(),
             cache: CacheConfig::from_env_or(CacheConfig::unbounded()),
             mode: Mode::from_env_or(Mode::Strict),
             policy: RulePolicy::default(),
+            regime: OracleRegime::from_env_or(OracleRegime::FullScores),
         }
     }
 
@@ -152,6 +173,18 @@ impl BpromConfig {
                 reason: format!("ds_fraction must be in (0, 1], got {}", self.ds_fraction),
             });
         }
+        if self.regime != OracleRegime::FullScores
+            && self.shadow_prompting == ShadowPrompting::Backprop
+        {
+            return Err(BpromError::InvalidConfig {
+                reason: format!(
+                    "regime {} requires CMA-ES shadow prompting: the degraded responses \
+                     are not differentiable, so backprop cannot see the regime the \
+                     suspicious endpoint enforces",
+                    self.regime
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -179,6 +212,17 @@ mod tests {
         let mut cfg = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
         cfg.clean_shadows = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn degraded_regime_requires_cmaes_shadow_prompting() {
+        let mut cfg = BpromConfig::new(SynthDataset::Cifar10, SynthDataset::Stl10);
+        cfg.regime = OracleRegime::LabelOnly;
+        assert!(cfg.validate().is_ok(), "CmaEs default accepts any regime");
+        cfg.shadow_prompting = ShadowPrompting::Backprop;
+        assert!(cfg.validate().is_err());
+        cfg.regime = OracleRegime::FullScores;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

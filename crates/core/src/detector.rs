@@ -1,6 +1,6 @@
 //! The end-to-end BPROM detector.
 
-use crate::meta_model::{probe_features_blackbox, train_meta_ckpt, ProbeSet};
+use crate::meta_model::{probe_features_blackbox_regime, train_meta_ckpt, ProbeSet};
 use crate::prompting::{prompt_shadows_ckpt, prompt_suspicious_ckpt};
 use crate::resume::{
     decode_dataset, decode_rng, decode_tensor, encode_dataset, encode_rng, encode_tensor,
@@ -62,6 +62,10 @@ pub struct InspectBudget {
     pub cache_misses: u64,
     /// Cache entries evicted by a bounded-memory (`lru:<n>`) policy.
     pub cache_evictions: u64,
+    /// Responses an adaptive (probe-detecting) endpoint fabricated
+    /// instead of answering honestly (see `bprom-faults::AdaptiveOracle`;
+    /// verdict rule B012 keys on this).
+    pub evasive_responses: u64,
 }
 
 impl InspectBudget {
@@ -116,6 +120,7 @@ fn encode_verdict(enc: &mut Encoder, v: &Verdict) {
     enc.put_u64(b.cache_hits);
     enc.put_u64(b.cache_misses);
     enc.put_u64(b.cache_evictions);
+    enc.put_u64(b.evasive_responses);
 }
 
 fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
@@ -140,6 +145,7 @@ fn decode_verdict(dec: &mut Decoder<'_>) -> Result<Verdict> {
             cache_hits: dec.get_u64()?,
             cache_misses: dec.get_u64()?,
             cache_evictions: dec.get_u64()?,
+            evasive_responses: dec.get_u64()?,
         },
     })
 }
@@ -165,6 +171,7 @@ impl Verdict {
             cache_hits: self.budget.cache_hits,
             cache_misses: self.budget.cache_misses,
             cache_evictions: self.budget.cache_evictions,
+            evasive_responses: self.budget.evasive_responses,
         }
     }
 
@@ -390,12 +397,17 @@ impl Bprom {
         let start = Instant::now();
         let stats_before = oracle.oracle_stats();
         let counting = CountingOracle::new(oracle);
+        // Enforce the detector's declared regime on everything this
+        // inspection sees. The wrap is idempotent, so it is correct both
+        // against a plain oracle (tests, benches) and against a remote
+        // endpoint that already serves the degraded shape.
+        let sealed = bprom_regimes::RegimeOracle::new(&counting, self.config.regime);
         let cmaes_name = format!("cmaes-inspect-{unit}");
         let (prompt, outcome) = {
             bprom_obs::span!("prompt_suspicious");
             prompt_suspicious_ckpt(
                 &self.config,
-                &counting,
+                &sealed,
                 &self.t_train,
                 &self.map,
                 rng,
@@ -416,7 +428,7 @@ impl Bprom {
         let prompted_accuracy = {
             bprom_obs::span!("prompted_accuracy");
             bprom_vp::prompted_accuracy_blackbox(
-                &counting,
+                &sealed,
                 &prompt,
                 &self.t_train.images,
                 &self.t_train.labels,
@@ -426,7 +438,7 @@ impl Bprom {
         let accuracy_queries = counting.local_queries() - queries_before_accuracy;
         let feature = {
             bprom_obs::span!("probe_features");
-            probe_features_blackbox(&counting, &prompt, &self.probes)?
+            probe_features_blackbox_regime(&sealed, &prompt, &self.probes, self.config.regime)?
         };
         let score = {
             bprom_obs::span!("meta_predict");
@@ -478,6 +490,7 @@ impl Bprom {
                 cache_hits: faults.cache_hits,
                 cache_misses: faults.cache_misses,
                 cache_evictions: faults.cache_evictions,
+                evasive_responses: faults.evasive_responses,
             },
         };
         if let Some(ck) = ckpt {

@@ -62,6 +62,7 @@ pub mod shadow;
 pub mod suspicious;
 
 pub use bprom_qcache::{CacheConfig, CacheMode, QCACHE_ENV};
+pub use bprom_regimes::{OracleRegime, RegimeOracle, REGIME_ENV};
 pub use bprom_verdict::{
     validate_incident, Action, AuditRecord, Finding, IncidentReport, Mode, RuleId, RulePolicy,
     Severity, Signals, VerdictPipeline, MODE_ENV,

@@ -9,6 +9,7 @@ use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_meta::{ForestConfig, RandomForest, TreeConfig};
 use bprom_nn::{softmax, Layer, Mode, Sequential};
+use bprom_regimes::{vote_features, OracleRegime};
 use bprom_tensor::{Rng, Tensor};
 use bprom_vp::{BlackBoxModel, VisualPrompt};
 
@@ -135,10 +136,7 @@ pub fn probe_features_whitebox(
     prompt: &VisualPrompt,
     probes: &ProbeSet,
 ) -> Result<Vec<f32>> {
-    let prompted = prompt.apply_batch(&probes.images)?;
-    let logits = model.forward(&prompted, Mode::Eval)?;
-    let probs = softmax(&logits)?;
-    feature_from_confidences(&probs, &probes.labels)
+    probe_features_whitebox_regime(model, prompt, probes, OracleRegime::FullScores)
 }
 
 /// Extracts the meta feature of a *black-box* (suspicious) model through
@@ -152,9 +150,74 @@ pub fn probe_features_blackbox(
     prompt: &VisualPrompt,
     probes: &ProbeSet,
 ) -> Result<Vec<f32>> {
+    probe_features_blackbox_regime(oracle, prompt, probes, OracleRegime::FullScores)
+}
+
+/// The regime-aware meta feature for a `[q, k]` probe confidence matrix:
+/// degrades `probs` to the regime's wire shape first (idempotent, so a
+/// matrix an oracle already served under the regime passes through
+/// unchanged), then extracts either the canonical soft-score feature
+/// ([`feature_from_confidences`], with top-k rows renormalized to their
+/// surviving mass) or — under a label-only contract — the vote-count
+/// feature ([`bprom_regimes::vote_features`], length `k + 3`).
+///
+/// Training (white-box shadows, full softmax available) and inference
+/// (black-box oracle enforcing the regime) both funnel through this
+/// function, which is what keeps the two feature distributions matched:
+/// the meta forest never sees soft scores the deployed endpoint would
+/// withhold.
+///
+/// # Errors
+///
+/// Propagates feature-extraction failures.
+pub fn regime_feature(
+    regime: OracleRegime,
+    mut probs: Tensor,
+    probe_labels: &[usize],
+) -> Result<Vec<f32>> {
+    regime.prepare_confidences(&mut probs);
+    if regime.has_soft_scores() {
+        feature_from_confidences(&probs, probe_labels)
+    } else {
+        Ok(vote_features(&probs, probe_labels))
+    }
+}
+
+/// [`probe_features_whitebox`] under a declared [`OracleRegime`]: the
+/// shadow's full softmax is degraded to the regime's wire shape before
+/// feature extraction, matching what a black-box endpoint would serve.
+///
+/// # Errors
+///
+/// Propagates prompting/forward failures.
+pub fn probe_features_whitebox_regime(
+    model: &mut Sequential,
+    prompt: &VisualPrompt,
+    probes: &ProbeSet,
+    regime: OracleRegime,
+) -> Result<Vec<f32>> {
+    let prompted = prompt.apply_batch(&probes.images)?;
+    let logits = model.forward(&prompted, Mode::Eval)?;
+    let probs = softmax(&logits)?;
+    regime_feature(regime, probs, &probes.labels)
+}
+
+/// [`probe_features_blackbox`] under a declared [`OracleRegime`]. The
+/// degrade step is idempotent, so this is correct whether the oracle
+/// natively enforces the regime or serves full scores.
+///
+/// # Errors
+///
+/// Propagates prompting/query failures.
+pub fn probe_features_blackbox_regime(
+    oracle: &dyn BlackBoxModel,
+    prompt: &VisualPrompt,
+    probes: &ProbeSet,
+    regime: OracleRegime,
+) -> Result<Vec<f32>> {
     let prompted = prompt.apply_batch(&probes.images)?;
     let probs = oracle.query(&prompted)?;
-    feature_from_confidences(&probs, &probes.labels)
+    regime_feature(regime, probs, &probes.labels)
 }
 
 /// Builds `D_meta` from the prompted shadows and trains the random-forest
@@ -206,10 +269,11 @@ pub fn train_meta_ckpt(
     {
         bprom_obs::span!("build_meta_dataset");
         for (shadow, learned) in shadows.shadows.iter_mut().zip(prompts) {
-            features.push(probe_features_whitebox(
+            features.push(probe_features_whitebox_regime(
                 &mut shadow.model,
                 &learned.prompt,
                 probes,
+                config.regime,
             )?);
             bprom_obs::counter_add("meta.features", 1);
         }
@@ -273,6 +337,43 @@ mod tests {
         assert_eq!(white.len(), 5 * 10 + 10 + 2);
         for (w, b) in white.iter().zip(&black) {
             assert!((w - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn regime_features_match_across_box_boundaries() {
+        // The contract behind per-regime meta forests: the white-box
+        // (training) and black-box (inference) feature paths must agree
+        // under every regime, including against an oracle that natively
+        // enforces the regime (degrade idempotence).
+        use bprom_regimes::RegimeOracle;
+        let mut rng = Rng::new(3);
+        let t = SynthDataset::Stl10.generate(3, 16, 2).unwrap();
+        let probes = ProbeSet::sample(&t, 5, &mut rng).unwrap();
+        let prompt = VisualPrompt::random(3, 16, 4, &mut rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        for regime in [
+            OracleRegime::FullScores,
+            OracleRegime::Quantized(2),
+            OracleRegime::TopK(3),
+            OracleRegime::LabelOnly,
+        ] {
+            let mut model = mlp(&spec, &mut rng).unwrap();
+            let white =
+                probe_features_whitebox_regime(&mut model, &prompt, &probes, regime).unwrap();
+            let oracle = QueryOracle::new(model, 10);
+            let wrapped = RegimeOracle::new(&oracle, regime);
+            let black = probe_features_blackbox_regime(&wrapped, &prompt, &probes, regime).unwrap();
+            let expected = if regime.has_soft_scores() {
+                5 * 10 + 10 + 2
+            } else {
+                10 + 3
+            };
+            assert_eq!(white.len(), expected, "{regime}");
+            assert_eq!(black.len(), expected, "{regime}");
+            for (w, b) in white.iter().zip(&black) {
+                assert!((w - b).abs() < 1e-6, "{regime}: {w} vs {b}");
+            }
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::{BpromConfig, BpromError, Result, ShadowModel, ShadowSet};
 use bprom_ckpt::Encoder;
 use bprom_data::Dataset;
 use bprom_qcache::CachingOracle;
+use bprom_regimes::RegimeOracle;
 use bprom_tensor::Rng;
 use bprom_vp::{
     train_prompt_backprop, train_prompt_cmaes_ckpt, BlackBoxModel, CkptTrainOutcome,
@@ -91,7 +92,8 @@ pub fn prompt_shadows_ckpt(
             config.image_size,
             config.prompt_border,
             &mut rng,
-        )?;
+        )?
+        .with_style(config.prompt_style);
         let cmaes_name = format!("cmaes-prompt-{i}");
         let final_loss = match config.shadow_prompting {
             ShadowPrompting::Backprop => {
@@ -112,16 +114,21 @@ pub fn prompt_shadows_ckpt(
                 // Temporarily seal the shadow behind the oracle so the
                 // exact suspicious-model code path runs — including the
                 // query cache, whose policy comes from the same config as
-                // the suspicious-model side.
+                // the suspicious-model side, and the declared oracle
+                // regime, so shadow prompts are searched under the same
+                // response contract the suspicious endpoint will enforce.
+                // The regime sits above the cache: cached entries keep
+                // full scores, degradation happens on the way out.
                 let model = std::mem::replace(&mut shadow.model, crate::shadow::empty_model());
                 let oracle = CachingOracle::new(QueryOracle::new(model, num_classes), config.cache);
+                let sealed = RegimeOracle::new(&oracle, config.regime);
                 let outcome = train_prompt_cmaes_ckpt(
-                    &oracle,
+                    &sealed,
                     &mut prompt,
                     &t_train.images,
                     &t_train.labels,
                     map,
-                    &config.prompt,
+                    &regime_prompt_config(config),
                     &mut rng,
                     ckpt.map(|ck| CmaesCheckpoint {
                         store: ck.store(),
@@ -148,6 +155,16 @@ pub fn prompt_shadows_ckpt(
     })
     .into_iter()
     .collect()
+}
+
+/// The prompt-training config with the fitness derived from the declared
+/// oracle regime (`config.regime` is the single source of truth;
+/// `config.prompt.fitness` stays at its default and is overridden here at
+/// every call site).
+fn regime_prompt_config(config: &BpromConfig) -> bprom_vp::PromptTrainConfig {
+    let mut pcfg = config.prompt;
+    pcfg.fitness = config.regime.fitness();
+    pcfg
 }
 
 /// Learns a prompt for the suspicious model using only black-box queries
@@ -192,14 +209,20 @@ pub fn prompt_suspicious_ckpt(
         config.image_size,
         config.prompt_border,
         rng,
-    )?;
+    )?
+    .with_style(config.prompt_style);
+    // Enforce the declared regime here (idempotent if the caller's oracle
+    // already does) and search with the matching fitness: cross-entropy
+    // needs soft scores, so top-k renormalizes and label-only falls back
+    // to the prompted-miss-rate proxy.
+    let sealed = RegimeOracle::new(oracle, config.regime);
     let outcome = train_prompt_cmaes_ckpt(
-        oracle,
+        &sealed,
         &mut prompt,
         &t_train.images,
         &t_train.labels,
         map,
-        &config.prompt,
+        &regime_prompt_config(config),
         rng,
         ckpt,
     )?;

@@ -167,6 +167,7 @@ where
         // incident sink (e.g. the bench harness's TelemetryGuard).
         let record = AuditRecord {
             model: fingerprint,
+            regime: detector.config().regime.as_wire(),
             signals: verdict.signals(),
             findings: verdict.findings(&detector.config().policy),
         };
@@ -392,6 +393,7 @@ mod tests {
                 };
                 AuditRecord {
                     model: format!("m{i:016x}"),
+                    regime: "full".to_string(),
                     findings: policy.evaluate(&signals),
                     signals,
                 }

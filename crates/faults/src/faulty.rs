@@ -11,7 +11,7 @@ use std::sync::Mutex;
 /// FNV-1a over the batch's shape and raw f32 bits: a stable fingerprint
 /// of the query *content*, independent of when or on which thread it is
 /// submitted.
-fn content_key(batch: &Tensor) -> u64 {
+pub(crate) fn content_key(batch: &Tensor) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -32,7 +32,7 @@ fn content_key(batch: &Tensor) -> u64 {
 
 /// Mixes the plan seed, content key and attempt number into one child
 /// seed (SplitMix64-style finalization over the xor-combined words).
-fn attempt_seed(seed: u64, key: u64, attempt: u64) -> u64 {
+pub(crate) fn attempt_seed(seed: u64, key: u64, attempt: u64) -> u64 {
     let mut z = seed
         .wrapping_add(key.rotate_left(17))
         .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));

@@ -13,6 +13,11 @@
 //!   exponential backoff on a *virtual* clock ([`RetryPolicy`]): no
 //!   wall-time is ever slept, but the would-be latency is accounted in
 //!   [`bprom_vp::OracleStats`] and telemetry.
+//! * **[`AdaptiveOracle`]** models the *adaptive attacker* tier: an
+//!   endpoint that runs query-pattern tests (duplicate-rate, batch
+//!   cross-row similarity) and answers fabricated-but-consistent
+//!   confidences once it suspects it is being probed, tallied as
+//!   `evasive_responses` (verdict rule B012).
 //! * **Determinism.** Fault draws are keyed on the *content* of each
 //!   query (plus a per-content attempt counter), never on arrival order,
 //!   so an inspection under fault injection is byte-identical at any
@@ -50,10 +55,12 @@
 //! # }
 //! ```
 
+mod adaptive;
 mod faulty;
 mod plan;
 mod retry;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveOracle};
 pub use faulty::FaultyOracle;
 pub use plan::{
     FaultPlan, FaultProfile, Jitter, LabelOnly, Quantize, RateLimit, Stack, TopK, Transient,

@@ -114,7 +114,11 @@ impl FaultPlan for Quantize {
     fn degrade(&self, _rng: &mut Rng, probs: &mut Tensor) -> bool {
         let scale = 10f32.powi(self.decimals as i32);
         for p in probs.data_mut() {
-            *p = (*p * scale).round() / scale;
+            // `+ 0.0` collapses IEEE `-0.0` (which `round` preserves) to
+            // `+0.0`: consumers hash response *bits* (qcache digests,
+            // regime feature extraction), so the sign of zero must never
+            // depend on the upstream rounding path.
+            *p = (*p * scale).round() / scale + 0.0;
         }
         true
     }
@@ -330,6 +334,33 @@ mod tests {
         let mut rng = Rng::new(0);
         assert!(Quantize { decimals: 2 }.degrade(&mut rng, &mut probs));
         assert_eq!(probs.data(), &[0.12, 0.88, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn quantize_zero_decimals_collapses_to_indicator() {
+        // `decimals: 0` is the documented degenerate regime: every
+        // probability rounds to exactly 0.0 or 1.0 (half away from zero).
+        let mut probs = row_matrix(&[&[0.49, 0.51], &[0.5, 0.499999]]);
+        let mut rng = Rng::new(0);
+        assert!(Quantize { decimals: 0 }.degrade(&mut rng, &mut probs));
+        assert_eq!(probs.data(), &[0.0, 1.0, 1.0, 0.0]);
+        for &p in probs.data() {
+            assert!(p == 0.0 || p == 1.0);
+        }
+    }
+
+    #[test]
+    fn quantize_normalizes_negative_zero() {
+        // `-0.0` inputs (and small values rounding down to zero) must
+        // leave with a clear sign bit: downstream consumers digest the
+        // raw f32 bits of responses.
+        let mut probs = row_matrix(&[&[-0.0, 0.0004, 0.9996]]);
+        let mut rng = Rng::new(0);
+        assert!(Quantize { decimals: 3 }.degrade(&mut rng, &mut probs));
+        assert_eq!(probs.data(), &[0.0, 0.0, 1.0]);
+        for &p in probs.data() {
+            assert_eq!(p.to_bits() & 0x8000_0000, 0, "sign bit must be clear");
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@ use bprom_obs::{FromJson, JsonError, JsonResult, ToJson, Value};
 pub struct AuditRecord {
     /// Stable model fingerprint (e.g. 16 hex digits over the weights).
     pub model: String,
+    /// Wire form of the oracle regime the audit ran under (`"full"`,
+    /// `"quantized:<d>"`, `"top_k:<k>"`, `"label_only"`). A plain string
+    /// so this crate stays independent of `bprom-regimes`; producers
+    /// fill it from `OracleRegime::as_wire()`.
+    pub regime: String,
     /// The collect stage's distilled observations.
     pub signals: Signals,
     /// Findings from the rules stage, in rule-ID order.
@@ -43,6 +48,11 @@ pub struct ModelIncident {
     pub model: String,
     /// How many audits of this model the run collected.
     pub audits: u64,
+    /// Distinct oracle regimes the audits ran under, in first-seen
+    /// order. A finding that persists across regimes (e.g. full scores
+    /// *and* label-only) is stronger evidence than the same count under
+    /// one regime.
+    pub regimes: Vec<String>,
     /// Merged findings, in rule-ID order.
     pub findings: Vec<CorrelatedFinding>,
     /// The response stage's decision (filled in by `respond`; defaults
@@ -84,6 +94,7 @@ pub fn correlate(records: &[AuditRecord]) -> Vec<ModelIncident> {
                 incidents.push(ModelIncident {
                     model: record.model.clone(),
                     audits: 0,
+                    regimes: Vec::new(),
                     findings: Vec::new(),
                     action: crate::respond::Action::None,
                 });
@@ -91,6 +102,9 @@ pub fn correlate(records: &[AuditRecord]) -> Vec<ModelIncident> {
             }
         };
         incident.audits += 1;
+        if !incident.regimes.contains(&record.regime) {
+            incident.regimes.push(record.regime.clone());
+        }
         for finding in &record.findings {
             match incident
                 .findings
@@ -130,6 +144,7 @@ impl ToJson for AuditRecord {
     fn to_json(&self) -> Value {
         Value::object(vec![
             ("model", self.model.to_json()),
+            ("regime", self.regime.to_json()),
             ("signals", self.signals.to_json()),
             (
                 "findings",
@@ -151,6 +166,7 @@ impl FromJson for AuditRecord {
         }
         Ok(AuditRecord {
             model: String::from_json(value.require("model")?)?,
+            regime: String::from_json(value.require("regime")?)?,
             signals: Signals::from_json(value.require("signals")?)?,
             findings,
         })
@@ -185,6 +201,10 @@ impl ToJson for ModelIncident {
         Value::object(vec![
             ("model", self.model.to_json()),
             ("audits", self.audits.to_json()),
+            (
+                "regimes",
+                Value::Array(self.regimes.iter().map(ToJson::to_json).collect()),
+            ),
             ("action", self.action.as_str().to_string().to_json()),
             (
                 "findings",
@@ -207,9 +227,18 @@ impl FromJson for ModelIncident {
         {
             findings.push(CorrelatedFinding::from_json(f)?);
         }
+        let mut regimes = Vec::new();
+        for r in value
+            .require("regimes")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("regimes must be an array"))?
+        {
+            regimes.push(String::from_json(r)?);
+        }
         Ok(ModelIncident {
             model: String::from_json(value.require("model")?)?,
             audits: u64::from_json(value.require("audits")?)?,
+            regimes,
             findings,
             action,
         })
@@ -232,6 +261,7 @@ mod tests {
         };
         AuditRecord {
             model: model.into(),
+            regime: "full".into(),
             findings: RulePolicy::default().evaluate(&signals),
             signals,
         }
@@ -297,6 +327,20 @@ mod tests {
             .map(|f| f.finding.rule.code())
             .collect();
         assert_eq!(codes, ["B001", "B002", "B003", "B011"]);
+    }
+
+    #[test]
+    fn regimes_collect_distinct_in_first_seen_order() {
+        let mut label_only = audit("mB", 0.9, 0.1);
+        label_only.regime = "label_only".into();
+        let incidents = correlate(&[
+            audit("mB", 0.9, 0.1),
+            label_only,
+            audit("mB", 0.9, 0.1),
+            audit("mA", 0.2, 0.8),
+        ]);
+        assert_eq!(incidents[0].regimes, ["full", "label_only"]);
+        assert_eq!(incidents[1].regimes, ["full"]);
     }
 
     #[test]

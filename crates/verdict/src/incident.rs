@@ -247,6 +247,17 @@ pub fn validate_incident(doc: &Value) -> Result<(), Vec<String>> {
                 let path = format!("incidents[{i}]");
                 check_str_at(incident, &path, "model", &mut errors);
                 audit_sum += check_u64_at(incident, &path, "audits", &mut errors).unwrap_or(0);
+                match incident.get("regimes").map(Value::as_array) {
+                    Some(Some(regimes)) => {
+                        for (k, regime) in regimes.iter().enumerate() {
+                            if regime.as_str().is_none() {
+                                errors.push(format!("{path}.regimes[{k}]: expected a string"));
+                            }
+                        }
+                    }
+                    Some(None) => errors.push(format!("{path}.regimes: expected an array")),
+                    None => errors.push(format!("{path}.regimes: missing")),
+                }
                 match check_str_at(incident, &path, "action", &mut errors)
                     .and_then(Action::from_str_opt)
                 {
@@ -400,11 +411,13 @@ mod tests {
         let records = vec![
             AuditRecord {
                 model: "mA".into(),
+                regime: "full".into(),
                 findings: RulePolicy::default().evaluate(&signals),
                 signals,
             },
             AuditRecord {
                 model: "mB".into(),
+                regime: "label_only".into(),
                 signals: Signals::default(),
                 findings: Vec::new(),
             },

@@ -85,9 +85,22 @@ impl VerdictPipeline {
     /// and run the rules stage over its signals. Returns the resulting
     /// record (with findings) for inspection.
     pub fn collect(&mut self, model: impl Into<String>, signals: Signals) -> &AuditRecord {
+        self.collect_in_regime(model, "full", signals)
+    }
+
+    /// [`VerdictPipeline::collect`] with an explicit oracle-regime wire
+    /// string (`"full"`, `"quantized:<d>"`, `"top_k:<k>"`,
+    /// `"label_only"`) recorded on the audit.
+    pub fn collect_in_regime(
+        &mut self,
+        model: impl Into<String>,
+        regime: impl Into<String>,
+        signals: Signals,
+    ) -> &AuditRecord {
         let findings = self.policy.evaluate(&signals);
         self.records.push(AuditRecord {
             model: model.into(),
+            regime: regime.into(),
             signals,
             findings,
         });
@@ -132,6 +145,7 @@ mod tests {
             cache_hits: 100,
             cache_misses: 900,
             cache_evictions: 3,
+            evasive_responses: 0,
         }
     }
 

@@ -151,6 +151,7 @@ mod tests {
             cache_hits: 100,
             cache_misses: 900,
             cache_evictions: 3,
+            evasive_responses: 0,
         }
     }
 
@@ -209,6 +210,7 @@ mod tests {
         };
         let record = |model: &str, s: &Signals| AuditRecord {
             model: model.to_string(),
+            regime: "full".to_string(),
             findings: policy.evaluate(s),
             signals: *s,
         };

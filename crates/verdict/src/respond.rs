@@ -154,6 +154,7 @@ mod tests {
         };
         AuditRecord {
             model: "m".into(),
+            regime: "full".into(),
             findings: RulePolicy::default().evaluate(&signals),
             signals,
         }

@@ -37,17 +37,23 @@ pub enum RuleId {
     /// `B011` — cache anomaly: the bounded query cache evicted entries,
     /// so repeated audit content may re-spend provider queries.
     B011,
+    /// `B012` — oracle evasion suspected: the endpoint fabricated
+    /// responses instead of answering honestly (an adaptive attacker's
+    /// probe-detection tests tripped). The audit's features were
+    /// computed on lies; the verdict must not be trusted either way.
+    B012,
 }
 
 impl RuleId {
     /// Every registered rule, in ID order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::B001,
         RuleId::B002,
         RuleId::B003,
         RuleId::B004,
         RuleId::B010,
         RuleId::B011,
+        RuleId::B012,
     ];
 
     /// The stable wire code (`"B001"`, ...).
@@ -59,6 +65,7 @@ impl RuleId {
             RuleId::B004 => "B004",
             RuleId::B010 => "B010",
             RuleId::B011 => "B011",
+            RuleId::B012 => "B012",
         }
     }
 
@@ -71,6 +78,7 @@ impl RuleId {
             RuleId::B004 => "search degradation",
             RuleId::B010 => "fault-rate anomaly",
             RuleId::B011 => "cache anomaly",
+            RuleId::B012 => "oracle evasion suspected",
         }
     }
 
@@ -188,6 +196,9 @@ pub struct Signals {
     pub cache_misses: u64,
     /// Cache entries evicted by a bounded-memory policy.
     pub cache_evictions: u64,
+    /// Responses the endpoint fabricated instead of answering honestly
+    /// (adaptive-attacker evasion; see `bprom-faults::AdaptiveOracle`).
+    pub evasive_responses: u64,
 }
 
 impl Signals {
@@ -343,6 +354,24 @@ impl RulePolicy {
                 ],
             });
         }
+        if s.evasive_responses > 0 {
+            findings.push(Finding {
+                rule: RuleId::B012,
+                // High, not backdoor evidence: the features this audit
+                // computed were (partly) fabricated, so the verdict is
+                // untrustworthy in *both* directions and the operator
+                // should re-audit through a different query schedule.
+                severity: Severity::High,
+                reason: format!(
+                    "endpoint answered {} batches evasively (probe-detection suspected); audit features are untrustworthy",
+                    s.evasive_responses
+                ),
+                evidence: vec![
+                    ("evasive_responses".into(), s.evasive_responses as f64),
+                    ("queries".into(), s.queries as f64),
+                ],
+            });
+        }
         findings
     }
 }
@@ -410,6 +439,7 @@ impl ToJson for Signals {
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
             ("cache_evictions", self.cache_evictions.to_json()),
+            ("evasive_responses", self.evasive_responses.to_json()),
         ])
     }
 }
@@ -432,6 +462,7 @@ impl FromJson for Signals {
             cache_hits: u64::from_json(value.require("cache_hits")?)?,
             cache_misses: u64::from_json(value.require("cache_misses")?)?,
             cache_evictions: u64::from_json(value.require("cache_evictions")?)?,
+            evasive_responses: u64::from_json(value.require("evasive_responses")?)?,
         })
     }
 }
@@ -545,6 +576,24 @@ mod tests {
         let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
         assert_eq!(codes, ["B004", "B010", "B011"]);
         assert!(findings.iter().all(|f| !f.rule.is_backdoor_evidence()));
+    }
+
+    #[test]
+    fn evasion_fires_b012_without_flagging_a_backdoor() {
+        let s = Signals {
+            prompted_accuracy: 0.9,
+            score: 0.2,
+            queries: 1000,
+            accuracy_queries: 100,
+            evasive_responses: 3,
+            ..Signals::default()
+        };
+        let findings = RulePolicy::default().evaluate(&s);
+        let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
+        assert_eq!(codes, ["B012"]);
+        assert!(!findings[0].rule.is_backdoor_evidence());
+        assert_eq!(findings[0].severity, Severity::High);
+        assert!(findings[0].reason.contains("3 batches"));
     }
 
     #[test]

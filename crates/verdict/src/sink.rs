@@ -51,6 +51,7 @@ mod tests {
     fn sample(model: &str) -> AuditRecord {
         AuditRecord {
             model: model.into(),
+            regime: "full".into(),
             signals: Signals::default(),
             findings: Vec::new(),
         }

@@ -59,6 +59,9 @@ pub struct OracleStats {
     pub cache_misses: u64,
     /// Cache entries evicted by a bounded-memory (LRU) policy.
     pub cache_evictions: u64,
+    /// Responses fabricated by an adaptive (probe-detecting) endpoint
+    /// instead of answered honestly (see `bprom-faults::AdaptiveOracle`).
+    pub evasive_responses: u64,
 }
 
 impl OracleStats {
@@ -78,6 +81,9 @@ impl OracleStats {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            evasive_responses: self
+                .evasive_responses
+                .saturating_sub(earlier.evasive_responses),
         }
     }
 
@@ -93,6 +99,7 @@ impl OracleStats {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
+            evasive_responses: self.evasive_responses + other.evasive_responses,
         }
     }
 }

@@ -9,6 +9,75 @@ use bprom_nn::{Layer, Mode, Sequential};
 use bprom_tensor::{Rng, Tensor};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How CMA-ES scores one candidate prompt against one oracle response
+/// batch. [`FitnessKind::CrossEntropy`] is the paper's objective; the
+/// other variants adapt the black-box search to *degraded oracle
+/// regimes* (see `bprom-regimes`), where the soft-score vector is
+/// truncated or absent and raw cross-entropy either saturates at the
+/// clamp floor or collapses to a step function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FitnessKind {
+    /// Mean `-ln p(want)` over the batch (full soft-score regime).
+    #[default]
+    CrossEntropy,
+    /// Cross-entropy over each row renormalized to its surviving mass —
+    /// for top-k regimes, where truncated classes read as exact zeros
+    /// and would otherwise pin the loss at `-ln(1e-9)` regardless of
+    /// how much of the kept mass sits on the wanted class.
+    RenormCrossEntropy,
+    /// Fraction of rows whose argmax misses the wanted class — the
+    /// label-only regime's prompted-accuracy proxy (one-hot responses
+    /// make cross-entropy a scaled step function of exactly this, so
+    /// the proxy ranks candidates identically while keeping the
+    /// fitness scale interpretable).
+    MissRate,
+}
+
+impl FitnessKind {
+    /// Candidate loss for one `[n, k]` response batch against the wanted
+    /// (mapped) labels. Lower is better for every variant.
+    pub fn batch_loss(&self, probs: &Tensor, wants: &[usize]) -> f32 {
+        let k = probs.shape()[1];
+        let data = probs.data();
+        let mut loss = 0.0f32;
+        match self {
+            FitnessKind::CrossEntropy => {
+                for (row, &want) in wants.iter().enumerate() {
+                    let p = data[row * k + want].max(1e-9);
+                    loss -= p.ln();
+                }
+            }
+            FitnessKind::RenormCrossEntropy => {
+                for (row, &want) in wants.iter().enumerate() {
+                    let slice = &data[row * k..(row + 1) * k];
+                    let mass: f32 = slice.iter().sum();
+                    let p = if mass > 0.0 {
+                        slice[want] / mass
+                    } else {
+                        1.0 / k as f32
+                    };
+                    loss -= p.max(1e-9).ln();
+                }
+            }
+            FitnessKind::MissRate => {
+                for (row, &want) in wants.iter().enumerate() {
+                    let slice = &data[row * k..(row + 1) * k];
+                    let mut best = 0usize;
+                    for c in 1..k {
+                        if slice[c] > slice[best] {
+                            best = c;
+                        }
+                    }
+                    if best != want {
+                        loss += 1.0;
+                    }
+                }
+            }
+        }
+        loss / wants.len().max(1) as f32
+    }
+}
+
 /// Hyperparameters for prompt learning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PromptTrainConfig {
@@ -26,6 +95,9 @@ pub struct PromptTrainConfig {
     pub cmaes_population: usize,
     /// CMA-ES initial step size.
     pub cmaes_sigma: f32,
+    /// Candidate scoring for the CMA-ES path (regime-aware; the
+    /// backprop path always uses softmax cross-entropy).
+    pub fitness: FitnessKind,
 }
 
 impl Default for PromptTrainConfig {
@@ -38,6 +110,7 @@ impl Default for PromptTrainConfig {
             cmaes_generations: 40,
             cmaes_population: 12,
             cmaes_sigma: 0.15,
+            fitness: FitnessKind::CrossEntropy,
         }
     }
 }
@@ -297,6 +370,7 @@ pub fn train_prompt_cmaes_ckpt(
                 cache_hits: dec.get_u64()?,
                 cache_misses: dec.get_u64()?,
                 cache_evictions: dec.get_u64()?,
+                evasive_responses: dec.get_u64()?,
             };
             // Restore any memoized query state the killed run had paid
             // for, so the resumed run re-spends nothing (see bprom-qcache).
@@ -346,13 +420,7 @@ pub fn train_prompt_cmaes_ckpt(
                 }
                 Err(e) => return Err(e),
             };
-            let k = probs.shape()[1];
-            let mut loss = 0.0f32;
-            for (row, &want) in by.iter().enumerate() {
-                let p = probs.data()[row * k + want].max(1e-9);
-                loss -= p.ln();
-            }
-            Ok(loss / by.len() as f32)
+            Ok(cfg.fitness.batch_loss(&probs, &by))
         })
         .into_iter()
         .collect::<Result<_>>()?;
@@ -397,6 +465,7 @@ pub fn train_prompt_cmaes_ckpt(
             enc.put_u64(stats.cache_hits);
             enc.put_u64(stats.cache_misses);
             enc.put_u64(stats.cache_evictions);
+            enc.put_u64(stats.evasive_responses);
             let mut cache = Encoder::new();
             if oracle.export_cache(&mut cache) {
                 enc.put_bool(true);

@@ -128,6 +128,7 @@ fn independent_runs(config: &BpromConfig, hostile: bool) -> (Vec<AuditRecord>, I
         .unwrap();
         records.push(AuditRecord {
             model: fingerprint,
+            regime: config.regime.as_wire(),
             signals: verdict.signals(),
             findings: verdict.findings(&policy),
         });

@@ -21,7 +21,7 @@
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{
     build_suspicious_zoo, evaluate_detector_via, Bprom, BpromConfig, CacheConfig, DetectionReport,
-    ZooConfig,
+    OracleRegime, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
 use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
@@ -58,8 +58,11 @@ fn golden_report(seed: u64) -> DetectionReport {
         ..PromptTrainConfig::default()
     };
     // Pin the cache policy so the fixture's cache tallies are immune to
-    // the BPROM_QCACHE env override CI applies on one matrix leg.
+    // the BPROM_QCACHE env override CI applies on one matrix leg, and the
+    // oracle regime so the BPROM_ORACLE_REGIME legs can't drift the
+    // pinned scores.
     config.cache = CacheConfig::unbounded();
+    config.regime = OracleRegime::FullScores;
     let detector = Bprom::fit(&config, &mut rng).unwrap();
 
     let train = TrainConfig {

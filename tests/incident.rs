@@ -24,7 +24,7 @@
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{
     build_suspicious_zoo, evaluate_detector_via, Bprom, BpromConfig, CacheConfig, DetectionReport,
-    ZooConfig,
+    OracleRegime, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
 use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
@@ -84,10 +84,12 @@ fn fixture_report(seed: u64) -> DetectionReport {
         ..PromptTrainConfig::default()
     };
     // Pin everything the CI matrix varies: the cache policy (one leg sets
-    // BPROM_QCACHE) and the response mode (the incident legs set
-    // BPROM_MODE), so the fixture bytes cannot depend on the environment.
+    // BPROM_QCACHE), the response mode (the incident legs set BPROM_MODE),
+    // and the oracle regime (the regimes job sets BPROM_ORACLE_REGIME),
+    // so the fixture bytes cannot depend on the environment.
     config.cache = CacheConfig::unbounded();
     config.mode = Mode::Strict;
+    config.regime = OracleRegime::FullScores;
     config.policy = fixture_policy();
     let detector = Bprom::fit(&config, &mut rng).unwrap();
 

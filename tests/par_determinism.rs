@@ -8,26 +8,64 @@
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{
     build_suspicious_zoo, evaluate_detector, evaluate_detector_via, Bprom, BpromConfig,
-    DetectionReport, ZooConfig,
+    DetectionReport, OracleRegime, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
-use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
+use bprom_suite::faults::{
+    AdaptiveConfig, AdaptiveOracle, FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack,
+    Transient,
+};
 use bprom_suite::nn::TrainConfig;
 use bprom_suite::par;
 use bprom_suite::tensor::Rng;
-use bprom_suite::vp::PromptTrainConfig;
+use bprom_suite::vp::{PromptStyle, PromptTrainConfig};
 use std::sync::Mutex;
 
 /// Serializes the tests in this file: each one flips the process-global
 /// worker-pool size, so they must not interleave.
 static THREAD_KNOB: Mutex<()> = Mutex::new(());
 
+/// The oracle decorations a determinism leg can exercise on top of the
+/// declared regime.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Hostility {
+    /// Bare oracle.
+    None,
+    /// Retry → transient faults + quantization.
+    Faulty,
+    /// An adaptive attacker probing for audit traffic and answering
+    /// evasively once it believes it is being probed.
+    Adaptive,
+}
+
 /// One identically-seeded fit + zoo + evaluate run at whatever thread
 /// count is currently installed; `hostile` stacks fault injection plus
-/// retries on every inspected oracle.
+/// retries on every inspected oracle. The regime comes from the
+/// environment (`BPROM_ORACLE_REGIME`), so the CI `regimes` job re-runs
+/// these legs under `top_k:3` and `label_only` unchanged.
 fn run_pipeline(hostile: bool) -> DetectionReport {
+    let regime = OracleRegime::from_env_or(OracleRegime::FullScores);
+    let hostility = if hostile {
+        Hostility::Faulty
+    } else {
+        Hostility::None
+    };
+    run_regime_pipeline(regime, hostility)
+}
+
+/// `run_pipeline` with the oracle regime pinned explicitly (immune to
+/// `BPROM_ORACLE_REGIME`) and the hostility tier selectable.
+fn run_regime_pipeline(regime: OracleRegime, hostility: Hostility) -> DetectionReport {
     let mut rng = Rng::new(42);
     let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.regime = regime;
+    if hostility == Hostility::Adaptive {
+        // Pad-style prompting carries the bit-identical-border signature
+        // the adaptive attacker's similarity test detects; the default
+        // overlay style adds θ onto image pixels and leaves nothing
+        // bit-shared for a per-batch test to key on.
+        config.prompt_style = PromptStyle::Pad;
+    }
     config.clean_shadows = 2;
     config.backdoor_shadows = 2;
     config.test_samples_per_class = 20;
@@ -53,23 +91,34 @@ fn run_pipeline(hostile: bool) -> DetectionReport {
         ..TrainConfig::default()
     };
     let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
-    let mut report = if hostile {
+    let mut report = match hostility {
+        Hostility::None => evaluate_detector(&detector, zoo, &mut rng).unwrap(),
         // The hostile stack: 10 % transient drops absorbed by bounded
         // retries, responses quantized to 3 decimals. Fault draws are
         // keyed on query content (never arrival order), so this is as
         // schedule-invariant as the fault-free pipeline.
-        evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
-            let plan = Stack(vec![
-                Box::new(Transient { rate: 0.1 }),
-                Box::new(Quantize { decimals: 3 }),
-            ]);
-            let faulty = FaultyOracle::new(&oracle, plan, 0xFA17);
-            let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
-            detector.inspect(&retrying, rng)
-        })
-        .unwrap()
-    } else {
-        evaluate_detector(&detector, zoo, &mut rng).unwrap()
+        Hostility::Faulty => {
+            evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+                let plan = Stack(vec![
+                    Box::new(Transient { rate: 0.1 }),
+                    Box::new(Quantize { decimals: 3 }),
+                ]);
+                let faulty = FaultyOracle::new(&oracle, plan, 0xFA17);
+                let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+                detector.inspect(&retrying, rng)
+            })
+            .unwrap()
+        }
+        // The adaptive attacker's probe tests and fabricated answers are
+        // pure functions of batch content, so evasion decisions cannot
+        // depend on worker scheduling either.
+        Hostility::Adaptive => {
+            evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+                let adaptive = AdaptiveOracle::new(&oracle, AdaptiveConfig::default(), 0xADA9);
+                detector.inspect(&adaptive, rng)
+            })
+            .unwrap()
+        }
     };
     // Wall-clock is the one legitimately nondeterministic field; zero it
     // so the comparison below covers everything else byte-for-byte.
@@ -122,5 +171,72 @@ fn faulty_reports_identical_across_thread_counts() {
         sequential.to_json().unwrap(),
         parallel.to_json().unwrap(),
         "thread count leaked into the faulty detection report"
+    );
+}
+
+/// Shared body for the regime legs: one threads=1 vs threads=4 pair,
+/// byte-identical after the wall-clock scrub, with the regime recorded
+/// on every audit.
+fn assert_regime_thread_invariant(regime: OracleRegime, hostility: Hostility) -> DetectionReport {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    par::set_thread_count(1);
+    let sequential = run_regime_pipeline(regime, hostility);
+    par::set_thread_count(4);
+    let parallel = run_regime_pipeline(regime, hostility);
+    par::set_thread_count(0);
+
+    assert!(parallel.total_queries > 0);
+    for audit in &parallel.audits {
+        assert_eq!(
+            audit.regime,
+            regime.as_wire(),
+            "audit must record its regime"
+        );
+    }
+    assert_eq!(
+        sequential.to_json().unwrap(),
+        parallel.to_json().unwrap(),
+        "thread count leaked into the {regime} detection report"
+    );
+    parallel
+}
+
+/// Top-k truncation (`top_k:3`): the renormalized fitness and features
+/// are as schedule-invariant as the full-scores path.
+#[test]
+fn top_k_reports_identical_across_thread_counts() {
+    assert_regime_thread_invariant(OracleRegime::TopK(3), Hostility::None);
+}
+
+/// Label-only: the miss-rate fitness and vote-count features never see a
+/// soft score, and the report is still byte-identical at any thread
+/// count.
+#[test]
+fn label_only_reports_identical_across_thread_counts() {
+    assert_regime_thread_invariant(OracleRegime::LabelOnly, Hostility::None);
+}
+
+/// The adaptive-attacker tier: a provider that detects the audit's probe
+/// patterns and answers evasively. Its decisions are content-keyed, so
+/// the whole report — including the evasion tallies and the B012
+/// findings they raise — is byte-identical at any thread count.
+#[test]
+fn adaptive_attacker_reports_identical_across_thread_counts() {
+    let report = assert_regime_thread_invariant(OracleRegime::FullScores, Hostility::Adaptive);
+    let evasions: u64 = report
+        .audits
+        .iter()
+        .map(|a| a.signals.evasive_responses)
+        .sum();
+    assert!(
+        evasions > 0,
+        "the default adaptive config must trip on visual-prompt probe batches"
+    );
+    assert!(
+        report
+            .audits
+            .iter()
+            .any(|a| { a.findings.iter().any(|f| f.rule.code() == "B012") }),
+        "evasive answering must raise the B012 oracle-evasion rule"
     );
 }

@@ -16,16 +16,19 @@
 use bprom_suite::attacks::AttackKind;
 use bprom_suite::bprom::{
     build_suspicious_zoo, evaluate_detector, evaluate_detector_via, Bprom, BpromConfig,
-    CacheConfig, DetectionReport, Verdict, ZooConfig,
+    CacheConfig, DetectionReport, OracleRegime, Verdict, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
-use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
+use bprom_suite::faults::{
+    AdaptiveConfig, AdaptiveOracle, FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack,
+    Transient,
+};
 use bprom_suite::nn::models::{mlp, ModelSpec};
 use bprom_suite::nn::TrainConfig;
 use bprom_suite::par;
 use bprom_suite::qcache::CachingOracle;
 use bprom_suite::tensor::{Rng, Tensor};
-use bprom_suite::vp::{BlackBoxModel, PromptTrainConfig, QueryOracle};
+use bprom_suite::vp::{BlackBoxModel, PromptStyle, PromptTrainConfig, QueryOracle};
 use std::sync::Mutex;
 
 /// Serializes the tier-2 matrix with any other test that flips the
@@ -310,9 +313,32 @@ fn pipeline_verdicts_are_mode_invariant() {
 /// One identically-seeded fit + zoo + evaluate run under the given cache
 /// policy and the currently installed thread count.
 fn run_pipeline(hostile: bool, cache: CacheConfig) -> DetectionReport {
+    run_regime_pipeline(
+        OracleRegime::from_env_or(OracleRegime::FullScores),
+        false,
+        hostile,
+        cache,
+    )
+}
+
+/// `run_pipeline` with the oracle regime pinned explicitly and an
+/// optional adaptive-attacker decoration on every inspected oracle.
+fn run_regime_pipeline(
+    regime: OracleRegime,
+    adaptive: bool,
+    hostile: bool,
+    cache: CacheConfig,
+) -> DetectionReport {
     let mut rng = Rng::new(42);
     let mut config = tiny_config();
+    config.regime = regime;
     config.cache = cache;
+    if adaptive {
+        // Pad-style prompting carries the bit-identical-border signature
+        // the adaptive attacker's similarity test keys on (overlay-style
+        // prompts are per-row unique and evade a per-batch test).
+        config.prompt_style = PromptStyle::Pad;
+    }
     let detector = Bprom::fit(&config, &mut rng).unwrap();
 
     let mut zoo_cfg = ZooConfig::new(SynthDataset::Cifar10, AttackKind::BadNets);
@@ -324,7 +350,16 @@ fn run_pipeline(hostile: bool, cache: CacheConfig) -> DetectionReport {
         ..TrainConfig::default()
     };
     let zoo = build_suspicious_zoo(&zoo_cfg, &mut rng).unwrap();
-    let mut report = if hostile {
+    let mut report = if adaptive {
+        // Adaptive attacker above the detector's own cache: evasion
+        // decisions are pure functions of batch content, so they cannot
+        // observe (or leak) the cache mode.
+        evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+            let adaptive = AdaptiveOracle::new(&oracle, AdaptiveConfig::default(), 0xADA9);
+            detector.inspect(&adaptive, rng)
+        })
+        .unwrap()
+    } else if hostile {
         evaluate_detector_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
             let plan = Stack(vec![
                 Box::new(Transient { rate: 0.1 }),
@@ -343,15 +378,101 @@ fn run_pipeline(hostile: bool, cache: CacheConfig) -> DetectionReport {
 }
 
 /// JSON with the legitimately mode-dependent fields zeroed: wall-clock
-/// and the cache's own hit/miss/eviction tallies. Everything else —
+/// and the cache's own hit/miss/eviction tallies, both the report totals
+/// and the per-audit copies inside `audits[].signals`. Everything else —
 /// scores, prompted accuracies, AUROC/F1, the logical query budget, the
-/// fault totals — must be byte-identical across the matrix.
+/// fault and evasion totals — must be byte-identical across the matrix.
 fn scrubbed_json(report: &DetectionReport) -> String {
     let mut r = report.clone();
     r.total_cache_hits = 0;
     r.total_cache_misses = 0;
     r.total_cache_evictions = 0;
+    for audit in &mut r.audits {
+        audit.signals.cache_hits = 0;
+        audit.signals.cache_misses = 0;
+        audit.signals.cache_evictions = 0;
+    }
     r.to_json().unwrap()
+}
+
+/// Tier-1 regime leg: under top-k truncation and label-only responses
+/// the cache must stay response-transparent — the detector-side regime
+/// degrade sits *above* the cache (the cache memoizes full scores), so
+/// scrubbed reports are byte-identical with the cache off or unbounded,
+/// and the memoized leg's accounting still covers the uncached spend
+/// exactly.
+#[test]
+fn regime_reports_are_cache_mode_invariant() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    for regime in [OracleRegime::TopK(3), OracleRegime::LabelOnly] {
+        let off = run_regime_pipeline(regime, false, false, CacheConfig::off());
+        let mem = run_regime_pipeline(regime, false, false, CacheConfig::unbounded());
+        assert_eq!(
+            scrubbed_json(&mem),
+            scrubbed_json(&off),
+            "{regime}: cache mode leaked into the detection report"
+        );
+        assert!(off.total_queries > 0);
+        assert_eq!(off.total_cache_hits + off.total_cache_misses, 0);
+        assert_eq!(
+            mem.total_cache_hits + mem.total_cache_misses,
+            off.total_queries,
+            "{regime}: cache accounting must cover the uncached spend exactly"
+        );
+        assert!(mem.total_cache_hits > 0, "{regime}: accuracy pass must hit");
+        for audit in &mem.audits {
+            assert_eq!(audit.regime, regime.as_wire());
+        }
+    }
+}
+
+/// Tier-2 regime matrix: degraded regimes and the adaptive-attacker tier
+/// across thread count × cache mode, every report byte-identical after
+/// the scrub. The adaptive oracle sits above the cache, sees every
+/// logical query, and keys every decision on batch content, so neither
+/// knob can perturb its evasions.
+#[test]
+#[ignore = "tier-2 regime matrix (16 full runs); CI regimes job runs it via -- --ignored"]
+fn regime_matrix_reports_are_byte_identical() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    for (regime, adaptive) in [
+        (OracleRegime::TopK(3), false),
+        (OracleRegime::LabelOnly, false),
+        (OracleRegime::FullScores, true),
+        (OracleRegime::LabelOnly, true),
+    ] {
+        let mut runs: Vec<(usize, CacheConfig, DetectionReport)> = Vec::new();
+        for threads in [1usize, 4] {
+            par::set_thread_count(threads);
+            for mode in [CacheConfig::off(), CacheConfig::unbounded()] {
+                runs.push((
+                    threads,
+                    mode,
+                    run_regime_pipeline(regime, adaptive, false, mode),
+                ));
+            }
+        }
+        par::set_thread_count(0);
+
+        let baseline = scrubbed_json(&runs[0].2);
+        for (threads, mode, report) in &runs[1..] {
+            assert_eq!(
+                scrubbed_json(report),
+                baseline,
+                "{regime} adaptive={adaptive} threads={threads} {mode:?}: report \
+                 drifted from the threads=1 cache-off baseline"
+            );
+        }
+        if adaptive {
+            let evasions: u64 = runs[0]
+                .2
+                .audits
+                .iter()
+                .map(|a| a.signals.evasive_responses)
+                .sum();
+            assert!(evasions > 0, "{regime}: adaptive tier must trip evasions");
+        }
+    }
 }
 
 /// Tier-2: the full cache mode × thread count × fault profile matrix of
