@@ -401,6 +401,9 @@ impl AuditEngine {
             let record = AuditRecord {
                 model: fingerprint.clone(),
                 regime: detector.config().regime.as_wire(),
+                // The fleet engine audits deployed downstream models; the
+                // backbone scenario routes through evaluate_oracle_zoo.
+                scenario: "downstream".to_string(),
                 signals: verdict.signals(),
                 findings: verdict.findings(&self.policy),
             };

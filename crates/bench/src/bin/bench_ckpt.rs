@@ -5,7 +5,7 @@
 //! snapshot payload size. The acceptance target is snapshot overhead
 //! under 5 % of per-generation CMA-ES wall-clock.
 
-use bprom_bench::{header, quick, row};
+use bprom_bench::{header, quick, row, ScopedTempDir};
 use bprom_ckpt::SnapshotStore;
 use bprom_data::SynthDataset;
 use bprom_nn::models::{mlp, ModelSpec};
@@ -88,9 +88,8 @@ fn main() {
     let bare_s = time_cmaes(None);
     row("bare", &[bare_s as f32, (bare_s / gens * 1e3) as f32]);
 
-    let dir = std::env::temp_dir().join(format!("bprom-bench-ckpt-{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let store = SnapshotStore::open(&dir).expect("snapshot store");
+    let dir = ScopedTempDir::new("bprom-bench-ckpt").expect("scratch dir");
+    let store = SnapshotStore::open(dir.path()).expect("snapshot store");
     let ckpt_s = time_cmaes(Some(CmaesCheckpoint {
         store: &store,
         name: "bench",
@@ -102,7 +101,7 @@ fn main() {
         .and_then(|p| std::fs::metadata(p).ok())
         .map(|m| m.len())
         .unwrap_or(0);
-    std::fs::remove_dir_all(&dir).ok();
+    drop(dir);
 
     let overhead = ckpt_s / bare_s.max(1e-9) - 1.0;
     let per_snapshot_ms = (ckpt_s - bare_s).max(0.0) / gens * 1e3;

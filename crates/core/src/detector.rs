@@ -172,6 +172,10 @@ impl Verdict {
             cache_misses: self.budget.cache_misses,
             cache_evictions: self.budget.cache_evictions,
             evasive_responses: self.budget.evasive_responses,
+            // The attestation is a property of the audited *system*, not
+            // of one inspection; the evaluation loop stamps it from the
+            // workload Scenario before rule evaluation.
+            clean_downstream_training: false,
         }
     }
 

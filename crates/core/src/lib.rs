@@ -71,7 +71,8 @@ pub use config::{BpromConfig, ShadowPrompting};
 pub use detector::{Bprom, InspectBudget, Verdict};
 pub use error::BpromError;
 pub use report::{
-    evaluate_detector, evaluate_detector_ckpt, evaluate_detector_via, DetectionReport,
+    evaluate_detector, evaluate_detector_ckpt, evaluate_detector_via, evaluate_oracle_zoo,
+    evaluate_oracle_zoo_ckpt, DetectionReport, Scenario, ZooEntry,
 };
 pub use resume::{Checkpointer, CKPT_DIR_ENV};
 pub use shadow::{ShadowModel, ShadowSet};

@@ -8,7 +8,62 @@ use bprom_obs::{FromJson, ToJson, Value};
 use bprom_qcache::CachingOracle;
 use bprom_tensor::Rng;
 use bprom_verdict::{sink, AuditRecord, IncidentReport, Mode, RulePolicy};
-use bprom_vp::QueryOracle;
+use bprom_vp::{BlackBoxModel, QueryOracle};
+
+/// The workload scenario an audited system belongs to: where, in the
+/// system's training pipeline, a backdoor could have entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scenario {
+    /// The classic setting: one model trained end-to-end on downstream
+    /// data that may have been poisoned.
+    #[default]
+    Downstream,
+    /// The BadBone setting: a frozen pretrained backbone (possibly
+    /// poisoned upstream) adapted with a visual prompt + label map on
+    /// *clean* downstream data. Accuracy collapse here implicates the
+    /// backbone itself (rule `B013`), not the tuning data.
+    Backbone,
+}
+
+impl Scenario {
+    /// Stable wire form recorded in reports and incidents.
+    pub fn as_wire(self) -> &'static str {
+        match self {
+            Scenario::Downstream => "downstream",
+            Scenario::Backbone => "backbone",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Option<Scenario> {
+        match s {
+            "downstream" => Some(Scenario::Downstream),
+            "backbone" => Some(Scenario::Backbone),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_wire())
+    }
+}
+
+/// One sealed entry of an oracle zoo: any [`BlackBoxModel`] with its
+/// ground-truth label and a stable fingerprint taken before sealing.
+/// The generalization of [`SuspiciousModel`] that lets composite systems
+/// (e.g. the backbone scenario's frozen backbone + visual prompt) flow
+/// through [`evaluate_oracle_zoo`] unchanged.
+#[derive(Debug)]
+pub struct ZooEntry<B: BlackBoxModel> {
+    /// Stable fingerprint over the system's parameters (audit identity).
+    pub fingerprint: String,
+    /// Ground-truth label: whether the system carries a backdoor.
+    pub backdoored: bool,
+    /// The sealed query-only oracle.
+    pub oracle: B,
+}
 
 /// Aggregated detection results over a zoo.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +105,9 @@ pub struct DetectionReport {
     /// the findings the detector's rule policy raised (see
     /// `bprom-verdict`). Input to [`DetectionReport::incident`].
     pub audits: Vec<AuditRecord>,
+    /// Wire form of the workload scenario the zoo was audited under
+    /// (`"downstream"` or `"backbone"`; see [`Scenario`]).
+    pub scenario: String,
 }
 
 /// Inspects every model in the zoo and computes AUROC / F1.
@@ -113,7 +171,7 @@ pub fn evaluate_detector_ckpt<F>(
     zoo: Vec<SuspiciousModel>,
     rng: &mut Rng,
     ckpt: Option<&Checkpointer>,
-    mut inspect: F,
+    inspect: F,
 ) -> Result<DetectionReport>
 where
     F: FnMut(
@@ -124,8 +182,71 @@ where
         &str,
     ) -> Result<Verdict>,
 {
-    bprom_obs::span!("evaluate_detector");
     let num_classes = detector.config().source_dataset.num_classes();
+    let entries: Vec<ZooEntry<QueryOracle>> = zoo
+        .into_iter()
+        .map(|suspicious| ZooEntry {
+            // The fingerprint must be taken before the oracle seals the
+            // model behind the query boundary.
+            fingerprint: suspicious.fingerprint(),
+            backdoored: suspicious.backdoored,
+            oracle: QueryOracle::new(suspicious.model, num_classes),
+        })
+        .collect();
+    evaluate_oracle_zoo_ckpt(detector, Scenario::Downstream, entries, rng, ckpt, inspect)
+}
+
+/// [`evaluate_oracle_zoo_ckpt`] without checkpointing: inspects every
+/// sealed oracle with the plain [`Bprom::inspect`] path.
+///
+/// # Errors
+///
+/// Propagates inspection failures; AUROC requires the zoo to contain
+/// both clean and backdoored entries.
+pub fn evaluate_oracle_zoo<B: BlackBoxModel>(
+    detector: &Bprom,
+    scenario: Scenario,
+    zoo: Vec<ZooEntry<B>>,
+    rng: &mut Rng,
+) -> Result<DetectionReport> {
+    evaluate_oracle_zoo_ckpt(
+        detector,
+        scenario,
+        zoo,
+        rng,
+        None,
+        |detector, oracle, rng, _, _| detector.inspect(&oracle, rng),
+    )
+}
+
+/// The fully general evaluation loop: any [`BlackBoxModel`] zoo, any
+/// workload [`Scenario`], any inspection decoration. Both
+/// [`evaluate_detector_ckpt`] (downstream `SuspiciousModel` zoos) and the
+/// backbone scenario's composite systems route through here, so metric
+/// aggregation, audit-record assembly, and the B013 scenario wiring live
+/// in exactly one place.
+///
+/// Under [`Scenario::Backbone`] every audit's signals carry the
+/// clean-downstream-training attestation, so prompted-accuracy collapse
+/// additionally raises `B013` ("backbone-implanted backdoor suspected").
+///
+/// # Errors
+///
+/// Propagates inspection failures; AUROC requires the zoo to contain
+/// both clean and backdoored entries.
+pub fn evaluate_oracle_zoo_ckpt<B, F>(
+    detector: &Bprom,
+    scenario: Scenario,
+    zoo: Vec<ZooEntry<B>>,
+    rng: &mut Rng,
+    ckpt: Option<&Checkpointer>,
+    mut inspect: F,
+) -> Result<DetectionReport>
+where
+    B: BlackBoxModel,
+    F: FnMut(&Bprom, CachingOracle<B>, &mut Rng, Option<&Checkpointer>, &str) -> Result<Verdict>,
+{
+    bprom_obs::span!("evaluate_detector");
     let mut scores = Vec::with_capacity(zoo.len());
     let mut labels = Vec::with_capacity(zoo.len());
     let mut prompted_accuracies = Vec::with_capacity(zoo.len());
@@ -139,20 +260,15 @@ where
     let mut total_cache_evictions = 0u64;
     let mut audits = Vec::with_capacity(zoo.len());
     let n = zoo.len();
-    for (i, suspicious) in zoo.into_iter().enumerate() {
-        // The fingerprint must be taken before the oracle seals the
-        // model behind the query boundary.
-        let fingerprint = suspicious.fingerprint();
-        // One cache per suspicious model: the cache key is the query
+    for (i, entry) in zoo.into_iter().enumerate() {
+        let fingerprint = entry.fingerprint;
+        // One cache per audited system: the cache key is the query
         // content only, so sharing entries across models would serve one
         // model's confidences for another.
-        let oracle = CachingOracle::new(
-            QueryOracle::new(suspicious.model, num_classes),
-            detector.config().cache,
-        );
+        let oracle = CachingOracle::new(entry.oracle, detector.config().cache);
         let verdict = inspect(detector, oracle, rng, ckpt, &i.to_string())?;
         scores.push(verdict.score);
-        labels.push(suspicious.backdoored);
+        labels.push(entry.backdoored);
         prompted_accuracies.push(verdict.prompted_accuracy);
         total_queries += verdict.queries;
         total_ns += verdict.budget.total_ns;
@@ -164,12 +280,17 @@ where
         total_cache_evictions += verdict.budget.cache_evictions;
         // Rules stage: every inspection becomes an explainable audit
         // record, carried by the report and handed to any installed
-        // incident sink (e.g. the bench harness's TelemetryGuard).
+        // incident sink (e.g. the bench harness's TelemetryGuard). The
+        // scenario sets the clean-downstream attestation *before* rule
+        // evaluation so B013 can co-fire with accuracy collapse.
+        let mut signals = verdict.signals();
+        signals.clean_downstream_training = scenario == Scenario::Backbone;
         let record = AuditRecord {
             model: fingerprint,
             regime: detector.config().regime.as_wire(),
-            signals: verdict.signals(),
-            findings: verdict.findings(&detector.config().policy),
+            scenario: scenario.as_wire().to_string(),
+            findings: detector.config().policy.evaluate(&signals),
+            signals,
         };
         bprom_obs::log_event(
             "audit.findings",
@@ -214,6 +335,7 @@ where
         total_cache_misses,
         total_cache_evictions,
         audits,
+        scenario: scenario.as_wire().to_string(),
     })
 }
 
@@ -341,6 +463,7 @@ impl ToJson for DetectionReport {
                 "audits",
                 Value::Array(self.audits.iter().map(ToJson::to_json).collect()),
             ),
+            ("scenario", self.scenario.to_json()),
         ])
     }
 }
@@ -363,6 +486,7 @@ impl FromJson for DetectionReport {
             total_cache_misses: FromJson::from_json(value.require("total_cache_misses")?)?,
             total_cache_evictions: FromJson::from_json(value.require("total_cache_evictions")?)?,
             audits: FromJson::from_json(value.require("audits")?)?,
+            scenario: FromJson::from_json(value.require("scenario")?)?,
         })
     }
 }
@@ -394,6 +518,7 @@ mod tests {
                 AuditRecord {
                     model: format!("m{i:016x}"),
                     regime: "full".to_string(),
+                    scenario: "downstream".to_string(),
                     findings: policy.evaluate(&signals),
                     signals,
                 }
@@ -415,6 +540,7 @@ mod tests {
             total_cache_misses: 280,
             total_cache_evictions: 3,
             audits,
+            scenario: "downstream".to_string(),
         }
     }
 

@@ -10,12 +10,14 @@
 //! * **Dataset-level** ([`dataset_level`]) — score training samples as
 //!   poisoned/clean: Activation Clustering, Spectral Signatures, SPECTRE,
 //!   SCAn, Confusion Training.
-//! * **Model-level** ([`model_level`], [`neural_cleanse`], [`aeva`]) —
-//!   score whole models as backdoored/clean, BPROM's own scope: MM-BD,
-//!   MNTD, Neural Cleanse (white-box trigger inversion, included because
-//!   the paper's class-subspace argument builds on its observation), and
-//!   AEVA (the prior *black-box* model-level detector the paper's design
-//!   challenge discusses).
+//! * **Model-level** ([`model_level`], [`neural_cleanse`], [`aeva`],
+//!   [`trigger_inversion`]) — score whole models as backdoored/clean,
+//!   BPROM's own scope: MM-BD, MNTD, Neural Cleanse (white-box trigger
+//!   inversion, included because the paper's class-subspace argument
+//!   builds on its observation), AEVA (the prior *black-box* model-level
+//!   detector the paper's design challenge discusses), and a
+//!   gradient-free CMA-ES trigger-inversion baseline with exact query
+//!   budgeting for budget-fair shootouts against BPROM.
 //!
 //! Every scoring function returns per-unit suspiciousness scores; AUROC/F1
 //! against ground truth is computed by `bprom-metrics` in the experiment
@@ -34,6 +36,7 @@ mod error;
 pub mod input_level;
 pub mod model_level;
 pub mod neural_cleanse;
+pub mod trigger_inversion;
 
 pub use error::DefenseError;
 

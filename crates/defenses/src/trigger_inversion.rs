@@ -1,0 +1,344 @@
+//! Gradient-free trigger inversion: a query-only Neural-Cleanse-style
+//! baseline for *model-level* detection, built for budget-fair shootouts
+//! against BPROM.
+//!
+//! For each candidate target class, a CMA-ES search (the same optimizer
+//! BPROM uses for prompt tuning, `bprom_vp::CmaEs`) optimizes a small
+//! patch trigger — a mask and a pattern, both sigmoid-parameterized —
+//! stamped on the bottom-right corner of a clean probe batch, minimizing
+//! `(1 − mean target probability) + λ · mean(mask)`. A backdoor target
+//! admits a tiny high-ASR trigger; the model score is the MAD anomaly of
+//! the largest per-class ASR, exactly as in AEVA ([`crate::aeva`]).
+//!
+//! Query accounting uses the *same* unit as BPROM's `InspectBudget`
+//! (images submitted, metered through `bprom_vp::CountingOracle`), and
+//! an optional hard budget stops the search at generation granularity —
+//! the search never submits an image that would cross the budget, even
+//! under hostile fault/retry stacks.
+
+use crate::{DefenseError, Result};
+use bprom_tensor::{Rng, Tensor};
+use bprom_vp::{BlackBoxModel, CmaEs, CountingOracle, VpError};
+
+/// Configuration of the trigger-inversion search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerInversionConfig {
+    /// CMA-ES generations per candidate target class.
+    pub generations: usize,
+    /// CMA-ES population per generation (≥ 4).
+    pub population: usize,
+    /// Initial CMA-ES step size.
+    pub sigma: f32,
+    /// Side length of the square trigger patch (bottom-right corner).
+    pub mask_size: usize,
+    /// Mask-area regularizer λ: pressure toward small triggers, which is
+    /// what distinguishes a backdoor shortcut from ordinary adversarial
+    /// room.
+    pub lambda_mask: f32,
+    /// Hard cap on images submitted across the whole search (all classes
+    /// combined), in the same unit as BPROM's `InspectBudget`. `None`
+    /// runs to completion.
+    pub query_budget: Option<u64>,
+}
+
+impl Default for TriggerInversionConfig {
+    fn default() -> Self {
+        TriggerInversionConfig {
+            generations: 10,
+            population: 8,
+            sigma: 0.3,
+            mask_size: 4,
+            lambda_mask: 0.1,
+            query_budget: None,
+        }
+    }
+}
+
+/// Result of the trigger-inversion analysis for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerInversionReport {
+    /// Best stamped-batch attack success rate achieved per class (the
+    /// fraction of probe images the inverted trigger flips to the class).
+    pub class_asr: Vec<f32>,
+    /// MAD-normalized anomaly of the largest per-class ASR (the model
+    /// score).
+    pub anomaly: f32,
+    /// Class with the most extreme ASR (backdoor-target candidate).
+    pub candidate_target: usize,
+    /// Images submitted by the search (same unit as `InspectBudget`).
+    pub queries: u64,
+    /// Candidates whose evaluation faulted through the oracle stack and
+    /// were scored `+∞` instead of retried forever.
+    pub penalized_candidates: u64,
+    /// Whether the search stopped early because the next generation
+    /// would have crossed [`TriggerInversionConfig::query_budget`].
+    pub budget_exhausted: bool,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Stamps the sigmoid-decoded (mask, pattern) candidate onto the
+/// bottom-right `m × m` corner of every probe image.
+fn stamp(images: &Tensor, theta: &[f32], mask_size: usize) -> Tensor {
+    let [n, c, h, w] = [
+        images.shape()[0],
+        images.shape()[1],
+        images.shape()[2],
+        images.shape()[3],
+    ];
+    let m = mask_size;
+    let mask = &theta[..m * m];
+    let pattern = &theta[m * m..];
+    let mut out = images.clone();
+    let data = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            for i in 0..m {
+                for j in 0..m {
+                    let a = sigmoid(mask[i * m + j]);
+                    let p = sigmoid(pattern[ch * m * m + i * m + j]);
+                    let idx = ((img * c + ch) * h + (h - m + i)) * w + (w - m + j);
+                    data[idx] = (1.0 - a) * data[idx] + a * p;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mean decoded mask activation of a candidate (the area penalty).
+fn mask_area(theta: &[f32], mask_size: usize) -> f32 {
+    let m2 = mask_size * mask_size;
+    theta[..m2].iter().map(|&x| sigmoid(x)).sum::<f32>() / m2 as f32
+}
+
+/// Runs gradient-free trigger inversion against a black-box model.
+///
+/// # Errors
+///
+/// Propagates hard query failures (transient faults are absorbed as
+/// penalized candidates); requires ≥3 classes, a non-empty probe batch,
+/// and a patch that fits the images.
+pub fn invert_trigger(
+    oracle: &dyn BlackBoxModel,
+    images: &Tensor,
+    config: &TriggerInversionConfig,
+    rng: &mut Rng,
+) -> Result<TriggerInversionReport> {
+    if images.rank() != 4 || images.shape()[0] == 0 {
+        return Err(DefenseError::InvalidInput {
+            reason: format!(
+                "trigger inversion expects non-empty [n, c, h, w], got {:?}",
+                images.shape()
+            ),
+        });
+    }
+    let [n, c, h, w] = [
+        images.shape()[0],
+        images.shape()[1],
+        images.shape()[2],
+        images.shape()[3],
+    ];
+    if config.mask_size == 0 || config.mask_size > h.min(w) {
+        return Err(DefenseError::InvalidInput {
+            reason: format!("mask size {} does not fit {h}x{w} images", config.mask_size),
+        });
+    }
+    let num_classes = oracle.num_classes();
+    if num_classes < 3 {
+        return Err(DefenseError::InvalidInput {
+            reason: "trigger inversion needs at least 3 classes".to_string(),
+        });
+    }
+    let counting = CountingOracle::new(oracle);
+    let m2 = config.mask_size * config.mask_size;
+    let dim = m2 + c * m2;
+    let per_generation = (config.population * n) as u64;
+    let mut class_asr = vec![0.0f32; num_classes];
+    let mut penalized_candidates = 0u64;
+    let mut budget_exhausted = false;
+    'classes: for class in 0..num_classes {
+        let mut es = CmaEs::new(&vec![0.0f32; dim], config.sigma, config.population)
+            .map_err(DefenseError::from)?;
+        for _ in 0..config.generations {
+            if let Some(budget) = config.query_budget {
+                // Generation-granular budget fence: stop *before* the
+                // first image that would cross the cap. Faulted attempts
+                // bill nothing (no response was delivered), so the fence
+                // is exact under hostile fault/retry stacks too.
+                if counting.local_queries() + per_generation > budget {
+                    budget_exhausted = true;
+                    break 'classes;
+                }
+            }
+            let candidates = es.ask(rng);
+            let mut fitness = Vec::with_capacity(candidates.len());
+            for theta in &candidates {
+                let stamped = stamp(images, theta, config.mask_size);
+                match counting.query(&stamped) {
+                    Ok(probs) => {
+                        let k = probs.shape()[1];
+                        let mut mass = 0.0f32;
+                        let mut flipped = 0usize;
+                        for i in 0..n {
+                            let row = &probs.data()[i * k..(i + 1) * k];
+                            mass += row[class];
+                            let argmax = row
+                                .iter()
+                                .enumerate()
+                                .max_by(|a, b| a.1.total_cmp(b.1))
+                                .map(|(idx, _)| idx)
+                                .unwrap_or(0);
+                            if argmax == class {
+                                flipped += 1;
+                            }
+                        }
+                        let asr = flipped as f32 / n as f32;
+                        class_asr[class] = class_asr[class].max(asr);
+                        fitness.push(
+                            (1.0 - mass / n as f32)
+                                + config.lambda_mask * mask_area(theta, config.mask_size),
+                        );
+                    }
+                    Err(VpError::OracleFault { .. }) => {
+                        // Same contract as BPROM's CMA-ES prompt search:
+                        // a candidate whose evaluation faults is scored
+                        // +∞ (CMA-ES tolerates infinite fitness) rather
+                        // than retried forever.
+                        penalized_candidates += 1;
+                        fitness.push(f32::INFINITY);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            es.tell(&candidates, &fitness).map_err(DefenseError::from)?;
+        }
+    }
+    let mut sorted = class_asr.clone();
+    sorted.sort_by(f32::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f32> = class_asr.iter().map(|a| (a - median).abs()).collect();
+    devs.sort_by(f32::total_cmp);
+    let mad = devs[devs.len() / 2].max(1e-6);
+    let (candidate_target, &max_asr) = class_asr
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    Ok(TriggerInversionReport {
+        anomaly: (max_asr - median) / mad,
+        class_asr,
+        candidate_target,
+        queries: counting.local_queries(),
+        penalized_candidates,
+        budget_exhausted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprom_attacks::{poison_dataset, AttackKind};
+    use bprom_data::SynthDataset;
+    use bprom_nn::models::{build, Architecture, ModelSpec};
+    use bprom_nn::{TrainConfig, Trainer};
+    use bprom_vp::QueryOracle;
+
+    fn backdoored_oracle(rng: &mut Rng) -> (QueryOracle, Tensor) {
+        let data = SynthDataset::Cifar10.generate(25, 16, 41).unwrap();
+        let kind = AttackKind::BadNets;
+        let attack = kind.build(16, rng).unwrap();
+        let cfg = kind.default_config(2);
+        let poisoned = poison_dataset(&data, attack.as_ref(), &cfg, rng).unwrap();
+        let spec = ModelSpec::new(3, 16, 10);
+        let mut model = build(Architecture::ResNetMini, &spec, rng).unwrap();
+        Trainer::new(TrainConfig::default())
+            .fit(
+                &mut model,
+                &poisoned.dataset.images,
+                &poisoned.dataset.labels,
+                rng,
+            )
+            .unwrap();
+        let probes = data.subsample(0.04, rng).unwrap().images;
+        (QueryOracle::new(model, 10), probes)
+    }
+
+    #[test]
+    fn inversion_runs_and_flags_a_candidate() {
+        let mut rng = Rng::new(0);
+        let (oracle, probes) = backdoored_oracle(&mut rng);
+        let config = TriggerInversionConfig {
+            generations: 4,
+            ..TriggerInversionConfig::default()
+        };
+        let report = invert_trigger(&oracle, &probes, &config, &mut rng).unwrap();
+        assert_eq!(report.class_asr.len(), 10);
+        assert!(report.class_asr.iter().all(|a| (0.0..=1.0).contains(a)));
+        assert!(report.anomaly.is_finite());
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.penalized_candidates, 0);
+        // 10 classes × 4 generations × population × batch images.
+        let n = probes.shape()[0] as u64;
+        assert_eq!(report.queries, 10 * 4 * config.population as u64 * n);
+        assert_eq!(oracle.queries_used(), report.queries);
+    }
+
+    #[test]
+    fn budget_fence_is_exact_at_generation_granularity() {
+        let mut rng = Rng::new(1);
+        let (oracle, probes) = backdoored_oracle(&mut rng);
+        let n = probes.shape()[0] as u64;
+        let config = TriggerInversionConfig {
+            generations: 4,
+            ..TriggerInversionConfig::default()
+        };
+        let per_generation = config.population as u64 * n;
+        // Budget allows exactly 3 generations plus half of a fourth: the
+        // fourth must not start.
+        let budget = 3 * per_generation + per_generation / 2;
+        let capped = TriggerInversionConfig {
+            query_budget: Some(budget),
+            ..config
+        };
+        let report = invert_trigger(&oracle, &probes, &capped, &mut rng).unwrap();
+        assert!(report.budget_exhausted);
+        assert_eq!(report.queries, 3 * per_generation, "stops before the cap");
+        assert!(report.queries <= budget);
+    }
+
+    #[test]
+    fn inversion_is_deterministic() {
+        let mut rng = Rng::new(2);
+        let (oracle, probes) = backdoored_oracle(&mut rng);
+        let config = TriggerInversionConfig {
+            generations: 2,
+            ..TriggerInversionConfig::default()
+        };
+        let a = invert_trigger(&oracle, &probes, &config, &mut Rng::new(5)).unwrap();
+        let b = invert_trigger(&oracle, &probes, &config, &mut Rng::new(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng::new(3);
+        let spec = ModelSpec::new(3, 8, 2);
+        let model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 2);
+        let imgs = Tensor::zeros(&[2, 3, 8, 8]);
+        let config = TriggerInversionConfig::default();
+        assert!(invert_trigger(&oracle, &imgs, &config, &mut rng).is_err());
+        let spec = ModelSpec::new(3, 8, 10);
+        let model = build(Architecture::Mlp, &spec, &mut rng).unwrap();
+        let oracle = QueryOracle::new(model, 10);
+        let bad_mask = TriggerInversionConfig {
+            mask_size: 99,
+            ..TriggerInversionConfig::default()
+        };
+        assert!(invert_trigger(&oracle, &imgs, &bad_mask, &mut rng).is_err());
+        assert!(invert_trigger(&oracle, &Tensor::zeros(&[0, 3, 8, 8]), &config, &mut rng).is_err());
+    }
+}

@@ -22,6 +22,13 @@ pub struct AuditRecord {
     /// so this crate stays independent of `bprom-regimes`; producers
     /// fill it from `OracleRegime::as_wire()`.
     pub regime: String,
+    /// Wire form of the workload scenario the audit ran under
+    /// (`"downstream"` for a model trained end-to-end on possibly
+    /// poisoned data, `"backbone"` for a frozen pretrained backbone
+    /// adapted with a visual prompt on clean downstream data). A plain
+    /// string so this crate stays independent of `bprom-core`; producers
+    /// fill it from `Scenario::as_wire()`.
+    pub scenario: String,
     /// The collect stage's distilled observations.
     pub signals: Signals,
     /// Findings from the rules stage, in rule-ID order.
@@ -53,6 +60,10 @@ pub struct ModelIncident {
     /// *and* label-only) is stronger evidence than the same count under
     /// one regime.
     pub regimes: Vec<String>,
+    /// Distinct workload scenarios the audits ran under, in first-seen
+    /// order (`"downstream"`, `"backbone"`). A finding that persists
+    /// across scenarios narrows where the poison can live.
+    pub scenarios: Vec<String>,
     /// Merged findings, in rule-ID order.
     pub findings: Vec<CorrelatedFinding>,
     /// The response stage's decision (filled in by `respond`; defaults
@@ -95,6 +106,7 @@ pub fn correlate(records: &[AuditRecord]) -> Vec<ModelIncident> {
                     model: record.model.clone(),
                     audits: 0,
                     regimes: Vec::new(),
+                    scenarios: Vec::new(),
                     findings: Vec::new(),
                     action: crate::respond::Action::None,
                 });
@@ -104,6 +116,9 @@ pub fn correlate(records: &[AuditRecord]) -> Vec<ModelIncident> {
         incident.audits += 1;
         if !incident.regimes.contains(&record.regime) {
             incident.regimes.push(record.regime.clone());
+        }
+        if !incident.scenarios.contains(&record.scenario) {
+            incident.scenarios.push(record.scenario.clone());
         }
         for finding in &record.findings {
             match incident
@@ -145,6 +160,7 @@ impl ToJson for AuditRecord {
         Value::object(vec![
             ("model", self.model.to_json()),
             ("regime", self.regime.to_json()),
+            ("scenario", self.scenario.to_json()),
             ("signals", self.signals.to_json()),
             (
                 "findings",
@@ -167,6 +183,7 @@ impl FromJson for AuditRecord {
         Ok(AuditRecord {
             model: String::from_json(value.require("model")?)?,
             regime: String::from_json(value.require("regime")?)?,
+            scenario: String::from_json(value.require("scenario")?)?,
             signals: Signals::from_json(value.require("signals")?)?,
             findings,
         })
@@ -205,6 +222,10 @@ impl ToJson for ModelIncident {
                 "regimes",
                 Value::Array(self.regimes.iter().map(ToJson::to_json).collect()),
             ),
+            (
+                "scenarios",
+                Value::Array(self.scenarios.iter().map(ToJson::to_json).collect()),
+            ),
             ("action", self.action.as_str().to_string().to_json()),
             (
                 "findings",
@@ -235,10 +256,19 @@ impl FromJson for ModelIncident {
         {
             regimes.push(String::from_json(r)?);
         }
+        let mut scenarios = Vec::new();
+        for s in value
+            .require("scenarios")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("scenarios must be an array"))?
+        {
+            scenarios.push(String::from_json(s)?);
+        }
         Ok(ModelIncident {
             model: String::from_json(value.require("model")?)?,
             audits: u64::from_json(value.require("audits")?)?,
             regimes,
+            scenarios,
             findings,
             action,
         })
@@ -262,6 +292,7 @@ mod tests {
         AuditRecord {
             model: model.into(),
             regime: "full".into(),
+            scenario: "downstream".into(),
             findings: RulePolicy::default().evaluate(&signals),
             signals,
         }
@@ -341,6 +372,20 @@ mod tests {
         ]);
         assert_eq!(incidents[0].regimes, ["full", "label_only"]);
         assert_eq!(incidents[1].regimes, ["full"]);
+    }
+
+    #[test]
+    fn scenarios_collect_distinct_in_first_seen_order() {
+        let mut backbone = audit("mB", 0.9, 0.1);
+        backbone.scenario = "backbone".into();
+        let incidents = correlate(&[
+            audit("mB", 0.9, 0.1),
+            backbone,
+            audit("mB", 0.9, 0.1),
+            audit("mA", 0.2, 0.8),
+        ]);
+        assert_eq!(incidents[0].scenarios, ["downstream", "backbone"]);
+        assert_eq!(incidents[1].scenarios, ["downstream"]);
     }
 
     #[test]

@@ -258,6 +258,17 @@ pub fn validate_incident(doc: &Value) -> Result<(), Vec<String>> {
                     Some(None) => errors.push(format!("{path}.regimes: expected an array")),
                     None => errors.push(format!("{path}.regimes: missing")),
                 }
+                match incident.get("scenarios").map(Value::as_array) {
+                    Some(Some(scenarios)) => {
+                        for (k, scenario) in scenarios.iter().enumerate() {
+                            if scenario.as_str().is_none() {
+                                errors.push(format!("{path}.scenarios[{k}]: expected a string"));
+                            }
+                        }
+                    }
+                    Some(None) => errors.push(format!("{path}.scenarios: expected an array")),
+                    None => errors.push(format!("{path}.scenarios: missing")),
+                }
                 match check_str_at(incident, &path, "action", &mut errors)
                     .and_then(Action::from_str_opt)
                 {
@@ -412,12 +423,14 @@ mod tests {
             AuditRecord {
                 model: "mA".into(),
                 regime: "full".into(),
+                scenario: "downstream".into(),
                 findings: RulePolicy::default().evaluate(&signals),
                 signals,
             },
             AuditRecord {
                 model: "mB".into(),
                 regime: "label_only".into(),
+                scenario: "backbone".into(),
                 signals: Signals::default(),
                 findings: Vec::new(),
             },

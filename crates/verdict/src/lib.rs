@@ -90,17 +90,33 @@ impl VerdictPipeline {
 
     /// [`VerdictPipeline::collect`] with an explicit oracle-regime wire
     /// string (`"full"`, `"quantized:<d>"`, `"top_k:<k>"`,
-    /// `"label_only"`) recorded on the audit.
+    /// `"label_only"`) recorded on the audit. The scenario defaults to
+    /// `"downstream"`; use [`VerdictPipeline::collect_in_scenario`] for
+    /// backbone-scenario audits.
     pub fn collect_in_regime(
         &mut self,
         model: impl Into<String>,
         regime: impl Into<String>,
         signals: Signals,
     ) -> &AuditRecord {
+        self.collect_in_scenario(model, regime, "downstream", signals)
+    }
+
+    /// [`VerdictPipeline::collect_in_regime`] with an explicit workload
+    /// scenario wire string (`"downstream"`, `"backbone"`) recorded on
+    /// the audit.
+    pub fn collect_in_scenario(
+        &mut self,
+        model: impl Into<String>,
+        regime: impl Into<String>,
+        scenario: impl Into<String>,
+        signals: Signals,
+    ) -> &AuditRecord {
         let findings = self.policy.evaluate(&signals);
         self.records.push(AuditRecord {
             model: model.into(),
             regime: regime.into(),
+            scenario: scenario.into(),
             signals,
             findings,
         });
@@ -146,6 +162,7 @@ mod tests {
             cache_misses: 900,
             cache_evictions: 3,
             evasive_responses: 0,
+            clean_downstream_training: false,
         }
     }
 

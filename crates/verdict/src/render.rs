@@ -152,6 +152,7 @@ mod tests {
             cache_misses: 900,
             cache_evictions: 3,
             evasive_responses: 0,
+            clean_downstream_training: false,
         }
     }
 
@@ -211,6 +212,7 @@ mod tests {
         let record = |model: &str, s: &Signals| AuditRecord {
             model: model.to_string(),
             regime: "full".to_string(),
+            scenario: "downstream".to_string(),
             findings: policy.evaluate(s),
             signals: *s,
         };

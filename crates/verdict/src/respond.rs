@@ -155,6 +155,7 @@ mod tests {
         AuditRecord {
             model: "m".into(),
             regime: "full".into(),
+            scenario: "downstream".into(),
             findings: RulePolicy::default().evaluate(&signals),
             signals,
         }

@@ -42,11 +42,17 @@ pub enum RuleId {
     /// probe-detection tests tripped). The audit's features were
     /// computed on lies; the verdict must not be trusted either way.
     B012,
+    /// `B013` — backbone-implanted backdoor suspected: prompted-accuracy
+    /// collapse on a system whose downstream training data is attested
+    /// clean (the backbone scenario). The poison cannot have entered
+    /// through the prompt-tuning data, so the frozen backbone itself is
+    /// the suspected carrier (the BadBone threat model).
+    B013,
 }
 
 impl RuleId {
     /// Every registered rule, in ID order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::B001,
         RuleId::B002,
         RuleId::B003,
@@ -54,6 +60,7 @@ impl RuleId {
         RuleId::B010,
         RuleId::B011,
         RuleId::B012,
+        RuleId::B013,
     ];
 
     /// The stable wire code (`"B001"`, ...).
@@ -66,6 +73,7 @@ impl RuleId {
             RuleId::B010 => "B010",
             RuleId::B011 => "B011",
             RuleId::B012 => "B012",
+            RuleId::B013 => "B013",
         }
     }
 
@@ -79,6 +87,7 @@ impl RuleId {
             RuleId::B010 => "fault-rate anomaly",
             RuleId::B011 => "cache anomaly",
             RuleId::B012 => "oracle evasion suspected",
+            RuleId::B013 => "backbone-implanted backdoor suspected",
         }
     }
 
@@ -87,7 +96,10 @@ impl RuleId {
     /// quarantine a model in strict mode, and only backdoor evidence
     /// escalates when it fires across repeated audits.
     pub fn is_backdoor_evidence(self) -> bool {
-        matches!(self, RuleId::B001 | RuleId::B002 | RuleId::B003)
+        matches!(
+            self,
+            RuleId::B001 | RuleId::B002 | RuleId::B003 | RuleId::B013
+        )
     }
 
     /// Parses a wire code back to the ID.
@@ -199,6 +211,12 @@ pub struct Signals {
     /// Responses the endpoint fabricated instead of answering honestly
     /// (adaptive-attacker evasion; see `bprom-faults::AdaptiveOracle`).
     pub evasive_responses: u64,
+    /// Whether the audited system attests that its downstream
+    /// prompt-tuning data was clean (the backbone scenario: a frozen
+    /// pretrained backbone adapted with a visual prompt on clean data).
+    /// Under that attestation, accuracy collapse implicates the backbone
+    /// itself (`B013`) rather than the tuning data.
+    pub clean_downstream_training: bool,
 }
 
 impl Signals {
@@ -372,6 +390,26 @@ impl RulePolicy {
                 ],
             });
         }
+        // Same gating as B001: the accuracy pass must actually have run.
+        if s.clean_downstream_training
+            && s.accuracy_queries > 0
+            && s.prompted_accuracy < self.accuracy_collapse
+        {
+            findings.push(Finding {
+                rule: RuleId::B013,
+                severity: Severity::High,
+                reason: format!(
+                    "prompted accuracy {:.4} collapsed below the {:.4} floor on a system \
+                     whose downstream training data is attested clean; the frozen backbone \
+                     is the suspected backdoor carrier",
+                    s.prompted_accuracy, self.accuracy_collapse
+                ),
+                evidence: vec![
+                    ("prompted_accuracy".into(), f64::from(s.prompted_accuracy)),
+                    ("threshold".into(), f64::from(self.accuracy_collapse)),
+                ],
+            });
+        }
         findings
     }
 }
@@ -440,6 +478,10 @@ impl ToJson for Signals {
             ("cache_misses", self.cache_misses.to_json()),
             ("cache_evictions", self.cache_evictions.to_json()),
             ("evasive_responses", self.evasive_responses.to_json()),
+            (
+                "clean_downstream_training",
+                self.clean_downstream_training.to_json(),
+            ),
         ])
     }
 }
@@ -463,6 +505,9 @@ impl FromJson for Signals {
             cache_misses: u64::from_json(value.require("cache_misses")?)?,
             cache_evictions: u64::from_json(value.require("cache_evictions")?)?,
             evasive_responses: u64::from_json(value.require("evasive_responses")?)?,
+            clean_downstream_training: bool::from_json(
+                value.require("clean_downstream_training")?,
+            )?,
         })
     }
 }
@@ -594,6 +639,60 @@ mod tests {
         assert!(!findings[0].rule.is_backdoor_evidence());
         assert_eq!(findings[0].severity, Severity::High);
         assert!(findings[0].reason.contains("3 batches"));
+    }
+
+    #[test]
+    fn backbone_collapse_fires_b013_only_under_clean_downstream_attestation() {
+        // Collapse without the attestation: B001 family only, no B013.
+        let s = Signals {
+            score: 0.95,
+            backdoored: true,
+            prompted_accuracy: 0.05,
+            queries: 100,
+            accuracy_queries: 20,
+            ..Signals::default()
+        };
+        let codes: Vec<&str> = RulePolicy::default()
+            .evaluate(&s)
+            .iter()
+            .map(|f| f.rule.code())
+            .collect();
+        assert_eq!(codes, ["B001", "B002", "B003"]);
+
+        // Same collapse with clean downstream training: B013 joins, last
+        // in rule-ID order, as backdoor evidence at High severity.
+        let attested = Signals {
+            clean_downstream_training: true,
+            ..s
+        };
+        let findings = RulePolicy::default().evaluate(&attested);
+        let codes: Vec<&str> = findings.iter().map(|f| f.rule.code()).collect();
+        assert_eq!(codes, ["B001", "B002", "B003", "B013"]);
+        let b013 = findings.last().unwrap();
+        assert!(b013.rule.is_backdoor_evidence());
+        assert_eq!(b013.severity, Severity::High);
+        assert!(b013.reason.contains("backbone"));
+
+        // Healthy prompted accuracy under the attestation raises nothing.
+        let healthy = Signals {
+            prompted_accuracy: 0.8,
+            score: 0.2,
+            backdoored: false,
+            clean_downstream_training: true,
+            ..attested
+        };
+        assert!(RulePolicy::default().evaluate(&healthy).is_empty());
+
+        // The attestation alone never fires when accuracy was not
+        // measured (vacuous 0.0 accuracy).
+        let unmeasured = Signals {
+            accuracy_queries: 0,
+            ..attested
+        };
+        assert!(RulePolicy::default()
+            .evaluate(&unmeasured)
+            .iter()
+            .all(|f| f.rule != RuleId::B013));
     }
 
     #[test]

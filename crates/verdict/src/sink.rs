@@ -52,6 +52,7 @@ mod tests {
         AuditRecord {
             model: model.into(),
             regime: "full".into(),
+            scenario: "downstream".into(),
             signals: Signals::default(),
             findings: Vec::new(),
         }

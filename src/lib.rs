@@ -19,6 +19,7 @@ pub use bprom_obs as obs;
 pub use bprom_par as par;
 pub use bprom_qcache as qcache;
 pub use bprom_regimes as regimes;
+pub use bprom_scenarios as scenarios;
 pub use bprom_tensor as tensor;
 pub use bprom_verdict as verdict;
 pub use bprom_vp as vp;

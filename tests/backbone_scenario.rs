@@ -1,0 +1,268 @@
+//! Property contract of the backbone scenario (`bprom-scenarios`) and the
+//! budget-fair trigger-inversion baseline (`bprom-defenses`):
+//!
+//! 1. **Exact query accounting** — a [`PromptedBackbone`] composite bills
+//!    exactly what the naive backbone+prompt forwarding would: `n`
+//!    backbone images per `n`-image downstream query, bit-identical
+//!    responses included.
+//! 2. **Frozen-backbone invariant** — downstream prompt adaptation never
+//!    perturbs the backbone: parameters, norm buffers and probe outputs
+//!    are byte-identical before and after `train_prompt_backprop`, and a
+//!    zoo-built composite's parts still hash to its recorded fingerprint.
+//! 3. **Exact budget fence** — the trigger-inversion search never submits
+//!    an image that would cross its query budget, even behind a hostile
+//!    fault/retry stack, and its billing reconciles to the delivered
+//!    query exactly.
+
+use bprom_suite::attacks::AttackKind;
+use bprom_suite::data::SynthDataset;
+use bprom_suite::defenses::trigger_inversion::{invert_trigger, TriggerInversionConfig};
+use bprom_suite::faults::{FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack, Transient};
+use bprom_suite::nn::models::{build, mlp, Architecture, ModelSpec};
+use bprom_suite::nn::{Layer, Mode, TrainConfig, Trainer};
+use bprom_suite::scenarios::{
+    build_backbone_zoo, composite_fingerprint, BackboneScenarioConfig, PromptedBackbone,
+};
+use bprom_suite::tensor::{Rng, Tensor};
+use bprom_suite::vp::{
+    train_prompt_backprop, BlackBoxModel, LabelMap, PromptStyle, PromptTrainConfig, QueryOracle,
+    VisualPrompt,
+};
+
+/// A deterministic composite over an MLP backbone: two calls with the
+/// same seed build bit-identical systems.
+fn composite_for(seed: u64) -> PromptedBackbone {
+    let mut rng = Rng::new(seed);
+    let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).unwrap();
+    let prompt = VisualPrompt::random(3, 16, 2, &mut rng)
+        .unwrap()
+        .with_style(PromptStyle::Pad);
+    let map = LabelMap::identity(10, 10).unwrap();
+    PromptedBackbone::new(QueryOracle::new(model, 10), prompt, map).unwrap()
+}
+
+/// Property 1: for any sequence of downstream batches — mixed sizes,
+/// mixed resolutions — the composite's query meter equals the image
+/// count a naive backbone+prompt pipeline would submit, and its
+/// responses are bit-identical to that pipeline's.
+#[test]
+fn composite_query_counts_match_naive_forwarding_exactly() {
+    let system = composite_for(0xBB);
+
+    // The naive leg: an identically-seeded backbone queried directly
+    // with prompt-composed canvases.
+    let mut rng = Rng::new(0xBB);
+    let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).unwrap();
+    let naive = QueryOracle::new(model, 10);
+    let prompt = VisualPrompt::random(3, 16, 2, &mut rng)
+        .unwrap()
+        .with_style(PromptStyle::Pad);
+
+    let mut batch_rng = Rng::new(7);
+    let mut naive_images = 0u64;
+    // Downstream resolutions both at and away from the prompt's inner
+    // window, batch sizes 1..=6.
+    for (n, t) in [(1usize, 12usize), (4, 12), (2, 8), (6, 10), (3, 12)] {
+        let batch = Tensor::rand_uniform(&[n, 3, t, t], 0.0, 1.0, &mut batch_rng);
+        let via_composite = system.query(&batch).unwrap();
+        let via_naive = naive.query(&prompt.apply_batch(&batch).unwrap()).unwrap();
+        naive_images += n as u64;
+        assert_eq!(
+            via_composite.data(),
+            via_naive.data(),
+            "identity-mapped composite must answer bit-identically to \
+             naive forwarding for [{n}, 3, {t}, {t}]"
+        );
+        assert_eq!(
+            system.queries_used(),
+            naive_images,
+            "composite must bill n backbone images per n-image query"
+        );
+    }
+    assert_eq!(naive.queries_used(), naive_images, "naive leg sanity");
+}
+
+/// Property 2a: prompt adaptation runs the backbone strictly frozen —
+/// parameters, batch-norm buffers, and eval-mode probe outputs are
+/// byte-identical before and after `train_prompt_backprop` with the
+/// scenario's own prompt settings.
+#[test]
+fn frozen_backbone_invariant_under_prompt_training() {
+    let mut rng = Rng::new(11);
+    let source = SynthDataset::Cifar10.generate(10, 16, 3).unwrap();
+    let spec = ModelSpec::new(3, 16, 10);
+    let mut model = build(Architecture::ResNetMini, &spec, &mut rng).unwrap();
+    Trainer::new(TrainConfig::fast())
+        .fit(&mut model, &source.images, &source.labels, &mut rng)
+        .unwrap();
+
+    let params_before = model.export_params();
+    let buffers_before = model.export_buffers();
+    let probe = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let out_before = model.forward(&probe, Mode::Eval).unwrap();
+
+    // Downstream adaptation exactly as `build_backbone_zoo` performs it:
+    // pad-style prompt on the backbone canvas, identity label map, clean
+    // downstream data.
+    let downstream = SynthDataset::Stl10.generate(5, 8, 4).unwrap();
+    let map = LabelMap::identity(10, 10).unwrap();
+    let mut prompt = VisualPrompt::random(3, 16, 2, &mut rng)
+        .unwrap()
+        .with_style(PromptStyle::Pad);
+    let cfg = PromptTrainConfig {
+        epochs: 2,
+        ..PromptTrainConfig::default()
+    };
+    train_prompt_backprop(
+        &mut model,
+        &mut prompt,
+        &downstream.images,
+        &downstream.labels,
+        &map,
+        &cfg,
+        &mut rng,
+    )
+    .unwrap();
+
+    assert_eq!(
+        model.export_params(),
+        params_before,
+        "prompt training must not touch backbone parameters"
+    );
+    assert_eq!(
+        model.export_buffers(),
+        buffers_before,
+        "prompt training must not touch batch-norm running statistics"
+    );
+    assert_eq!(
+        model.forward(&probe, Mode::Eval).unwrap(),
+        out_before,
+        "a frozen backbone answers probes bit-identically after adaptation"
+    );
+}
+
+/// Property 2b, through the real zoo path: unsealing a zoo-built
+/// composite and re-hashing its parts reproduces the fingerprint taken
+/// *before* sealing — nothing in adaptation, fingerprinting, or the
+/// query boundary drifted a single backbone/prompt/map bit.
+#[test]
+fn zoo_composites_rehash_to_their_recorded_fingerprints() {
+    let mut cfg = BackboneScenarioConfig::new(
+        SynthDataset::Cifar10,
+        SynthDataset::Stl10,
+        AttackKind::BadNets,
+    );
+    cfg.clean = 1;
+    cfg.backdoored = 1;
+    cfg.samples_per_class = 30;
+    cfg.downstream_samples_per_class = 10;
+    cfg.prompt = PromptTrainConfig {
+        epochs: 2,
+        ..PromptTrainConfig::default()
+    };
+    let zoo = build_backbone_zoo(&cfg, &mut Rng::new(21)).unwrap();
+    assert_eq!(zoo.len(), 2);
+    for system in zoo {
+        let recorded = system.fingerprint.clone();
+        // Exercise the sealed query path first: answering queries must
+        // not perturb the frozen state the fingerprint covers.
+        let probe = Tensor::rand_uniform(
+            &[2, 3, cfg.downstream_size, cfg.downstream_size],
+            0.0,
+            1.0,
+            &mut Rng::new(5),
+        );
+        system.system.query(&probe).unwrap();
+        let (oracle, prompt, map) = system.system.into_parts();
+        let model = oracle.into_inner();
+        assert_eq!(
+            composite_fingerprint(&model, &prompt, &map),
+            recorded,
+            "unsealed parts must re-hash to the pre-seal fingerprint"
+        );
+    }
+}
+
+/// Property 3: the trigger-inversion budget fence is exact to the query
+/// behind a hostile fault/retry stack. Billing covers delivered
+/// responses only, stops strictly before the cap at generation
+/// granularity, and reconciles: every candidate in a completed
+/// generation either delivered `n` images or was penalized for zero.
+#[test]
+fn inversion_budget_is_exact_under_faults_and_retries() {
+    let system = composite_for(0xFE);
+    let plan = Stack(vec![
+        Box::new(Transient { rate: 0.25 }),
+        Box::new(Quantize { decimals: 3 }),
+    ]);
+    let faulty = FaultyOracle::new(&system, plan, 0xFA17);
+    let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+
+    let probes = Tensor::rand_uniform(&[4, 3, 12, 12], 0.0, 1.0, &mut Rng::new(9));
+    let n = probes.shape()[0] as u64;
+    let base = TriggerInversionConfig {
+        generations: 6,
+        ..TriggerInversionConfig::default()
+    };
+    let per_generation = base.population as u64 * n;
+    // Room for three generations plus half of a fourth: the fourth must
+    // never start, no matter how faults redistribute the billing.
+    let budget = 3 * per_generation + per_generation / 2;
+    let cfg = TriggerInversionConfig {
+        query_budget: Some(budget),
+        ..base
+    };
+
+    let report = invert_trigger(&retrying, &probes, &cfg, &mut Rng::new(13)).unwrap();
+    assert!(report.budget_exhausted, "fence must trip mid-search");
+    assert!(report.queries <= budget, "never crosses the cap");
+    // Exact reconciliation: the fence stopped after the third generation
+    // of class 0, so exactly 3 × population candidates ran; each either
+    // delivered its full n-image batch or faulted through retry
+    // exhaustion and billed nothing.
+    assert_eq!(
+        report.queries + report.penalized_candidates * n,
+        3 * per_generation,
+        "delivered + penalized candidates must account for every \
+         candidate in the completed generations"
+    );
+    assert!(
+        retrying.oracle_stats().faults_injected > 0,
+        "a 25 % transient rate must inject faults over the search"
+    );
+
+    // Content-keyed faults: the entire report (billing included) is
+    // reproducible from the seeds.
+    let faulty = FaultyOracle::new(
+        &system,
+        Stack(vec![
+            Box::new(Transient { rate: 0.25 }),
+            Box::new(Quantize { decimals: 3 }),
+        ]),
+        0xFA17,
+    );
+    let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+    let replay = invert_trigger(&retrying, &probes, &cfg, &mut Rng::new(13)).unwrap();
+    assert_eq!(
+        report, replay,
+        "hostile-stack inversion must be deterministic"
+    );
+}
+
+/// Property 3 corner: a budget smaller than one generation stops the
+/// search before a single image is submitted.
+#[test]
+fn inversion_budget_below_one_generation_submits_nothing() {
+    let system = composite_for(0xAA);
+    let probes = Tensor::rand_uniform(&[4, 3, 12, 12], 0.0, 1.0, &mut Rng::new(3));
+    let n = probes.shape()[0] as u64;
+    let base = TriggerInversionConfig::default();
+    let cfg = TriggerInversionConfig {
+        query_budget: Some(base.population as u64 * n - 1),
+        ..base
+    };
+    let report = invert_trigger(&system, &probes, &cfg, &mut Rng::new(1)).unwrap();
+    assert!(report.budget_exhausted);
+    assert_eq!(report.queries, 0, "no partial generation may start");
+    assert_eq!(system.queries_used(), 0, "the oracle never saw an image");
+}

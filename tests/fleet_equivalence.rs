@@ -129,6 +129,7 @@ fn independent_runs(config: &BpromConfig, hostile: bool) -> (Vec<AuditRecord>, I
         records.push(AuditRecord {
             model: fingerprint,
             regime: config.regime.as_wire(),
+            scenario: "downstream".to_string(),
             signals: verdict.signals(),
             findings: verdict.findings(&policy),
         });

@@ -11,14 +11,22 @@ use bprom_suite::bprom::{
     DetectionReport, OracleRegime, ZooConfig,
 };
 use bprom_suite::data::SynthDataset;
+use bprom_suite::defenses::trigger_inversion::{invert_trigger, TriggerInversionConfig};
 use bprom_suite::faults::{
     AdaptiveConfig, AdaptiveOracle, FaultyOracle, Quantize, RetryPolicy, RetryingOracle, Stack,
     Transient,
 };
+use bprom_suite::nn::models::{mlp, ModelSpec};
 use bprom_suite::nn::TrainConfig;
 use bprom_suite::par;
-use bprom_suite::tensor::Rng;
-use bprom_suite::vp::{PromptStyle, PromptTrainConfig};
+use bprom_suite::scenarios::{
+    build_backbone_zoo, evaluate_backbone_zoo, evaluate_backbone_zoo_via, BackboneScenarioConfig,
+    PromptedBackbone,
+};
+use bprom_suite::tensor::{Rng, Tensor};
+use bprom_suite::vp::{
+    BlackBoxModel, LabelMap, PromptStyle, PromptTrainConfig, QueryOracle, VisualPrompt,
+};
 use std::sync::Mutex;
 
 /// Serializes the tests in this file: each one flips the process-global
@@ -214,6 +222,157 @@ fn top_k_reports_identical_across_thread_counts() {
 #[test]
 fn label_only_reports_identical_across_thread_counts() {
     assert_regime_thread_invariant(OracleRegime::LabelOnly, Hostility::None);
+}
+
+/// One identically-seeded backbone-scenario run at whatever thread count
+/// is installed: fit the detector, build a {clean, BadNets} prompted-
+/// backbone composite zoo, and evaluate it under `Scenario::Backbone` —
+/// optionally behind the hostile retry → fault stack. The regime comes
+/// from the environment, so the CI `regimes` job re-runs these legs
+/// under `label_only` unchanged.
+fn run_backbone_pipeline(hostile: bool) -> DetectionReport {
+    let mut rng = Rng::new(42);
+    let mut config = BpromConfig::fast(SynthDataset::Cifar10, SynthDataset::Stl10);
+    config.regime = OracleRegime::from_env_or(OracleRegime::FullScores);
+    config.clean_shadows = 2;
+    config.backdoor_shadows = 2;
+    config.test_samples_per_class = 20;
+    config.target_samples_per_class = 10;
+    config.train = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    config.prompt = PromptTrainConfig {
+        epochs: 2,
+        cmaes_generations: 4,
+        cmaes_population: 6,
+        ..PromptTrainConfig::default()
+    };
+    let detector = Bprom::fit(&config, &mut rng).unwrap();
+
+    let mut zoo_cfg = BackboneScenarioConfig::new(
+        SynthDataset::Cifar10,
+        SynthDataset::Stl10,
+        AttackKind::BadNets,
+    );
+    zoo_cfg.clean = 1;
+    zoo_cfg.backdoored = 1;
+    zoo_cfg.samples_per_class = 30;
+    zoo_cfg.downstream_samples_per_class = 10;
+    zoo_cfg.prompt = PromptTrainConfig {
+        epochs: 2,
+        ..PromptTrainConfig::default()
+    };
+    let zoo = build_backbone_zoo(&zoo_cfg, &mut rng).unwrap();
+    let mut report = if hostile {
+        evaluate_backbone_zoo_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+            let plan = Stack(vec![
+                Box::new(Transient { rate: 0.1 }),
+                Box::new(Quantize { decimals: 3 }),
+            ]);
+            let faulty = FaultyOracle::new(&oracle, plan, 0xFA17);
+            let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+            detector.inspect(&retrying, rng)
+        })
+        .unwrap()
+    } else {
+        evaluate_backbone_zoo(&detector, zoo, &mut rng).unwrap()
+    };
+    report.mean_inspect_ms = 0.0;
+    report
+}
+
+/// Backbone scenario, tier 1: backbone pretraining, frozen prompt
+/// adaptation, label-map translation and the `Scenario::Backbone`
+/// evaluation loop are all thread-invariant — the report is
+/// byte-identical at 1 and 4 workers, scenario stamp and attestation
+/// included.
+#[test]
+fn backbone_reports_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    par::set_thread_count(1);
+    let sequential = run_backbone_pipeline(false);
+    par::set_thread_count(4);
+    let parallel = run_backbone_pipeline(false);
+    par::set_thread_count(0);
+
+    assert!(parallel.total_queries > 0);
+    assert_eq!(parallel.scenario, "backbone");
+    for audit in &parallel.audits {
+        assert_eq!(audit.scenario, "backbone");
+        assert!(
+            audit.signals.clean_downstream_training,
+            "backbone audits must carry the clean-downstream attestation"
+        );
+    }
+    assert_eq!(
+        sequential.to_json().unwrap(),
+        parallel.to_json().unwrap(),
+        "thread count leaked into the backbone-scenario detection report"
+    );
+}
+
+/// Backbone scenario, tier 2: the {plain, hostile} × threads {1, 4}
+/// matrix, every report byte-identical to the threads=1 baseline of its
+/// hostility tier.
+#[test]
+#[ignore = "tier-2 backbone matrix (4 full runs); CI backbone job runs it via -- --ignored"]
+fn backbone_matrix_reports_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    for hostile in [false, true] {
+        par::set_thread_count(1);
+        let sequential = run_backbone_pipeline(hostile);
+        par::set_thread_count(4);
+        let parallel = run_backbone_pipeline(hostile);
+        par::set_thread_count(0);
+
+        if hostile {
+            assert!(parallel.total_faults > 0);
+            assert!(parallel.total_retries > 0);
+        }
+        assert_eq!(
+            sequential.to_json().unwrap(),
+            parallel.to_json().unwrap(),
+            "thread count leaked into the hostile={hostile} backbone report"
+        );
+    }
+}
+
+/// The trigger-inversion baseline evaluates candidates sequentially, but
+/// the composite's forward passes go through the same threaded kernels
+/// as everything else — its whole report (per-class ASRs, anomaly,
+/// billing) must be identical at any thread count.
+#[test]
+fn trigger_inversion_reports_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let composite = || {
+        let mut rng = Rng::new(0x1A);
+        let model = mlp(&ModelSpec::new(3, 16, 10), &mut rng).unwrap();
+        let prompt = VisualPrompt::random(3, 16, 2, &mut rng)
+            .unwrap()
+            .with_style(PromptStyle::Pad);
+        let map = LabelMap::identity(10, 10).unwrap();
+        PromptedBackbone::new(QueryOracle::new(model, 10), prompt, map).unwrap()
+    };
+    let probes = Tensor::rand_uniform(&[4, 3, 12, 12], 0.0, 1.0, &mut Rng::new(8));
+    let cfg = TriggerInversionConfig {
+        generations: 2,
+        ..TriggerInversionConfig::default()
+    };
+    par::set_thread_count(1);
+    let system = composite();
+    let sequential = invert_trigger(&system, &probes, &cfg, &mut Rng::new(3)).unwrap();
+    par::set_thread_count(4);
+    let system = composite();
+    let parallel = invert_trigger(&system, &probes, &cfg, &mut Rng::new(3)).unwrap();
+    par::set_thread_count(0);
+
+    assert!(parallel.queries > 0);
+    assert_eq!(system.queries_used(), parallel.queries);
+    assert_eq!(
+        sequential, parallel,
+        "thread count leaked into the trigger-inversion report"
+    );
 }
 
 /// The adaptive-attacker tier: a provider that detects the audit's probe

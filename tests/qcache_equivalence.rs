@@ -27,6 +27,9 @@ use bprom_suite::nn::models::{mlp, ModelSpec};
 use bprom_suite::nn::TrainConfig;
 use bprom_suite::par;
 use bprom_suite::qcache::CachingOracle;
+use bprom_suite::scenarios::{
+    build_backbone_zoo, evaluate_backbone_zoo, evaluate_backbone_zoo_via, BackboneScenarioConfig,
+};
 use bprom_suite::tensor::{Rng, Tensor};
 use bprom_suite::vp::{BlackBoxModel, PromptStyle, PromptTrainConfig, QueryOracle};
 use std::sync::Mutex;
@@ -471,6 +474,121 @@ fn regime_matrix_reports_are_byte_identical() {
                 .map(|a| a.signals.evasive_responses)
                 .sum();
             assert!(evasions > 0, "{regime}: adaptive tier must trip evasions");
+        }
+    }
+}
+
+/// One identically-seeded backbone-scenario run under the given cache
+/// policy: the detector's cache sits between its probes and the sealed
+/// `PromptedBackbone` composite, so cache transparency must hold through
+/// the prompt-composition and label-translation layers too.
+fn run_backbone_pipeline(hostile: bool, cache: CacheConfig) -> DetectionReport {
+    let mut rng = Rng::new(42);
+    let mut config = tiny_config();
+    config.regime = OracleRegime::from_env_or(OracleRegime::FullScores);
+    config.cache = cache;
+    let detector = Bprom::fit(&config, &mut rng).unwrap();
+
+    let mut zoo_cfg = BackboneScenarioConfig::new(
+        SynthDataset::Cifar10,
+        SynthDataset::Stl10,
+        AttackKind::BadNets,
+    );
+    zoo_cfg.clean = 1;
+    zoo_cfg.backdoored = 1;
+    zoo_cfg.samples_per_class = 30;
+    zoo_cfg.downstream_samples_per_class = 10;
+    zoo_cfg.prompt = PromptTrainConfig {
+        epochs: 2,
+        ..PromptTrainConfig::default()
+    };
+    let zoo = build_backbone_zoo(&zoo_cfg, &mut rng).unwrap();
+    let mut report = if hostile {
+        evaluate_backbone_zoo_via(&detector, zoo, &mut rng, |detector, oracle, rng| {
+            let plan = Stack(vec![
+                Box::new(Transient { rate: 0.1 }),
+                Box::new(Quantize { decimals: 3 }),
+            ]);
+            let faulty = FaultyOracle::new(&oracle, plan, 0xFA17);
+            let retrying = RetryingOracle::new(&faulty, RetryPolicy::default());
+            detector.inspect(&retrying, rng)
+        })
+        .unwrap()
+    } else {
+        evaluate_backbone_zoo(&detector, zoo, &mut rng).unwrap()
+    };
+    report.mean_inspect_ms = 0.0;
+    report
+}
+
+/// Tier-1 backbone leg: the cache is response-transparent through a
+/// composite oracle — scrubbed reports byte-identical with the cache off
+/// or unbounded, exact accounting on the memoized leg, and the scenario
+/// stamp untouched by either mode.
+#[test]
+fn backbone_reports_are_cache_mode_invariant() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let off = run_backbone_pipeline(false, CacheConfig::off());
+    let mem = run_backbone_pipeline(false, CacheConfig::unbounded());
+    assert_eq!(
+        scrubbed_json(&mem),
+        scrubbed_json(&off),
+        "cache mode leaked into the backbone-scenario detection report"
+    );
+    assert_eq!(off.scenario, "backbone");
+    assert!(off.total_queries > 0);
+    assert_eq!(off.total_cache_hits + off.total_cache_misses, 0);
+    assert_eq!(
+        mem.total_cache_hits + mem.total_cache_misses,
+        off.total_queries,
+        "cache accounting must cover the uncached composite spend exactly"
+    );
+    assert!(mem.total_cache_hits > 0, "accuracy pass must hit the cache");
+    for audit in &mem.audits {
+        assert!(audit.signals.clean_downstream_training);
+    }
+}
+
+/// Tier-2 backbone matrix: thread count × cache mode × fault profile
+/// over the backbone scenario, every report byte-identical to the
+/// threads=1 cache-off baseline of its hostility tier after the scrub.
+#[test]
+#[ignore = "tier-2 backbone matrix (8 full runs); CI backbone job runs it via -- --ignored"]
+fn backbone_matrix_reports_are_byte_identical() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    for hostile in [false, true] {
+        let mut runs: Vec<(usize, CacheConfig, DetectionReport)> = Vec::new();
+        for threads in [1usize, 4] {
+            par::set_thread_count(threads);
+            for mode in [CacheConfig::off(), CacheConfig::unbounded()] {
+                runs.push((threads, mode, run_backbone_pipeline(hostile, mode)));
+            }
+        }
+        par::set_thread_count(0);
+
+        let baseline = scrubbed_json(&runs[0].2);
+        for (threads, mode, report) in &runs[1..] {
+            assert_eq!(
+                scrubbed_json(report),
+                baseline,
+                "backbone hostile={hostile} threads={threads} {mode:?}: report \
+                 drifted from the threads=1 cache-off baseline"
+            );
+        }
+        if hostile {
+            assert!(runs[0].2.total_faults > 0);
+        }
+        for (_, mode, report) in &runs {
+            if *mode == CacheConfig::off() {
+                assert_eq!(report.total_cache_hits + report.total_cache_misses, 0);
+            } else {
+                assert_eq!(
+                    report.total_cache_hits + report.total_cache_misses,
+                    runs[0].2.total_queries,
+                    "backbone hostile={hostile} {mode:?}: cache accounting must \
+                     cover the uncached spend exactly"
+                );
+            }
         }
     }
 }
